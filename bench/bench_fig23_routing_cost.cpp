@@ -1,0 +1,43 @@
+// Figures 2/3 of the paper, quantified: the routing cost of interfacing
+// the four-module multi-voltage system with conventional level shifters
+// (extra supply rails), dual-polarity signalling (extra signal wires),
+// or single-supply shifters (nothing extra).
+#include <iostream>
+
+#include "analysis/routing_cost.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls;
+  using namespace vls::bench;
+  const Flags flags(argc, argv);
+  const int per_pair = flags.getInt("signals", 16);
+
+  std::vector<ModuleSpec> modules;
+  std::vector<SignalBundle> signals;
+  paperFourModuleSystem(modules, signals, 2e-3, per_pair);
+  const RoutingReport rep = compareRoutingCost(modules, signals);
+
+  std::cout << "bench_fig23_routing_cost: the paper's 4-module system\n"
+               "(0.8/1.0/1.2/1.4 V on a 2x2 mm floorplan, " << per_pair
+            << " signals per directed pair)\n\n";
+  Table t({"Interfacing strategy", "extra supply rails", "extra wires",
+           "extra routing area (um^2)", "notes"});
+  auto um2 = [](double m2) { return Table::fmtScaled(m2, 1e-12, 0); };
+  t.addRow({"CVS (Figure 2)", std::to_string(rep.cvs_extra_rails), "0",
+            um2(rep.cvs_supply_area), "source rails imported per receiver"});
+  t.addRow({"dual-polarity signals", "0", std::to_string(rep.dual_extra_wires),
+            um2(rep.dual_extra_area), "in + in_b per crossing signal"});
+  t.addRow({"SS-VS / SS-TVS (Figure 3)", "0", "0", um2(rep.ssvs_extra_area),
+            "destination supply only"});
+  t.print(std::cout);
+
+  std::cout << "\nBaseline signal wiring all strategies pay: "
+            << Table::fmtScaled(rep.signal_area, 1e-12, 0) << " um^2 over "
+            << Table::fmtScaled(rep.signal_wirelength, 1e-3, 2) << " mm of wire.\n";
+  std::cout << "CVS supply overhead is "
+            << Table::fmt(100.0 * rep.cvs_supply_area / rep.signal_area, 3)
+            << "% of the signal routing area for this mesh (grows with rail width\n"
+               "and domain count; DVS makes the import set worst-case ALL rails).\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 7 of the paper: the SS-TVS layout. The paper reports a cell
+// area of 4.47 um^2 (0.837 um x 5.355 um). We substitute an analytic
+// standard-cell area model (DESIGN.md §4) and compare, including the
+// comparison cells for context.
+#include <iostream>
+
+#include "analysis/area.hpp"
+#include "bench_util.hpp"
+#include "cells/level_shifters.hpp"
+#include "cells/sstvs.hpp"
+
+int main() {
+  using namespace vls;
+  std::cout << "bench_fig7_area: analytic layout-area estimate (paper Figure 7)\n";
+
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const SstvsHandles tvs = buildSstvs(c, "xt", c.node("i1"), c.node("o1"), vddo, {});
+  const CombinedVsHandles comb = buildCombinedVs(c, "xc", c.node("i2"), c.node("o2"),
+                                                 c.node("sel"), c.node("selb"), vddo, {});
+  const SsvsKhanHandles khan = buildSsvsKhan(c, "xk", c.node("i3"), c.node("o3"), vddo, {});
+
+  Table t({"Cell", "Transistors", "Area (um^2)", "Paper (um^2)"});
+  auto row = [&](const char* name, const MosList& fets, const char* paper) {
+    t.addRow({name, std::to_string(fets.size()),
+              Table::fmtScaled(estimateCellArea(fets), 1e-12, 2), paper});
+  };
+  row("SS-TVS", tvs.fets, "4.47");
+  row("SS-VS of [6] (reconstruction)", khan.fets, "n/r");
+  row("Combined VS (Figure 6)", comb.fets, "n/r");
+  t.print(std::cout);
+
+  const CellBox box = estimateCellBox(tvs.fets);
+  std::cout << "SS-TVS bounding box at the paper's aspect ratio: "
+            << Table::fmtScaled(box.width, 1e-6, 3) << " um x "
+            << Table::fmtScaled(box.height, 1e-6, 3)
+            << " um (paper: 0.837 um x 5.355 um)\n";
+  return 0;
+}

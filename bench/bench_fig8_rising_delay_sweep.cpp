@@ -1,0 +1,9 @@
+// Figure 8 of the paper: rising delay of the SS-TVS as VDDI and VDDO
+// vary over [0.8, 1.4] V. The paper's claim: smooth variation across
+// the whole range, with every point functional.
+#include "bench_sweep_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls::bench;
+  return runDelaySweep("bench_fig8_rising_delay_sweep", /*rising=*/true, Flags(argc, argv));
+}

@@ -1,0 +1,8 @@
+// Figure 9 of the paper: falling delay of the SS-TVS over the same
+// VDDI x VDDO grid as Figure 8.
+#include "bench_sweep_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls::bench;
+  return runDelaySweep("bench_fig9_falling_delay_sweep", /*rising=*/false, Flags(argc, argv));
+}

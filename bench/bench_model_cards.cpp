@@ -1,0 +1,50 @@
+// Model-card characterization: the figures of merit of our 90 nm-class
+// EKV cards (Ion, Ioff, subthreshold swing, DIBL, VT) against the
+// targets stated in the paper and typical published PTM 90 nm values.
+// Every other experiment's absolute numbers rest on this table.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "devices/model_library.hpp"
+#include "devices/mosfet.hpp"
+
+int main() {
+  using namespace vls;
+  using namespace vls::bench;
+  std::cout << "bench_model_cards: EKV 90nm card figures of merit at 27C\n"
+               "(W = 1um, L = 0.1um; Ion at |VGS|=|VDS|=1.2V; Ioff at VGS=0)\n\n";
+
+  Table t({"Card", "VT0 (V)", "Ion (uA/um)", "Ioff@1.2V (nA/um)", "SS (mV/dec)",
+           "DIBL (mV/V)", "Ion/Ioff"});
+  for (const char* name : {"nmos", "nmos_hvt", "nmos_lvt", "pmos", "pmos_hvt"}) {
+    const MosModelRef card = modelByName(name);
+    MosGeometry g;
+    g.w = 1e-6;
+    g.l = 100e-9;
+    const MosOperating op = resolveOperating(*card, g, 300.15);
+
+    const double ion = mosCoreCurrent(*card, op, 1.2, 1.2, 0.0);
+    const double ioff = mosCoreCurrent(*card, op, 0.0, 1.2, 0.0);
+    // Subthreshold swing from two deep-subthreshold points.
+    const double vg_lo = card->vt0 - 0.25;
+    const double i1 = mosCoreCurrent(*card, op, vg_lo, 1.2, 0.0);
+    const double i2 = mosCoreCurrent(*card, op, vg_lo + 0.05, 1.2, 0.0);
+    const double ss = 0.05 / std::log10(i2 / i1) * 1e3;
+    // DIBL: effective VT shift between VDS=0.1 and 1.2 (from Ioff ratio).
+    const double ioff_lo = mosCoreCurrent(*card, op, 0.0, 0.1, 0.0);
+    const double dibl = std::log10(ioff / ioff_lo) * (ss / 1e3) / (1.2 - 0.1) * 1e3;
+
+    t.addRow({name, Table::fmt(card->vt0, 3), Table::fmtScaled(ion, 1e-6, 0),
+              Table::fmtScaled(ioff, 1e-9, 2), Table::fmt(ss, 3), Table::fmt(dibl, 3),
+              Table::fmt(ion / ioff, 3)});
+  }
+  t.print(std::cout);
+  std::cout <<
+      "\nPaper-stated targets: VT = 0.39/0.49/0.19 V (NMOS), -0.39/-0.44 V (PMOS).\n"
+      "90 nm-class expectations: Ion ~ 300-700 uA/um (N), SS ~ 75-100 mV/dec,\n"
+      "DIBL ~ 50-120 mV/V, Ion/Ioff ~ 1e4-1e6. See DESIGN.md §4 for why these\n"
+      "cards were calibrated slightly less leaky than published PTM: the paper's\n"
+      "cross-cell leakage RATIOS, not absolute Ioff, carry its claims.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Simulator performance microbenchmarks (google-benchmark): sparse LU,
+// MOSFET model evaluation, full Newton transient throughput on the
+// SS-TVS testbench, and the characterization harness end to end.
+#include <benchmark/benchmark.h>
+
+#include "analysis/shifter_harness.hpp"
+#include "cells/sstvs.hpp"
+#include "devices/model_library.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "numeric/lu_sparse.hpp"
+#include "numeric/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace vls;
+
+void BM_SparseLuFactorSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  SparseMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    m.add(i, i, 4.0 + rng.uniform());
+    if (i > 0) {
+      m.add(i, i - 1, -1.0);
+      m.add(i - 1, i, -1.0);
+    }
+    // A few long-range couplings, circuit-style.
+    const int j = static_cast<int>(rng.below(n));
+    m.add(i, j, 0.1);
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    SparseLu lu(m);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseLuFactorSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MosfetCoreEval(benchmark::State& state) {
+  const MosModelCard& card = *nmos90();
+  MosGeometry g;
+  const MosOperating op = resolveOperating(card, g, 300.15);
+  double vg = 0.8;
+  for (auto _ : state) {
+    using D3 = Dual<3>;
+    const D3 i = mosCoreCurrent(card, op, D3::seed(vg, 0), D3::seed(1.2, 1), D3::seed(0.0, 2));
+    benchmark::DoNotOptimize(i);
+    vg = vg == 0.8 ? 0.3 : 0.8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MosfetCoreEval);
+
+void BM_SstvsOperatingPoint(benchmark::State& state) {
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const NodeId in = c.node("in");
+  c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+  c.add<VoltageSource>("vin", in, kGround, 0.8);
+  buildSstvs(c, "x", in, c.node("out"), vddo, {});
+  Simulator sim(c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.solveOp());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SstvsOperatingPoint);
+
+void BM_SstvsTransientNanosecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Circuit c;
+    const NodeId vddo = c.node("vddo");
+    const NodeId in = c.node("in");
+    c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+    PulseSpec p;
+    p.v1 = 0.8;
+    p.v2 = 0.0;
+    p.delay = 0.2e-9;
+    p.rise = p.fall = 20e-12;
+    p.width = 0.4e-9;
+    c.add<VoltageSource>("vin", in, kGround, Waveform::pulse(p));
+    buildSstvs(c, "x", in, c.node("out"), vddo, {});
+    c.add<Capacitor>("cl", c.node("out"), kGround, 1e-15);
+    Simulator sim(c);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.transient(1e-9, 50e-12));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SstvsTransientNanosecond);
+
+void BM_FullCharacterization(benchmark::State& state) {
+  for (auto _ : state) {
+    HarnessConfig cfg;
+    cfg.kind = ShifterKind::Sstvs;
+    benchmark::DoNotOptimize(measureShifter(cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCharacterization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

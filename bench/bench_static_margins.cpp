@@ -1,0 +1,50 @@
+// Extension bench: static transfer characteristics and noise margins of
+// every shifter at the paper's operating points — the DC complement to
+// the dynamic Tables 1/2.
+#include <iostream>
+
+#include "analysis/static_margins.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vls;
+  using namespace vls::bench;
+  std::cout << "bench_static_margins: DC transfer characteristics and noise margins\n";
+
+  for (auto [vddi, vddo] : {std::pair{0.8, 1.2}, std::pair{1.2, 0.8}, std::pair{0.8, 1.4}}) {
+    std::cout << "\n--- VDDI=" << vddi << " V -> VDDO=" << vddo << " V ---\n";
+    Table t({"Cell", "VOL (V)", "VOH (V)", "VIL (V)", "VIH (V)", "NML (V)", "NMH (V)",
+             "peak |gain|"});
+    for (ShifterKind kind : {ShifterKind::Sstvs, ShifterKind::CombinedVs, ShifterKind::SsvsKhan,
+                             ShifterKind::SsvsPuri, ShifterKind::InverterOnly}) {
+      HarnessConfig cfg;
+      cfg.kind = kind;
+      cfg.vddi = vddi;
+      cfg.vddo = vddo;
+      StaticMargins m;
+      try {
+        m = measureStaticMargins(cfg);
+      } catch (const Error&) {
+        t.addRow({shifterKindName(kind), "-", "-", "-", "-", "-", "-", "SIM FAIL"});
+        continue;
+      }
+      if (!m.static_transition) {
+        t.addRow({shifterKindName(kind), Table::fmt(m.vol, 3), Table::fmt(m.voh, 3), "-", "-",
+                  "-", "-", "dynamic-only"});
+        continue;
+      }
+      t.addRow({shifterKindName(kind), Table::fmt(m.vol, 3), Table::fmt(m.voh, 3),
+                Table::fmt(m.vil, 3), Table::fmt(m.vih, 3), Table::fmt(m.nml, 3),
+                Table::fmt(m.nmh, 3),
+                Table::fmt(m.peak_gain, 3) + (m.fully_converged ? "" : " (gaps)")});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nFinding: the SS-TVS up-shift path is DYNAMIC-ONLY — a quasi-static\n"
+               "input ramp lets the ctrl node track the input through M2, M1 never\n"
+               "gains gate drive, and node2 stays latched. The cell operates on\n"
+               "stored edge charge (which is why the paper discusses input-sequence\n"
+               "dependence); its down-shift path and all static cells show normal\n"
+               "regenerative DC curves.\n";
+  return 0;
+}

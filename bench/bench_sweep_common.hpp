@@ -1,0 +1,59 @@
+// Shared implementation of the paper's delay-surface figures (8 and 9).
+#pragma once
+
+#include <iostream>
+
+#include "analysis/sweep.hpp"
+#include "bench_util.hpp"
+#include "io/csv.hpp"
+
+namespace vls::bench {
+
+inline int runDelaySweep(const char* name, bool rising, const Flags& flags) {
+  const double step = flags.getDouble("step", 0.1);
+  std::cout << name << ": SS-TVS " << (rising ? "rising" : "falling")
+            << " delay over VDDI x VDDO in [0.8, 1.4] V, step " << step
+            << " V (paper: 5 mV; pass --step=0.005 to match)\n";
+
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.4;
+  cfg.step = step;
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+
+  // Matrix print: rows VDDI, columns VDDO, cell = delay in ps.
+  std::vector<std::string> header = {"VDDI\\VDDO (V)"};
+  for (double v : r.vddo_axis) header.push_back(Table::fmt(v, 3));
+  Table t(header);
+  for (size_t i = 0; i < r.vddi_axis.size(); ++i) {
+    std::vector<std::string> row = {Table::fmt(r.vddi_axis[i], 3)};
+    for (size_t j = 0; j < r.vddo_axis.size(); ++j) {
+      const auto& m = r.at(i, j).metrics;
+      const double d = rising ? m.delay_rise : m.delay_fall;
+      row.push_back(m.functional ? Table::fmtScaled(d, 1e-12, 1) : std::string("FAIL"));
+    }
+    t.addRow(row);
+  }
+  t.print(std::cout);
+  std::cout << "functional points: " << r.functionalCount() << " / " << r.points.size()
+            << " (paper: all combinations convert correctly)\n";
+
+  // CSV of the full surface for plotting.
+  std::vector<CsvColumn> cols(3);
+  cols[0].name = "vddi";
+  cols[1].name = "vddo";
+  cols[2].name = rising ? "delay_rise_s" : "delay_fall_s";
+  for (const auto& p : r.points) {
+    cols[0].values.push_back(p.vddi);
+    cols[1].values.push_back(p.vddo);
+    cols[2].values.push_back(rising ? p.metrics.delay_rise : p.metrics.delay_fall);
+  }
+  const std::string csv = std::string(name) + ".csv";
+  writeCsv(csv, cols);
+  std::cout << "surface written to " << csv << "\n";
+  return r.functionalCount() == r.points.size() ? 0 : 1;
+}
+
+}  // namespace vls::bench

@@ -1,0 +1,26 @@
+// Table 2 of the paper: high -> low level shifting (1.2 V -> 0.8 V at
+// 27 C), SS-TVS vs the combined VS (inverter path selected).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls;
+  using namespace vls::bench;
+  const Flags flags(argc, argv);
+  const double vddi = flags.getDouble("vddi", 1.2);
+  const double vddo = flags.getDouble("vddo", 0.8);
+
+  std::cout << "bench_table2_high_to_low: VDDI=" << vddi << " V -> VDDO=" << vddo
+            << " V, T=27C (paper Table 2)\n";
+  const auto [tvs, comb] = characterizePair(vddi, vddo);
+
+  const PaperColumn paper_tvs{34.9, 15.7, -1, -1, 7.3, 3.9};
+  const PaperColumn paper_comb{46.5, 35.2, -1, -1, 32.5, 36.3};
+  printCharacterizationTable("Table 2: High to Low Level Shifting", tvs, comb, paper_tvs,
+                             paper_comb);
+
+  std::cout << "\nFunctional: SS-TVS=" << (tvs.functional ? "yes" : "NO")
+            << "  Combined=" << (comb.functional ? "yes" : "NO") << "\n";
+  return (tvs.functional && comb.functional) ? 0 : 1;
+}

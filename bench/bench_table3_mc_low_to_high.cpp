@@ -1,0 +1,11 @@
+// Table 3 of the paper: process-variation Monte-Carlo for low -> high
+// shifting (0.8 -> 1.2 V) at 27 C, mean and standard deviation of all
+// six metrics for the SS-TVS and the combined VS.
+#include "bench_mc_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls::bench;
+  const Flags flags(argc, argv);
+  const int samples = flags.getInt("samples", 150);
+  return runMcTable("bench_table3_mc_low_to_high", 0.8, 1.2, samples, 20080310);
+}

@@ -1,0 +1,10 @@
+// Table 4 of the paper: process-variation Monte-Carlo for high -> low
+// shifting (1.2 -> 0.8 V) at 27 C.
+#include "bench_mc_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vls::bench;
+  const Flags flags(argc, argv);
+  const int samples = flags.getInt("samples", 150);
+  return runMcTable("bench_table4_mc_high_to_low", 1.2, 0.8, samples, 20080311);
+}

@@ -1,0 +1,114 @@
+// Shared plumbing for the experiment benches: flag parsing, the
+// paper-vs-measured table layout, and the standard comparison runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/shifter_harness.hpp"
+#include "io/table.hpp"
+
+namespace vls::bench {
+
+/// Minimal --key=value flag reader.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  double getDouble(const std::string& key, double fallback) const {
+    const auto v = find(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+  int getInt(const std::string& key, int fallback) const {
+    const auto v = find(key);
+    return v ? std::atoi(v->c_str()) : fallback;
+  }
+  bool getBool(const std::string& key) const {
+    for (const auto& a : args_) {
+      if (a == "--" + key) return true;
+    }
+    return find(key).has_value();
+  }
+
+ private:
+  std::optional<std::string> find(const std::string& key) const {
+    const std::string prefix = "--" + key + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> args_;
+};
+
+/// Paper reference values for one table (ps / uW / nA units as printed).
+struct PaperColumn {
+  double delay_rise_ps;
+  double delay_fall_ps;
+  double power_rise_uw;   ///< <= 0 when the paper omitted the value
+  double power_fall_uw;
+  double leak_high_na;
+  double leak_low_na;
+};
+
+/// Print one of the paper's characterization tables (Table 1 / 2
+/// layout) with our measured values next to the paper's.
+inline void printCharacterizationTable(const std::string& title, const ShifterMetrics& tvs,
+                                       const ShifterMetrics& comb, const PaperColumn& paper_tvs,
+                                       const PaperColumn& paper_comb) {
+  std::cout << "\n=== " << title << " ===\n";
+  Table t({"Performance Parameter", "SS-TVS (measured)", "Combined VS (measured)",
+           "SS-TVS (paper)", "Combined VS (paper)"});
+  auto ps = [](double s) { return Table::fmtScaled(s, 1e-12, 1); };
+  auto uw = [](double w) { return Table::fmtScaled(w, 1e-6, 2); };
+  auto na = [](double a) { return Table::fmtScaled(a, 1e-9, 2); };
+  auto ref = [](double v) { return v > 0 ? Table::fmt(v, 4) : std::string("n/r"); };
+  t.addRow({"Delay Rise (ps)", ps(tvs.delay_rise), ps(comb.delay_rise),
+            ref(paper_tvs.delay_rise_ps), ref(paper_comb.delay_rise_ps)});
+  t.addRow({"Delay Fall (ps)", ps(tvs.delay_fall), ps(comb.delay_fall),
+            ref(paper_tvs.delay_fall_ps), ref(paper_comb.delay_fall_ps)});
+  t.addRow({"Power Rise (uW)", uw(tvs.power_rise), uw(comb.power_rise),
+            ref(paper_tvs.power_rise_uw), ref(paper_comb.power_rise_uw)});
+  t.addRow({"Power Fall (uW)", uw(tvs.power_fall), uw(comb.power_fall),
+            ref(paper_tvs.power_fall_uw), ref(paper_comb.power_fall_uw)});
+  t.addRow({"Leakage Current High (nA)", na(tvs.leakage_high), na(comb.leakage_high),
+            ref(paper_tvs.leak_high_na), ref(paper_comb.leak_high_na)});
+  t.addRow({"Leakage Current Low (nA)", na(tvs.leakage_low), na(comb.leakage_low),
+            ref(paper_tvs.leak_low_na), ref(paper_comb.leak_low_na)});
+  t.print(std::cout);
+
+  Table r({"Ratio (Combined / SS-TVS)", "measured", "paper"});
+  auto ratio = [](double a, double b) { return b > 0 ? Table::fmt(a / b, 3) : std::string("-"); };
+  auto pratio = [](double a, double b) {
+    return (a > 0 && b > 0) ? Table::fmt(a / b, 3) : std::string("-");
+  };
+  r.addRow({"Delay Rise", ratio(comb.delay_rise, tvs.delay_rise),
+            pratio(paper_comb.delay_rise_ps, paper_tvs.delay_rise_ps)});
+  r.addRow({"Delay Fall", ratio(comb.delay_fall, tvs.delay_fall),
+            pratio(paper_comb.delay_fall_ps, paper_tvs.delay_fall_ps)});
+  r.addRow({"Leakage High", ratio(comb.leakage_high, tvs.leakage_high),
+            pratio(paper_comb.leak_high_na, paper_tvs.leak_high_na)});
+  r.addRow({"Leakage Low", ratio(comb.leakage_low, tvs.leakage_low),
+            pratio(paper_comb.leak_low_na, paper_tvs.leak_low_na)});
+  r.print(std::cout);
+}
+
+/// Worst-case characterization of both cells at one supply pair.
+inline std::pair<ShifterMetrics, ShifterMetrics> characterizePair(double vddi, double vddo) {
+  HarnessConfig cfg;
+  cfg.vddi = vddi;
+  cfg.vddo = vddo;
+  cfg.kind = ShifterKind::Sstvs;
+  const ShifterMetrics tvs = measureShifterWorstCase(cfg);
+  cfg.kind = ShifterKind::CombinedVs;
+  const ShifterMetrics comb = measureShifterWorstCase(cfg);
+  return {tvs, comb};
+}
+
+}  // namespace vls::bench

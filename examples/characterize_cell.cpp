@@ -1,0 +1,104 @@
+// Cell characterization: sweep a level shifter over supply pairs and
+// emit a liberty-style summary table plus a CSV — the flow a standard-
+// cell library team would run on the SS-TVS.
+//
+//   $ ./characterize_cell [--kind=sstvs|combined|inverter|khan] [--step=0.2]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/area.hpp"
+#include "analysis/sweep.hpp"
+#include "cells/sstvs.hpp"
+#include "io/csv.hpp"
+#include "io/liberty_writer.hpp"
+#include "io/table.hpp"
+
+using namespace vls;
+
+int main(int argc, char** argv) {
+  ShifterKind kind = ShifterKind::Sstvs;
+  double step = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--kind=", 0) == 0) {
+      const std::string k = arg.substr(7);
+      if (k == "sstvs") kind = ShifterKind::Sstvs;
+      else if (k == "combined") kind = ShifterKind::CombinedVs;
+      else if (k == "inverter") kind = ShifterKind::InverterOnly;
+      else if (k == "khan") kind = ShifterKind::SsvsKhan;
+    } else if (arg.rfind("--step=", 0) == 0) {
+      step = std::atof(arg.c_str() + 7);
+    }
+  }
+
+  HarnessConfig base;
+  base.kind = kind;
+  std::printf("characterizing %s over VDDI x VDDO in [0.8, 1.4] V, step %.3f V\n",
+              shifterKindName(kind), step);
+
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.4;
+  cfg.step = step;
+  cfg.on_point = [](const SweepPoint& p, size_t done, size_t total) {
+    if (done % 10 == 0 || done == total) {
+      std::fprintf(stderr, "  %zu/%zu (vddi=%.2f vddo=%.2f)\n", done, total, p.vddi, p.vddo);
+    }
+  };
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+
+  Table t({"VDDI (V)", "VDDO (V)", "rise (ps)", "fall (ps)", "leak hi (nA)", "leak lo (nA)",
+           "ok"});
+  std::vector<CsvColumn> cols = {{"vddi", {}}, {"vddo", {}},      {"delay_rise", {}},
+                                 {"delay_fall", {}}, {"leak_high", {}}, {"leak_low", {}}};
+  for (const auto& p : r.points) {
+    const auto& m = p.metrics;
+    t.addRow({Table::fmt(p.vddi, 3), Table::fmt(p.vddo, 3),
+              Table::fmtScaled(m.delay_rise, 1e-12, 1), Table::fmtScaled(m.delay_fall, 1e-12, 1),
+              Table::fmtScaled(m.leakage_high, 1e-9, 3), Table::fmtScaled(m.leakage_low, 1e-9, 3),
+              m.functional ? "y" : "N"});
+    cols[0].values.push_back(p.vddi);
+    cols[1].values.push_back(p.vddo);
+    cols[2].values.push_back(m.delay_rise);
+    cols[3].values.push_back(m.delay_fall);
+    cols[4].values.push_back(m.leakage_high);
+    cols[5].values.push_back(m.leakage_low);
+  }
+  t.print(std::cout);
+  const std::string csv = "characterization.csv";
+  writeCsv(csv, cols);
+  std::printf("table written to %s; functional %zu/%zu\n", csv.c_str(), r.functionalCount(),
+              r.points.size());
+
+  // Liberty export: one .lib cell per functional corner.
+  double area_um2 = 0.0;
+  {
+    Circuit tmp;
+    const SstvsHandles h = buildSstvs(tmp, "x", tmp.node("i"), tmp.node("o"), tmp.node("v"), {});
+    area_um2 = estimateCellArea(h.fets) * 1e12;
+  }
+  std::vector<LibertyCellData> lib_cells;
+  for (const auto& p : r.points) {
+    if (!p.metrics.functional) continue;
+    LibertyCellData cell;
+    char name[64];
+    std::snprintf(name, sizeof name, "LS_%s_%03d_%03d", shifterKindName(kind),
+                  static_cast<int>(p.vddi * 100), static_cast<int>(p.vddo * 100));
+    for (char* ch = name; *ch; ++ch) {
+      if (*ch == ' ' || *ch == '-' || *ch == '[' || *ch == ']') *ch = '_';
+    }
+    cell.cell_name = name;
+    cell.vddi = p.vddi;
+    cell.vddo = p.vddo;
+    cell.area_um2 = area_um2;
+    cell.inverting = shifterKindInverting(kind);
+    cell.metrics = p.metrics;
+    lib_cells.push_back(std::move(cell));
+  }
+  writeLibertyFile("characterization.lib", {}, lib_cells);
+  std::printf("liberty library written to characterization.lib (%zu cells)\n",
+              lib_cells.size());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Export every cell in the library as a SPICE deck — the schematics of
+// the paper's Figures 1, 4 and 6 in netlist form, runnable by this
+// project's netlist_runner or any external simulator that accepts the
+// documented model-card subset.
+//
+//   $ ./export_cells [output_directory]
+#include <cstdio>
+#include <string>
+
+#include "cells/level_shifters.hpp"
+#include "cells/sstvs.hpp"
+#include "devices/sources.hpp"
+#include "io/netlist_writer.hpp"
+
+using namespace vls;
+
+namespace {
+
+void exportOne(const std::string& dir, const std::string& file, const std::string& title,
+               Circuit& c) {
+  const std::string path = dir + "/" + file;
+  writeNetlistFile(path, c, title);
+  std::printf("  wrote %s (%zu devices)\n", path.c_str(), c.devices().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  std::printf("exporting cell schematics as SPICE decks to %s\n", dir.c_str());
+  {
+    Circuit c;
+    const NodeId vi = c.node("vddi");
+    const NodeId vo = c.node("vddo");
+    c.add<VoltageSource>("v_vddi", vi, kGround, 0.8);
+    c.add<VoltageSource>("v_vddo", vo, kGround, 1.2);
+    c.add<VoltageSource>("v_in", c.node("in"), kGround, 0.8);
+    buildCvs(c, "x", c.node("in"), c.node("out"), vi, vo, {});
+    exportOne(dir, "cvs.sp", "conventional dual-supply level shifter (paper Figure 1)", c);
+  }
+  {
+    Circuit c;
+    const NodeId vo = c.node("vddo");
+    c.add<VoltageSource>("v_vddo", vo, kGround, 1.2);
+    c.add<VoltageSource>("v_in", c.node("in"), kGround, 0.8);
+    buildSsvsKhan(c, "x", c.node("in"), c.node("out"), vo, {});
+    exportOne(dir, "ssvs_khan.sp", "single-supply VS of Khan et al. [6] (reconstruction)", c);
+  }
+  {
+    Circuit c;
+    const NodeId vo = c.node("vddo");
+    c.add<VoltageSource>("v_vddo", vo, kGround, 1.2);
+    c.add<VoltageSource>("v_in", c.node("in"), kGround, 0.8);
+    buildSstvs(c, "x", c.node("in"), c.node("out"), vo, {});
+    exportOne(dir, "sstvs.sp", "single-supply TRUE voltage level shifter (paper Figure 4)", c);
+  }
+  {
+    Circuit c;
+    const NodeId vo = c.node("vddo");
+    c.add<VoltageSource>("v_vddo", vo, kGround, 1.2);
+    c.add<VoltageSource>("v_in", c.node("in"), kGround, 0.8);
+    c.add<VoltageSource>("v_sel", c.node("sel"), kGround, 1.2);
+    c.add<VoltageSource>("v_selb", c.node("selb"), kGround, 0.0);
+    buildCombinedVs(c, "x", c.node("in"), c.node("out"), c.node("sel"), c.node("selb"), vo, {});
+    exportOne(dir, "combined_vs.sp", "combined VS: inverter + SS-VS of [6] (paper Figure 6)", c);
+  }
+  return 0;
+}

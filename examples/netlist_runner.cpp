@@ -1,0 +1,139 @@
+// A miniature SPICE: parse a netlist file (or a built-in demo deck),
+// run the analyses it requests, and print/save results.
+//
+//   $ ./netlist_runner mydeck.sp [--csv out.csv]
+//   $ ./netlist_runner            # runs the built-in demo deck
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "devices/sources.hpp"
+#include "io/csv.hpp"
+#include "io/netlist_parser.hpp"
+#include "io/netlist_writer.hpp"
+#include "sim/simulator.hpp"
+
+using namespace vls;
+
+namespace {
+
+const char* kDemoDeck = R"(demo: SS-TVS written as a plain netlist (reconstructed Figure 4)
+* supplies and stimulus
+vvddo vddo 0 1.2
+vin in 0 PULSE(0.8 0 1n 20p 20p 1n 2n)
+
+* output NOR (node2-driven PMOS next to the rail)
+mpb pmid node2 vddo vddo pmos     w=1.1u  l=0.1u
+mpa out  in    pmid vddo pmos     w=1.1u  l=0.1u
+mna out  in    0    0    nmos     w=0.26u l=0.1u
+mnb out  node2 0    0    nmos     w=0.26u l=0.1u
+
+* node1 pull-down / restore, node2 pull-up / conditional discharge
+m6 node1 in    0     0    nmos_hvt w=0.3u  l=0.1u
+m4 mid45 in    vddo  vddo pmos_hvt w=0.3u  l=0.1u
+m5 node1 node2 mid45 vddo pmos     w=0.2u  l=0.1u
+m3 node2 node1 vddo  vddo pmos     w=0.14u l=0.24u
+m1 node2 ctrl  in    0    nmos     w=0.9u  l=0.1u
+
+* ctrl charging network and storage cap
+m7 vddo in   nodea 0    nmos     w=0.3u  l=0.1u
+m8 in   vddo nodea 0    nmos_lvt w=0.16u l=0.1u
+m2 nodea out ctrl  vddo pmos     w=0.24u l=0.1u
+mc 0 ctrl 0 0 nmos w=0.7u l=0.25u
+
+cload out 0 1f
+.tran 10p 4n
+.save in out node1 node2 ctrl
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  std::string deck_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      csv_path = argv[i] + 6;
+    } else {
+      deck_path = argv[i];
+    }
+  }
+
+  try {
+    ParsedNetlist nl =
+        deck_path.empty() ? parseNetlist(kDemoDeck) : parseNetlistFile(deck_path);
+    std::printf("deck: %s\n", nl.title.c_str());
+    std::printf("devices: %zu, nodes: %zu, analyses: %zu, T=%.1f C\n",
+                nl.circuit.devices().size(), nl.circuit.nodeCount(), nl.analyses.size(),
+                nl.temperature_c);
+
+    SimOptions opts;
+    opts.temperature_c = nl.temperature_c;
+    Simulator sim(nl.circuit, opts);
+
+    if (nl.analyses.empty()) {
+      nl.analyses.push_back({AnalysisCommand::Kind::Op, 0, 0, "", 0, 0, 0});
+    }
+    for (const AnalysisCommand& a : nl.analyses) {
+      switch (a.kind) {
+        case AnalysisCommand::Kind::Op: {
+          const auto x = sim.solveOp();
+          std::printf("\n.op results:\n");
+          for (size_t n = 0; n < nl.circuit.nodeCount(); ++n) {
+            std::printf("  v(%s) = %.6f V\n", nl.circuit.nodeNames()[n].c_str(), x[n]);
+          }
+          break;
+        }
+        case AnalysisCommand::Kind::Tran: {
+          const auto tr = sim.transient(a.tran_stop, std::max(a.tran_step * 10.0, a.tran_step));
+          std::printf("\n.tran %g s: %zu points\n", a.tran_stop, tr.steps());
+          const auto& probes =
+              nl.save_nodes.empty() ? nl.circuit.nodeNames() : nl.save_nodes;
+          // Print initial/final values per probe.
+          for (const auto& node : probes) {
+            const Signal s = tr.node(node);
+            std::printf("  %-10s start %.4f V  end %.4f V  min %.4f  max %.4f\n", node.c_str(),
+                        s.value.front(), s.value.back(),
+                        *std::min_element(s.value.begin(), s.value.end()),
+                        *std::max_element(s.value.begin(), s.value.end()));
+          }
+          if (!csv_path.empty()) {
+            writeWaveformsCsv(csv_path, tr, probes);
+            std::printf("waveforms written to %s\n", csv_path.c_str());
+          }
+          break;
+        }
+        case AnalysisCommand::Kind::Ac: {
+          const auto res = sim.ac(a.ac_fstart, a.ac_fstop, a.ac_points_per_decade);
+          std::printf("\n.ac dec %d %g %g: %zu points\n", a.ac_points_per_decade, a.ac_fstart,
+                      a.ac_fstop, res.size());
+          const auto& probes = nl.save_nodes.empty() ? nl.circuit.nodeNames() : nl.save_nodes;
+          for (const auto& node : probes) {
+            const auto mag = res.magnitudeDb(node);
+            const auto corner = res.cornerFrequency(node);
+            std::printf("  %-10s %.2f dB at %g Hz .. %.2f dB at %g Hz%s\n", node.c_str(),
+                        mag.front(), a.ac_fstart, mag.back(), a.ac_fstop,
+                        corner ? (" (corner " + std::to_string(*corner) + " Hz)").c_str() : "");
+          }
+          break;
+        }
+        case AnalysisCommand::Kind::DcSweep: {
+          auto* src = dynamic_cast<VoltageSource*>(nl.circuit.findDevice(a.dc_source));
+          if (!src) {
+            std::fprintf(stderr, "unknown sweep source %s\n", a.dc_source.c_str());
+            return 1;
+          }
+          const auto res = sim.dcSweep(*src, a.dc_from, a.dc_to, a.dc_step);
+          std::printf("\n.dc %s: %zu points\n", a.dc_source.c_str(), res.sweep.size());
+          break;
+        }
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

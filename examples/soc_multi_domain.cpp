@@ -1,0 +1,90 @@
+// The paper's Figure 3 scenario: a multi-voltage SoC where four modules
+// (0.8 / 1.0 / 1.2 / 1.4 V domains) exchange signals through SS-TVS
+// cells using only each *destination* domain's supply — no cross-domain
+// supply routing, no control signals.
+//
+// A token bit hops around the ring 0.8 -> 1.0 -> 1.2 -> 1.4 -> 0.8,
+// crossing four shifters (two up-shifts, one up, one big down-shift).
+// The example verifies the bit arrives intact at every hop and prints
+// per-hop latency.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/measure.hpp"
+#include "cells/sstvs.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+using namespace vls;
+
+int main() {
+  const std::vector<double> rails = {0.8, 1.0, 1.2, 1.4};
+  Circuit ckt;
+
+  // Domain supplies.
+  std::vector<NodeId> vdd(rails.size());
+  for (size_t k = 0; k < rails.size(); ++k) {
+    vdd[k] = ckt.node("vdd" + std::to_string(k));
+    ckt.add<VoltageSource>("v_vdd" + std::to_string(k), vdd[k], kGround, rails[k]);
+  }
+
+  // Stimulus in domain 0: a 1 -> 0 -> 1 pattern (the shifters invert,
+  // so each hop flips polarity; we track the expected parity).
+  PulseSpec p;
+  p.v1 = rails[0];
+  p.v2 = 0.0;
+  p.delay = 1.0e-9;
+  p.rise = p.fall = 20e-12;
+  p.width = 2.0e-9;
+  const NodeId src = ckt.node("src");
+  ckt.add<VoltageSource>("v_src", src, kGround, Waveform::pulse(p));
+
+  // Ring of shifters: each stage re-buffers in its own domain, then
+  // level-shifts into the next domain using ONLY that domain's rail.
+  NodeId stage_in = src;
+  std::vector<NodeId> hop_out;
+  for (size_t k = 0; k < rails.size(); ++k) {
+    const size_t next = (k + 1) % rails.size();
+    const std::string tag = std::to_string(k) + std::to_string(next);
+    // In-domain buffer (restores edges inside domain k).
+    const NodeId buffered = ckt.node("buf" + tag);
+    buildInverter(ckt, "xbuf" + tag, stage_in, buffered, vdd[k]);
+    // Cross-domain SS-TVS powered by the DESTINATION rail only.
+    const NodeId shifted = ckt.node("hop" + tag);
+    buildSstvs(ckt, "xshift" + tag, buffered, shifted, vdd[next]);
+    ckt.add<Capacitor>("cl" + tag, shifted, kGround, 1e-15);
+    hop_out.push_back(shifted);
+    stage_in = shifted;
+  }
+
+  Simulator sim(ckt);
+  const TransientResult tran = sim.transient(8e-9, 50e-12);
+
+  std::printf("SoC ring: src pulse in the %.1f V domain hops through %zu SS-TVS stages\n",
+              rails[0], rails.size());
+  const Signal s_src = tran.node("src");
+  double t_prev = *crossTime(s_src, rails[0] / 2, CrossDir::Falling, 0.5e-9);
+  bool ok = true;
+  // src falls; buffer inverts; shifter inverts again => each hop output
+  // FALLS on the first event.
+  for (size_t k = 0; k < hop_out.size(); ++k) {
+    const size_t next = (k + 1) % rails.size();
+    const Signal s = tran.node(ckt.nodeName(hop_out[k]));
+    const auto t_edge = crossTime(s, rails[next] / 2, CrossDir::Falling, t_prev);
+    if (!t_edge) {
+      std::printf("  hop %zu (%.1f -> %.1f V): EDGE LOST\n", k, rails[k], rails[next]);
+      ok = false;
+      break;
+    }
+    const double swing_hi = maxValue(s, 0.0, 0.9e-9);
+    std::printf("  hop %zu (%.1f -> %.1f V): latency %6.1f ps, settled high %.3f V\n", k,
+                rails[k], rails[next], (*t_edge - t_prev) * 1e12, swing_hi);
+    if (std::fabs(swing_hi - rails[next]) > 0.1 * rails[next]) ok = false;
+    t_prev = *t_edge;
+  }
+  std::printf(ok ? "PASS: token crossed every domain with full-swing restoration\n"
+                 : "FAIL\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#include "analysis/area.hpp"
+
+#include <cmath>
+
+namespace vls {
+
+double estimateCellArea(const MosList& fets, const AreaRules& rules) {
+  double active = 0.0;
+  for (const Mosfet* fet : fets) {
+    const MosGeometry& g = fet->geometry();
+    const double dx = g.l + 2.0 * rules.diff_extension;
+    const double dy = g.w + rules.width_overhead;
+    active += dx * dy;
+  }
+  return active / rules.utilization;
+}
+
+CellBox estimateCellBox(const MosList& fets, double aspect_h_over_w, const AreaRules& rules) {
+  const double area = estimateCellArea(fets, rules);
+  CellBox box;
+  box.width = std::sqrt(area / aspect_h_over_w);
+  box.height = box.width * aspect_h_over_w;
+  return box;
+}
+
+}  // namespace vls

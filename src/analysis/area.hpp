@@ -1,0 +1,30 @@
+// Analytic standard-cell area estimator (substitute for the paper's
+// Cadence Virtuoso layout, Figure 7). Uses scaled 90 nm design rules:
+// each transistor occupies (L + 2 * contacted diffusion extension) by
+// (W + diffusion spacing); the cell packs devices in two rows (PMOS /
+// NMOS) at a utilization typical for hand layout.
+#pragma once
+
+#include "cells/gates.hpp"
+
+namespace vls {
+
+struct AreaRules {
+  double diff_extension = 140e-9;  ///< contacted S/D extension per side [m]
+  double width_overhead = 120e-9;  ///< inter-device spacing along width [m]
+  double utilization = 0.52;       ///< packing efficiency incl. wells/rails
+};
+
+/// Estimated layout area of a set of transistors [m^2].
+double estimateCellArea(const MosList& fets, const AreaRules& rules = {});
+
+/// Estimated bounding box assuming the paper's tall-narrow aspect
+/// (width 0.837 um x height 5.355 um => aspect ~ 6.4).
+struct CellBox {
+  double width;
+  double height;
+};
+CellBox estimateCellBox(const MosList& fets, double aspect_h_over_w = 6.4,
+                        const AreaRules& rules = {});
+
+}  // namespace vls

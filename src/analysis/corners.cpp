@@ -1,0 +1,50 @@
+#include "analysis/corners.hpp"
+
+#include "base/logging.hpp"
+
+namespace vls {
+
+std::vector<CornerSpec> standardCorners(double k) {
+  std::vector<CornerSpec> out;
+  out.push_back({"TT", 0.0, 0.0, 0.0, 0.0, 27.0, 1.0});
+  // Fast: lower VT, wider/shorter; slow: the reverse. Hot-slow and
+  // cold-fast pair the electrical and environmental worst cases.
+  out.push_back({"FF", -k * 0.39, -k * 0.39, +0.05, -0.05, 0.0, 1.05});
+  out.push_back({"SS", +k * 0.39, +k * 0.39, -0.05, +0.05, 90.0, 0.95});
+  out.push_back({"FS", -k * 0.39, +k * 0.39, 0.0, 0.0, 27.0, 1.0});
+  out.push_back({"SF", +k * 0.39, -k * 0.39, 0.0, 0.0, 27.0, 1.0});
+  return out;
+}
+
+std::vector<CornerResult> runCorners(const HarnessConfig& base,
+                                     const std::vector<CornerSpec>& corners) {
+  std::vector<CornerResult> results;
+  results.reserve(corners.size());
+  for (const CornerSpec& corner : corners) {
+    HarnessConfig cfg = base;
+    cfg.temperature_c = corner.temperature_c;
+    cfg.vddi = base.vddi * corner.supply_scale;
+    cfg.vddo = base.vddo * corner.supply_scale;
+    ShifterTestbench tb(cfg);
+    for (Mosfet* fet : tb.dutFets()) {
+      MosGeometry g = fet->geometry();
+      const bool is_nmos = fet->model().type == MosType::Nmos;
+      g.delta_vt = is_nmos ? corner.nmos_dvt : corner.pmos_dvt;
+      g.delta_w = g.w * corner.dw_frac;
+      g.delta_l = g.l * corner.dl_frac;
+      fet->setGeometry(g);
+    }
+    CornerResult r;
+    r.corner = corner;
+    try {
+      r.metrics = tb.measure();
+    } catch (const Error& e) {
+      VLS_LOG_WARN("corner %s failed: %s", corner.name.c_str(), e.what());
+      r.metrics.functional = false;
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace vls

@@ -1,0 +1,97 @@
+#include "analysis/measure.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+std::optional<double> crossTime(const Signal& s, double level, CrossDir dir, double from) {
+  return firstCrossing(s.time, s.value, level, dir, from);
+}
+
+std::vector<double> crossTimes(const Signal& s, double level, CrossDir dir, double from) {
+  return allCrossings(s.time, s.value, level, dir, from);
+}
+
+std::optional<double> propagationDelay(const Signal& input, const Signal& output, double in_level,
+                                       CrossDir in_dir, double out_level, CrossDir out_dir,
+                                       double from) {
+  const auto t_in = crossTime(input, in_level, in_dir, from);
+  if (!t_in) return std::nullopt;
+  const auto t_out = crossTime(output, out_level, out_dir, *t_in);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+double averageValue(const Signal& s, double t0, double t1) {
+  if (t1 <= t0) throw InvalidInputError("averageValue: empty window");
+  return integrateTrapezoid(s.time, s.value, t0, t1) / (t1 - t0);
+}
+
+double minValue(const Signal& s, double t0, double t1) {
+  double m = interpLinear(s.time, s.value, t0);
+  for (size_t i = 0; i < s.time.size(); ++i) {
+    if (s.time[i] >= t0 && s.time[i] <= t1) m = std::min(m, s.value[i]);
+  }
+  return std::min(m, interpLinear(s.time, s.value, t1));
+}
+
+double maxValue(const Signal& s, double t0, double t1) {
+  double m = interpLinear(s.time, s.value, t0);
+  for (size_t i = 0; i < s.time.size(); ++i) {
+    if (s.time[i] >= t0 && s.time[i] <= t1) m = std::max(m, s.value[i]);
+  }
+  return std::max(m, interpLinear(s.time, s.value, t1));
+}
+
+std::optional<double> transitionTime(const Signal& s, double v_low, double v_high, CrossDir dir,
+                                     double from) {
+  const double lo = v_low + 0.1 * (v_high - v_low);
+  const double hi = v_low + 0.9 * (v_high - v_low);
+  if (dir == CrossDir::Rising) {
+    const auto t_lo = crossTime(s, lo, CrossDir::Rising, from);
+    if (!t_lo) return std::nullopt;
+    const auto t_hi = crossTime(s, hi, CrossDir::Rising, *t_lo);
+    if (!t_hi) return std::nullopt;
+    return *t_hi - *t_lo;
+  }
+  const auto t_hi = crossTime(s, hi, CrossDir::Falling, from);
+  if (!t_hi) return std::nullopt;
+  const auto t_lo = crossTime(s, lo, CrossDir::Falling, *t_hi);
+  if (!t_lo) return std::nullopt;
+  return *t_lo - *t_hi;
+}
+
+Signal supplyCurrent(const TransientResult& result, const VoltageSource& source) {
+  Signal s = result.unknown(source.branchIndex());
+  // Branch current is defined flowing from the external circuit into
+  // the + terminal; a supply *delivers* the negative of that.
+  for (double& v : s.value) v = -v;
+  return s;
+}
+
+double averageSupplyPower(const TransientResult& result, const VoltageSource& source, double t0,
+                          double t1) {
+  if (t1 <= t0) throw InvalidInputError("averageSupplyPower: empty window");
+  const Signal i = supplyCurrent(result, source);
+  std::vector<double> p(i.value.size());
+  for (size_t k = 0; k < i.value.size(); ++k) {
+    p[k] = i.value[k] * source.waveform().at(i.time[k]);
+  }
+  return integrateTrapezoid(i.time, p, t0, t1) / (t1 - t0);
+}
+
+double deliveredCharge(const TransientResult& result, const VoltageSource& source, double t0,
+                       double t1) {
+  const Signal i = supplyCurrent(result, source);
+  return integrateTrapezoid(i.time, i.value, t0, t1);
+}
+
+double transitionEnergy(const TransientResult& result, const VoltageSource& source,
+                        double t_edge, double window, double baseline_power) {
+  const double p_avg = averageSupplyPower(result, source, t_edge, t_edge + window);
+  return (p_avg - baseline_power) * window;
+}
+
+}  // namespace vls

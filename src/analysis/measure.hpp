@@ -1,0 +1,58 @@
+// Waveform measurements: threshold crossings, propagation delays,
+// windowed averages, supply current/power extraction. These implement
+// the paper's metric definitions: rising (falling) delay is the delay
+// of the rising (falling) *output* edge; leakage high/low is the supply
+// current with the output settled high/low.
+#pragma once
+
+#include <optional>
+
+#include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
+#include "sim/result.hpp"
+
+namespace vls {
+
+/// First crossing of `level` in the given direction at or after `from`.
+std::optional<double> crossTime(const Signal& s, double level, CrossDir dir, double from = 0.0);
+
+/// All crossings after `from`.
+std::vector<double> crossTimes(const Signal& s, double level, CrossDir dir, double from = 0.0);
+
+/// 50%-to-50% propagation delay: input crosses `in_level` (direction
+/// in_dir) at/after `from`, output then crosses `out_level` (out_dir).
+/// nullopt if either edge is missing.
+std::optional<double> propagationDelay(const Signal& input, const Signal& output, double in_level,
+                                       CrossDir in_dir, double out_level, CrossDir out_dir,
+                                       double from = 0.0);
+
+/// Mean of the signal over [t0, t1] (trapezoidal).
+double averageValue(const Signal& s, double t0, double t1);
+
+/// Min / max over [t0, t1].
+double minValue(const Signal& s, double t0, double t1);
+double maxValue(const Signal& s, double t0, double t1);
+
+/// 10%-90% rise (or 90%-10% fall) time of the first such edge after `from`.
+std::optional<double> transitionTime(const Signal& s, double v_low, double v_high, CrossDir dir,
+                                     double from = 0.0);
+
+/// Current delivered by a voltage source (positive = flowing out of the
+/// + terminal into the circuit), as a time series.
+Signal supplyCurrent(const TransientResult& result, const VoltageSource& source);
+
+/// Average power delivered by a DC supply over [t0, t1] [W].
+double averageSupplyPower(const TransientResult& result, const VoltageSource& source, double t0,
+                          double t1);
+
+/// Charge delivered over [t0, t1] [C].
+double deliveredCharge(const TransientResult& result, const VoltageSource& source, double t0,
+                       double t1);
+
+/// Switching energy of one transition: supply energy over
+/// [t_edge, t_edge + window] minus the static baseline power times the
+/// window (so leakage does not masquerade as switching energy) [J].
+double transitionEnergy(const TransientResult& result, const VoltageSource& source,
+                        double t_edge, double window, double baseline_power = 0.0);
+
+}  // namespace vls

@@ -1,0 +1,42 @@
+#include "analysis/monte_carlo.hpp"
+
+#include "base/logging.hpp"
+#include "numeric/rng.hpp"
+
+namespace vls {
+
+MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config) {
+  MonteCarloResult result;
+  result.samples = config.samples;
+  Rng rng(config.seed);
+
+  for (int s = 0; s < config.samples; ++s) {
+    ShifterTestbench tb(harness);
+    for (Mosfet* fet : tb.dutFets()) {
+      MosGeometry g = fet->geometry();
+      g.delta_w = rng.gaussian(0.0, config.variation.sigma_w);
+      g.delta_l = rng.gaussian(0.0, config.variation.sigma_l);
+      g.delta_vt = rng.gaussian(0.0, config.variation.sigma_vt_rel * fet->model().vt0);
+      fet->setGeometry(g);
+    }
+    ShifterMetrics m;
+    try {
+      m = tb.measure();
+    } catch (const Error& e) {
+      VLS_LOG_WARN("Monte-Carlo sample %d failed: %s", s, e.what());
+      ++result.functional_failures;
+      continue;
+    }
+    if (!m.functional) ++result.functional_failures;
+    result.delay_rise.push_back(m.delay_rise);
+    result.delay_fall.push_back(m.delay_fall);
+    result.power_rise.push_back(m.power_rise);
+    result.power_fall.push_back(m.power_fall);
+    result.leakage_high.push_back(m.leakage_high);
+    result.leakage_low.push_back(m.leakage_low);
+    if ((s + 1) % 100 == 0) VLS_LOG_INFO("Monte-Carlo: %d / %d samples", s + 1, config.samples);
+  }
+  return result;
+}
+
+}  // namespace vls

@@ -1,0 +1,48 @@
+// Monte-Carlo process/temperature variation engine (paper Tables 3/4):
+// channel width, channel length and threshold voltage varied
+// independently per device; temperature applied globally. Sigmas follow
+// the paper: sigma(W) = sigma(L) = 3.34% of the 90 nm feature size,
+// sigma(VT) = 3.34% of each device's nominal VT (3 sigma = 10%).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/shifter_harness.hpp"
+#include "numeric/statistics.hpp"
+
+namespace vls {
+
+struct VariationSpec {
+  double sigma_w = 0.0334 * 90e-9;   ///< absolute width sigma [m]
+  double sigma_l = 0.0334 * 90e-9;   ///< absolute length sigma [m]
+  double sigma_vt_rel = 0.0334;      ///< VT sigma as a fraction of nominal
+};
+
+struct MonteCarloConfig {
+  int samples = 1000;
+  uint64_t seed = 20080310;  ///< deterministic by default (DATE 2008 ;-)
+  VariationSpec variation{};
+};
+
+/// Raw per-sample metric vectors plus their summaries.
+struct MonteCarloResult {
+  std::vector<double> delay_rise, delay_fall;
+  std::vector<double> power_rise, power_fall;
+  std::vector<double> leakage_high, leakage_low;
+  int functional_failures = 0;
+  int samples = 0;
+
+  Summary delayRise() const { return summarize(delay_rise); }
+  Summary delayFall() const { return summarize(delay_fall); }
+  Summary powerRise() const { return summarize(power_rise); }
+  Summary powerFall() const { return summarize(power_fall); }
+  Summary leakageHigh() const { return summarize(leakage_high); }
+  Summary leakageLow() const { return summarize(leakage_low); }
+};
+
+/// Run the harness `config.samples` times with fresh random device
+/// perturbations each time (DUT devices only, as in the paper).
+MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config);
+
+}  // namespace vls

@@ -1,0 +1,66 @@
+#include "analysis/routing_cost.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+double manhattan(const ModuleSpec& a, const ModuleSpec& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+}  // namespace
+
+RoutingReport compareRoutingCost(const std::vector<ModuleSpec>& modules,
+                                 const std::vector<SignalBundle>& signals,
+                                 const RoutingCostModel& model) {
+  RoutingReport rep;
+  std::set<std::pair<size_t, size_t>> imported_rails;  // (supply module, importing module)
+  for (const SignalBundle& s : signals) {
+    if (s.from >= modules.size() || s.to >= modules.size()) {
+      throw InvalidInputError("compareRoutingCost: bad module index");
+    }
+    const ModuleSpec& src = modules[s.from];
+    const ModuleSpec& dst = modules[s.to];
+    const double dist = manhattan(src, dst) * model.detour;
+
+    rep.signal_wirelength += dist * s.count;
+    rep.signal_area += dist * model.signal_width * s.count;
+
+    // CVS at the destination needs the SOURCE supply only for
+    // low-to-high conversion (an inverter handles high-to-low).
+    if (src.vdd < dst.vdd) {
+      if (imported_rails.emplace(s.from, s.to).second) {
+        ++rep.cvs_extra_rails;
+        rep.cvs_supply_wirelength += dist;
+        rep.cvs_supply_area += dist * model.supply_width;
+      }
+      // Dual-polarity alternative: one extra wire per crossing signal.
+      rep.dual_extra_wires += s.count;
+      rep.dual_extra_area += dist * model.signal_width * s.count;
+    }
+  }
+  return rep;
+}
+
+void paperFourModuleSystem(std::vector<ModuleSpec>& modules,
+                           std::vector<SignalBundle>& signals, double die_edge,
+                           int signals_per_pair) {
+  modules = {
+      {"m08", 0.8, 0.0, 0.0},
+      {"m10", 1.0, die_edge, 0.0},
+      {"m12", 1.2, 0.0, die_edge},
+      {"m14", 1.4, die_edge, die_edge},
+  };
+  signals.clear();
+  for (size_t i = 0; i < modules.size(); ++i) {
+    for (size_t j = 0; j < modules.size(); ++j) {
+      if (i != j) signals.push_back({i, j, signals_per_pair});
+    }
+  }
+}
+
+}  // namespace vls

@@ -1,0 +1,65 @@
+// Quantifies the paper's Figures 2/3 argument: in a multi-voltage
+// system, conventional level shifters (CVS) force every receiving
+// domain to import the supply rail of each lower-voltage domain that
+// talks to it; dual-polarity signalling avoids the rails but doubles
+// the crossing signal wires; single-supply shifters need neither.
+// This model counts rails/wires and estimates routing area from module
+// placement, so the qualitative figures become numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vls {
+
+struct ModuleSpec {
+  std::string name;
+  double vdd = 1.0;   ///< domain supply [V]
+  double x = 0.0;     ///< placement [m]
+  double y = 0.0;
+};
+
+struct SignalBundle {
+  size_t from = 0;  ///< module index
+  size_t to = 0;
+  int count = 1;    ///< signals in the bundle
+};
+
+struct RoutingCostModel {
+  double signal_width = 0.2e-6;   ///< routed signal wire width [m]
+  double supply_width = 3.0e-6;   ///< supply rail width (IR-drop sized) [m]
+  /// Manhattan detour factor for actual routes vs point-to-point.
+  double detour = 1.2;
+};
+
+struct RoutingReport {
+  // Conventional (CVS, Figure 2): imported supply rails.
+  int cvs_extra_rails = 0;            ///< distinct (supply -> module) imports
+  double cvs_supply_wirelength = 0.0; ///< [m]
+  double cvs_supply_area = 0.0;       ///< [m^2]
+  // Dual-polarity alternative (send in and in_b): extra signal wires.
+  int dual_extra_wires = 0;
+  double dual_extra_area = 0.0;
+  // Single-supply shifters (SS-VS/SS-TVS, Figure 3): nothing extra.
+  double ssvs_extra_area = 0.0;
+  // Common baseline: the signal wiring everyone pays.
+  double signal_wirelength = 0.0;
+  double signal_area = 0.0;
+};
+
+/// Evaluate the three interfacing strategies for a placed multi-voltage
+/// system. A CVS at module `to` receiving from `from` needs the `from`
+/// supply imported iff vdd(from) < vdd(to) (an inverter suffices the
+/// other way, as the paper notes); each distinct imported rail is
+/// routed once per importing module.
+RoutingReport compareRoutingCost(const std::vector<ModuleSpec>& modules,
+                                 const std::vector<SignalBundle>& signals,
+                                 const RoutingCostModel& model = {});
+
+/// The paper's four-module example system (0.8/1.0/1.2/1.4 V) on a
+/// 2 x 2 floorplan with an all-to-all signal mesh.
+void paperFourModuleSystem(std::vector<ModuleSpec>& modules,
+                           std::vector<SignalBundle>& signals, double die_edge = 2e-3,
+                           int signals_per_pair = 16);
+
+}  // namespace vls

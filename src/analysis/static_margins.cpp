@@ -1,0 +1,95 @@
+#include "analysis/static_margins.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+
+StaticMargins measureStaticMargins(const HarnessConfig& config, double step) {
+  // Direct-drive testbench (no driver inverter: the sweep needs exact
+  // input levels).
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("v_vddo", vddo, kGround, config.vddo);
+  auto& vin = c.add<VoltageSource>("v_in", in, kGround, config.vddi);
+
+  switch (config.kind) {
+    case ShifterKind::Sstvs:
+      buildSstvs(c, "xdut", in, out, vddo, config.sstvs);
+      break;
+    case ShifterKind::SsvsKhan:
+      buildSsvsKhan(c, "xdut", in, out, vddo, config.ssvs);
+      break;
+    case ShifterKind::SsvsPuri:
+      buildSsvsPuri(c, "xdut", in, out, vddo, config.puri);
+      break;
+    case ShifterKind::Bootstrap:
+      buildBootstrapShifter(c, "xdut", in, out, vddo, config.bootstrap);
+      break;
+    case ShifterKind::InverterOnly:
+      buildInverter(c, "xdut", in, out, vddo, config.inverter);
+      break;
+    case ShifterKind::CombinedVs: {
+      const NodeId sel = c.node("sel");
+      const NodeId selb = c.node("selb");
+      const bool up = config.vddi < config.vddo;
+      c.add<VoltageSource>("v_sel", sel, kGround, up ? config.vddo : 0.0);
+      c.add<VoltageSource>("v_selb", selb, kGround, up ? 0.0 : config.vddo);
+      buildCombinedVs(c, "xdut", in, out, sel, selb, vddo, config.combined);
+      break;
+    }
+  }
+
+  SimOptions opts = config.sim;
+  opts.temperature_c = config.temperature_c;
+  Simulator sim(c, opts);
+  // Condition at input high (unique OP; charges the SS-TVS ctrl node),
+  // then sweep down to 0 with warm starts.
+  sim.solveOp();
+  const DcSweepResult down = sim.dcSweep(vin, config.vddi, 0.0, step);
+
+  // Ascending order for analysis.
+  std::vector<double> vin_axis(down.sweep.rbegin(), down.sweep.rend());
+  std::vector<double> vout = down.node("out");
+  std::reverse(vout.begin(), vout.end());
+  if (vin_axis.size() < 3) throw InvalidInputError("measureStaticMargins: sweep too coarse");
+
+  StaticMargins m;
+  const bool inverting = shifterKindInverting(config.kind);
+  m.voh = inverting ? vout.front() : vout.back();
+  m.vol = inverting ? vout.back() : vout.front();
+
+  // Unity-gain points from centered differences.
+  double vil = vin_axis.front();
+  double vih = vin_axis.back();
+  bool found_first = false;
+  for (size_t i = 1; i + 1 < vin_axis.size(); ++i) {
+    const double gain =
+        (vout[i + 1] - vout[i - 1]) / (vin_axis[i + 1] - vin_axis[i - 1]);
+    m.peak_gain = std::max(m.peak_gain, std::fabs(gain));
+    if (std::fabs(gain) >= 1.0) {
+      if (!found_first) {
+        vil = vin_axis[i];
+        found_first = true;
+      }
+      vih = vin_axis[i];
+    }
+  }
+  m.vil = vil;
+  m.vih = vih;
+  m.regenerative = m.peak_gain > 1.0;
+  m.fully_converged = down.allConverged();
+  // A static transition exists when the output actually spans the rail.
+  const double swing = std::fabs(m.voh - m.vol);
+  m.static_transition = swing > 0.5 * config.vddo && found_first;
+  m.nml = m.static_transition ? m.vil : 0.0;
+  m.nmh = m.static_transition ? config.vddi - m.vih : 0.0;
+  return m;
+}
+
+}  // namespace vls

@@ -1,0 +1,38 @@
+// Static transfer characteristics and noise margins of a level shifter:
+// VIL/VIH (unity-gain points of the DC transfer curve), VOL/VOH, and
+// the derived noise margins NML/NMH referred to the input domain. The
+// paper characterizes dynamics only; any cell library release would
+// also publish these.
+#pragma once
+
+#include "analysis/shifter_harness.hpp"
+
+namespace vls {
+
+struct StaticMargins {
+  double vol = 0.0;  ///< output low with input at VDDI [V]
+  double voh = 0.0;  ///< output high with input at 0 [V]
+  double vil = 0.0;  ///< input low threshold (first unity-gain point) [V]
+  double vih = 0.0;  ///< input high threshold (second unity-gain point) [V]
+  double nml = 0.0;  ///< low noise margin  = VIL - VOL(driver side: 0) [V]
+  double nmh = 0.0;  ///< high noise margin = VDDI - VIH [V]
+  bool regenerative = false;  ///< max |gain| > 1 somewhere in the transition
+  double peak_gain = 0.0;     ///< max |dVout/dVin|
+  /// False when the DC curve never transitions: the cell is edge/charge
+  /// operated in this direction (true of the SS-TVS up-shift path,
+  /// whose M1 gate drive exists only as stored ctrl charge — a
+  /// quasi-static ramp lets ctrl track the input through M2 and the
+  /// output never flips). Static margins are then meaningless.
+  bool static_transition = false;
+  /// Any sweep points where even homotopy failed (bistable snapping).
+  bool fully_converged = true;
+};
+
+/// DC-sweep the input of the given shifter configuration and extract
+/// the static margins. The ctrl-node state of the SS-TVS is
+/// preconditioned by solving the input-high OP first, then sweeping
+/// downward and upward (the cell is dynamic; the DC curve uses the
+/// conservative stored-ctrl state).
+StaticMargins measureStaticMargins(const HarnessConfig& config, double step = 5e-3);
+
+}  // namespace vls

@@ -1,0 +1,52 @@
+#include "analysis/sweep.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+size_t Sweep2dResult::functionalCount() const {
+  size_t n = 0;
+  for (const auto& p : points) {
+    if (p.metrics.functional) ++n;
+  }
+  return n;
+}
+
+Sweep2dResult sweepSupplies(const HarnessConfig& base, const Sweep2dConfig& config) {
+  if (config.step <= 0.0 || config.v_max < config.v_min) {
+    throw InvalidInputError("sweepSupplies: bad grid");
+  }
+  Sweep2dResult result;
+  const int n = static_cast<int>(std::floor((config.v_max - config.v_min) / config.step + 0.5)) + 1;
+  for (int k = 0; k < n; ++k) {
+    result.vddi_axis.push_back(config.v_min + k * config.step);
+  }
+  result.vddo_axis = result.vddi_axis;
+
+  const size_t total = result.vddi_axis.size() * result.vddo_axis.size();
+  result.points.reserve(total);
+  size_t done = 0;
+  for (double vddi : result.vddi_axis) {
+    for (double vddo : result.vddo_axis) {
+      HarnessConfig cfg = base;
+      cfg.vddi = vddi;
+      cfg.vddo = vddo;
+      SweepPoint p;
+      p.vddi = vddi;
+      p.vddo = vddo;
+      try {
+        p.metrics = measureShifter(cfg);
+      } catch (const Error&) {
+        p.metrics.functional = false;
+      }
+      ++done;
+      if (config.on_point) config.on_point(p, done, total);
+      result.points.push_back(std::move(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace vls

@@ -1,0 +1,26 @@
+#include "base/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace vls {
+
+std::string formatMessage(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return fmt;
+  }
+  std::vector<char> buf(static_cast<size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+  va_end(args_copy);
+  return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+}  // namespace vls

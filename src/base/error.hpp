@@ -1,0 +1,38 @@
+// Error hierarchy for the simulator. Exceptions are used for
+// unrecoverable user errors (malformed netlists, singular systems,
+// convergence failure); printf-style formatting keeps call sites short.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vls {
+
+/// Base class of all simulator errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Malformed input: bad netlist text, invalid parameter, unknown node.
+class InvalidInputError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Numerical failure: singular matrix, NaN in the solution vector.
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Newton iteration or timestep control failed to converge.
+class ConvergenceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// printf-style message formatter for exception construction.
+std::string formatMessage(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace vls

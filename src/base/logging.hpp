@@ -1,0 +1,27 @@
+// Minimal leveled logger. The simulator is a library, so logging is
+// opt-in: default level is Warn and output goes to stderr. Benches and
+// examples raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace vls {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Set the global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one message at the given level (no newline needed).
+void logMessage(LogLevel level, const std::string& message);
+
+/// printf-style convenience wrappers.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace vls
+
+#define VLS_LOG_DEBUG(...) ::vls::logf(::vls::LogLevel::Debug, __VA_ARGS__)
+#define VLS_LOG_INFO(...) ::vls::logf(::vls::LogLevel::Info, __VA_ARGS__)
+#define VLS_LOG_WARN(...) ::vls::logf(::vls::LogLevel::Warn, __VA_ARGS__)
+#define VLS_LOG_ERROR(...) ::vls::logf(::vls::LogLevel::Error, __VA_ARGS__)

@@ -1,0 +1,94 @@
+#include "base/string_util.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vls {
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string toLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string toUpper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> splitFields(std::string_view text, std::string_view delims) {
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t start = text.find_first_not_of(delims, pos);
+    if (start == std::string_view::npos) break;
+    size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = text.size();
+    fields.emplace_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return fields;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool istartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && iequals(text.substr(0, prefix.size()), prefix);
+}
+
+std::optional<double> parseSpiceNumber(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  char* endp = nullptr;
+  const double base = std::strtod(buf.c_str(), &endp);
+  if (endp == buf.c_str()) return std::nullopt;
+  std::string_view suffix = trim(std::string_view(endp));
+  if (suffix.empty()) return base;
+
+  // Engineering suffixes; "meg" must be checked before "m".
+  struct Suffix {
+    std::string_view name;
+    double scale;
+  };
+  static constexpr Suffix kSuffixes[] = {
+      {"meg", 1e6}, {"t", 1e12}, {"g", 1e9}, {"k", 1e3},  {"m", 1e-3},
+      {"u", 1e-6},  {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+  };
+  for (const auto& s : kSuffixes) {
+    if (istartsWith(suffix, s.name)) {
+      // Anything after the scale factor is a unit ("pF", "nS") — it must
+      // be purely alphabetic to be ignored.
+      std::string_view rest = suffix.substr(s.name.size());
+      for (char c : rest) {
+        if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+      }
+      return base * s.scale;
+    }
+  }
+  // A bare unit like "V" or "A" is allowed too.
+  for (char c : suffix) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  return base;
+}
+
+}  // namespace vls

@@ -1,0 +1,34 @@
+// Small string helpers shared by the netlist parser and table printers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vls {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Lower-case copy (ASCII only — netlists are ASCII).
+std::string toLower(std::string_view text);
+
+/// Upper-case copy (ASCII only).
+std::string toUpper(std::string_view text);
+
+/// Split on any of the given delimiter characters, dropping empty fields.
+std::vector<std::string> splitFields(std::string_view text, std::string_view delims = " \t");
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`, case-insensitively.
+bool istartsWith(std::string_view text, std::string_view prefix);
+
+/// Parse a SPICE-style number with an optional engineering suffix
+/// (f p n u m k meg g t, and an ignored trailing unit like "15pF").
+/// Returns nullopt on malformed input.
+std::optional<double> parseSpiceNumber(std::string_view text);
+
+}  // namespace vls

@@ -1,0 +1,57 @@
+// Physical constants and SI-scaled unit helpers used throughout the
+// simulator. All internal quantities are plain SI (volts, amperes,
+// seconds, farads, metres); these helpers exist so that source code can
+// say `0.8_V` or `1.0_fF` instead of raw exponents.
+#pragma once
+
+namespace vls {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Absolute zero offset: T[K] = T[degC] + kCelsiusToKelvin.
+inline constexpr double kCelsiusToKelvin = 273.15;
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsSiO2 = 3.9;
+/// Relative permittivity of silicon.
+inline constexpr double kEpsSi = 11.7;
+
+/// Thermal voltage kT/q [V] at the given temperature [K].
+inline constexpr double thermalVoltage(double temp_kelvin) {
+  return kBoltzmann * temp_kelvin / kElementaryCharge;
+}
+
+/// Convert degrees Celsius to Kelvin.
+inline constexpr double celsiusToKelvin(double temp_celsius) {
+  return temp_celsius + kCelsiusToKelvin;
+}
+
+namespace literals {
+
+// Voltage / current / time / capacitance / length literals.
+inline constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+inline constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+inline constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+inline constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+inline constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+inline constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+inline constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+inline constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+inline constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+inline constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+inline constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+inline constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+
+inline constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+inline constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+inline constexpr double operator""_ps(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+inline constexpr double operator""_fF(unsigned long long v) { return static_cast<double>(v) * 1e-15; }
+inline constexpr double operator""_um(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+inline constexpr double operator""_nm(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+
+}  // namespace literals
+
+}  // namespace vls

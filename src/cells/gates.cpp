@@ -1,0 +1,96 @@
+#include "cells/gates.hpp"
+
+namespace vls {
+
+Mosfet& addMos(Circuit& c, const std::string& name, NodeId d, NodeId g, NodeId s, NodeId b,
+               const MosModelRef& model, MosSize size) {
+  MosGeometry geom;
+  geom.w = size.w;
+  geom.l = size.l;
+  return c.add<Mosfet>(name, d, g, s, b, model, geom);
+}
+
+GateHandles buildInverter(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vdd,
+                          const InverterSizing& sz, const MosModelRef& pmodel,
+                          const MosModelRef& nmodel) {
+  GateHandles h;
+  h.out = out;
+  h.fets.push_back(&addMos(c, prefix + ".mp", out, in, vdd, vdd, pmodel, sz.p));
+  h.fets.push_back(&addMos(c, prefix + ".mn", out, in, kGround, kGround, nmodel, sz.n));
+  return h;
+}
+
+GateHandles buildNor2(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId out,
+                      NodeId vdd, const Nor2Sizing& sz, const MosModelRef& pmodel,
+                      const MosModelRef& nmodel) {
+  GateHandles h;
+  h.out = out;
+  const NodeId mid = c.node(prefix + ".pmid");
+  h.fets.push_back(&addMos(c, prefix + ".mpb", mid, b, vdd, vdd, pmodel, sz.p));
+  h.fets.push_back(&addMos(c, prefix + ".mpa", out, a, mid, vdd, pmodel, sz.p));
+  h.fets.push_back(&addMos(c, prefix + ".mna", out, a, kGround, kGround, nmodel, sz.n));
+  h.fets.push_back(&addMos(c, prefix + ".mnb", out, b, kGround, kGround, nmodel, sz.n));
+  return h;
+}
+
+GateHandles buildNand2(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId out,
+                       NodeId vdd, const Nand2Sizing& sz, const MosModelRef& pmodel,
+                       const MosModelRef& nmodel) {
+  GateHandles h;
+  h.out = out;
+  const NodeId mid = c.node(prefix + ".nmid");
+  h.fets.push_back(&addMos(c, prefix + ".mpa", out, a, vdd, vdd, pmodel, sz.p));
+  h.fets.push_back(&addMos(c, prefix + ".mpb", out, b, vdd, vdd, pmodel, sz.p));
+  h.fets.push_back(&addMos(c, prefix + ".mna", out, a, mid, kGround, nmodel, sz.n));
+  h.fets.push_back(&addMos(c, prefix + ".mnb", mid, b, kGround, kGround, nmodel, sz.n));
+  return h;
+}
+
+GateHandles buildTgate(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId ctrl,
+                       NodeId ctrl_b, NodeId vdd, const TgateSizing& sz,
+                       const MosModelRef& pmodel, const MosModelRef& nmodel) {
+  GateHandles h;
+  h.out = b;
+  h.fets.push_back(&addMos(c, prefix + ".mn", a, ctrl, b, kGround, nmodel, sz.n));
+  h.fets.push_back(&addMos(c, prefix + ".mp", a, ctrl_b, b, vdd, pmodel, sz.p));
+  return h;
+}
+
+GateHandles buildMux2(Circuit& c, const std::string& prefix, NodeId in0, NodeId in1, NodeId sel,
+                      NodeId sel_b, NodeId out, NodeId vdd, const TgateSizing& sz,
+                      const MosModelRef& pmodel, const MosModelRef& nmodel) {
+  GateHandles h;
+  h.out = out;
+  // in0 path conducts when sel=0; in1 path when sel=1.
+  GateHandles t0 = buildTgate(c, prefix + ".tg0", in0, out, sel_b, sel, vdd, sz, pmodel, nmodel);
+  GateHandles t1 = buildTgate(c, prefix + ".tg1", in1, out, sel, sel_b, vdd, sz, pmodel, nmodel);
+  h.fets.insert(h.fets.end(), t0.fets.begin(), t0.fets.end());
+  h.fets.insert(h.fets.end(), t1.fets.begin(), t1.fets.end());
+  return h;
+}
+
+GateHandles buildBufferChain(Circuit& c, const std::string& prefix, NodeId in, NodeId vdd,
+                             int stages, const InverterSizing& sz, const MosModelRef& pmodel,
+                             const MosModelRef& nmodel) {
+  GateHandles h;
+  NodeId prev = in;
+  for (int k = 0; k < stages; ++k) {
+    const NodeId next = c.node(prefix + ".b" + std::to_string(k));
+    GateHandles inv =
+        buildInverter(c, prefix + ".inv" + std::to_string(k), prev, next, vdd, sz, pmodel, nmodel);
+    h.fets.insert(h.fets.end(), inv.fets.begin(), inv.fets.end());
+    prev = next;
+  }
+  h.out = prev;
+  return h;
+}
+
+Mosfet& buildMosCap(Circuit& c, const std::string& name, NodeId node, MosSize size,
+                    const MosModelRef& nmodel) {
+  MosGeometry geom;
+  geom.w = size.w;
+  geom.l = size.l;
+  return c.add<Mosfet>(name, kGround, node, kGround, kGround, nmodel, geom);
+}
+
+}  // namespace vls

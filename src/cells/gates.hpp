@@ -1,0 +1,74 @@
+// Primitive gate generators. Each builder adds transistors to a Circuit
+// under an instance prefix ("x1.") and returns the handles needed for
+// probing and Monte-Carlo perturbation. All builders follow the paper's
+// convention: PMOS bulks tie to the cell's VDD rail, NMOS bulks to
+// ground.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/sizing.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/model_library.hpp"
+#include "devices/mosfet.hpp"
+
+namespace vls {
+
+/// Transistors a cell created, for variation studies and area estimates.
+using MosList = std::vector<Mosfet*>;
+
+/// Convenience: add one MOSFET with the library defaults.
+Mosfet& addMos(Circuit& c, const std::string& name, NodeId d, NodeId g, NodeId s, NodeId b,
+               const MosModelRef& model, MosSize size);
+
+struct GateHandles {
+  NodeId out = kGround;
+  MosList fets;
+};
+
+/// Static CMOS inverter: out = !in.
+GateHandles buildInverter(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vdd,
+                          const InverterSizing& sz = {},
+                          const MosModelRef& pmodel = pmos90(),
+                          const MosModelRef& nmodel = nmos90());
+
+/// Two-input NOR: out = !(a | b). The PMOS driven by `b` sits next to
+/// VDD; the PMOS driven by `a` is next to the output. The SS-TVS relies
+/// on this ordering: its node2 (input b) must be able to cut the supply
+/// path even when `a` is driven from a lower voltage domain.
+GateHandles buildNor2(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId out,
+                      NodeId vdd, const Nor2Sizing& sz = {},
+                      const MosModelRef& pmodel = pmos90(),
+                      const MosModelRef& nmodel = nmos90());
+
+/// Two-input NAND: out = !(a & b).
+GateHandles buildNand2(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId out,
+                       NodeId vdd, const Nand2Sizing& sz = {},
+                       const MosModelRef& pmodel = pmos90(),
+                       const MosModelRef& nmodel = nmos90());
+
+/// Transmission gate between a and b; conducts when ctrl=1 (ctrl_b=0).
+GateHandles buildTgate(Circuit& c, const std::string& prefix, NodeId a, NodeId b, NodeId ctrl,
+                       NodeId ctrl_b, NodeId vdd, const TgateSizing& sz = {},
+                       const MosModelRef& pmodel = pmos90(),
+                       const MosModelRef& nmodel = nmos90());
+
+/// 2:1 multiplexer from two transmission gates: out = sel ? in1 : in0.
+GateHandles buildMux2(Circuit& c, const std::string& prefix, NodeId in0, NodeId in1, NodeId sel,
+                      NodeId sel_b, NodeId out, NodeId vdd, const TgateSizing& sz = {},
+                      const MosModelRef& pmodel = pmos90(),
+                      const MosModelRef& nmodel = nmos90());
+
+/// Inverter chain of `stages` inverters from `in`; returns the chain
+/// output node (internal nodes are "<prefix>.b<k>").
+GateHandles buildBufferChain(Circuit& c, const std::string& prefix, NodeId in, NodeId vdd,
+                             int stages, const InverterSizing& sz = {},
+                             const MosModelRef& pmodel = pmos90(),
+                             const MosModelRef& nmodel = nmos90());
+
+/// NMOS configured as a MOS capacitor: gate on `node`, S=D=B grounded.
+Mosfet& buildMosCap(Circuit& c, const std::string& name, NodeId node, MosSize size,
+                    const MosModelRef& nmodel = nmos90());
+
+}  // namespace vls

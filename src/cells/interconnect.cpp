@@ -1,0 +1,46 @@
+#include "cells/interconnect.hpp"
+
+#include "base/error.hpp"
+#include "devices/passive.hpp"
+
+namespace vls {
+
+WireHandles buildWire(Circuit& c, const std::string& prefix, NodeId a, NodeId b,
+                      const WireSpec& spec) {
+  if (spec.segments < 1) throw InvalidInputError("buildWire: need at least one segment");
+  WireHandles h;
+  h.a = a;
+  h.b = b;
+  h.total_r = spec.r_per_m * spec.length;
+  h.total_c = spec.c_per_m * spec.length;
+  const double r_seg = h.total_r / spec.segments;
+  const double c_half = h.total_c / spec.segments / 2.0;
+
+  NodeId prev = a;
+  for (int k = 0; k < spec.segments; ++k) {
+    const NodeId next =
+        (k + 1 == spec.segments) ? b : c.node(prefix + ".n" + std::to_string(k));
+    // Pi section: C/2 at each end of the series R.
+    c.add<Capacitor>(prefix + ".ca" + std::to_string(k), prev, kGround, c_half);
+    c.add<Resistor>(prefix + ".r" + std::to_string(k), prev, next, r_seg);
+    c.add<Capacitor>(prefix + ".cb" + std::to_string(k), next, kGround, c_half);
+    if (next != b) h.taps.push_back(next);
+    prev = next;
+  }
+  return h;
+}
+
+double wireElmoreDelay(const WireSpec& spec) {
+  // Distributed line: 0.377 * R * C to 50% (ln2/2 exact for RC line is
+  // 0.38 RC; use the classical 0.377).
+  return 0.377 * (spec.r_per_m * spec.length) * (spec.c_per_m * spec.length);
+}
+
+double wireElmoreDelay(const WireSpec& spec, double r_driver, double c_load) {
+  const double rw = spec.r_per_m * spec.length;
+  const double cw = spec.c_per_m * spec.length;
+  // Elmore with lumped driver/load: ln2*(Rd*(Cw+Cl)) + 0.377*Rw*Cw + ln2*Rw*Cl.
+  return 0.693 * r_driver * (cw + c_load) + 0.377 * rw * cw + 0.693 * rw * c_load;
+}
+
+}  // namespace vls

@@ -1,0 +1,41 @@
+// Distributed-RC interconnect. The paper's motivation is routing: CVS
+// needs the source domain's supply routed to every consumer, SS-VS only
+// needs signal wires. This module models those wires (pi-ladder RC) so
+// system-level examples and the routing-cost bench can quantify the
+// difference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+/// 90 nm-class global wire parameters (per metre).
+struct WireSpec {
+  double length = 100e-6;        ///< [m]
+  double r_per_m = 250e3;        ///< series resistance [ohm/m] (thin global wire)
+  double c_per_m = 200e-12;      ///< ground capacitance [F/m]
+  int segments = 8;              ///< pi-ladder sections
+};
+
+struct WireHandles {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  std::vector<NodeId> taps;  ///< internal ladder nodes (excludes a/b)
+  double total_r = 0.0;
+  double total_c = 0.0;
+};
+
+/// Build an RC pi-ladder between a and b.
+WireHandles buildWire(Circuit& c, const std::string& prefix, NodeId a, NodeId b,
+                      const WireSpec& spec = {});
+
+/// Elmore delay of the wire itself (50% step response estimate).
+double wireElmoreDelay(const WireSpec& spec);
+
+/// Elmore delay including a driver resistance and a load capacitance.
+double wireElmoreDelay(const WireSpec& spec, double r_driver, double c_load);
+
+}  // namespace vls

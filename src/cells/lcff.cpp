@@ -1,0 +1,49 @@
+#include "cells/lcff.hpp"
+
+namespace vls {
+
+LcffHandles buildLcff(Circuit& c, const std::string& prefix, NodeId d, NodeId clk, NodeId q,
+                      NodeId vddo, const LcffSizing& sz) {
+  LcffHandles h;
+  h.d = d;
+  h.clk = clk;
+  h.q = q;
+  h.d_shifted = c.node(prefix + ".dsh");
+  h.master = c.node(prefix + ".m");
+
+  // Domain crossing: the SS-TVS converts the VDDI-swing data to a full
+  // VDDO swing (inverted) using only the destination rail.
+  SstvsHandles shift = buildSstvs(c, prefix + ".xls", d, h.d_shifted, vddo, sz.shifter);
+  h.fets = shift.fets;
+
+  // Local clock complement.
+  const NodeId clkb = c.node(prefix + ".clkb");
+  GateHandles cinv = buildInverter(c, prefix + ".cinv", clk, clkb, vddo, sz.inv);
+  h.fets.insert(h.fets.end(), cinv.fets.begin(), cinv.fets.end());
+
+  // Master latch: transparent while clk = 0.
+  const NodeId m_in = h.master;
+  const NodeId m_out = c.node(prefix + ".mb");
+  GateHandles tg1 =
+      buildTgate(c, prefix + ".tg1", h.d_shifted, m_in, clkb, clk, vddo, sz.tg);
+  GateHandles minv = buildInverter(c, prefix + ".minv", m_in, m_out, vddo, sz.inv);
+  GateHandles mkeep = buildInverter(c, prefix + ".mkeep", m_out, m_in, vddo, sz.keeper);
+  for (const auto* g : {&tg1, &minv, &mkeep}) {
+    h.fets.insert(h.fets.end(), g->fets.begin(), g->fets.end());
+  }
+
+  // Slave latch: transparent while clk = 1; output buffered so
+  // q = d (the SS-TVS inversion cancels against the master inverter).
+  const NodeId s_in = c.node(prefix + ".s");
+  const NodeId s_b = c.node(prefix + ".sb");
+  GateHandles tg2 = buildTgate(c, prefix + ".tg2", m_out, s_in, clk, clkb, vddo, sz.tg);
+  GateHandles sinv = buildInverter(c, prefix + ".sinv", s_in, s_b, vddo, sz.inv);
+  GateHandles skeep = buildInverter(c, prefix + ".skeep", s_b, s_in, vddo, sz.keeper);
+  GateHandles qinv = buildInverter(c, prefix + ".qinv", s_b, q, vddo, sz.inv);
+  for (const auto* g : {&tg2, &sinv, &skeep, &qinv}) {
+    h.fets.insert(h.fets.end(), g->fets.begin(), g->fets.end());
+  }
+  return h;
+}
+
+}  // namespace vls

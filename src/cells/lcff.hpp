@@ -1,0 +1,41 @@
+// Level-converting flip-flop (LCFF): the natural next step the paper's
+// conclusion points at — absorbing level conversion into the sequential
+// element at a domain boundary instead of placing a separate shifter.
+// Our LCFF clocks VDDI-domain data into a VDDO-domain master/slave
+// latch pair; the data input enters through an SS-TVS, so the flop
+// needs only the destination supply and works for either rail ordering.
+#pragma once
+
+#include <string>
+
+#include "cells/gates.hpp"
+#include "cells/sizing.hpp"
+#include "cells/sstvs.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+struct LcffSizing {
+  SstvsSizing shifter{};
+  InverterSizing inv{{520e-9, 100e-9}, {260e-9, 100e-9}};
+  TgateSizing tg{{520e-9, 100e-9}, {390e-9, 100e-9}};
+  /// Keepers are long-channel so the write path wins the ratioed fight.
+  InverterSizing keeper{{140e-9, 400e-9}, {140e-9, 400e-9}};
+};
+
+struct LcffHandles {
+  NodeId d = kGround;      ///< data input (VDDI swing)
+  NodeId clk = kGround;    ///< clock (VDDO swing)
+  NodeId q = kGround;      ///< output (VDDO swing)
+  NodeId d_shifted = kGround;  ///< internal: level-shifted (inverted) data
+  NodeId master = kGround;     ///< master latch node
+  MosList fets;
+};
+
+/// Positive-edge-triggered level-converting DFF powered by vddo only.
+/// Note: q follows d (the internal SS-TVS inversion is cancelled by the
+/// latch inverter chain parity).
+LcffHandles buildLcff(Circuit& c, const std::string& prefix, NodeId d, NodeId clk, NodeId q,
+                      NodeId vddo, const LcffSizing& sz = {});
+
+}  // namespace vls

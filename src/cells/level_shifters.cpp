@@ -1,0 +1,107 @@
+#include "cells/level_shifters.hpp"
+
+namespace vls {
+
+CvsHandles buildCvs(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vddi,
+                    NodeId vddo, const CvsSizing& sz) {
+  CvsHandles h;
+  h.in = in;
+  h.out = out;
+  h.in_b = c.node(prefix + ".inb");
+  h.out_b = c.node(prefix + ".outb");
+
+  // VDDI-domain complement generator.
+  GateHandles inv = buildInverter(c, prefix + ".inv", in, h.in_b, vddi, sz.input_inv);
+  h.fets = inv.fets;
+
+  // Cross-coupled VDDO stage: MN1 gate=in pulls out_b; MN2 gate=in_b
+  // pulls out; MP1/MP2 latch. With in=1: out_b -> 0, MP2 on, out -> VDDO.
+  h.fets.push_back(&addMos(c, prefix + ".mp1", h.out_b, out, vddo, vddo, pmos90(), sz.pull_up));
+  h.fets.push_back(&addMos(c, prefix + ".mp2", out, h.out_b, vddo, vddo, pmos90(), sz.pull_up));
+  h.fets.push_back(&addMos(c, prefix + ".mn1", h.out_b, in, kGround, kGround, nmos90(),
+                           sz.pull_down));
+  h.fets.push_back(&addMos(c, prefix + ".mn2", out, h.in_b, kGround, kGround, nmos90(),
+                           sz.pull_down));
+  return h;
+}
+
+SsvsKhanHandles buildSsvsKhan(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                              NodeId vddo, const SsvsKhanSizing& sz) {
+  SsvsKhanHandles h;
+  h.in = in;
+  h.out = out;      // the inverting node: the diode-rail inverter output
+  h.in_b = out;     // alias: out IS the local complement
+  h.vvdd = c.node(prefix + ".vvdd");
+  h.out_b = c.node(prefix + ".outb");
+
+  // Diode-connected NMOS drops the rail for the input inverter so its
+  // PMOS shuts off when the input high level is a VT below VDDO
+  // (the [13] trick that [6] builds on).
+  h.fets.push_back(&addMos(c, prefix + ".mnd", vddo, vddo, h.vvdd, kGround, nmos90(), sz.diode));
+  // Weak feedback PMOS restores the virtual rail to full VDDO while the
+  // output is low (input high). This keeps the next rising edge crisp
+  // but re-creates the leakage signature [13]/[6] are known for: with
+  // the rail at VDDO and the input high at VDDI < VDDO, the inverter
+  // PMOS sits near |VGS| = VDDO - VDDI and leaks strongly when that
+  // difference approaches a threshold voltage. High-VT helps but cannot
+  // eliminate it -- which is the premise of the SS-TVS paper.
+  h.fets.push_back(&addMos(c, prefix + ".mpf", h.vvdd, out, vddo, vddo, pmos90(), sz.feedback));
+
+  // Input inverter on the (nominally dropped) rail; high-VT PMOS.
+  GateHandles inv = buildInverter(c, prefix + ".inv", in, out, h.vvdd, sz.inv, pmos90Hvt());
+  h.fets.insert(h.fets.end(), inv.fets.begin(), inv.fets.end());
+
+  // Level restoration ([6]'s improvement over [13]): a full-VDDO
+  // inverter senses `out` and a PMOS keeper pulls `out` the rest of the
+  // way to VDDO once it has risen past the VDDO/2 threshold. The
+  // rising edge therefore goes vvdd-starved-PMOS -> keeper
+  // regeneration, which is what makes this shifter slow compared with
+  // the SS-TVS.
+  GateHandles inv2 = buildInverter(c, prefix + ".inv2", out, h.out_b, vddo, sz.inv);
+  h.fets.insert(h.fets.end(), inv2.fets.begin(), inv2.fets.end());
+  h.fets.push_back(&addMos(c, prefix + ".mpk", out, h.out_b, vddo, vddo, pmos90(), sz.pull_up));
+  return h;
+}
+
+CombinedVsHandles buildCombinedVs(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                                  NodeId sel, NodeId sel_b, NodeId vddo,
+                                  const CombinedVsSizing& sz) {
+  CombinedVsHandles h;
+  h.in = in;
+  h.out = out;
+  h.sel = sel;
+  h.sel_b = sel_b;
+  h.inv_in = c.node(prefix + ".invin");
+  h.inv_out = c.node(prefix + ".invout");
+  h.ssvs_in = c.node(prefix + ".ssvsin");
+  h.ssvs_out = c.node(prefix + ".ssvsout");
+
+  // Input transmission gates: SS-VS path enabled by sel, inverter path
+  // by sel_b.
+  GateHandles tg_ssvs =
+      buildTgate(c, prefix + ".tgs", in, h.ssvs_in, sel, sel_b, vddo, sz.input_tg);
+  GateHandles tg_inv =
+      buildTgate(c, prefix + ".tgi", in, h.inv_in, sel_b, sel, vddo, sz.input_tg);
+  h.fets = tg_ssvs.fets;
+  h.fets.insert(h.fets.end(), tg_inv.fets.begin(), tg_inv.fets.end());
+
+  // Weak keepers ground a deselected path's input so it cannot float.
+  h.fets.push_back(
+      &addMos(c, prefix + ".mks", h.ssvs_in, sel_b, kGround, kGround, nmos90Hvt(), sz.hold_down));
+  h.fets.push_back(
+      &addMos(c, prefix + ".mki", h.inv_in, sel, kGround, kGround, nmos90Hvt(), sz.hold_down));
+
+  // The two conversion paths (both inverting).
+  GateHandles inv = buildInverter(c, prefix + ".inv", h.inv_in, h.inv_out, vddo, sz.inv);
+  h.fets.insert(h.fets.end(), inv.fets.begin(), inv.fets.end());
+  SsvsKhanHandles ssvs = buildSsvsKhan(c, prefix + ".ssvs", h.ssvs_in, h.ssvs_out, vddo, sz.ssvs);
+  h.fets.insert(h.fets.end(), ssvs.fets.begin(), ssvs.fets.end());
+
+  // Output multiplexer: out = sel ? ssvs_out : inv_out.
+  GateHandles mux = buildMux2(c, prefix + ".mux", h.inv_out, h.ssvs_out, sel, sel_b, out, vddo,
+                              sz.mux_tg);
+  h.fets.insert(h.fets.end(), mux.fets.begin(), mux.fets.end());
+  return h;
+}
+
+}  // namespace vls

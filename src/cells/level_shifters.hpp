@@ -1,0 +1,65 @@
+// The comparison circuits from the paper:
+//   * CVS  -- the conventional dual-supply level shifter of Figure 1.
+//   * SS-VS of Khan et al. [6] -- single-supply up-shifter
+//     (reconstruction; see DESIGN.md §4).
+//   * Combined VS of Figure 6 -- inverter || SS-VS behind input
+//     transmission gates and an output mux, steered by an external
+//     control signal indicating whether VDDI < VDDO.
+#pragma once
+
+#include <string>
+
+#include "cells/gates.hpp"
+#include "cells/sizing.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+struct CvsHandles {
+  NodeId in = kGround;
+  NodeId in_b = kGround;  ///< internal complement (VDDI domain)
+  NodeId out = kGround;
+  NodeId out_b = kGround;
+  MosList fets;
+};
+
+/// Conventional level shifter: needs BOTH supplies (vddi for the input
+/// inverter, vddo for the cross-coupled output stage). Non-inverting.
+CvsHandles buildCvs(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vddi,
+                    NodeId vddo, const CvsSizing& sz = {});
+
+struct SsvsKhanHandles {
+  NodeId in = kGround;
+  NodeId out = kGround;      ///< inverting output
+  NodeId in_b = kGround;     ///< local complement (virtual-rail inverter)
+  NodeId vvdd = kGround;     ///< diode-dropped virtual rail
+  NodeId out_b = kGround;    ///< second latch node (follows in)
+  MosList fets;
+};
+
+/// Single-supply level shifter of [6]: valid only for VDDI <= VDDO.
+/// Inverting (out = !in at VDDO swing).
+SsvsKhanHandles buildSsvsKhan(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                              NodeId vddo, const SsvsKhanSizing& sz = {});
+
+struct CombinedVsHandles {
+  NodeId in = kGround;
+  NodeId out = kGround;
+  NodeId sel = kGround;     ///< 1 selects the SS-VS path (VDDI < VDDO)
+  NodeId sel_b = kGround;
+  NodeId inv_in = kGround;
+  NodeId inv_out = kGround;
+  NodeId ssvs_in = kGround;
+  NodeId ssvs_out = kGround;
+  MosList fets;
+};
+
+/// Combined VS of Figure 6. `sel` must be driven externally at VDDO
+/// swing: sel=1 routes in -> TG -> SS-VS -> mux -> out; sel=0 routes
+/// in -> TG -> inverter -> mux -> out. The deselected path's input is
+/// grounded by a weak keeper so it cannot float to mid-rail.
+CombinedVsHandles buildCombinedVs(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                                  NodeId sel, NodeId sel_b, NodeId vddo,
+                                  const CombinedVsSizing& sz = {});
+
+}  // namespace vls

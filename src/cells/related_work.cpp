@@ -1,0 +1,54 @@
+#include "cells/related_work.hpp"
+
+#include "devices/passive.hpp"
+
+namespace vls {
+
+SsvsPuriHandles buildSsvsPuri(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                              NodeId vddo, const SsvsPuriSizing& sz) {
+  SsvsPuriHandles h;
+  h.in = in;
+  h.out = out;
+  h.in_b = c.node(prefix + ".inb");
+  h.vvdd = c.node(prefix + ".vvdd");
+
+  // Diode-connected rail drop ([13]'s entire trick).
+  h.fets.push_back(&addMos(c, prefix + ".mnd", vddo, vddo, h.vvdd, kGround, nmos90(), sz.diode));
+  GateHandles inv1 = buildInverter(c, prefix + ".inv1", in, h.in_b, h.vvdd, sz.inv);
+  h.fets.insert(h.fets.end(), inv1.fets.begin(), inv1.fets.end());
+  // Full-rail output inverter; its PMOS sees in_b's reduced high level,
+  // which is where the leakage goes once vvdd - VDDI exceeds a VT.
+  GateHandles inv2 = buildInverter(c, prefix + ".inv2", h.in_b, out, vddo, sz.out_inv);
+  h.fets.insert(h.fets.end(), inv2.fets.begin(), inv2.fets.end());
+  return h;
+}
+
+BootstrapHandles buildBootstrapShifter(Circuit& c, const std::string& prefix, NodeId in,
+                                       NodeId out, NodeId vddo, const BootstrapSizing& sz) {
+  BootstrapHandles h;
+  h.in = in;
+  h.out = out;
+  h.boot = c.node(prefix + ".boot");
+
+  // Precharge: diode-connected NMOS parks the bootstrapped gate at
+  // ~VDDO - VT while the input is static.
+  h.fets.push_back(
+      &addMos(c, prefix + ".mpre", vddo, vddo, h.boot, kGround, nmos90(), sz.precharge));
+  // Coupling capacitor: input edges kick the gate past its park level.
+  c.add<Capacitor>(prefix + ".cboot", in, h.boot, sz.boost_cap);
+
+  // Output stage: bootstrapped PMOS pull-up vs input-driven pull-down.
+  h.fets.push_back(&addMos(c, prefix + ".mpu", out, h.boot, vddo, vddo, pmos90(), sz.pull_up));
+  h.fets.push_back(&addMos(c, prefix + ".mpd", out, in, kGround, kGround, nmos90(),
+                           sz.pull_down));
+
+  // Keeper latches the rail once the output has risen (the boot node
+  // drifts back to its park level and the pull-up weakens).
+  const NodeId out_b = c.node(prefix + ".outb");
+  GateHandles inv = buildInverter(c, prefix + ".inv", out, out_b, vddo, sz.inv);
+  h.fets.insert(h.fets.end(), inv.fets.begin(), inv.fets.end());
+  h.fets.push_back(&addMos(c, prefix + ".mk", out, out_b, vddo, vddo, pmos90(), sz.keeper));
+  return h;
+}
+
+}  // namespace vls

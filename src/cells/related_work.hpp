@@ -1,0 +1,69 @@
+// Comparison cells from the paper's related-work section (Section 2):
+//
+//  * Puri et al. [13]: the original single-supply up-shifter — a
+//    diode-connected NMOS drops VDDO to power the input inverter, so a
+//    VDDI-high input can turn the inverter PMOS off. No restoration:
+//    limited range and high leakage once VDDO - VDDI exceeds a VT,
+//    which is precisely the weakness [6] and the SS-TVS address.
+//
+//  * Tan & Sun [9]-style bootstrapped shifter: a coupling capacitor,
+//    precharged through a diode-connected device, kicks the pull-up
+//    gate below ground / above the rail during transitions to speed up
+//    conversion ("bootstrapped gate drive to minimize voltage swings").
+//    Demonstrates the bootstrapping technique the paper cites; needs
+//    dual rails in its practical forms, single-supply here for the
+//    up-shift direction only.
+#pragma once
+
+#include <string>
+
+#include "cells/gates.hpp"
+#include "cells/sizing.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+struct SsvsPuriSizing {
+  MosSize diode{520e-9, 100e-9};
+  InverterSizing inv{{390e-9, 100e-9}, {390e-9, 100e-9}};
+  InverterSizing out_inv{{780e-9, 100e-9}, {390e-9, 100e-9}};
+};
+
+struct SsvsPuriHandles {
+  NodeId in = kGround;
+  NodeId out = kGround;   ///< non-inverting overall (two inverters)
+  NodeId in_b = kGround;  ///< dropped-rail inverter output
+  NodeId vvdd = kGround;  ///< diode-dropped virtual rail
+  MosList fets;
+};
+
+/// [13]-style shifter: in -> inverter (vvdd rail) -> inverter (VDDO).
+/// Valid for modest VDDO - VDDI; leaks heavily beyond a threshold drop.
+SsvsPuriHandles buildSsvsPuri(Circuit& c, const std::string& prefix, NodeId in, NodeId out,
+                              NodeId vddo, const SsvsPuriSizing& sz = {});
+
+struct BootstrapSizing {
+  double boost_cap = 3e-15;          ///< coupling capacitor [F]
+  MosSize precharge{200e-9, 100e-9}; ///< diode-connected precharge NMOS
+  MosSize pull_up{700e-9, 100e-9};   ///< bootstrapped PMOS pull-up
+  MosSize pull_down{390e-9, 100e-9}; ///< input NMOS pull-down
+  MosSize keeper{140e-9, 100e-9};    ///< level keeper PMOS
+  InverterSizing inv{};              ///< local input buffer (VDDO rail)
+};
+
+struct BootstrapHandles {
+  NodeId in = kGround;
+  NodeId out = kGround;    ///< inverting
+  NodeId boot = kGround;   ///< bootstrapped gate node
+  MosList fets;
+};
+
+/// [9]-style bootstrapped up-shifter (single supply, VDDI <= VDDO):
+/// the input couples through C_boost onto the PMOS pull-up gate, which
+/// is precharged to ~VDDO - VT; a falling input kicks the gate below
+/// its precharge level, turning the pull-up on hard despite the small
+/// input swing. A keeper latches the full rail afterwards.
+BootstrapHandles buildBootstrapShifter(Circuit& c, const std::string& prefix, NodeId in,
+                                       NodeId out, NodeId vddo, const BootstrapSizing& sz = {});
+
+}  // namespace vls

@@ -1,0 +1,81 @@
+// Device sizing for every cell. The paper prints its W/L values only in
+// the (unavailable) Figure 4, so these are our own sizes, chosen for the
+// delay/leakage trade-off the paper describes and kept in the same
+// sub-micron class (see DESIGN.md §4).
+#pragma once
+
+#include "base/units.hpp"
+
+namespace vls {
+
+/// Drawn size of one transistor.
+struct MosSize {
+  double w = 200e-9;
+  double l = 100e-9;
+};
+
+struct InverterSizing {
+  MosSize p{780e-9, 100e-9};
+  MosSize n{390e-9, 100e-9};
+};
+
+struct Nor2Sizing {
+  MosSize p{1100e-9, 100e-9}; ///< each series PMOS (stack of two)
+  MosSize n{260e-9, 100e-9};  ///< each parallel NMOS
+};
+
+struct Nand2Sizing {
+  MosSize p{520e-9, 100e-9};
+  MosSize n{520e-9, 100e-9};
+};
+
+struct TgateSizing {
+  MosSize p{390e-9, 100e-9};
+  MosSize n{200e-9, 100e-9};
+};
+
+/// SS-TVS of Figure 4 (our reconstruction; device roles per DESIGN.md).
+struct SstvsSizing {
+  Nor2Sizing nor{};
+  MosSize m1{900e-9, 100e-9};  ///< NMOS, gate=ctrl, discharges node2 into in
+  MosSize m2{240e-9, 100e-9};  ///< PMOS, gate=out, passes charge to ctrl
+  MosSize m3{140e-9, 240e-9};  ///< PMOS, gate=node1, charges node2; long and
+                               ///< narrow so M1 wins the ratioed fight
+  MosSize m4{300e-9, 100e-9};  ///< PMOS high-VT, gate=in (node1 pull-up head)
+  MosSize m5{200e-9, 100e-9};  ///< PMOS, gate=node2 (node1 pull-up foot)
+  MosSize m6{300e-9, 100e-9};  ///< NMOS high-VT, gate=in, pulls node1 low
+  MosSize m7{300e-9, 100e-9};  ///< NMOS, gate=in, charge path from VDDO
+  MosSize m8{160e-9, 100e-9};  ///< NMOS low-VT, gate=VDDO, charge path from in
+  MosSize mc{700e-9, 250e-9};  ///< MOS capacitor on ctrl (gate cap ~ 3 fF)
+
+  bool m4_high_vt = true;  ///< ablation toggle
+  bool m6_high_vt = true;  ///< ablation toggle
+  bool m8_low_vt = true;   ///< ablation toggle
+};
+
+/// Conventional dual-supply level shifter (Figure 1).
+struct CvsSizing {
+  InverterSizing input_inv{};       ///< VDDI-domain inverter producing inb
+  MosSize pull_up{420e-9, 100e-9};  ///< MP1 / MP2 cross-coupled pair
+  MosSize pull_down{520e-9, 100e-9};///< MN1 / MN2
+};
+
+/// Single-supply VS of Khan et al. [6] (reconstruction; DESIGN.md §4).
+struct SsvsKhanSizing {
+  MosSize diode{520e-9, 100e-9};     ///< diode-connected NMOS supply drop
+  MosSize feedback{140e-9, 100e-9};  ///< weak PMOS restoring the virtual rail
+  InverterSizing inv{{390e-9, 100e-9}, {390e-9, 100e-9}};  ///< dropped-rail inverter (HVT PMOS)
+  MosSize pull_up{140e-9, 100e-9};   ///< weak level-restore keeper PMOS
+  MosSize pull_down{520e-9, 100e-9}; ///< (reserved)
+};
+
+/// Combined VS of Figure 6 (inverter + SS-VS + input TGs + output mux).
+struct CombinedVsSizing {
+  TgateSizing input_tg{};
+  InverterSizing inv{};
+  SsvsKhanSizing ssvs{};
+  TgateSizing mux_tg{};
+  MosSize hold_down{140e-9, 100e-9};  ///< keeper grounding a disabled path input
+};
+
+}  // namespace vls

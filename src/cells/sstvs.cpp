@@ -1,0 +1,46 @@
+#include "cells/sstvs.hpp"
+
+namespace vls {
+
+SstvsHandles buildSstvs(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vddo,
+                        const SstvsSizing& sz) {
+  SstvsHandles h;
+  h.in = in;
+  h.out = out;
+  h.node1 = c.node(prefix + ".node1");
+  h.node2 = c.node(prefix + ".node2");
+  h.ctrl = c.node(prefix + ".ctrl");
+  h.node_a = c.node(prefix + ".nodea");
+
+  const MosModelRef nmos = nmos90();
+  const MosModelRef pmos = pmos90();
+  const MosModelRef m4_model = sz.m4_high_vt ? pmos90Hvt() : pmos90();
+  const MosModelRef m6_model = sz.m6_high_vt ? nmos90Hvt() : nmos90();
+  const MosModelRef m8_model = sz.m8_low_vt ? nmos90Lvt() : nmos90();
+
+  // Output NOR (supply = VDDO). Input `in` near the output, node2 next
+  // to VDDO -- the ordering the leakage argument depends on.
+  GateHandles nor = buildNor2(c, prefix + ".nor", in, h.node2, out, vddo, sz.nor);
+  h.fets = nor.fets;
+
+  // node1 pull-down and restore.
+  h.fets.push_back(&addMos(c, prefix + ".m6", h.node1, in, kGround, kGround, m6_model, sz.m6));
+  const NodeId mid45 = c.node(prefix + ".mid45");
+  h.fets.push_back(&addMos(c, prefix + ".m4", mid45, in, vddo, vddo, m4_model, sz.m4));
+  h.fets.push_back(&addMos(c, prefix + ".m5", h.node1, h.node2, mid45, vddo, pmos, sz.m5));
+
+  // node2 pull-up and conditional discharge into the input.
+  h.fets.push_back(&addMos(c, prefix + ".m3", h.node2, h.node1, vddo, vddo, pmos, sz.m3));
+  h.fets.push_back(&addMos(c, prefix + ".m1", h.node2, h.ctrl, in, kGround, nmos, sz.m1));
+
+  // ctrl charging network: (M7 || M8) -> nodeA -> M2 -> ctrl.
+  h.fets.push_back(&addMos(c, prefix + ".m7", vddo, in, h.node_a, kGround, nmos, sz.m7));
+  h.fets.push_back(&addMos(c, prefix + ".m8", in, vddo, h.node_a, kGround, m8_model, sz.m8));
+  h.fets.push_back(&addMos(c, prefix + ".m2", h.node_a, out, h.ctrl, vddo, pmos, sz.m2));
+
+  // Storage capacitor on ctrl.
+  h.fets.push_back(&buildMosCap(c, prefix + ".mc", h.ctrl, sz.mc));
+  return h;
+}
+
+}  // namespace vls

@@ -1,0 +1,49 @@
+// The paper's contribution: the Single-Supply True Voltage Level
+// Shifter (SS-TVS, Figure 4), reconstructed from the operational
+// description in Section 3 of the paper (see DESIGN.md §4 for the
+// reconstruction argument).
+//
+// Topology (all bulk connections: PMOS -> VDDO, NMOS -> GND):
+//
+//   out   = NOR2(in, node2), supply VDDO; the node2-driven PMOS sits
+//           next to VDDO so a risen node2 cuts the leakage path even
+//           when `in` (at VDDI < VDDO) cannot fully turn its PMOS off.
+//   M6    : NMOS (high-VT), gate=in       -- pulls node1 low when in=1
+//   M3    : PMOS,           gate=node1    -- charges node2 to VDDO
+//   M4    : PMOS (high-VT), gate=in       -- node1 restore, head
+//   M5    : PMOS,           gate=node2    -- node1 restore, foot
+//   M1    : NMOS,           gate=ctrl, source=in, drain=node2
+//           -- discharges node2 into the fallen input; never on while
+//              in=1 because ctrl cannot exceed in by VT there
+//   M7    : NMOS,           gate=in,   VDDO <-> nodeA
+//   M8    : NMOS (low-VT),  gate=VDDO, in   <-> nodeA
+//   M2    : PMOS,           gate=out,  nodeA <-> ctrl
+//           -- while in=1 (out=0), M2 conducts and ctrl charges to
+//              min(VDDI, VDDO-VT8) or min(VDDO, VDDI-VT7); as out rises
+//              M2 turns off and ctrl partially discharges through M8
+//   MC    : NMOS gate capacitor on ctrl (storage)
+#pragma once
+
+#include <string>
+
+#include "cells/gates.hpp"
+#include "cells/sizing.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+struct SstvsHandles {
+  NodeId in = kGround;
+  NodeId out = kGround;
+  NodeId node1 = kGround;
+  NodeId node2 = kGround;
+  NodeId ctrl = kGround;
+  NodeId node_a = kGround;
+  MosList fets;  ///< every transistor including the NOR gate and MC
+};
+
+/// Instantiate one SS-TVS between `in` and `out`, powered by vddo only.
+SstvsHandles buildSstvs(Circuit& c, const std::string& prefix, NodeId in, NodeId out, NodeId vddo,
+                        const SstvsSizing& sz = {});
+
+}  // namespace vls

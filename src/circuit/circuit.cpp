@@ -1,0 +1,66 @@
+#include "circuit/circuit.hpp"
+
+#include "base/string_util.hpp"
+
+namespace vls {
+
+namespace {
+const std::string kGroundName = "0";
+}
+
+bool Circuit::isGroundName(std::string_view name) {
+  return name == "0" || iequals(name, "gnd") || iequals(name, "vss!");
+}
+
+NodeId Circuit::node(std::string_view name) {
+  if (isGroundName(name)) return kGround;
+  const std::string key(name);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(key);
+  index_.emplace(key, id);
+  return id;
+}
+
+std::optional<NodeId> Circuit::findNode(std::string_view name) const {
+  if (isGroundName(name)) return kGround;
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Circuit::nodeName(NodeId id) const {
+  if (isGround(id)) return kGroundName;
+  const auto idx = static_cast<size_t>(id);
+  if (idx >= names_.size()) throw InvalidInputError("Circuit::nodeName: bad node id");
+  return names_[idx];
+}
+
+Device* Circuit::findDevice(std::string_view name) const {
+  auto it = device_index_.find(std::string(name));
+  return it == device_index_.end() ? nullptr : it->second;
+}
+
+void Circuit::registerDevice(std::unique_ptr<Device> dev) {
+  auto [it, inserted] = device_index_.emplace(dev->name(), dev.get());
+  (void)it;
+  if (!inserted) {
+    throw InvalidInputError("Circuit: duplicate device name '" + dev->name() + "'");
+  }
+  devices_.push_back(std::move(dev));
+}
+
+size_t Circuit::assignBranchIndices() {
+  size_t next = nodeCount();
+  for (const auto& dev : devices_) {
+    const size_t count = dev->branchCount();
+    if (count > 0) {
+      dev->assignBranches(next);
+      next += count;
+    }
+  }
+  return next - nodeCount();
+}
+
+}  // namespace vls

@@ -1,0 +1,68 @@
+// Flat circuit container: named nodes plus owned devices. Hierarchy
+// (subcircuits, cell generators) is flattened into this container with
+// dotted instance names ("x1.mn1"), which keeps the solver simple and
+// every internal node probeable.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+#include "circuit/device.hpp"
+#include "circuit/node.hpp"
+
+namespace vls {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Get or create the node with this name. "0" and "gnd" (any case)
+  /// are the ground node.
+  NodeId node(std::string_view name);
+
+  /// Find an existing node; nullopt if absent.
+  std::optional<NodeId> findNode(std::string_view name) const;
+
+  /// Name of a node (ground reports "0").
+  const std::string& nodeName(NodeId id) const;
+
+  size_t nodeCount() const { return names_.size(); }
+
+  /// Construct and own a device. Returns a reference valid for the
+  /// circuit's lifetime. Duplicate device names are rejected.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    registerDevice(std::move(dev));
+    return ref;
+  }
+
+  Device* findDevice(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  /// Total branch unknowns across devices; also assigns branch indices.
+  /// Called by the simulator before stamping.
+  size_t assignBranchIndices();
+
+  /// All node names in index order (for result labeling).
+  const std::vector<std::string>& nodeNames() const { return names_; }
+
+ private:
+  void registerDevice(std::unique_ptr<Device> dev);
+  static bool isGroundName(std::string_view name);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, Device*> device_index_;
+};
+
+}  // namespace vls

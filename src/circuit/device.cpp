@@ -1,0 +1,28 @@
+#include "circuit/device.hpp"
+
+#include "base/error.hpp"
+
+namespace vls {
+
+ChargeCompanion integrateCharge(IntegrationMethod method, double dt, double q, double c,
+                                const ChargeHistory& history) {
+  ChargeCompanion out;
+  switch (method) {
+    case IntegrationMethod::None:
+      // DC: capacitors are open circuits.
+      out.geq = 0.0;
+      out.i_now = 0.0;
+      return out;
+    case IntegrationMethod::BackwardEuler:
+      out.geq = c / dt;
+      out.i_now = (q - history.q) / dt;
+      return out;
+    case IntegrationMethod::Trapezoidal:
+      out.geq = 2.0 * c / dt;
+      out.i_now = 2.0 * (q - history.q) / dt - history.i;
+      return out;
+  }
+  throw NumericalError("integrateCharge: unknown method");
+}
+
+}  // namespace vls

@@ -1,0 +1,140 @@
+// Device abstraction. Each device knows how to linearize itself around a
+// candidate solution and stamp the companion (conductance + current
+// source) into the MNA system. Reactive devices keep their own
+// integration state (previous charge / current) which the transient
+// engine commits via acceptStep().
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/node.hpp"
+
+namespace vls {
+
+class Stamper;
+class ReactiveStamper;
+
+/// One physical noise generator: a current source a -> b with the given
+/// one-sided PSD [A^2/Hz] as a function of frequency. Devices register
+/// these during noise analysis (see Device::collectNoiseSources).
+struct NoiseSource {
+  std::string label;  ///< "r1.thermal", "m1.flicker", ...
+  NodeId a = kGround;
+  NodeId b = kGround;
+  std::function<double(double freq)> psd;
+};
+
+/// Numerical integration scheme for charge storage elements.
+enum class IntegrationMethod { None, BackwardEuler, Trapezoidal };
+
+/// Everything a device needs to evaluate itself at a candidate solution.
+struct EvalContext {
+  std::span<const double> x;  ///< candidate unknowns (node voltages then branch currents)
+  double time = 0.0;          ///< simulation time [s]
+  double dt = 0.0;            ///< current timestep [s]; 0 in DC analyses
+  IntegrationMethod method = IntegrationMethod::None;
+  double temperature = 300.15;  ///< device temperature [K]
+  double source_scale = 1.0;    ///< homotopy scale for source stepping (0..1)
+  double gmin = 1e-12;          ///< minimum conductance for convergence aid
+
+  /// Voltage of node n (0 for ground).
+  double v(NodeId n) const { return isGround(n) ? 0.0 : x[static_cast<size_t>(n)]; }
+  /// Value of branch unknown b (absolute index into x).
+  double branch(size_t b) const { return x[b]; }
+};
+
+/// State carried across timesteps by one charge-storage element.
+struct ChargeHistory {
+  double q = 0.0;  ///< charge at last accepted step
+  double i = 0.0;  ///< capacitive current at last accepted step
+};
+
+/// Companion model of dQ/dt for the active integration method:
+/// i(v) = geq * v + (ieq evaluated at the linearization point).
+struct ChargeCompanion {
+  double geq = 0.0;     ///< equivalent conductance dI/dV
+  double i_now = 0.0;   ///< capacitive current at the candidate point
+};
+
+/// Linearized capacitive current for candidate charge `q` with local
+/// capacitance `c` = dq/dv, given the element history.
+ChargeCompanion integrateCharge(IntegrationMethod method, double dt, double q, double c,
+                                const ChargeHistory& history);
+
+/// Base class of all circuit elements.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra MNA branch unknowns this device needs (voltage
+  /// sources and inductors carry their current as an unknown).
+  virtual size_t branchCount() const { return 0; }
+  /// Called once by the simulator with the absolute index of the first
+  /// branch unknown allocated to this device.
+  virtual void assignBranches(size_t first_index) { (void)first_index; }
+
+  /// Linearize at ctx.x and stamp the companion into the system.
+  virtual void stamp(Stamper& stamper, const EvalContext& ctx) = 0;
+
+  /// Initialize integration state from a converged DC solution (called
+  /// once when a transient starts).
+  virtual void startTransient(const EvalContext& ctx) { (void)ctx; }
+
+  /// Commit integration state after an accepted timestep.
+  virtual void acceptStep(const EvalContext& ctx) { (void)ctx; }
+
+  /// Terminals (for netlist export and current probes).
+  virtual size_t terminalCount() const = 0;
+  virtual NodeId terminalNode(size_t t) const = 0;
+
+  /// Current flowing *into* terminal t at the given solution, amperes.
+  /// Devices that cannot report (ideal elements without branch vars)
+  /// return 0; all physical devices implement this.
+  virtual double terminalCurrent(size_t t, const EvalContext& ctx) const {
+    (void)t;
+    (void)ctx;
+    return 0.0;
+  }
+
+  /// Hard timepoints this device requires the transient engine to hit
+  /// (e.g. PWL/PULSE corners). Appends to `times`.
+  virtual void collectBreakpoints(double t_stop, std::vector<double>& times) const {
+    (void)t_stop;
+    (void)times;
+  }
+
+  /// AC analysis: contribute small-signal capacitances (evaluated at
+  /// the operating point in ctx) to the imaginary part of the system.
+  /// The conductive part reuses stamp() — the Newton Jacobian IS the
+  /// small-signal conductance matrix.
+  virtual void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) {
+    (void)stamper;
+    (void)ctx;
+  }
+
+  /// AC analysis: contribute the independent AC excitation (magnitude
+  /// into the real RHS; sources default to zero AC).
+  virtual void stampAcSource(std::vector<double>& rhs_real) const { (void)rhs_real; }
+
+  /// Noise analysis: register physical noise generators evaluated at
+  /// the operating point in ctx. Defaults to noiseless.
+  virtual void collectNoiseSources(std::vector<NoiseSource>& sources,
+                                   const EvalContext& ctx) const {
+    (void)sources;
+    (void)ctx;
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace vls

@@ -1,0 +1,79 @@
+#include "circuit/mna.hpp"
+
+#include <algorithm>
+
+namespace vls {
+
+void MnaSystem::clear() {
+  matrix_.clearValues();
+  std::fill(rhs_.begin(), rhs_.end(), 0.0);
+}
+
+void Stamper::conductance(NodeId a, NodeId b, double g) {
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  if (ia >= 0) addMatrix(ia, ia, g);
+  if (ib >= 0) addMatrix(ib, ib, g);
+  if (ia >= 0 && ib >= 0) {
+    addMatrix(ia, ib, -g);
+    addMatrix(ib, ia, -g);
+  }
+}
+
+void Stamper::currentSource(NodeId a, NodeId b, double i) {
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  if (ia >= 0) addRhs(ia, -i);
+  if (ib >= 0) addRhs(ib, i);
+}
+
+void Stamper::transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm) {
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  const int ic = nodeIndex(c);
+  const int id = nodeIndex(d);
+  if (ia >= 0 && ic >= 0) addMatrix(ia, ic, gm);
+  if (ia >= 0 && id >= 0) addMatrix(ia, id, -gm);
+  if (ib >= 0 && ic >= 0) addMatrix(ib, ic, -gm);
+  if (ib >= 0 && id >= 0) addMatrix(ib, id, gm);
+}
+
+void Stamper::voltageBranch(size_t branch_index, NodeId plus, NodeId minus, double v_value) {
+  const int row = static_cast<int>(branch_index);
+  const int ip = nodeIndex(plus);
+  const int im = nodeIndex(minus);
+  // KCL coupling: branch current leaves `plus`, enters `minus`.
+  if (ip >= 0) addMatrix(ip, row, 1.0);
+  if (im >= 0) addMatrix(im, row, -1.0);
+  // Branch equation: v(plus) - v(minus) = v_value.
+  if (ip >= 0) addMatrix(row, ip, 1.0);
+  if (im >= 0) addMatrix(row, im, -1.0);
+  addRhs(row, v_value);
+}
+
+void Stamper::addMatrix(int row, int col, double value) {
+  if (row < 0 || col < 0) return;
+  sys_.matrix().add(static_cast<size_t>(row), static_cast<size_t>(col), value);
+}
+
+void Stamper::addRhs(int row, double value) {
+  if (row < 0) return;
+  sys_.rhs()[static_cast<size_t>(row)] += value;
+}
+
+void ReactiveStamper::capacitance(NodeId a, NodeId b, double c) {
+  const bool ga = isGround(a);
+  const bool gb = isGround(b);
+  if (!ga) c_.add(static_cast<size_t>(a), static_cast<size_t>(a), c);
+  if (!gb) c_.add(static_cast<size_t>(b), static_cast<size_t>(b), c);
+  if (!ga && !gb) {
+    c_.add(static_cast<size_t>(a), static_cast<size_t>(b), -c);
+    c_.add(static_cast<size_t>(b), static_cast<size_t>(a), -c);
+  }
+}
+
+void ReactiveStamper::branchInductance(size_t branch_index, double inductance) {
+  c_.add(branch_index, branch_index, -inductance);
+}
+
+}  // namespace vls

@@ -1,0 +1,102 @@
+// Modified Nodal Analysis system and the Stamper facade devices write
+// through. Unknown ordering: node voltages [0, numNodes) followed by
+// branch currents [numNodes, numNodes + numBranches).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/node.hpp"
+#include "numeric/sparse_matrix.hpp"
+
+namespace vls {
+
+class MnaSystem {
+ public:
+  MnaSystem(size_t num_nodes, size_t num_branches)
+      : num_nodes_(num_nodes),
+        num_branches_(num_branches),
+        matrix_(num_nodes + num_branches),
+        rhs_(num_nodes + num_branches, 0.0) {}
+
+  size_t numNodes() const { return num_nodes_; }
+  size_t numBranches() const { return num_branches_; }
+  size_t size() const { return num_nodes_ + num_branches_; }
+
+  SparseMatrix& matrix() { return matrix_; }
+  const SparseMatrix& matrix() const { return matrix_; }
+  std::vector<double>& rhs() { return rhs_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+
+  /// Zero the values (pattern retained) and the RHS.
+  void clear();
+
+ private:
+  size_t num_nodes_;
+  size_t num_branches_;
+  SparseMatrix matrix_;
+  std::vector<double> rhs_;
+};
+
+/// Device-facing stamping interface. All methods silently drop ground
+/// rows/columns. Sign conventions:
+///   * conductance g between a and b: current g*(va-vb) leaves a.
+///   * current source i from a to b (through the element): i leaves a.
+///   * branch rows enforce element equations for voltage-defined parts.
+class Stamper {
+ public:
+  explicit Stamper(MnaSystem& system) : sys_(system) {}
+
+  /// Two-terminal conductance.
+  void conductance(NodeId a, NodeId b, double g);
+
+  /// Independent/companion current source: `i` flows from a to b.
+  void currentSource(NodeId a, NodeId b, double i);
+
+  /// Transconductance: current gm*(vc - vd) flows from a to b.
+  void transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm);
+
+  /// Voltage-defined branch (V source, inductor, VCVS):
+  ///   KCL: branch current `ib` leaves `plus`, enters `minus`;
+  ///   branch row: v(plus) - v(minus) - sum(coeffs) = v_value.
+  /// Call branchVoltageRow then add extra dependencies via addMatrix.
+  void voltageBranch(size_t branch_index, NodeId plus, NodeId minus, double v_value);
+
+  /// Raw access for exotic stamps. Indices are absolute unknown indices;
+  /// negative = ground (dropped).
+  void addMatrix(int row, int col, double value);
+  void addRhs(int row, double value);
+
+  /// Absolute unknown index of node n (or -1 for ground).
+  int nodeIndex(NodeId n) const { return isGround(n) ? -1 : n; }
+
+  size_t numNodes() const { return sys_.numNodes(); }
+
+ private:
+  MnaSystem& sys_;
+};
+
+/// Collects the frequency-proportional (capacitive/inductive) part of
+/// the MNA system for AC analysis. Devices stamp their small-signal
+/// capacitances here; the AC engine scales the collected matrix by
+/// j*omega per frequency point.
+class ReactiveStamper {
+ public:
+  ReactiveStamper(SparseMatrix& c_matrix, size_t num_nodes)
+      : c_(c_matrix), num_nodes_(num_nodes) {}
+
+  /// Two-terminal capacitance between nodes a and b.
+  void capacitance(NodeId a, NodeId b, double c);
+
+  /// Inductance on a branch row: contributes -jwL to the branch
+  /// equation (pass the absolute branch index).
+  void branchInductance(size_t branch_index, double inductance);
+
+  size_t numNodes() const { return num_nodes_; }
+
+ private:
+  SparseMatrix& c_;
+  size_t num_nodes_;
+};
+
+}  // namespace vls

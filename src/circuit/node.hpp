@@ -1,0 +1,15 @@
+// Node identifiers. Ground is a reserved sentinel so devices can stamp
+// without special-casing; the MNA layer drops ground rows/columns.
+#pragma once
+
+namespace vls {
+
+/// Index of a circuit node. Non-negative values index solution unknowns;
+/// kGround is the reference node (fixed at 0 V).
+using NodeId = int;
+
+inline constexpr NodeId kGround = -1;
+
+inline constexpr bool isGround(NodeId n) { return n < 0; }
+
+}  // namespace vls

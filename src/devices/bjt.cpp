@@ -1,0 +1,136 @@
+#include "devices/bjt.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/units.hpp"
+#include "circuit/mna.hpp"
+#include "devices/mos_model.hpp"  // junctionCurrent limiting helper
+
+namespace vls {
+
+Bjt::Bjt(std::string name, NodeId collector, NodeId base, NodeId emitter, BjtModelRef card)
+    : Device(std::move(name)), c_(collector), b_(base), e_(emitter), card_(std::move(card)) {
+  if (!card_) throw InvalidInputError("Bjt " + this->name() + ": null model card");
+}
+
+NodeId Bjt::terminalNode(size_t t) const {
+  switch (t) {
+    case 0: return c_;
+    case 1: return b_;
+    default: return e_;
+  }
+}
+
+Bjt::Currents Bjt::eval(const EvalContext& ctx) const {
+  const BjtModelCard& m = *card_;
+  const double s = m.sign();
+  const double ut = thermalVoltage(ctx.temperature);
+  using D2 = Dual<2>;
+  const D2 vbe = D2::seed(s * (ctx.v(b_) - ctx.v(e_)), 0);
+  const D2 vbc = D2::seed(s * (ctx.v(b_) - ctx.v(c_)), 1);
+
+  // Transport currents with overflow-limited exponentials.
+  const D2 i_f = junctionCurrent(m.i_sat, m.n_f, ut, vbe);
+  const D2 i_r = junctionCurrent(m.i_sat, m.n_r, ut, vbc);
+  // Early effect on the transport current only: (1 - vbc/VAF).
+  const D2 early = m.vaf > 0.0 ? D2(1.0) - vbc / m.vaf : D2(1.0);
+  const D2 i_t = (i_f - i_r) * early;
+  const D2 ic = i_t - i_r / m.beta_r;
+  const D2 ib = i_f / m.beta_f + i_r / m.beta_r;
+
+  Currents out;
+  out.ic = s * ic.v;
+  out.ib = s * ib.v;
+  out.dic_dvbe = ic.d[0];
+  out.dic_dvbc = ic.d[1];
+  out.dib_dvbe = ib.d[0];
+  out.dib_dvbc = ib.d[1];
+  return out;
+}
+
+void Bjt::stamp(Stamper& stamper, const EvalContext& ctx) {
+  const Currents cur = eval(ctx);
+  const double vb = ctx.v(b_);
+  const double vc = ctx.v(c_);
+  const double ve = ctx.v(e_);
+  const int row_b = stamper.nodeIndex(b_);
+  const int row_c = stamper.nodeIndex(c_);
+  const int row_e = stamper.nodeIndex(e_);
+
+  // Each terminal current LEAVES its node into the device. Chain rule
+  // from (vbe, vbc) to node voltages:
+  //   d/dvb = d/dvbe + d/dvbc;  d/dve = -d/dvbe;  d/dvc = -d/dvbc.
+  struct Lin {
+    double gb, gc, ge, i;
+  };
+  auto lin = [&](double d_dvbe, double d_dvbc, double i_val) {
+    return Lin{d_dvbe + d_dvbc, -d_dvbc, -d_dvbe, i_val};
+  };
+  const Lin lin_c = lin(cur.dic_dvbe, cur.dic_dvbc, cur.ic);
+  const Lin lin_b = lin(cur.dib_dvbe, cur.dib_dvbc, cur.ib);
+  const Lin lin_e =
+      lin(-(cur.dic_dvbe + cur.dib_dvbe), -(cur.dic_dvbc + cur.dib_dvbc), -(cur.ic + cur.ib));
+
+  auto stamp_node = [&](int row, const Lin& l) {
+    if (row < 0) return;
+    if (row_b >= 0) stamper.addMatrix(row, row_b, l.gb);
+    if (row_c >= 0) stamper.addMatrix(row, row_c, l.gc);
+    if (row_e >= 0) stamper.addMatrix(row, row_e, l.ge);
+    // Companion constant: the linear stamp must reproduce l.i at the
+    // expansion point; the leftover goes to the RHS (negated because
+    // the current leaves the node).
+    const double i0 = l.i - (l.gb * vb + l.gc * vc + l.ge * ve);
+    stamper.addRhs(row, -i0);
+  };
+  stamp_node(row_c, lin_c);
+  stamp_node(row_b, lin_b);
+  stamp_node(row_e, lin_e);
+}
+
+void Bjt::startTransient(const EvalContext& ctx) {
+  v_be_prev_ = ctx.v(b_) - ctx.v(e_);
+  v_bc_prev_ = ctx.v(b_) - ctx.v(c_);
+  cap_be_ = {};
+  cap_bc_ = {};
+}
+
+void Bjt::acceptStep(const EvalContext& ctx) {
+  auto advance = [&](ChargeHistory& hist, double& v_prev, double cap, double v_now) {
+    const double q = hist.q + cap * (v_now - v_prev);
+    const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, cap, hist);
+    hist.q = q;
+    hist.i = comp.i_now;
+    v_prev = v_now;
+  };
+  advance(cap_be_, v_be_prev_, card_->cje, ctx.v(b_) - ctx.v(e_));
+  advance(cap_bc_, v_bc_prev_, card_->cjc, ctx.v(b_) - ctx.v(c_));
+}
+
+void Bjt::stampReactive(ReactiveStamper& stamper, const EvalContext&) {
+  if (card_->cje > 0.0) stamper.capacitance(b_, e_, card_->cje);
+  if (card_->cjc > 0.0) stamper.capacitance(b_, c_, card_->cjc);
+}
+
+void Bjt::collectNoiseSources(std::vector<NoiseSource>& sources, const EvalContext& ctx) const {
+  const Currents cur = eval(ctx);
+  const double s_ic = 2.0 * kElementaryCharge * std::fabs(cur.ic);
+  const double s_ib = 2.0 * kElementaryCharge * std::fabs(cur.ib);
+  if (s_ic > 0.0) {
+    sources.push_back({name() + ".shot_c", c_, e_, [s_ic](double) { return s_ic; }});
+  }
+  if (s_ib > 0.0) {
+    sources.push_back({name() + ".shot_b", b_, e_, [s_ib](double) { return s_ib; }});
+  }
+}
+
+double Bjt::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const Currents cur = eval(ctx);
+  switch (t) {
+    case 0: return cur.ic;
+    case 1: return cur.ib;
+    default: return -(cur.ic + cur.ib);
+  }
+}
+
+}  // namespace vls

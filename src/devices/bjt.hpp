@@ -1,0 +1,67 @@
+// Bipolar junction transistor (Ebers-Moll transport formulation with
+// exact AD Jacobians). Not needed by the paper's CMOS cells, but a
+// SPICE-class simulator without a BJT is not a SPICE-class simulator;
+// also exercises the solver on a second exponential device family.
+#pragma once
+
+#include <memory>
+
+#include "circuit/device.hpp"
+
+namespace vls {
+
+enum class BjtType { Npn, Pnp };
+
+struct BjtModelCard {
+  std::string name = "npn";
+  BjtType type = BjtType::Npn;
+  double i_sat = 1e-16;    ///< transport saturation current [A]
+  double beta_f = 100.0;   ///< forward current gain
+  double beta_r = 1.0;     ///< reverse current gain
+  double n_f = 1.0;        ///< forward emission coefficient
+  double n_r = 1.0;        ///< reverse emission coefficient
+  double vaf = 80.0;       ///< forward Early voltage [V] (0 disables)
+  double cje = 0.0;        ///< B-E zero-bias junction cap [F]
+  double cjc = 0.0;        ///< B-C zero-bias junction cap [F]
+
+  double sign() const { return type == BjtType::Npn ? 1.0 : -1.0; }
+};
+
+using BjtModelRef = std::shared_ptr<const BjtModelCard>;
+
+class Bjt : public Device {
+ public:
+  /// Terminal order: collector, base, emitter.
+  Bjt(std::string name, NodeId collector, NodeId base, NodeId emitter, BjtModelRef card);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  void startTransient(const EvalContext& ctx) override;
+  void acceptStep(const EvalContext& ctx) override;
+  void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
+  void collectNoiseSources(std::vector<NoiseSource>& sources,
+                           const EvalContext& ctx) const override;
+
+  size_t terminalCount() const override { return 3; }
+  NodeId terminalNode(size_t t) const override;
+  double terminalCurrent(size_t t, const EvalContext& ctx) const override;
+
+  const BjtModelCard& model() const { return *card_; }
+
+ private:
+  struct Currents {
+    double ic, ib;          // collector and base terminal currents (into device)
+    double dic_dvbe, dic_dvbc;
+    double dib_dvbe, dib_dvbc;
+  };
+  Currents eval(const EvalContext& ctx) const;
+
+  NodeId c_;
+  NodeId b_;
+  NodeId e_;
+  BjtModelRef card_;
+  ChargeHistory cap_be_, cap_bc_;
+  double v_be_prev_ = 0.0;
+  double v_bc_prev_ = 0.0;
+};
+
+}  // namespace vls

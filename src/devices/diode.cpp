@@ -1,0 +1,77 @@
+#include "devices/diode.hpp"
+
+#include <cmath>
+
+#include "base/units.hpp"
+#include "circuit/mna.hpp"
+#include "devices/mos_model.hpp"
+
+namespace vls {
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {}
+
+double Diode::capAt(double v) const {
+  if (params_.cj0 <= 0.0) return 0.0;
+  const double fc = 0.5;
+  const double knee = fc * params_.pb;
+  if (v < knee) return params_.cj0 / std::pow(1.0 - v / params_.pb, params_.mj);
+  const double c_knee = params_.cj0 / std::pow(1.0 - fc, params_.mj);
+  const double slope = c_knee * params_.mj / (params_.pb * (1.0 - fc));
+  return c_knee + slope * (v - knee);
+}
+
+void Diode::stamp(Stamper& stamper, const EvalContext& ctx) {
+  const double ut = thermalVoltage(ctx.temperature);
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  const Dual<1> i = junctionCurrent(params_.i_sat, params_.n_ideal, ut, Dual<1>::seed(v, 0));
+  stamper.conductance(anode_, cathode_, i.d[0]);
+  stamper.currentSource(anode_, cathode_, i.v - i.d[0] * v);
+
+  if (ctx.method != IntegrationMethod::None && params_.cj0 > 0.0) {
+    const double c = capAt(v);
+    const double q = cap_hist_.q + c * (v - v_prev_);
+    const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, c, cap_hist_);
+    stamper.conductance(anode_, cathode_, comp.geq);
+    stamper.currentSource(anode_, cathode_, comp.i_now - comp.geq * v);
+  }
+}
+
+void Diode::stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) {
+  const double cap = capAt(ctx.v(anode_) - ctx.v(cathode_));
+  if (cap > 0.0) stamper.capacitance(anode_, cathode_, cap);
+}
+
+void Diode::startTransient(const EvalContext& ctx) {
+  v_prev_ = ctx.v(anode_) - ctx.v(cathode_);
+  cap_hist_ = {};
+}
+
+void Diode::acceptStep(const EvalContext& ctx) {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  const double c = capAt(v);
+  const double q = cap_hist_.q + c * (v - v_prev_);
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, c, cap_hist_);
+  cap_hist_.q = q;
+  cap_hist_.i = comp.i_now;
+  v_prev_ = v;
+}
+
+void Diode::collectNoiseSources(std::vector<NoiseSource>& sources,
+                                const EvalContext& ctx) const {
+  // Shot noise: S_i = 2 q |I_d|.
+  const double i_d = std::fabs(terminalCurrent(0, ctx));
+  const double psd = 2.0 * kElementaryCharge * i_d;
+  if (psd > 0.0) {
+    sources.push_back({name() + ".shot", anode_, cathode_, [psd](double) { return psd; }});
+  }
+}
+
+double Diode::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double ut = thermalVoltage(ctx.temperature);
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  const double i = junctionCurrent(params_.i_sat, params_.n_ideal, ut, Dual<1>(v)).v;
+  return t == 0 ? i : -i;
+}
+
+}  // namespace vls

@@ -1,0 +1,94 @@
+#include "devices/model_library.hpp"
+
+#include "base/error.hpp"
+#include "base/string_util.hpp"
+
+namespace vls {
+namespace {
+
+MosModelCard baseNmos() {
+  MosModelCard m;
+  m.name = "nmos";
+  m.type = MosType::Nmos;
+  m.vt0 = 0.39;
+  m.n_slope = 1.28;
+  m.gamma = 0.35;
+  m.phi = 0.85;
+  m.kp = 440e-6;
+  m.theta = 0.95;
+  m.lambda = 0.12;
+  m.sigma_dibl = 0.07;
+  m.tox = 2.05e-9;
+  m.cgso = m.cgdo = 2.0e-10;
+  m.cgbo = 1.0e-10;
+  m.cj = 1.1e-3;
+  m.cjsw = 1.0e-10;
+  m.js = 1.0e-6;
+  m.vt_tc = 1.0e-3;
+  m.mu_exp = -1.5;
+  return m;
+}
+
+MosModelCard basePmos() {
+  MosModelCard m = baseNmos();
+  m.name = "pmos";
+  m.type = MosType::Pmos;
+  m.vt0 = 0.39;  // magnitude; polarity handled by type
+  m.kp = 110e-6;
+  m.theta = 0.65;
+  m.sigma_dibl = 0.06;
+  return m;
+}
+
+}  // namespace
+
+MosModelRef nmos90() {
+  static const MosModelRef card = std::make_shared<MosModelCard>(baseNmos());
+  return card;
+}
+
+MosModelRef nmos90Hvt() {
+  static const MosModelRef card = [] {
+    MosModelCard m = baseNmos();
+    m.name = "nmos_hvt";
+    m.vt0 = 0.49;
+    return std::make_shared<MosModelCard>(m);
+  }();
+  return card;
+}
+
+MosModelRef nmos90Lvt() {
+  static const MosModelRef card = [] {
+    MosModelCard m = baseNmos();
+    m.name = "nmos_lvt";
+    m.vt0 = 0.19;
+    return std::make_shared<MosModelCard>(m);
+  }();
+  return card;
+}
+
+MosModelRef pmos90() {
+  static const MosModelRef card = std::make_shared<MosModelCard>(basePmos());
+  return card;
+}
+
+MosModelRef pmos90Hvt() {
+  static const MosModelRef card = [] {
+    MosModelCard m = basePmos();
+    m.name = "pmos_hvt";
+    m.vt0 = 0.44;
+    return std::make_shared<MosModelCard>(m);
+  }();
+  return card;
+}
+
+MosModelRef modelByName(std::string_view name) {
+  if (iequals(name, "nmos")) return nmos90();
+  if (iequals(name, "nmos_hvt")) return nmos90Hvt();
+  if (iequals(name, "nmos_lvt")) return nmos90Lvt();
+  if (iequals(name, "pmos")) return pmos90();
+  if (iequals(name, "pmos_hvt")) return pmos90Hvt();
+  throw InvalidInputError("Unknown MOS model '" + std::string(name) + "'");
+}
+
+}  // namespace vls

@@ -1,0 +1,34 @@
+// Built-in 90 nm-class model cards calibrated to the behaviours the
+// paper relies on (see DESIGN.md §4): PTM-like 90 nm NMOS/PMOS with the
+// paper's stated threshold voltages — nominal 0.39 V (NMOS) / -0.39 V
+// (PMOS), high-VT 0.49 V / -0.44 V, low-VT 0.19 V (NMOS, used for M8).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "devices/mos_model.hpp"
+
+namespace vls {
+
+/// Shared-ownership handle; instances of one card share the object so a
+/// Monte-Carlo run can rebuild cards once per sample.
+using MosModelRef = std::shared_ptr<const MosModelCard>;
+
+/// 90 nm process cards.
+MosModelRef nmos90();      ///< nominal VT = 0.39 V
+MosModelRef nmos90Hvt();   ///< high    VT = 0.49 V
+MosModelRef nmos90Lvt();   ///< low     VT = 0.19 V
+MosModelRef pmos90();      ///< nominal VT = -0.39 V
+MosModelRef pmos90Hvt();   ///< high    VT = -0.44 V
+
+/// Lookup by name ("nmos", "nmos_hvt", "nmos_lvt", "pmos", "pmos_hvt").
+/// Throws InvalidInputError for unknown names.
+MosModelRef modelByName(std::string_view name);
+
+/// Minimum drawn channel length of the process [m].
+inline constexpr double kProcessLmin = 100e-9;
+/// Feature size used for variation sigmas (the paper: 3.34 % of 90 nm).
+inline constexpr double kProcessFeature = 90e-9;
+
+}  // namespace vls

@@ -1,0 +1,25 @@
+#include "devices/mos_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+MosOperating resolveOperating(const MosModelCard& card, const MosGeometry& geom,
+                              double temperature) {
+  const double w_eff = geom.w + geom.delta_w;
+  const double l_eff = geom.l + geom.delta_l - 2.0 * card.dl;
+  if (w_eff <= 0.0 || l_eff <= 0.0) {
+    throw InvalidInputError("MOSFET geometry non-positive after variation");
+  }
+  MosOperating op;
+  op.ut = thermalVoltage(temperature);
+  op.vt = card.vt0 + geom.delta_vt - card.vt_tc * (temperature - card.tnom);
+  op.beta = card.kp * std::pow(temperature / card.tnom, card.mu_exp) * (w_eff / l_eff);
+  op.n = card.n_slope;
+  return op;
+}
+
+}  // namespace vls

@@ -1,0 +1,292 @@
+#include "devices/mosfet.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "circuit/mna.hpp"
+
+namespace vls {
+namespace {
+
+constexpr size_t kD = 0;
+constexpr size_t kG = 1;
+constexpr size_t kS = 2;
+constexpr size_t kB = 3;
+
+double sigmoid(double x) {
+  if (x > 40.0) return 1.0;
+  if (x < -40.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, NodeId bulk,
+               std::shared_ptr<const MosModelCard> card, MosGeometry geometry)
+    : Device(std::move(name)), nodes_{drain, gate, source, bulk}, card_(std::move(card)),
+      geometry_(geometry) {
+  if (!card_) throw InvalidInputError("Mosfet " + this->name() + ": null model card");
+}
+
+Mosfet::DcEval Mosfet::evalDc(const EvalContext& ctx) const {
+  const double s = card_->sign();
+  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+
+  // Polarity-normalized, bulk-referenced voltages.
+  const double vb = ctx.v(nodes_[kB]);
+  using D3 = Dual<3>;
+  const D3 vg = D3::seed(s * (ctx.v(nodes_[kG]) - vb), 0);
+  const D3 vd = D3::seed(s * (ctx.v(nodes_[kD]) - vb), 1);
+  const D3 vs = D3::seed(s * (ctx.v(nodes_[kS]) - vb), 2);
+
+  const D3 i_norm = mosCoreCurrent(*card_, op, vg, vd, vs);
+
+  DcEval out;
+  out.ids = s * i_norm.v;
+  // d(actual I)/d(actual v_k) = dI'/dv'_k for k in {g, d, s} (the two
+  // polarity signs cancel); bulk partial follows from translation
+  // invariance in the primed frame.
+  out.g_g = i_norm.d[0];
+  out.g_d = i_norm.d[1];
+  out.g_s = i_norm.d[2];
+  out.g_b = -(out.g_g + out.g_d + out.g_s);
+  return out;
+}
+
+double Mosfet::drainCurrent(const EvalContext& ctx) const { return evalDc(ctx).ids; }
+
+double Mosfet::junctionArea(bool drain) const {
+  const double configured = drain ? geometry_.area_d : geometry_.area_s;
+  if (configured > 0.0) return configured;
+  // Default diffusion: 2.5 gate lengths long.
+  return geometry_.effW() * 2.5 * geometry_.l;
+}
+
+double Mosfet::junctionCap(double v, double area) const {
+  // Depletion capacitance cj/(1 - v/pb)^mj, linearized above fc*pb.
+  const MosModelCard& m = *card_;
+  const double c0 = m.cj * area + m.cjsw * 2.0 * (std::sqrt(area) * 2.0);
+  const double v_knee = m.fc * m.pb;
+  if (v < v_knee) {
+    return c0 / std::pow(1.0 - v / m.pb, m.mj);
+  }
+  const double c_knee = c0 / std::pow(1.0 - m.fc, m.mj);
+  const double slope = c_knee * m.mj / (m.pb * (1.0 - m.fc));
+  return c_knee + slope * (v - v_knee);
+}
+
+Mosfet::MeyerCaps Mosfet::meyerCaps(const EvalContext& ctx) const {
+  const double s = card_->sign();
+  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  const MosModelCard& m = *card_;
+
+  const double vb = ctx.v(nodes_[kB]);
+  const double vg = s * (ctx.v(nodes_[kG]) - vb);
+  const double vd = s * (ctx.v(nodes_[kD]) - vb);
+  const double vs = s * (ctx.v(nodes_[kS]) - vb);
+
+  const double w_eff = geometry_.effW();
+  const double l_eff = geometry_.l + geometry_.delta_l - 2.0 * m.dl;
+  const double cox_area = m.cox() * w_eff * l_eff;
+
+  // Smooth, polarity-symmetric Meyer partition. `sp` sweeps 0 (reverse
+  // saturation) .. 0.5 (vds = 0) .. 1 (forward saturation); the
+  // quadratic interpolant hits the Meyer landmarks Cgs/Cox = {0, 1/2,
+  // 2/3} at those points and Cgd mirrors it, so nothing jumps when a
+  // pass transistor's terminals swap roles mid-transient.
+  const double k_soft = 2.0 * op.n * op.ut;
+  const double v_min =
+      -k_soft * std::log(std::exp(-vd / k_soft) + std::exp(-vs / k_soft));  // soft min(vd, vs)
+  const double vp = (vg - op.vt) / op.n;
+  const double x_inv = sigmoid((vp - v_min) / (2.0 * op.ut));  // 0 cutoff .. 1 inversion
+  const double vgt = std::max(op.n * (vp - v_min), 0.0);
+  const double vdsat = std::max(vgt / op.n, 4.0 * op.ut);
+  const double sp = 0.5 * (1.0 + std::tanh((vd - vs) / vdsat));
+  auto meyer = [&](double x) { return (-2.0 / 3.0) * x * x + (4.0 / 3.0) * x; };
+
+  MeyerCaps caps;
+  caps.cgs = cox_area * x_inv * meyer(sp) + m.cgso * w_eff;
+  caps.cgd = cox_area * x_inv * meyer(1.0 - sp) + m.cgdo * w_eff;
+  caps.cgb = cox_area * (1.0 - x_inv) * 0.7 + m.cgbo * l_eff;
+  return caps;
+}
+
+void Mosfet::stampCap(Stamper& stamper, const EvalContext& ctx, NodeId a, NodeId b, double c,
+                      CapState& state) {
+  if (ctx.method == IntegrationMethod::None) return;
+  const double v = ctx.v(a) - ctx.v(b);
+  // Incremental (SPICE2 Meyer) charge: trapezoid of C over the voltage step.
+  const double q = state.hist.q + c * (v - state.v_prev);
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, c, state.hist);
+  stamper.conductance(a, b, comp.geq);
+  stamper.currentSource(a, b, comp.i_now - comp.geq * v);
+}
+
+void Mosfet::acceptCap(const EvalContext& ctx, NodeId a, NodeId b, double c, CapState& state) {
+  const double v = ctx.v(a) - ctx.v(b);
+  const double q = state.hist.q + c * (v - state.v_prev);
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, c, state.hist);
+  state.hist.q = q;
+  state.hist.i = comp.i_now;
+  state.v_prev = v;
+}
+
+void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) {
+  const NodeId d = nodes_[kD];
+  const NodeId g = nodes_[kG];
+  const NodeId s_node = nodes_[kS];
+  const NodeId b = nodes_[kB];
+
+  // --- DC channel current: nonlinear 4-terminal companion ------------
+  const DcEval dc = evalDc(ctx);
+  const int id = stamper.nodeIndex(d);
+  const int ig = stamper.nodeIndex(g);
+  const int is = stamper.nodeIndex(s_node);
+  const int ib = stamper.nodeIndex(b);
+  const double vg0 = ctx.v(g);
+  const double vd0 = ctx.v(d);
+  const double vs0 = ctx.v(s_node);
+  const double vb0 = ctx.v(b);
+
+  // Current dc.ids flows d -> s. Jacobian rows for d (+) and s (-).
+  auto stamp_row = [&](int row, double sign) {
+    if (row < 0) return;
+    if (ig >= 0) stamper.addMatrix(row, ig, sign * dc.g_g);
+    if (id >= 0) stamper.addMatrix(row, id, sign * dc.g_d);
+    if (is >= 0) stamper.addMatrix(row, is, sign * dc.g_s);
+    if (ib >= 0) stamper.addMatrix(row, ib, sign * dc.g_b);
+  };
+  stamp_row(id, 1.0);
+  stamp_row(is, -1.0);
+  const double i_const =
+      dc.ids - dc.g_g * vg0 - dc.g_d * vd0 - dc.g_s * vs0 - dc.g_b * vb0;
+  stamper.currentSource(d, s_node, i_const);
+
+  // --- Junction diodes (bulk-drain, bulk-source) ----------------------
+  const double sgn = card_->sign();
+  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  for (int which = 0; which < 2; ++which) {
+    const NodeId diff = which == 0 ? d : s_node;
+    const double area = junctionArea(which == 0);
+    const double i_sat = card_->js * area;
+    // Anode/cathode depend on polarity: NMOS junction conducts when
+    // bulk is above diffusion.
+    const Dual<1> v_ac = Dual<1>::seed(sgn * (ctx.v(b) - ctx.v(diff)), 0);
+    const Dual<1> i_j = junctionCurrent(i_sat, card_->n_j, op.ut, v_ac);
+    const double g_j = i_j.d[0];
+    const double i0 = sgn * i_j.v;  // current bulk -> diffusion
+    const double v_actual = ctx.v(b) - ctx.v(diff);
+    stamper.conductance(b, diff, g_j);
+    stamper.currentSource(b, diff, i0 - g_j * v_actual);
+  }
+
+  // --- Gate leakage (optional) ----------------------------------------
+  if (card_->jg > 0.0) {
+    const double area = geometry_.effW() * geometry_.l;
+    const double vgb = ctx.v(g) - ctx.v(b);
+    // Odd, smooth in vgb: i = Jg*A*sinh(2 vgb)/sinh(2).
+    const double scale = card_->jg * area / std::sinh(2.0);
+    const double i_gl = scale * std::sinh(2.0 * vgb);
+    const double g_gl = scale * 2.0 * std::cosh(2.0 * vgb);
+    stamper.conductance(g, b, g_gl);
+    stamper.currentSource(g, b, i_gl - g_gl * vgb);
+  }
+
+  // --- Capacitances ----------------------------------------------------
+  if (ctx.method != IntegrationMethod::None) {
+    const MeyerCaps caps = meyerCaps(ctx);
+    stampCap(stamper, ctx, g, s_node, caps.cgs, cap_gs_);
+    stampCap(stamper, ctx, g, d, caps.cgd, cap_gd_);
+    stampCap(stamper, ctx, g, b, caps.cgb, cap_gb_);
+    const double cbd = junctionCap(sgn * (ctx.v(b) - ctx.v(d)), junctionArea(true));
+    const double cbs = junctionCap(sgn * (ctx.v(b) - ctx.v(s_node)), junctionArea(false));
+    stampCap(stamper, ctx, b, d, cbd, cap_bd_);
+    stampCap(stamper, ctx, b, s_node, cbs, cap_bs_);
+  }
+}
+
+void Mosfet::stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) {
+  const MeyerCaps caps = meyerCaps(ctx);
+  const double sgn = card_->sign();
+  stamper.capacitance(nodes_[kG], nodes_[kS], caps.cgs);
+  stamper.capacitance(nodes_[kG], nodes_[kD], caps.cgd);
+  stamper.capacitance(nodes_[kG], nodes_[kB], caps.cgb);
+  stamper.capacitance(nodes_[kB], nodes_[kD],
+                      junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kD])),
+                                  junctionArea(true)));
+  stamper.capacitance(nodes_[kB], nodes_[kS],
+                      junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])),
+                                  junctionArea(false)));
+}
+
+void Mosfet::collectNoiseSources(std::vector<NoiseSource>& sources,
+                                 const EvalContext& ctx) const {
+  const DcEval dc = evalDc(ctx);
+  const MosModelCard& m = *card_;
+  // Channel thermal: S_i = 4kT * gamma * gm_eff across drain-source.
+  // gm_eff uses the gate transconductance magnitude, which reduces to
+  // the standard 2/3*gm in saturation and to g_channel in triode-ish
+  // operation within the gamma factor's accuracy.
+  const double gm_eff = std::max(std::fabs(dc.g_g), std::fabs(dc.g_d));
+  const double s_thermal = 4.0 * kBoltzmann * ctx.temperature * m.gamma_noise * gm_eff;
+  const NodeId d = nodes_[kD];
+  const NodeId s_node = nodes_[kS];
+  if (s_thermal > 0.0) {
+    sources.push_back({name() + ".thermal", d, s_node, [s_thermal](double) { return s_thermal; }});
+  }
+  // Flicker: S_i = KF * |Id|^AF / (Cox W L f).
+  const double id_abs = std::fabs(dc.ids);
+  if (m.kf > 0.0 && id_abs > 0.0) {
+    const double denom = m.cox() * geometry_.effW() * geometry_.l;
+    const double scale = m.kf * std::pow(id_abs, m.af) / denom;
+    sources.push_back(
+        {name() + ".flicker", d, s_node, [scale](double f) { return scale / f; }});
+  }
+}
+
+void Mosfet::startTransient(const EvalContext& ctx) {
+  auto init = [&](NodeId a, NodeId b, CapState& state) {
+    state.v_prev = ctx.v(a) - ctx.v(b);
+    state.hist.q = 0.0;  // incremental Meyer charge: relative origin is fine
+    state.hist.i = 0.0;
+  };
+  init(nodes_[kG], nodes_[kS], cap_gs_);
+  init(nodes_[kG], nodes_[kD], cap_gd_);
+  init(nodes_[kG], nodes_[kB], cap_gb_);
+  init(nodes_[kB], nodes_[kD], cap_bd_);
+  init(nodes_[kB], nodes_[kS], cap_bs_);
+}
+
+void Mosfet::acceptStep(const EvalContext& ctx) {
+  const double sgn = card_->sign();
+  const MeyerCaps caps = meyerCaps(ctx);
+  acceptCap(ctx, nodes_[kG], nodes_[kS], caps.cgs, cap_gs_);
+  acceptCap(ctx, nodes_[kG], nodes_[kD], caps.cgd, cap_gd_);
+  acceptCap(ctx, nodes_[kG], nodes_[kB], caps.cgb, cap_gb_);
+  const double cbd = junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kD])), junctionArea(true));
+  const double cbs =
+      junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])), junctionArea(false));
+  acceptCap(ctx, nodes_[kB], nodes_[kD], cbd, cap_bd_);
+  acceptCap(ctx, nodes_[kB], nodes_[kS], cbs, cap_bs_);
+}
+
+double Mosfet::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const DcEval dc = evalDc(ctx);
+  const double sgn = card_->sign();
+  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  auto junction = [&](bool drain_side) {
+    const NodeId diff = drain_side ? nodes_[kD] : nodes_[kS];
+    const double i_sat = card_->js * junctionArea(drain_side);
+    const double v_ac = sgn * (ctx.v(nodes_[kB]) - ctx.v(diff));
+    return sgn * junctionCurrent(i_sat, card_->n_j, op.ut, Dual<1>(v_ac)).v;
+  };
+  switch (t) {
+    case kD: return dc.ids - junction(true);
+    case kG: return 0.0;
+    case kS: return -dc.ids - junction(false);
+    case kB: return junction(true) + junction(false);
+    default: throw InvalidInputError("Mosfet::terminalCurrent: bad terminal");
+  }
+}
+
+}  // namespace vls

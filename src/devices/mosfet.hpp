@@ -1,0 +1,76 @@
+// Four-terminal MOSFET circuit element: EKV DC core (exact Jacobian via
+// forward-mode AD), smooth Meyer gate capacitances with incremental
+// charge integration, junction diodes with depletion capacitance, and
+// optional gate leakage.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "circuit/device.hpp"
+#include "devices/mos_model.hpp"
+
+namespace vls {
+
+class Mosfet : public Device {
+ public:
+  /// Terminal order follows SPICE: drain, gate, source, bulk.
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, NodeId bulk,
+         std::shared_ptr<const MosModelCard> card, MosGeometry geometry);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  void startTransient(const EvalContext& ctx) override;
+  void acceptStep(const EvalContext& ctx) override;
+  void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
+  void collectNoiseSources(std::vector<NoiseSource>& sources,
+                           const EvalContext& ctx) const override;
+
+  size_t terminalCount() const override { return 4; }
+  NodeId terminalNode(size_t t) const override { return nodes_[t]; }
+  /// DC (channel + junction + gate-leak) current into terminal t.
+  /// Capacitive displacement currents are excluded.
+  double terminalCurrent(size_t t, const EvalContext& ctx) const override;
+
+  const MosModelCard& model() const { return *card_; }
+  const MosGeometry& geometry() const { return geometry_; }
+  MosGeometry& geometry() { return geometry_; }
+  /// Replace instance geometry (Monte-Carlo perturbations).
+  void setGeometry(const MosGeometry& g) { geometry_ = g; }
+
+  /// Drain current (positive = conventional current into the drain for
+  /// NMOS in normal operation) at the given solution.
+  double drainCurrent(const EvalContext& ctx) const;
+
+ private:
+  struct DcEval {
+    double ids;  // current d -> s (device polarity applied)
+    double g_g, g_d, g_s, g_b;
+  };
+  DcEval evalDc(const EvalContext& ctx) const;
+
+  struct CapState {
+    ChargeHistory hist;
+    double v_prev = 0.0;
+  };
+
+  // Meyer capacitance values at the given terminal voltages.
+  struct MeyerCaps {
+    double cgs, cgd, cgb;
+  };
+  MeyerCaps meyerCaps(const EvalContext& ctx) const;
+  double junctionArea(bool drain) const;
+  double junctionCap(double v_anode_cathode, double area) const;
+
+  void stampCap(Stamper& stamper, const EvalContext& ctx, NodeId a, NodeId b, double c,
+                CapState& state);
+  void acceptCap(const EvalContext& ctx, NodeId a, NodeId b, double c, CapState& state);
+
+  std::array<NodeId, 4> nodes_;  // d, g, s, b
+  std::shared_ptr<const MosModelCard> card_;
+  MosGeometry geometry_;
+
+  // Charge histories: gs, gd, gb, bd, bs.
+  CapState cap_gs_, cap_gd_, cap_gb_, cap_bd_, cap_bs_;
+};
+
+}  // namespace vls

@@ -1,0 +1,144 @@
+#include "devices/passive.hpp"
+
+#include "base/error.hpp"
+#include "base/units.hpp"
+#include "circuit/mna.hpp"
+
+namespace vls {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
+    : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
+  if (resistance <= 0.0) throw InvalidInputError("Resistor " + this->name() + ": R must be > 0");
+}
+
+void Resistor::setResistance(double r) {
+  if (r <= 0.0) throw InvalidInputError("Resistor " + name() + ": R must be > 0");
+  resistance_ = r;
+}
+
+void Resistor::stamp(Stamper& stamper, const EvalContext&) {
+  stamper.conductance(a_, b_, 1.0 / resistance_);
+}
+
+double Resistor::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = (ctx.v(a_) - ctx.v(b_)) / resistance_;
+  return t == 0 ? i : -i;
+}
+
+void Resistor::collectNoiseSources(std::vector<NoiseSource>& sources,
+                                   const EvalContext& ctx) const {
+  // Johnson-Nyquist: S_i = 4kT/R [A^2/Hz], white.
+  const double psd = 4.0 * kBoltzmann * ctx.temperature / resistance_;
+  sources.push_back({name() + ".thermal", a_, b_, [psd](double) { return psd; }});
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance,
+                     double initial_voltage, bool use_ic)
+    : Device(std::move(name)),
+      a_(a),
+      b_(b),
+      capacitance_(capacitance),
+      initial_voltage_(initial_voltage),
+      use_ic_(use_ic) {
+  if (capacitance <= 0.0) throw InvalidInputError("Capacitor " + this->name() + ": C must be > 0");
+}
+
+void Capacitor::stamp(Stamper& stamper, const EvalContext& ctx) {
+  if (ctx.method == IntegrationMethod::None) {
+    // DC: open circuit. A tiny conductance keeps otherwise-floating
+    // nodes pinned (the solver adds gmin separately; nothing needed).
+    return;
+  }
+  const double v = ctx.v(a_) - ctx.v(b_);
+  const double q = capacitance_ * v;
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, capacitance_, history_);
+  last_companion_ = comp;
+  stamper.conductance(a_, b_, comp.geq);
+  stamper.currentSource(a_, b_, comp.i_now - comp.geq * v);
+}
+
+void Capacitor::startTransient(const EvalContext& ctx) {
+  const double v = use_ic_ ? initial_voltage_ : ctx.v(a_) - ctx.v(b_);
+  history_.q = capacitance_ * v;
+  history_.i = 0.0;
+}
+
+void Capacitor::acceptStep(const EvalContext& ctx) {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  const double q = capacitance_ * v;
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, capacitance_, history_);
+  history_.q = q;
+  history_.i = comp.i_now;
+}
+
+void Capacitor::stampReactive(ReactiveStamper& stamper, const EvalContext&) {
+  stamper.capacitance(a_, b_, capacitance_);
+}
+
+double Capacitor::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  if (ctx.method == IntegrationMethod::None) return 0.0;
+  const double v = ctx.v(a_) - ctx.v(b_);
+  const double q = capacitance_ * v;
+  const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, capacitance_, history_);
+  return t == 0 ? comp.i_now : -comp.i_now;
+}
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance)
+    : Device(std::move(name)), a_(a), b_(b), inductance_(inductance) {
+  if (inductance <= 0.0) throw InvalidInputError("Inductor " + this->name() + ": L must be > 0");
+}
+
+void Inductor::stamp(Stamper& stamper, const EvalContext& ctx) {
+  // Branch row: v(a) - v(b) - L di/dt = 0, discretized per method.
+  const int row = static_cast<int>(branch_);
+  const int ia = stamper.nodeIndex(a_);
+  const int ib = stamper.nodeIndex(b_);
+  if (ia >= 0) {
+    stamper.addMatrix(ia, row, 1.0);
+    stamper.addMatrix(row, ia, 1.0);
+  }
+  if (ib >= 0) {
+    stamper.addMatrix(ib, row, -1.0);
+    stamper.addMatrix(row, ib, -1.0);
+  }
+  switch (ctx.method) {
+    case IntegrationMethod::None:
+      // DC short: v(a) - v(b) = 0 (coefficient on branch current is 0).
+      // Add a tiny series resistance for pivot stability.
+      stamper.addMatrix(row, row, -1e-9);
+      break;
+    case IntegrationMethod::BackwardEuler: {
+      const double req = inductance_ / ctx.dt;
+      stamper.addMatrix(row, row, -req);
+      stamper.addRhs(row, -req * i_prev_);
+      break;
+    }
+    case IntegrationMethod::Trapezoidal: {
+      const double req = 2.0 * inductance_ / ctx.dt;
+      stamper.addMatrix(row, row, -req);
+      stamper.addRhs(row, -req * i_prev_ - v_prev_);
+      break;
+    }
+  }
+}
+
+void Inductor::startTransient(const EvalContext& ctx) {
+  i_prev_ = ctx.branch(branch_);
+  v_prev_ = ctx.v(a_) - ctx.v(b_);
+}
+
+void Inductor::acceptStep(const EvalContext& ctx) {
+  i_prev_ = ctx.branch(branch_);
+  v_prev_ = ctx.v(a_) - ctx.v(b_);
+}
+
+void Inductor::stampReactive(ReactiveStamper& stamper, const EvalContext&) {
+  stamper.branchInductance(branch_, inductance_);
+}
+
+double Inductor::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = ctx.branch(branch_);
+  return t == 0 ? i : -i;
+}
+
+}  // namespace vls

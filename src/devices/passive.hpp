@@ -1,0 +1,78 @@
+// Linear passive elements: resistor, capacitor, inductor.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace vls {
+
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double resistance);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  void collectNoiseSources(std::vector<NoiseSource>& sources,
+                           const EvalContext& ctx) const override;
+  size_t terminalCount() const override { return 2; }
+  NodeId terminalNode(size_t t) const override { return t == 0 ? a_ : b_; }
+  double terminalCurrent(size_t t, const EvalContext& ctx) const override;
+
+  double resistance() const { return resistance_; }
+  void setResistance(double r);
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double resistance_;
+};
+
+class Capacitor : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double capacitance, double initial_voltage = 0.0,
+            bool use_ic = false);
+
+  void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  void startTransient(const EvalContext& ctx) override;
+  void acceptStep(const EvalContext& ctx) override;
+  void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
+  size_t terminalCount() const override { return 2; }
+  NodeId terminalNode(size_t t) const override { return t == 0 ? a_ : b_; }
+  double terminalCurrent(size_t t, const EvalContext& ctx) const override;
+
+  double capacitance() const { return capacitance_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double capacitance_;
+  double initial_voltage_;
+  bool use_ic_;
+  ChargeHistory history_;
+  ChargeCompanion last_companion_;
+};
+
+class Inductor : public Device {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double inductance);
+
+  size_t branchCount() const override { return 1; }
+  void assignBranches(size_t first_index) override { branch_ = first_index; }
+  void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  void startTransient(const EvalContext& ctx) override;
+  void acceptStep(const EvalContext& ctx) override;
+  void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
+  size_t terminalCount() const override { return 2; }
+  NodeId terminalNode(size_t t) const override { return t == 0 ? a_ : b_; }
+  double terminalCurrent(size_t t, const EvalContext& ctx) const override;
+
+  double inductance() const { return inductance_; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double inductance_;
+  size_t branch_ = 0;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+};
+
+}  // namespace vls

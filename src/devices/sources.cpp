@@ -1,0 +1,160 @@
+#include "devices/sources.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "circuit/mna.hpp"
+
+namespace vls {
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus, Waveform waveform)
+    : Device(std::move(name)), plus_(plus), minus_(minus), waveform_(std::move(waveform)) {}
+
+VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus, double dc_value)
+    : VoltageSource(std::move(name), plus, minus, Waveform::dc(dc_value)) {}
+
+void VoltageSource::stamp(Stamper& stamper, const EvalContext& ctx) {
+  const double v = waveform_.at(ctx.time) * ctx.source_scale;
+  stamper.voltageBranch(branch_, plus_, minus_, v);
+}
+
+double VoltageSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = ctx.branch(branch_);
+  return t == 0 ? i : -i;
+}
+
+void VoltageSource::collectBreakpoints(double t_stop, std::vector<double>& times) const {
+  waveform_.collectBreakpoints(t_stop, times);
+}
+
+void VoltageSource::stampAcSource(std::vector<double>& rhs_real) const {
+  if (ac_magnitude_ != 0.0) rhs_real[branch_] += ac_magnitude_;
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId plus, NodeId minus, Waveform waveform)
+    : Device(std::move(name)), plus_(plus), minus_(minus), waveform_(std::move(waveform)) {}
+
+CurrentSource::CurrentSource(std::string name, NodeId plus, NodeId minus, double dc_value)
+    : CurrentSource(std::move(name), plus, minus, Waveform::dc(dc_value)) {}
+
+void CurrentSource::stamp(Stamper& stamper, const EvalContext& ctx) {
+  stamper.currentSource(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
+}
+
+double CurrentSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = waveform_.at(ctx.time) * ctx.source_scale;
+  return t == 0 ? i : -i;
+}
+
+void CurrentSource::collectBreakpoints(double t_stop, std::vector<double>& times) const {
+  waveform_.collectBreakpoints(t_stop, times);
+}
+
+Vcvs::Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus, NodeId ctrl_minus,
+           double gain)
+    : Device(std::move(name)), plus_(plus), minus_(minus), cp_(ctrl_plus), cm_(ctrl_minus),
+      gain_(gain) {}
+
+void Vcvs::stamp(Stamper& stamper, const EvalContext&) {
+  // Branch row: v(p) - v(m) - gain*(v(cp) - v(cm)) = 0.
+  stamper.voltageBranch(branch_, plus_, minus_, 0.0);
+  const int row = static_cast<int>(branch_);
+  const int icp = stamper.nodeIndex(cp_);
+  const int icm = stamper.nodeIndex(cm_);
+  if (icp >= 0) stamper.addMatrix(row, icp, -gain_);
+  if (icm >= 0) stamper.addMatrix(row, icm, gain_);
+}
+
+NodeId Vcvs::terminalNode(size_t t) const {
+  switch (t) {
+    case 0: return plus_;
+    case 1: return minus_;
+    case 2: return cp_;
+    default: return cm_;
+  }
+}
+
+double Vcvs::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  if (t == 0) return ctx.branch(branch_);
+  if (t == 1) return -ctx.branch(branch_);
+  return 0.0;
+}
+
+Vccs::Vccs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus, NodeId ctrl_minus,
+           double gm)
+    : Device(std::move(name)), plus_(plus), minus_(minus), cp_(ctrl_plus), cm_(ctrl_minus),
+      gm_(gm) {}
+
+void Vccs::stamp(Stamper& stamper, const EvalContext&) {
+  stamper.transconductance(plus_, minus_, cp_, cm_, gm_);
+}
+
+NodeId Vccs::terminalNode(size_t t) const {
+  switch (t) {
+    case 0: return plus_;
+    case 1: return minus_;
+    case 2: return cp_;
+    default: return cm_;
+  }
+}
+
+double Vccs::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = gm_ * (ctx.v(cp_) - ctx.v(cm_));
+  if (t == 0) return i;
+  if (t == 1) return -i;
+  return 0.0;
+}
+
+VSwitch::VSwitch(std::string name, NodeId a, NodeId b, NodeId ctrl_plus, NodeId ctrl_minus,
+                 Params params)
+    : Device(std::move(name)), a_(a), b_(b), cp_(ctrl_plus), cm_(ctrl_minus), params_(params) {
+  if (params_.r_on <= 0.0 || params_.r_off <= 0.0) {
+    throw InvalidInputError("VSwitch " + this->name() + ": resistances must be > 0");
+  }
+}
+
+double VSwitch::conductanceAt(double vctrl) const {
+  // Log-space blend keeps the conductance positive and smooth.
+  const double g_on = 1.0 / params_.r_on;
+  const double g_off = 1.0 / params_.r_off;
+  const double s = std::tanh((vctrl - params_.v_threshold) / params_.v_hysteresis_width);
+  const double blend = 0.5 * (1.0 + s);  // 0..1
+  return std::exp(std::log(g_off) + blend * (std::log(g_on) - std::log(g_off)));
+}
+
+double VSwitch::dConductanceAt(double vctrl) const {
+  const double g = conductanceAt(vctrl);
+  const double s = std::tanh((vctrl - params_.v_threshold) / params_.v_hysteresis_width);
+  const double dblend = 0.5 * (1.0 - s * s) / params_.v_hysteresis_width;
+  return g * dblend * (std::log(1.0 / params_.r_on) - std::log(1.0 / params_.r_off));
+}
+
+void VSwitch::stamp(Stamper& stamper, const EvalContext& ctx) {
+  const double vctrl = ctx.v(cp_) - ctx.v(cm_);
+  const double vab = ctx.v(a_) - ctx.v(b_);
+  const double g = conductanceAt(vctrl);
+  const double dg = dConductanceAt(vctrl);
+  // i = g(vctrl) * vab, linearized in both vab and vctrl:
+  //   i ~= g*vab' + (dg*vab)*vctrl' + [i0 - g*vab - dg*vab*vctrl].
+  stamper.conductance(a_, b_, g);
+  stamper.transconductance(a_, b_, cp_, cm_, dg * vab);
+  stamper.currentSource(a_, b_, -dg * vab * vctrl);
+}
+
+NodeId VSwitch::terminalNode(size_t t) const {
+  switch (t) {
+    case 0: return a_;
+    case 1: return b_;
+    case 2: return cp_;
+    default: return cm_;
+  }
+}
+
+double VSwitch::terminalCurrent(size_t t, const EvalContext& ctx) const {
+  const double i = conductanceAt(ctx.v(cp_) - ctx.v(cm_)) * (ctx.v(a_) - ctx.v(b_));
+  if (t == 0) return i;
+  if (t == 1) return -i;
+  return 0.0;
+}
+
+}  // namespace vls

@@ -1,0 +1,172 @@
+#include "devices/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+#include "numeric/interpolation.hpp"
+
+namespace vls {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::Dc;
+  w.dc_ = value;
+  return w;
+}
+
+Waveform Waveform::pulse(const PulseSpec& spec) {
+  if (spec.rise <= 0.0 || spec.fall <= 0.0) {
+    throw InvalidInputError("Waveform::pulse: rise/fall must be positive");
+  }
+  Waveform w;
+  w.kind_ = Kind::Pulse;
+  w.pulse_ = spec;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values) {
+  if (times.size() != values.size() || times.empty()) {
+    throw InvalidInputError("Waveform::pwl: need equal, nonzero point counts");
+  }
+  for (size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) throw InvalidInputError("Waveform::pwl: times must increase");
+  }
+  Waveform w;
+  w.kind_ = Kind::Pwl;
+  w.pwl_t_ = std::move(times);
+  w.pwl_v_ = std::move(values);
+  return w;
+}
+
+Waveform Waveform::sine(const SinSpec& spec) {
+  Waveform w;
+  w.kind_ = Kind::Sin;
+  w.sin_ = spec;
+  return w;
+}
+
+Waveform Waveform::exponential(const ExpSpec& spec) {
+  Waveform w;
+  w.kind_ = Kind::Exp;
+  w.exp_ = spec;
+  return w;
+}
+
+double Waveform::at(double time) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return dc_;
+    case Kind::Pulse: {
+      const PulseSpec& p = pulse_;
+      double t = time - p.delay;
+      if (t < 0.0) return p.v1;
+      const double cycle = p.rise + p.width + p.fall;
+      if (p.period > 0.0) t = std::fmod(t, p.period);
+      if (t < p.rise) return p.v1 + (p.v2 - p.v1) * (t / p.rise);
+      if (t < p.rise + p.width) return p.v2;
+      if (t < cycle) return p.v2 + (p.v1 - p.v2) * ((t - p.rise - p.width) / p.fall);
+      return p.v1;
+    }
+    case Kind::Pwl:
+      return interpLinear(pwl_t_, pwl_v_, time);
+    case Kind::Sin: {
+      const SinSpec& s = sin_;
+      if (time < s.delay) return s.offset;
+      const double t = time - s.delay;
+      const double damp = s.damping > 0.0 ? std::exp(-s.damping * t) : 1.0;
+      return s.offset + s.amplitude * damp * std::sin(2.0 * M_PI * s.freq * t);
+    }
+    case Kind::Exp: {
+      const ExpSpec& e = exp_;
+      double v = e.v1;
+      if (time > e.rise_delay) v += (e.v2 - e.v1) * (1.0 - std::exp(-(time - e.rise_delay) / e.rise_tau));
+      if (time > e.fall_delay && e.fall_delay > e.rise_delay) {
+        v += (e.v1 - e.v2) * (1.0 - std::exp(-(time - e.fall_delay) / e.fall_tau));
+      }
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+void Waveform::collectBreakpoints(double t_stop, std::vector<double>& times) const {
+  switch (kind_) {
+    case Kind::Dc:
+    case Kind::Sin:
+    case Kind::Exp:
+      return;  // smooth or constant — timestep control handles them
+    case Kind::Pulse: {
+      const PulseSpec& p = pulse_;
+      const double cycle = p.rise + p.width + p.fall;
+      const double period = p.period > 0.0 ? p.period : t_stop + cycle + 1.0;
+      for (double t0 = p.delay; t0 <= t_stop; t0 += period) {
+        const double corners[4] = {t0, t0 + p.rise, t0 + p.rise + p.width, t0 + cycle};
+        for (double c : corners) {
+          if (c >= 0.0 && c <= t_stop) times.push_back(c);
+        }
+        if (p.period <= 0.0) break;
+      }
+      return;
+    }
+    case Kind::Pwl:
+      for (double t : pwl_t_) {
+        if (t >= 0.0 && t <= t_stop) times.push_back(t);
+      }
+      return;
+  }
+}
+
+std::string Waveform::toSpice() const {
+  char buf[96];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  switch (kind_) {
+    case Kind::Dc:
+      return "DC " + num(dc_);
+    case Kind::Pulse:
+      return "PULSE(" + num(pulse_.v1) + " " + num(pulse_.v2) + " " + num(pulse_.delay) + " " +
+             num(pulse_.rise) + " " + num(pulse_.fall) + " " + num(pulse_.width) + " " +
+             num(pulse_.period) + ")";
+    case Kind::Pwl: {
+      std::string out = "PWL(";
+      for (size_t i = 0; i < pwl_t_.size(); ++i) {
+        if (i) out += ' ';
+        out += num(pwl_t_[i]) + " " + num(pwl_v_[i]);
+      }
+      return out + ")";
+    }
+    case Kind::Sin:
+      return "SIN(" + num(sin_.offset) + " " + num(sin_.amplitude) + " " + num(sin_.freq) + " " +
+             num(sin_.delay) + " " + num(sin_.damping) + ")";
+    case Kind::Exp:
+      return "EXP(" + num(exp_.v1) + " " + num(exp_.v2) + " " + num(exp_.rise_delay) + " " +
+             num(exp_.rise_tau) + " " + num(exp_.fall_delay) + " " + num(exp_.fall_tau) + ")";
+  }
+  return "DC 0";
+}
+
+double Waveform::maxValue(double t_stop) const {
+  switch (kind_) {
+    case Kind::Dc:
+      return dc_;
+    case Kind::Pulse:
+      return std::max(pulse_.v1, pulse_.v2);
+    case Kind::Pwl: {
+      double m = pwl_v_.front();
+      for (size_t i = 0; i < pwl_t_.size(); ++i) {
+        if (pwl_t_[i] <= t_stop) m = std::max(m, pwl_v_[i]);
+      }
+      return m;
+    }
+    case Kind::Sin:
+      return sin_.offset + std::fabs(sin_.amplitude);
+    case Kind::Exp:
+      return std::max(exp_.v1, exp_.v2);
+  }
+  return 0.0;
+}
+
+}  // namespace vls

@@ -1,0 +1,74 @@
+// Time-domain source waveforms: DC, PULSE, PWL, SIN, EXP — the SPICE
+// standard set. A waveform also reports its breakpoints (corner times)
+// so the transient engine never steps over an input edge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vls {
+
+struct PulseSpec {
+  double v1 = 0.0;      ///< initial value
+  double v2 = 0.0;      ///< pulsed value
+  double delay = 0.0;   ///< time of first edge start
+  double rise = 1e-12;  ///< rise time
+  double fall = 1e-12;  ///< fall time
+  double width = 0.0;   ///< time at v2
+  double period = 0.0;  ///< 0 = single pulse
+};
+
+struct SinSpec {
+  double offset = 0.0;
+  double amplitude = 0.0;
+  double freq = 0.0;
+  double delay = 0.0;
+  double damping = 0.0;
+};
+
+struct ExpSpec {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double rise_delay = 0.0;
+  double rise_tau = 1e-9;
+  double fall_delay = 0.0;
+  double fall_tau = 1e-9;
+};
+
+class Waveform {
+ public:
+  /// Constant value (default-constructed waveform is DC 0).
+  Waveform() = default;
+  static Waveform dc(double value);
+  static Waveform pulse(const PulseSpec& spec);
+  /// Piecewise linear through (t, v) points; t strictly increasing.
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+  static Waveform sine(const SinSpec& spec);
+  static Waveform exponential(const ExpSpec& spec);
+
+  double at(double time) const;
+
+  /// Value before t=0 (the DC operating point value).
+  double initialValue() const { return at(0.0); }
+
+  /// Append corner times within [0, t_stop].
+  void collectBreakpoints(double t_stop, std::vector<double>& times) const;
+
+  /// Largest value the waveform attains (for swing checks).
+  double maxValue(double t_stop) const;
+
+  /// SPICE source-value text ("DC 1.2", "PULSE(0 1.2 ...)", ...).
+  std::string toSpice() const;
+
+ private:
+  enum class Kind { Dc, Pulse, Pwl, Sin, Exp };
+  Kind kind_ = Kind::Dc;
+  double dc_ = 0.0;
+  PulseSpec pulse_{};
+  SinSpec sin_{};
+  ExpSpec exp_{};
+  std::vector<double> pwl_t_;
+  std::vector<double> pwl_v_;
+};
+
+}  // namespace vls

@@ -1,0 +1,127 @@
+#include "io/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/error.hpp"
+#include "numeric/interpolation.hpp"
+
+namespace vls {
+namespace {
+
+constexpr char kMarks[] = {'*', '+', 'o', 'x', '#', '@'};
+
+std::string engTime(double t) {
+  char buf[32];
+  if (t < 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.0fps", t * 1e12);
+  } else if (t < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.2fns", t * 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fus", t * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string renderAsciiPlot(const std::vector<std::pair<std::string, Signal>>& traces,
+                            const AsciiPlotOptions& options) {
+  if (traces.empty()) throw InvalidInputError("renderAsciiPlot: no traces");
+  const int w = std::max(10, options.width);
+  const int h = std::max(3, options.height);
+
+  double t0 = options.t_start;
+  double t1 = options.t_stop;
+  if (t1 <= t0) {
+    t1 = 0.0;
+    for (const auto& [name, sig] : traces) {
+      if (!sig.time.empty()) t1 = std::max(t1, sig.time.back());
+    }
+  }
+  if (t1 <= t0) throw InvalidInputError("renderAsciiPlot: empty time window");
+
+  // Global range for a shared axis.
+  double g_lo = 1e300;
+  double g_hi = -1e300;
+  for (const auto& [name, sig] : traces) {
+    for (size_t i = 0; i < sig.time.size(); ++i) {
+      if (sig.time[i] < t0 || sig.time[i] > t1) continue;
+      g_lo = std::min(g_lo, sig.value[i]);
+      g_hi = std::max(g_hi, sig.value[i]);
+    }
+  }
+  if (g_lo > g_hi) {
+    g_lo = 0.0;
+    g_hi = 1.0;
+  }
+
+  std::string out;
+  auto render_band = [&](const std::vector<size_t>& trace_ids, double lo, double hi) {
+    if (hi - lo < 1e-12) hi = lo + 1.0;
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    for (size_t which = 0; which < trace_ids.size(); ++which) {
+      const auto& [name, sig] = traces[trace_ids[which]];
+      const char mark = kMarks[which % sizeof kMarks];
+      for (int col = 0; col < w; ++col) {
+        const double t = t0 + (t1 - t0) * col / (w - 1);
+        const double v = interpLinear(sig.time, sig.value, t);
+        int row = static_cast<int>(std::lround((v - lo) / (hi - lo) * (h - 1)));
+        row = std::clamp(row, 0, h - 1);
+        grid[h - 1 - row][col] = mark;
+      }
+    }
+    char label[64];
+    for (int r = 0; r < h; ++r) {
+      const double v = hi - (hi - lo) * r / (h - 1);
+      std::snprintf(label, sizeof label, "%8.3f |", v);
+      out += label;
+      out += grid[r];
+      out += '\n';
+    }
+    out += "         +" + std::string(w, '-') + '\n';
+    out += "          " + engTime(t0) + std::string(std::max(1, w - 16), ' ') + engTime(t1) + '\n';
+  };
+
+  if (options.shared_axis) {
+    out += "traces:";
+    std::vector<size_t> ids;
+    for (size_t i = 0; i < traces.size(); ++i) {
+      ids.push_back(i);
+      out += " [";
+      out += kMarks[i % sizeof kMarks];
+      out += "] " + traces[i].first;
+    }
+    out += '\n';
+    render_band(ids, g_lo, g_hi);
+  } else {
+    for (size_t i = 0; i < traces.size(); ++i) {
+      double lo = 1e300;
+      double hi = -1e300;
+      const Signal& sig = traces[i].second;
+      for (size_t k = 0; k < sig.time.size(); ++k) {
+        if (sig.time[k] < t0 || sig.time[k] > t1) continue;
+        lo = std::min(lo, sig.value[k]);
+        hi = std::max(hi, sig.value[k]);
+      }
+      if (lo > hi) {
+        lo = 0.0;
+        hi = 1.0;
+      }
+      out += traces[i].first + ":\n";
+      render_band({i}, lo, hi);
+    }
+  }
+  return out;
+}
+
+std::string plotNodes(const TransientResult& result, const std::vector<std::string>& nodes,
+                      const AsciiPlotOptions& options) {
+  std::vector<std::pair<std::string, Signal>> traces;
+  traces.reserve(nodes.size());
+  for (const auto& n : nodes) traces.emplace_back(n, result.node(n));
+  return renderAsciiPlot(traces, options);
+}
+
+}  // namespace vls

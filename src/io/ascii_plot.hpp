@@ -1,0 +1,30 @@
+// Terminal waveform rendering: multi-trace ASCII charts for bench
+// output (the paper's Figure 5 timing diagram, printable anywhere).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+
+namespace vls {
+
+struct AsciiPlotOptions {
+  int width = 100;        ///< plot columns (time axis)
+  int height = 12;        ///< plot rows per trace band (voltage axis)
+  double t_start = 0.0;   ///< window start [s]
+  double t_stop = -1.0;   ///< window end; <0 = full signal
+  bool shared_axis = false;  ///< one band with all traces overlaid
+};
+
+/// Render one or more named traces as stacked ASCII bands (or one
+/// overlaid band). Each trace auto-scales to its own min/max unless the
+/// axis is shared.
+std::string renderAsciiPlot(const std::vector<std::pair<std::string, Signal>>& traces,
+                            const AsciiPlotOptions& options = {});
+
+/// Convenience: plot selected nodes of a transient run.
+std::string plotNodes(const TransientResult& result, const std::vector<std::string>& nodes,
+                      const AsciiPlotOptions& options = {});
+
+}  // namespace vls

@@ -1,0 +1,58 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+void renderCsv(std::ostream& os, const std::vector<CsvColumn>& columns) {
+  if (columns.empty()) throw InvalidInputError("writeCsv: no columns");
+  const size_t n = columns.front().values.size();
+  for (const auto& col : columns) {
+    if (col.values.size() != n) throw InvalidInputError("writeCsv: ragged columns");
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c) os << ',';
+    os << columns[c].name;
+  }
+  os << '\n';
+  char buf[48];
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c) os << ',';
+      std::snprintf(buf, sizeof buf, "%.9g", columns[c].values[r]);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void writeCsv(const std::string& path, const std::vector<CsvColumn>& columns) {
+  std::ofstream out(path);
+  if (!out) throw InvalidInputError("writeCsv: cannot open '" + path + "'");
+  renderCsv(out, columns);
+}
+
+std::string csvToString(const std::vector<CsvColumn>& columns) {
+  std::ostringstream oss;
+  renderCsv(oss, columns);
+  return oss.str();
+}
+
+void writeWaveformsCsv(const std::string& path, const TransientResult& result,
+                       const std::vector<std::string>& nodes) {
+  std::vector<CsvColumn> cols;
+  cols.push_back({"time", result.time()});
+  for (const auto& name : nodes) {
+    cols.push_back({name, result.node(name).value});
+  }
+  writeCsv(path, cols);
+}
+
+}  // namespace vls

@@ -1,0 +1,28 @@
+// CSV export of waveforms and generic columns (for plotting the paper's
+// figures with external tools).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+
+namespace vls {
+
+struct CsvColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Write columns (equal lengths required) to a CSV file.
+void writeCsv(const std::string& path, const std::vector<CsvColumn>& columns);
+
+/// Write selected node waveforms of a transient run, resampled onto the
+/// simulation timepoints ("time" column first).
+void writeWaveformsCsv(const std::string& path, const TransientResult& result,
+                       const std::vector<std::string>& nodes);
+
+/// Render columns as CSV text (testing / stdout).
+std::string csvToString(const std::vector<CsvColumn>& columns);
+
+}  // namespace vls

@@ -1,0 +1,90 @@
+#include "io/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonValue::dumpTo(std::string& out, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<size_t>(indent + 1) * 2, ' ');
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    if (!std::isfinite(*d)) {
+      out += "null";
+    } else {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.12g", *d);
+      out += buf;
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    appendEscaped(out, *s);
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += "[\n";
+    for (size_t i = 0; i < a->size(); ++i) {
+      out += pad_in;
+      (*a)[i].dumpTo(out, indent + 1);
+      if (i + 1 < a->size()) out += ',';
+      out += '\n';
+    }
+    out += pad + ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += "{\n";
+    size_t i = 0;
+    for (const auto& [key, val] : *o) {
+      out += pad_in;
+      appendEscaped(out, key);
+      out += ": ";
+      val.dumpTo(out, indent + 1);
+      if (++i < o->size()) out += ',';
+      out += '\n';
+    }
+    out += pad + '}';
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dumpTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+void writeJsonFile(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path);
+  if (!out) throw InvalidInputError("writeJsonFile: cannot open '" + path + "'");
+  out << value.dump();
+}
+
+}  // namespace vls

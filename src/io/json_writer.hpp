@@ -1,0 +1,46 @@
+// Minimal JSON emitter for experiment result archiving (no external
+// dependencies; write-only).
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vls {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(size_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+  JsonValue(const std::vector<double>& xs) {
+    Array a;
+    a.reserve(xs.size());
+    for (double x : xs) a.emplace_back(x);
+    value_ = std::move(a);
+  }
+
+  /// Serialize (pretty-printed with 2-space indent).
+  std::string dump() const;
+
+ private:
+  void dumpTo(std::string& out, int indent) const;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Write JSON to a file.
+void writeJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace vls

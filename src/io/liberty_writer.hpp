@@ -1,0 +1,37 @@
+// Liberty (.lib) export of level-shifter characterization results — the
+// handoff format a standard-cell methodology team expects. One cell per
+// (VDDI, VDDO) characterization corner with pin timing/power groups and
+// cell leakage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/shifter_harness.hpp"
+
+namespace vls {
+
+struct LibertyCellData {
+  std::string cell_name;
+  double vddi = 0.8;
+  double vddo = 1.2;
+  double area_um2 = 0.0;
+  bool inverting = true;
+  ShifterMetrics metrics;
+};
+
+struct LibertyLibrarySpec {
+  std::string library_name = "sstvs_ls_lib";
+  double nom_temperature_c = 27.0;
+  std::string process = "typical";
+};
+
+/// Render a Liberty library containing the given cells.
+std::string writeLiberty(const LibertyLibrarySpec& spec,
+                         const std::vector<LibertyCellData>& cells);
+
+/// Write to a file.
+void writeLibertyFile(const std::string& path, const LibertyLibrarySpec& spec,
+                      const std::vector<LibertyCellData>& cells);
+
+}  // namespace vls

@@ -1,0 +1,531 @@
+#include "io/netlist_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/error.hpp"
+#include "base/string_util.hpp"
+#include "devices/diode.hpp"
+#include "devices/model_library.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+
+namespace vls {
+namespace {
+
+[[noreturn]] void fail(size_t line_no, const std::string& message) {
+  throw InvalidInputError("netlist line " + std::to_string(line_no) + ": " + message);
+}
+
+double needNumber(size_t line_no, const std::string& token) {
+  const auto v = parseSpiceNumber(token);
+  if (!v) fail(line_no, "expected a number, got '" + token + "'");
+  return *v;
+}
+
+// Substitute {param} references (and bare parameter-name tokens used as
+// values) from the .param table.
+std::string substituteParams(const std::string& token,
+                             const std::unordered_map<std::string, double>& params,
+                             size_t line_no) {
+  // Brace form anywhere in the token: w={width}
+  std::string out = token;
+  size_t open;
+  while ((open = out.find('{')) != std::string::npos) {
+    const size_t close = out.find('}', open);
+    if (close == std::string::npos) fail(line_no, "unterminated '{' in '" + token + "'");
+    const std::string key = toLower(out.substr(open + 1, close - open - 1));
+    auto it = params.find(key);
+    if (it == params.end()) fail(line_no, "unknown parameter '" + key + "'");
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", it->second);
+    out = out.substr(0, open) + buf + out.substr(close + 1);
+  }
+  return out;
+}
+
+struct Card {
+  size_t line_no = 0;
+  std::vector<std::string> tokens;
+};
+
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<Card> body;
+};
+
+// Split a logical line into tokens; parentheses and commas become
+// whitespace so "PULSE(0 1 0,10p)" tokenizes uniformly.
+std::vector<std::string> tokenize(std::string_view text) {
+  std::string norm;
+  norm.reserve(text.size());
+  for (char ch : text) {
+    if (ch == '(' || ch == ')' || ch == ',') {
+      norm += ' ';
+    } else {
+      norm += ch;
+    }
+  }
+  return splitFields(norm);
+}
+
+// key=value token? Returns true and splits if so.
+bool splitKeyValue(const std::string& token, std::string& key, std::string& value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) return false;
+  key = toLower(token.substr(0, eq));
+  value = token.substr(eq + 1);
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParsedNetlist run() {
+    collectCards();
+    // First pass: definitions (.model / .subckt already collected).
+    for (const Card& card : top_) emitCard(card, "", {});
+    return std::move(out_);
+  }
+
+ private:
+  void collectCards() {
+    std::vector<std::string> raw;
+    {
+      std::string line;
+      std::istringstream in{std::string(text_)};
+      while (std::getline(in, line)) raw.push_back(line);
+    }
+    // Expand .include directives in place (depth-limited).
+    for (size_t i = 1; i < raw.size(); ++i) {
+      const std::string_view t = trim(raw[i]);
+      if (!istartsWith(t, ".include")) continue;
+      if (++include_depth_ > 10) fail(i + 1, ".include nesting too deep");
+      const auto fields = splitFields(t);
+      if (fields.size() < 2) fail(i + 1, ".include needs a file path");
+      std::string path = fields[1];
+      if (path.size() >= 2 && (path.front() == '"' || path.front() == '\'')) {
+        path = path.substr(1, path.size() - 2);
+      }
+      std::ifstream inc(path);
+      if (!inc) fail(i + 1, "cannot open include file '" + path + "'");
+      std::vector<std::string> body;
+      std::string line;
+      while (std::getline(inc, line)) body.push_back(line);
+      raw[i] = "* (included " + path + ")";
+      raw.insert(raw.begin() + static_cast<long>(i) + 1, body.begin(), body.end());
+    }
+    // Merge continuations, strip comments.
+    struct Logical {
+      size_t line_no;
+      std::string text;
+    };
+    std::vector<Logical> logical;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      std::string line = raw[i];
+      const size_t semi = line.find_first_of(";$");
+      if (semi != std::string::npos) line.resize(semi);
+      const std::string_view t = trim(line);
+      if (i == 0) {
+        out_.title = std::string(t);
+        continue;
+      }
+      if (t.empty() || t.front() == '*') continue;
+      if (t.front() == '+') {
+        if (logical.empty()) fail(i + 1, "continuation with no previous card");
+        logical.back().text += ' ';
+        logical.back().text += std::string(t.substr(1));
+      } else {
+        logical.push_back({i + 1, std::string(t)});
+      }
+    }
+
+    // Separate .subckt bodies, .model cards, and top-level cards.
+    SubcktDef* open_subckt = nullptr;
+    std::vector<std::string> subckt_stack;
+    for (const auto& l : logical) {
+      Card card{l.line_no, tokenize(l.text)};
+      if (card.tokens.empty()) continue;
+      const std::string head = toLower(card.tokens[0]);
+      if (head == ".subckt") {
+        if (card.tokens.size() < 2) fail(card.line_no, ".subckt needs a name");
+        if (open_subckt) fail(card.line_no, "nested .subckt definitions are not supported");
+        const std::string name = toLower(card.tokens[1]);
+        SubcktDef def;
+        for (size_t k = 2; k < card.tokens.size(); ++k) def.ports.push_back(card.tokens[k]);
+        auto [it, inserted] = subckts_.emplace(name, std::move(def));
+        if (!inserted) fail(card.line_no, "duplicate .subckt '" + name + "'");
+        open_subckt = &it->second;
+        continue;
+      }
+      if (head == ".ends") {
+        if (!open_subckt) fail(card.line_no, ".ends without .subckt");
+        open_subckt = nullptr;
+        continue;
+      }
+      if (open_subckt) {
+        open_subckt->body.push_back(std::move(card));
+        continue;
+      }
+      if (head == ".param") {
+        // .param name=value [name=value ...]
+        for (size_t k = 1; k < card.tokens.size(); ++k) {
+          std::string key, value;
+          if (!splitKeyValue(card.tokens[k], key, value)) {
+            fail(card.line_no, ".param expects name=value");
+          }
+          params_[key] = needNumber(card.line_no, substituteParams(value, params_, card.line_no));
+        }
+        continue;
+      }
+      if (head == ".model") {
+        parseModel(card);
+        continue;
+      }
+      if (head == ".end") break;
+      top_.push_back(std::move(card));
+    }
+    if (open_subckt) throw InvalidInputError("netlist: unterminated .subckt");
+  }
+
+  void parseModel(const Card& card) {
+    if (card.tokens.size() < 3) fail(card.line_no, ".model needs name and type");
+    const std::string name = toLower(card.tokens[1]);
+    const std::string type = toLower(card.tokens[2]);
+    MosModelCard m;
+    if (type == "nmos") {
+      m = *nmos90();
+      m.type = MosType::Nmos;
+    } else if (type == "pmos") {
+      m = *pmos90();
+      m.type = MosType::Pmos;
+    } else {
+      fail(card.line_no, "unsupported .model type '" + type + "'");
+    }
+    m.name = name;
+    for (size_t k = 3; k < card.tokens.size(); ++k) {
+      std::string key, value;
+      if (!splitKeyValue(card.tokens[k], key, value)) {
+        fail(card.line_no, "expected key=value, got '" + card.tokens[k] + "'");
+      }
+      const double v = needNumber(card.line_no, value);
+      if (key == "vto" || key == "vt0") m.vt0 = std::fabs(v);
+      else if (key == "kp") m.kp = v;
+      else if (key == "gamma") m.gamma = v;
+      else if (key == "phi") m.phi = v;
+      else if (key == "lambda") m.lambda = v;
+      else if (key == "theta") m.theta = v;
+      else if (key == "n" || key == "nfactor") m.n_slope = v;
+      else if (key == "sigma" || key == "eta") m.sigma_dibl = v;
+      else if (key == "tox") m.tox = v;
+      else if (key == "cgso") m.cgso = v;
+      else if (key == "cgdo") m.cgdo = v;
+      else if (key == "cj") m.cj = v;
+      else if (key == "cjsw") m.cjsw = v;
+      else if (key == "pb") m.pb = v;
+      else if (key == "mj") m.mj = v;
+      else if (key == "js") m.js = v;
+      else if (key == "jg") m.jg = v;
+      else if (key == "tnom") m.tnom = v + 273.15;
+      else fail(card.line_no, "unknown .model parameter '" + key + "'");
+    }
+    models_[name] = std::make_shared<const MosModelCard>(m);
+  }
+
+  MosModelRef lookupModel(size_t line_no, const std::string& name) const {
+    auto it = models_.find(toLower(name));
+    if (it != models_.end()) return it->second;
+    try {
+      return modelByName(name);
+    } catch (const InvalidInputError&) {
+      fail(line_no, "unknown MOS model '" + name + "'");
+    }
+  }
+
+  // Node resolution: ports map to parent nodes; internals get prefixed.
+  NodeId resolveNode(const std::string& name, const std::string& prefix,
+                     const std::unordered_map<std::string, std::string>& port_map) {
+    auto it = port_map.find(toLower(name));
+    if (it != port_map.end()) return out_.circuit.node(it->second);
+    if (name == "0" || iequals(name, "gnd")) return kGround;
+    return out_.circuit.node(prefix.empty() ? name : prefix + name);
+  }
+
+  Waveform parseSourceValue(const Card& card, size_t first) {
+    const auto& t = card.tokens;
+    if (first >= t.size()) return Waveform::dc(0.0);
+    const std::string kind = toLower(t[first]);
+    auto args = [&](size_t from) {
+      std::vector<double> xs;
+      for (size_t k = from; k < t.size(); ++k) xs.push_back(needNumber(card.line_no, t[k]));
+      return xs;
+    };
+    if (kind == "dc") {
+      if (first + 1 >= t.size()) fail(card.line_no, "DC needs a value");
+      return Waveform::dc(needNumber(card.line_no, t[first + 1]));
+    }
+    if (kind == "pulse") {
+      const auto a = args(first + 1);
+      if (a.size() < 7) fail(card.line_no, "PULSE needs 7 arguments");
+      PulseSpec p{a[0], a[1], a[2], a[3], a[4], a[5], a[6]};
+      return Waveform::pulse(p);
+    }
+    if (kind == "pwl") {
+      const auto a = args(first + 1);
+      if (a.size() < 4 || a.size() % 2 != 0) fail(card.line_no, "PWL needs t/v pairs");
+      std::vector<double> ts, vs;
+      for (size_t k = 0; k < a.size(); k += 2) {
+        ts.push_back(a[k]);
+        vs.push_back(a[k + 1]);
+      }
+      return Waveform::pwl(std::move(ts), std::move(vs));
+    }
+    if (kind == "sin") {
+      const auto a = args(first + 1);
+      if (a.size() < 3) fail(card.line_no, "SIN needs at least 3 arguments");
+      SinSpec s;
+      s.offset = a[0];
+      s.amplitude = a[1];
+      s.freq = a[2];
+      if (a.size() > 3) s.delay = a[3];
+      if (a.size() > 4) s.damping = a[4];
+      return Waveform::sine(s);
+    }
+    if (kind == "exp") {
+      const auto a = args(first + 1);
+      if (a.size() < 6) fail(card.line_no, "EXP needs 6 arguments");
+      ExpSpec e{a[0], a[1], a[2], a[3], a[4], a[5]};
+      return Waveform::exponential(e);
+    }
+    // Plain value.
+    return Waveform::dc(needNumber(card.line_no, t[first]));
+  }
+
+  void emitCard(const Card& card_in, const std::string& prefix,
+                const std::unordered_map<std::string, std::string>& port_map) {
+    // Parameter substitution applies uniformly to top-level cards and
+    // subcircuit bodies at expansion time.
+    Card card = card_in;
+    for (std::string& tok : card.tokens) {
+      tok = substituteParams(tok, params_, card.line_no);
+    }
+    const auto& t = card.tokens;
+    const std::string raw_name = t[0];
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(raw_name[0])));
+    const std::string name = prefix + toLower(raw_name);
+    Circuit& c = out_.circuit;
+    auto node = [&](size_t idx) {
+      if (idx >= t.size()) fail(card.line_no, "missing node");
+      return resolveNode(t[idx], prefix, port_map);
+    };
+
+    if (kind == '.') {
+      parseDotCard(card, prefix);
+      return;
+    }
+    switch (kind) {
+      case 'r': {
+        if (t.size() < 4) fail(card.line_no, "R card: Rname n1 n2 value");
+        c.add<Resistor>(name, node(1), node(2), needNumber(card.line_no, t[3]));
+        return;
+      }
+      case 'c': {
+        if (t.size() < 4) fail(card.line_no, "C card: Cname n1 n2 value");
+        double ic = 0.0;
+        bool use_ic = false;
+        for (size_t k = 4; k < t.size(); ++k) {
+          std::string key, value;
+          if (splitKeyValue(t[k], key, value) && key == "ic") {
+            ic = needNumber(card.line_no, value);
+            use_ic = true;
+          }
+        }
+        c.add<Capacitor>(name, node(1), node(2), needNumber(card.line_no, t[3]), ic, use_ic);
+        return;
+      }
+      case 'l': {
+        if (t.size() < 4) fail(card.line_no, "L card: Lname n1 n2 value");
+        c.add<Inductor>(name, node(1), node(2), needNumber(card.line_no, t[3]));
+        return;
+      }
+      case 'v': {
+        if (t.size() < 3) fail(card.line_no, "V card: Vname n+ n- value");
+        // Peel a trailing "AC <mag>" clause (SPICE small-signal spec).
+        double ac_mag = 0.0;
+        size_t value_end = t.size();
+        if (t.size() >= 5 && iequals(t[t.size() - 2], "ac")) {
+          ac_mag = needNumber(card.line_no, t.back());
+          value_end -= 2;
+        }
+        Card dc_card = card;
+        dc_card.tokens.assign(t.begin(), t.begin() + value_end);
+        auto& src = c.add<VoltageSource>(name, node(1), node(2), parseSourceValue(dc_card, 3));
+        src.setAcMagnitude(ac_mag);
+        return;
+      }
+      case 'i': {
+        if (t.size() < 3) fail(card.line_no, "I card: Iname n+ n- value");
+        c.add<CurrentSource>(name, node(1), node(2), parseSourceValue(card, 3));
+        return;
+      }
+      case 'e': {
+        if (t.size() < 6) fail(card.line_no, "E card: Ename n+ n- nc+ nc- gain");
+        c.add<Vcvs>(name, node(1), node(2), node(3), node(4), needNumber(card.line_no, t[5]));
+        return;
+      }
+      case 'g': {
+        if (t.size() < 6) fail(card.line_no, "G card: Gname n+ n- nc+ nc- gm");
+        c.add<Vccs>(name, node(1), node(2), node(3), node(4), needNumber(card.line_no, t[5]));
+        return;
+      }
+      case 'd': {
+        if (t.size() < 3) fail(card.line_no, "D card: Dname anode cathode [params]");
+        DiodeParams p;
+        for (size_t k = 3; k < t.size(); ++k) {
+          std::string key, value;
+          if (!splitKeyValue(t[k], key, value)) continue;
+          const double v = needNumber(card.line_no, value);
+          if (key == "is") p.i_sat = v;
+          else if (key == "n") p.n_ideal = v;
+          else if (key == "cj0" || key == "cjo") p.cj0 = v;
+        }
+        c.add<Diode>(name, node(1), node(2), p);
+        return;
+      }
+      case 'm': {
+        if (t.size() < 6) fail(card.line_no, "M card: Mname d g s b model [w= l=]");
+        MosGeometry geom;
+        for (size_t k = 6; k < t.size(); ++k) {
+          std::string key, value;
+          if (!splitKeyValue(t[k], key, value)) {
+            fail(card.line_no, "expected key=value, got '" + t[k] + "'");
+          }
+          const double v = needNumber(card.line_no, value);
+          if (key == "w") geom.w = v;
+          else if (key == "l") geom.l = v;
+          else if (key == "ad") geom.area_d = v;
+          else if (key == "as") geom.area_s = v;
+          else fail(card.line_no, "unknown MOS parameter '" + key + "'");
+        }
+        c.add<Mosfet>(name, node(1), node(2), node(3), node(4),
+                      lookupModel(card.line_no, t[5]), geom);
+        return;
+      }
+      case 'x': {
+        if (t.size() < 3) fail(card.line_no, "X card: Xname nodes... subckt");
+        const std::string sub_name = toLower(t.back());
+        auto it = subckts_.find(sub_name);
+        if (it == subckts_.end()) fail(card.line_no, "unknown subcircuit '" + sub_name + "'");
+        const SubcktDef& def = it->second;
+        if (t.size() - 2 != def.ports.size()) {
+          fail(card.line_no, "subcircuit '" + sub_name + "' expects " +
+                                 std::to_string(def.ports.size()) + " nodes");
+        }
+        if (++expansion_depth_ > 20) fail(card.line_no, "subcircuit nesting too deep");
+        std::unordered_map<std::string, std::string> map;
+        for (size_t k = 0; k < def.ports.size(); ++k) {
+          // Port binds to the parent node name as seen from this scope.
+          const NodeId parent = resolveNode(t[k + 1], prefix, port_map);
+          map[toLower(def.ports[k])] = out_.circuit.nodeName(parent);
+        }
+        const std::string sub_prefix = name + ".";
+        for (const Card& body_card : def.body) emitCard(body_card, sub_prefix, map);
+        --expansion_depth_;
+        return;
+      }
+      default:
+        fail(card.line_no, std::string("unsupported element '") + raw_name + "'");
+    }
+  }
+
+  void parseDotCard(const Card& card, const std::string& prefix) {
+    if (!prefix.empty()) fail(card.line_no, "analysis cards are not allowed inside .subckt");
+    const auto& t = card.tokens;
+    const std::string head = toLower(t[0]);
+    if (head == ".op") {
+      out_.analyses.push_back({AnalysisCommand::Kind::Op, 0, 0, "", 0, 0, 0});
+      return;
+    }
+    if (head == ".tran") {
+      if (t.size() < 3) fail(card.line_no, ".tran step stop");
+      AnalysisCommand a;
+      a.kind = AnalysisCommand::Kind::Tran;
+      a.tran_step = needNumber(card.line_no, t[1]);
+      a.tran_stop = needNumber(card.line_no, t[2]);
+      out_.analyses.push_back(a);
+      return;
+    }
+    if (head == ".dc") {
+      if (t.size() < 5) fail(card.line_no, ".dc source from to step");
+      AnalysisCommand a;
+      a.kind = AnalysisCommand::Kind::DcSweep;
+      a.dc_source = toLower(t[1]);
+      a.dc_from = needNumber(card.line_no, t[2]);
+      a.dc_to = needNumber(card.line_no, t[3]);
+      a.dc_step = needNumber(card.line_no, t[4]);
+      out_.analyses.push_back(a);
+      return;
+    }
+    if (head == ".ac") {
+      // .ac dec <points/decade> <fstart> <fstop>
+      if (t.size() < 5 || !iequals(t[1], "dec")) {
+        fail(card.line_no, ".ac dec points fstart fstop");
+      }
+      AnalysisCommand a;
+      a.kind = AnalysisCommand::Kind::Ac;
+      a.ac_points_per_decade = static_cast<int>(needNumber(card.line_no, t[2]));
+      a.ac_fstart = needNumber(card.line_no, t[3]);
+      a.ac_fstop = needNumber(card.line_no, t[4]);
+      out_.analyses.push_back(a);
+      return;
+    }
+    if (head == ".temp") {
+      if (t.size() < 2) fail(card.line_no, ".temp value");
+      out_.temperature_c = needNumber(card.line_no, t[1]);
+      return;
+    }
+    if (head == ".save" || head == ".print" || head == ".probe") {
+      for (size_t k = 1; k < t.size(); ++k) {
+        std::string item = toLower(t[k]);
+        if (item == "tran" || item == "dc") continue;
+        // Accept v n or plain node names (parens already stripped).
+        if (item == "v") continue;
+        out_.save_nodes.push_back(item);
+      }
+      return;
+    }
+    if (head == ".options" || head == ".option" || head == ".ic" || head == ".nodeset" ||
+        head == ".title") {
+      return;  // accepted and ignored (documented subset)
+    }
+    fail(card.line_no, "unsupported card '" + head + "'");
+  }
+
+  std::string_view text_;
+  ParsedNetlist out_;
+  std::vector<Card> top_;
+  std::map<std::string, SubcktDef> subckts_;
+  std::unordered_map<std::string, MosModelRef> models_;
+  std::unordered_map<std::string, double> params_;
+  int expansion_depth_ = 0;
+  int include_depth_ = 0;
+};
+
+}  // namespace
+
+ParsedNetlist parseNetlist(std::string_view text) { return Parser(text).run(); }
+
+ParsedNetlist parseNetlistFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidInputError("cannot open netlist file '" + path + "'");
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parseNetlist(oss.str());
+}
+
+}  // namespace vls

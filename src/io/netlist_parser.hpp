@@ -1,0 +1,50 @@
+// SPICE-subset netlist parser. Supported:
+//   * title line (first line), '*' comments, ';'/'$' inline comments,
+//     '+' continuations, case-insensitive keywords
+//   * elements: R, C, L, V, I, E (VCVS), G (VCCS), D, M, X
+//   * sources: DC value, PULSE(...), PWL(...), SIN(...), EXP(...)
+//   * .model (NMOS/PMOS level-agnostic cards mapped onto the EKV model),
+//     built-in cards by name: nmos, nmos_hvt, nmos_lvt, pmos, pmos_hvt
+//   * .subckt / .ends with nested X expansion (flattened at parse time)
+//   * .tran step stop | .op | .dc <vsrc> from to step | .temp | .save
+//   * .end
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+struct AnalysisCommand {
+  enum class Kind { Op, Tran, DcSweep, Ac };
+  Kind kind = Kind::Op;
+  double tran_step = 0.0;
+  double tran_stop = 0.0;
+  std::string dc_source;
+  double dc_from = 0.0;
+  double dc_to = 0.0;
+  double dc_step = 0.0;
+  double ac_fstart = 0.0;
+  double ac_fstop = 0.0;
+  int ac_points_per_decade = 10;
+};
+
+struct ParsedNetlist {
+  std::string title;
+  Circuit circuit;
+  std::vector<AnalysisCommand> analyses;
+  std::vector<std::string> save_nodes;
+  double temperature_c = 27.0;
+};
+
+/// Parse netlist text. Throws InvalidInputError with a line reference on
+/// malformed input.
+ParsedNetlist parseNetlist(std::string_view text);
+
+/// Parse a netlist file from disk.
+ParsedNetlist parseNetlistFile(const std::string& path);
+
+}  // namespace vls

@@ -1,0 +1,92 @@
+#include "io/netlist_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "devices/diode.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+
+namespace vls {
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+// Netlist element names must be single tokens; hierarchical names from
+// cell builders contain dots which SPICE accepts, but spaces would not.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    if (ch == ' ' || ch == '\t') ch = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string writeNetlist(const Circuit& circuit, const std::string& title) {
+  std::ostringstream os;
+  os << title << '\n';
+  const EvalContext dummy{};  // unused by name/terminal queries
+
+  std::map<std::string, const MosModelCard*> used_models;
+  auto node_name = [&](NodeId n) { return circuit.nodeName(n); };
+
+  for (const auto& dev : circuit.devices()) {
+    const std::string name = sanitize(dev->name());
+    if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      os << "R" << name << ' ' << node_name(r->terminalNode(0)) << ' '
+         << node_name(r->terminalNode(1)) << ' ' << num(r->resistance()) << '\n';
+    } else if (const auto* cp = dynamic_cast<const Capacitor*>(dev.get())) {
+      os << "C" << name << ' ' << node_name(cp->terminalNode(0)) << ' '
+         << node_name(cp->terminalNode(1)) << ' ' << num(cp->capacitance()) << '\n';
+    } else if (const auto* l = dynamic_cast<const Inductor*>(dev.get())) {
+      os << "L" << name << ' ' << node_name(l->terminalNode(0)) << ' '
+         << node_name(l->terminalNode(1)) << ' ' << num(l->inductance()) << '\n';
+    } else if (const auto* v = dynamic_cast<const VoltageSource*>(dev.get())) {
+      os << "V" << name << ' ' << node_name(v->terminalNode(0)) << ' '
+         << node_name(v->terminalNode(1)) << ' ' << v->waveform().toSpice() << '\n';
+    } else if (const auto* i = dynamic_cast<const CurrentSource*>(dev.get())) {
+      os << "I" << name << ' ' << node_name(i->terminalNode(0)) << ' '
+         << node_name(i->terminalNode(1)) << ' ' << i->waveform().toSpice() << '\n';
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      const MosGeometry& g = m->geometry();
+      os << "M" << name;
+      for (size_t t = 0; t < 4; ++t) os << ' ' << node_name(m->terminalNode(t));
+      os << ' ' << m->model().name << " w=" << num(g.w) << " l=" << num(g.l) << '\n';
+      used_models.emplace(m->model().name, &m->model());
+    } else if (const auto* d = dynamic_cast<const Diode*>(dev.get())) {
+      os << "D" << name << ' ' << node_name(d->terminalNode(0)) << ' '
+         << node_name(d->terminalNode(1)) << '\n';
+    } else {
+      os << "* (unexported device: " << name << ")\n";
+    }
+    (void)dummy;
+  }
+
+  for (const auto& [mname, card] : used_models) {
+    os << ".model " << mname << ' ' << (card->type == MosType::Nmos ? "nmos" : "pmos")
+       << " vto=" << num(card->vt0) << " kp=" << num(card->kp) << " gamma=" << num(card->gamma)
+       << " phi=" << num(card->phi) << " lambda=" << num(card->lambda)
+       << " theta=" << num(card->theta) << " n=" << num(card->n_slope)
+       << " sigma=" << num(card->sigma_dibl) << " tox=" << num(card->tox) << '\n';
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+void writeNetlistFile(const std::string& path, const Circuit& circuit, const std::string& title) {
+  std::ofstream out(path);
+  if (!out) throw InvalidInputError("writeNetlistFile: cannot open '" + path + "'");
+  out << writeNetlist(circuit, title);
+}
+
+}  // namespace vls

@@ -1,0 +1,19 @@
+// Export a programmatically built Circuit back to SPICE text (for
+// inspection, diffing against the paper's schematics, or running in an
+// external simulator).
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+/// Render the circuit as a SPICE deck. `title` becomes the first line.
+/// Models referenced by MOSFETs are emitted as .model cards.
+std::string writeNetlist(const Circuit& circuit, const std::string& title);
+
+/// Write to a file.
+void writeNetlistFile(const std::string& path, const Circuit& circuit, const std::string& title);
+
+}  // namespace vls

@@ -1,0 +1,33 @@
+// ASCII table formatter used by the benchmark binaries to print the
+// paper's tables with aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vls {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row (must match the header count).
+  void addRow(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double value, int precision = 3);
+  /// Scaled by unit (e.g. 1e-12 with suffix "ps").
+  static std::string fmtScaled(double value, double unit, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vls

@@ -1,0 +1,48 @@
+// Row-major dense matrix. Sized for MNA systems of a few hundred
+// unknowns; storage is a single contiguous buffer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vls {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static DenseMatrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Reset every entry to zero without reallocating.
+  void setZero();
+  /// Resize (destroys contents) and zero-fill.
+  void resize(size_t rows, size_t cols);
+
+  /// y = A * x. `x` must have cols() entries.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+  DenseMatrix multiply(const DenseMatrix& other) const;
+
+  DenseMatrix transposed() const;
+
+  /// Max-abs entry (used by conditioning heuristics and tests).
+  double maxAbs() const;
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vls

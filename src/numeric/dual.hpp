@@ -1,0 +1,122 @@
+// Forward-mode automatic differentiation with a fixed number of
+// directions. The MOSFET model evaluates its drain current on
+// Dual<3> (partials w.r.t. gate/drain/source referenced to bulk), which
+// gives exact Jacobian stamps from a single code path — no hand-derived
+// derivative bugs, no finite-difference noise in Newton iterations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace vls {
+
+template <size_t N>
+struct Dual {
+  double v = 0.0;
+  std::array<double, N> d{};
+
+  Dual() = default;
+  /*implicit*/ Dual(double value) : v(value) {}  // NOLINT: constants promote silently
+
+  static Dual seed(double value, size_t direction) {
+    Dual out(value);
+    out.d[direction] = 1.0;
+    return out;
+  }
+
+  Dual operator-() const {
+    Dual out(-v);
+    for (size_t i = 0; i < N; ++i) out.d[i] = -d[i];
+    return out;
+  }
+
+  Dual& operator+=(const Dual& o) {
+    v += o.v;
+    for (size_t i = 0; i < N; ++i) d[i] += o.d[i];
+    return *this;
+  }
+  Dual& operator-=(const Dual& o) {
+    v -= o.v;
+    for (size_t i = 0; i < N; ++i) d[i] -= o.d[i];
+    return *this;
+  }
+  Dual& operator*=(const Dual& o) {
+    for (size_t i = 0; i < N; ++i) d[i] = d[i] * o.v + v * o.d[i];
+    v *= o.v;
+    return *this;
+  }
+  Dual& operator/=(const Dual& o) {
+    const double inv = 1.0 / o.v;
+    for (size_t i = 0; i < N; ++i) d[i] = (d[i] - v * inv * o.d[i]) * inv;
+    v *= inv;
+    return *this;
+  }
+
+  friend Dual operator+(Dual a, const Dual& b) { return a += b; }
+  friend Dual operator-(Dual a, const Dual& b) { return a -= b; }
+  friend Dual operator*(Dual a, const Dual& b) { return a *= b; }
+  friend Dual operator/(Dual a, const Dual& b) { return a /= b; }
+
+  friend bool operator<(const Dual& a, const Dual& b) { return a.v < b.v; }
+  friend bool operator>(const Dual& a, const Dual& b) { return a.v > b.v; }
+};
+
+template <size_t N>
+Dual<N> exp(const Dual<N>& x) {
+  Dual<N> out(std::exp(x.v));
+  for (size_t i = 0; i < N; ++i) out.d[i] = out.v * x.d[i];
+  return out;
+}
+
+template <size_t N>
+Dual<N> log(const Dual<N>& x) {
+  Dual<N> out(std::log(x.v));
+  const double inv = 1.0 / x.v;
+  for (size_t i = 0; i < N; ++i) out.d[i] = inv * x.d[i];
+  return out;
+}
+
+template <size_t N>
+Dual<N> log1p(const Dual<N>& x) {
+  Dual<N> out(std::log1p(x.v));
+  const double inv = 1.0 / (1.0 + x.v);
+  for (size_t i = 0; i < N; ++i) out.d[i] = inv * x.d[i];
+  return out;
+}
+
+template <size_t N>
+Dual<N> sqrt(const Dual<N>& x) {
+  Dual<N> out(std::sqrt(x.v));
+  const double scale = out.v > 0.0 ? 0.5 / out.v : 0.0;
+  for (size_t i = 0; i < N; ++i) out.d[i] = scale * x.d[i];
+  return out;
+}
+
+/// Numerically safe softplus: ln(1 + e^x), linear for large x.
+template <size_t N>
+Dual<N> softplus(const Dual<N>& x) {
+  if (x.v > 40.0) return x;  // derivative -> 1 exactly in this regime
+  if (x.v < -40.0) {
+    Dual<N> out(std::exp(x.v));  // ~0 with vanishing derivative
+    for (size_t i = 0; i < N; ++i) out.d[i] = out.v * x.d[i];
+    return out;
+  }
+  return log1p(exp(x));
+}
+
+/// Scalar value extraction that works for both double and Dual (for
+/// generic code that needs value-based branching).
+inline constexpr double scalarValue(double x) { return x; }
+template <size_t N>
+constexpr double scalarValue(const Dual<N>& x) {
+  return x.v;
+}
+
+inline double softplus(double x) {
+  if (x > 40.0) return x;
+  if (x < -40.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace vls

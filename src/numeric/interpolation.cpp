@@ -1,0 +1,88 @@
+#include "numeric/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+void checkSeries(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw InvalidInputError("interpolation: xs/ys size mismatch");
+  if (xs.empty()) throw InvalidInputError("interpolation: empty series");
+}
+
+// Exact crossing abscissa within segment [i, i+1], or nullopt.
+std::optional<double> segmentCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                                      size_t i, double level, CrossDir dir) {
+  const double y0 = ys[i];
+  const double y1 = ys[i + 1];
+  const bool rising = y0 < level && y1 >= level;
+  const bool falling = y0 > level && y1 <= level;
+  const bool want_rising = dir == CrossDir::Rising || dir == CrossDir::Either;
+  const bool want_falling = dir == CrossDir::Falling || dir == CrossDir::Either;
+  if (!((rising && want_rising) || (falling && want_falling))) return std::nullopt;
+  if (y1 == y0) return xs[i];
+  const double frac = (level - y0) / (y1 - y0);
+  return xs[i] + frac * (xs[i + 1] - xs[i]);
+}
+
+}  // namespace
+
+double interpLinear(const std::vector<double>& xs, const std::vector<double>& ys, double x) {
+  checkSeries(xs, ys);
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs.begin());
+  const size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0.0) return ys[lo];
+  const double frac = (x - xs[lo]) / span;
+  return ys[lo] * (1.0 - frac) + ys[hi] * frac;
+}
+
+std::optional<double> firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                                    double level, CrossDir dir, double from) {
+  checkSeries(xs, ys);
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] < from) continue;
+    const auto t = segmentCrossing(xs, ys, i, level, dir);
+    if (t && *t >= from) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> allCrossings(const std::vector<double>& xs, const std::vector<double>& ys,
+                                 double level, CrossDir dir, double from) {
+  checkSeries(xs, ys);
+  std::vector<double> out;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] < from) continue;
+    const auto t = segmentCrossing(xs, ys, i, level, dir);
+    if (t && *t >= from) out.push_back(*t);
+  }
+  return out;
+}
+
+double integrateTrapezoid(const std::vector<double>& xs, const std::vector<double>& ys, double x0,
+                          double x1) {
+  checkSeries(xs, ys);
+  if (x1 <= x0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double a = std::max(xs[i], x0);
+    const double b = std::min(xs[i + 1], x1);
+    if (b <= a) continue;
+    const double ya = interpLinear(xs, ys, a);
+    const double yb = interpLinear(xs, ys, b);
+    acc += 0.5 * (ya + yb) * (b - a);
+  }
+  // Extend with clamped end values if the window sticks out of the domain.
+  if (x0 < xs.front()) acc += ys.front() * (std::min(x1, xs.front()) - x0);
+  if (x1 > xs.back()) acc += ys.back() * (x1 - std::max(x0, xs.back()));
+  return acc;
+}
+
+}  // namespace vls

@@ -1,0 +1,28 @@
+// Piecewise-linear interpolation over sorted abscissae. Used by PWL
+// sources, waveform sampling, and threshold-crossing measurements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace vls {
+
+/// Value of the piecewise-linear function through (xs, ys) at x.
+/// Clamps outside the domain. xs must be strictly increasing.
+double interpLinear(const std::vector<double>& xs, const std::vector<double>& ys, double x);
+
+/// First x >= from where the piecewise-linear function crosses `level`
+/// in the requested direction (rising: from below to >= level).
+enum class CrossDir { Rising, Falling, Either };
+std::optional<double> firstCrossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                                    double level, CrossDir dir, double from = 0.0);
+
+/// All crossings of `level` after `from`.
+std::vector<double> allCrossings(const std::vector<double>& xs, const std::vector<double>& ys,
+                                 double level, CrossDir dir, double from = 0.0);
+
+/// Trapezoidal integral of y(x) over [x0, x1] (clamped to the domain).
+double integrateTrapezoid(const std::vector<double>& xs, const std::vector<double>& ys, double x0,
+                          double x1);
+
+}  // namespace vls

@@ -1,0 +1,78 @@
+#include "numeric/lu_dense.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw InvalidInputError("DenseLu: matrix not square");
+  const size_t n = lu_.rows();
+  perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw NumericalError("DenseLu: singular matrix at column " + std::to_string(k));
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> DenseLu::solve(const std::vector<double>& b) const {
+  std::vector<double> x(b);
+  solveInPlace(x);
+  return x;
+}
+
+void DenseLu::solveInPlace(std::vector<double>& b) const {
+  const size_t n = lu_.rows();
+  if (b.size() != n) throw InvalidInputError("DenseLu::solve: size mismatch");
+  // Apply permutation.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+    y[ii] = acc / lu_(ii, ii);
+  }
+  b = std::move(y);
+}
+
+double DenseLu::determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace vls

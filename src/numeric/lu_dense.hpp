@@ -1,0 +1,36 @@
+// Dense LU factorization with partial pivoting. Used as the reference
+// solver in tests and as a fallback for small systems; the transient
+// engine uses the sparse solver.
+#pragma once
+
+#include <vector>
+
+#include "numeric/dense_matrix.hpp"
+
+namespace vls {
+
+class DenseLu {
+ public:
+  /// Factor A = P·L·U in place. Throws NumericalError if singular to
+  /// working precision.
+  explicit DenseLu(DenseMatrix a);
+
+  /// Solve A x = b using the stored factors.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve in place.
+  void solveInPlace(std::vector<double>& b) const;
+
+  /// |det(A)| growth estimate via product of pivots (log scale avoided:
+  /// only used by tests on tiny systems).
+  double determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+}  // namespace vls

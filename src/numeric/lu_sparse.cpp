@@ -1,0 +1,143 @@
+#include "numeric/lu_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+SparseLu::SparseLu(const SparseMatrix& a, double pivot_threshold) : n_(a.size()) {
+  // Build working rows (sorted column order) from the assembled matrix.
+  std::vector<Row> work(n_);
+  {
+    const auto& coords = a.entries();
+    std::vector<size_t> counts(n_, 0);
+    for (const auto& e : coords) ++counts[e.row];
+    for (size_t r = 0; r < n_; ++r) work[r].reserve(counts[r]);
+    for (size_t k = 0; k < coords.size(); ++k) {
+      work[coords[k].row].push_back({coords[k].col, a.value(k)});
+    }
+    for (auto& row : work) {
+      std::sort(row.begin(), row.end(), [](const Term& x, const Term& y) { return x.col < y.col; });
+      // Collapse duplicates (multiple stamps on one position).
+      size_t w = 0;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (w > 0 && row[w - 1].col == row[i].col) {
+          row[w - 1].val += row[i].val;
+        } else {
+          row[w++] = row[i];
+        }
+      }
+      row.resize(w);
+    }
+  }
+
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+  diag_inv_.assign(n_, 0.0);
+  perm_.resize(n_);
+  std::vector<size_t> active(n_);  // active[k] = index into `work` of the row currently at position k
+  for (size_t i = 0; i < n_; ++i) active[i] = i;
+
+  Row merged;
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: among remaining rows, pick the one with the
+    // largest magnitude in column k.
+    size_t best_pos = k;
+    double best_mag = -1.0;
+    for (size_t pos = k; pos < n_; ++pos) {
+      const Row& row = work[active[pos]];
+      auto it = std::lower_bound(row.begin(), row.end(), k,
+                                 [](const Term& t, size_t col) { return t.col < col; });
+      const double mag = (it != row.end() && it->col == k) ? std::fabs(it->val) : 0.0;
+      if (mag > best_mag) {
+        best_mag = mag;
+        best_pos = pos;
+      }
+    }
+    if (best_mag <= pivot_threshold || !std::isfinite(best_mag)) {
+      throw NumericalError("SparseLu: singular matrix at column " + std::to_string(k));
+    }
+    std::swap(active[k], active[best_pos]);
+    const size_t prow = active[k];
+    perm_[k] = prow;
+
+    // Split pivot row into U(k, k..n).
+    Row& pivot_row = work[prow];
+    auto split = std::lower_bound(pivot_row.begin(), pivot_row.end(), k,
+                                  [](const Term& t, size_t col) { return t.col < col; });
+    upper_[k].assign(split, pivot_row.end());
+    const double pivot = upper_[k].front().val;
+    diag_inv_[k] = 1.0 / pivot;
+
+    // Eliminate column k from remaining rows.
+    for (size_t pos = k + 1; pos < n_; ++pos) {
+      Row& row = work[active[pos]];
+      auto it = std::lower_bound(row.begin(), row.end(), k,
+                                 [](const Term& t, size_t col) { return t.col < col; });
+      if (it == row.end() || it->col != k) continue;
+      const double factor = it->val * diag_inv_[k];
+      lower_[active[pos]].push_back({k, factor});
+
+      // row(k+1..) -= factor * U(k, k+1..), merged in sorted order.
+      merged.clear();
+      auto ri = it + 1;
+      auto ui = upper_[k].begin() + 1;  // skip diagonal
+      while (ri != row.end() && ui != upper_[k].end()) {
+        if (ri->col < ui->col) {
+          merged.push_back(*ri++);
+        } else if (ri->col > ui->col) {
+          merged.push_back({ui->col, -factor * ui->val});
+          ++ui;
+        } else {
+          merged.push_back({ri->col, ri->val - factor * ui->val});
+          ++ri;
+          ++ui;
+        }
+      }
+      for (; ri != row.end(); ++ri) merged.push_back(*ri);
+      for (; ui != upper_[k].end(); ++ui) merged.push_back({ui->col, -factor * ui->val});
+
+      // Keep the (untouched) part with columns < k ... there is none:
+      // columns < k were already eliminated for this row. Replace row
+      // with the merged tail.
+      row.assign(merged.begin(), merged.end());
+    }
+  }
+}
+
+size_t SparseLu::factorNonZeros() const {
+  size_t nnz = 0;
+  for (const auto& r : lower_) nnz += r.size();
+  for (const auto& r : upper_) nnz += r.size();
+  return nnz;
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  std::vector<double> x(b);
+  solveInPlace(x);
+  return x;
+}
+
+void SparseLu::solveInPlace(std::vector<double>& b) const {
+  if (b.size() != n_) throw InvalidInputError("SparseLu::solve: size mismatch");
+  // Forward: L y = P b. lower_[perm_[k]] holds multipliers indexed by
+  // elimination step, already expressed in step coordinates.
+  std::vector<double> y(n_);
+  for (size_t k = 0; k < n_; ++k) {
+    double acc = b[perm_[k]];
+    for (const Term& t : lower_[perm_[k]]) acc -= t.val * y[t.col];
+    y[k] = acc;
+  }
+  // Backward: U x = y.
+  for (size_t kk = n_; kk-- > 0;) {
+    double acc = y[kk];
+    const Row& row = upper_[kk];
+    for (size_t i = 1; i < row.size(); ++i) acc -= row[i].val * y[row[i].col];
+    y[kk] = acc * diag_inv_[kk];
+  }
+  b = std::move(y);
+}
+
+}  // namespace vls

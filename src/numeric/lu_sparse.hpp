@@ -1,0 +1,40 @@
+// Sparse LU with partial pivoting over row-list storage. Circuit
+// matrices are nearly structurally symmetric and diagonally dominant
+// after gmin insertion, so fill-in stays modest without a fancy
+// ordering; rows are kept as sorted (column, value) vectors and merged
+// during elimination.
+#pragma once
+
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+
+namespace vls {
+
+class SparseLu {
+ public:
+  /// Factor the given matrix. Throws NumericalError if singular.
+  explicit SparseLu(const SparseMatrix& a, double pivot_threshold = 1e-13);
+
+  std::vector<double> solve(const std::vector<double>& b) const;
+  void solveInPlace(std::vector<double>& b) const;
+
+  size_t size() const { return n_; }
+  /// Total stored L+U entries (fill-in diagnostics).
+  size_t factorNonZeros() const;
+
+ private:
+  struct Term {
+    size_t col;
+    double val;
+  };
+  using Row = std::vector<Term>;
+
+  size_t n_ = 0;
+  std::vector<Row> lower_;          // strictly lower triangle, unit diagonal implied
+  std::vector<Row> upper_;          // upper triangle including diagonal
+  std::vector<double> diag_inv_;    // 1 / U(k,k)
+  std::vector<size_t> perm_;        // row permutation: perm_[k] = original row index
+};
+
+}  // namespace vls

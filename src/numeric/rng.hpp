@@ -1,0 +1,42 @@
+// Deterministic random number generation for Monte-Carlo runs.
+// xoshiro256** seeded via splitmix64: fast, reproducible across
+// platforms (unlike std::normal_distribution, whose output is
+// implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+namespace vls {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t nextU64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double sigma) { return mean + sigma * gaussian(); }
+
+  /// Uniform integer in [0, bound).
+  uint64_t below(uint64_t bound);
+
+  /// Derive an independent stream (for per-sample generators).
+  Rng split();
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace vls

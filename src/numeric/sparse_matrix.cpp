@@ -1,0 +1,39 @@
+#include "numeric/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+size_t SparseMatrix::entryHandle(size_t row, size_t col) {
+  if (row >= n_ || col >= n_) throw InvalidInputError("SparseMatrix: index out of range");
+  const uint64_t key = (static_cast<uint64_t>(row) << 32) | static_cast<uint64_t>(col);
+  auto [it, inserted] = index_.try_emplace(key, values_.size());
+  if (inserted) {
+    coords_.push_back({row, col});
+    values_.push_back(0.0);
+  }
+  return it->second;
+}
+
+void SparseMatrix::clearValues() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != n_) throw InvalidInputError("SparseMatrix::multiply: size mismatch");
+  std::vector<double> y(n_, 0.0);
+  for (size_t k = 0; k < coords_.size(); ++k) {
+    y[coords_[k].row] += values_[k] * x[coords_[k].col];
+  }
+  return y;
+}
+
+std::vector<std::vector<double>> SparseMatrix::toDense() const {
+  std::vector<std::vector<double>> dense(n_, std::vector<double>(n_, 0.0));
+  for (size_t k = 0; k < coords_.size(); ++k) {
+    dense[coords_[k].row][coords_[k].col] += values_[k];
+  }
+  return dense;
+}
+
+}  // namespace vls

@@ -1,0 +1,58 @@
+#include "numeric/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) throw InvalidInputError("percentileSorted: empty sample");
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  OnlineStats online;
+  for (double x : samples) online.add(x);
+  std::sort(samples.begin(), samples.end());
+  s.count = online.count();
+  s.mean = online.mean();
+  s.stddev = online.stddev();
+  s.min = online.min();
+  s.max = online.max();
+  s.median = percentileSorted(samples, 0.5);
+  s.p05 = percentileSorted(samples, 0.05);
+  s.p95 = percentileSorted(samples, 0.95);
+  return s;
+}
+
+}  // namespace vls

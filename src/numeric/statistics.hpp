@@ -1,0 +1,48 @@
+// Descriptive statistics for Monte-Carlo result reporting (the paper's
+// Tables 3 and 4 report mean and standard deviation of six metrics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vls {
+
+/// Streaming mean/variance/extremes (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector, q in [0,1].
+double percentileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace vls

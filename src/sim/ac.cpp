@@ -1,0 +1,66 @@
+#include "sim/ac.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+AcResult::AcResult(std::vector<std::string> node_names, size_t num_unknowns)
+    : node_names_(std::move(node_names)), num_unknowns_(num_unknowns) {}
+
+size_t AcResult::indexOf(const std::string& node) const {
+  for (size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == node) return i;
+  }
+  throw InvalidInputError("AcResult: unknown node '" + node + "'");
+}
+
+std::vector<double> AcResult::frequencies() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.freq);
+  return out;
+}
+
+std::vector<double> AcResult::magnitude(const std::string& node) const {
+  const size_t idx = indexOf(node);
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(std::abs(p.x[idx]));
+  return out;
+}
+
+std::vector<double> AcResult::magnitudeDb(const std::string& node) const {
+  std::vector<double> out = magnitude(node);
+  for (double& v : out) v = 20.0 * std::log10(std::max(v, 1e-30));
+  return out;
+}
+
+std::vector<double> AcResult::phase(const std::string& node) const {
+  const size_t idx = indexOf(node);
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(std::arg(p.x[idx]));
+  return out;
+}
+
+std::optional<double> AcResult::cornerFrequency(const std::string& node) const {
+  const std::vector<double> mag = magnitude(node);
+  if (mag.empty()) return std::nullopt;
+  const double target = mag.front() / std::sqrt(2.0);
+  for (size_t i = 1; i < mag.size(); ++i) {
+    if (mag[i] <= target && mag[i - 1] > target) {
+      // Log-interpolate between the bracketing frequencies.
+      const double f0 = points_[i - 1].freq;
+      const double f1 = points_[i].freq;
+      const double m0 = mag[i - 1];
+      const double m1 = mag[i];
+      const double frac = (m0 - target) / (m0 - m1);
+      return f0 * std::pow(f1 / f0, frac);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace vls

@@ -1,0 +1,58 @@
+// AC small-signal analysis. The circuit is linearized at the DC
+// operating point: the real part of the MNA matrix is exactly the
+// Newton Jacobian that the devices already stamp; the imaginary part
+// collects each device's small-signal capacitances (and inductances on
+// branch rows) through the ReactiveStamper. Each frequency point solves
+// the 2n x 2n real-equivalent system
+//     [ G  -wC ] [xr]   [br]
+//     [ wC   G ] [xi] = [bi]
+// with the same sparse LU used everywhere else.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/node.hpp"
+#include "numeric/sparse_matrix.hpp"
+#include "sim/result.hpp"
+
+namespace vls {
+
+/// One analysed frequency point: full complex solution vector.
+struct AcPoint {
+  double freq = 0.0;
+  std::vector<std::complex<double>> x;
+};
+
+class AcResult {
+ public:
+  AcResult(std::vector<std::string> node_names, size_t num_unknowns);
+
+  void append(AcPoint point) { points_.push_back(std::move(point)); }
+
+  size_t size() const { return points_.size(); }
+  const std::vector<AcPoint>& points() const { return points_; }
+
+  /// Frequency axis.
+  std::vector<double> frequencies() const;
+  /// |V(node)| across frequency.
+  std::vector<double> magnitude(const std::string& node) const;
+  /// Magnitude in dB (20 log10).
+  std::vector<double> magnitudeDb(const std::string& node) const;
+  /// Phase [radians].
+  std::vector<double> phase(const std::string& node) const;
+
+  /// -3 dB corner relative to the lowest-frequency magnitude; nullopt
+  /// if the response never drops below it.
+  std::optional<double> cornerFrequency(const std::string& node) const;
+
+ private:
+  size_t indexOf(const std::string& node) const;
+  std::vector<std::string> node_names_;
+  size_t num_unknowns_;
+  std::vector<AcPoint> points_;
+};
+
+}  // namespace vls

@@ -1,0 +1,9 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+namespace vls {
+
+double NoiseResult::rms() const { return std::sqrt(total_v2); }
+
+}  // namespace vls

@@ -1,0 +1,31 @@
+// Small-signal noise analysis. Each device registers its physical noise
+// generators (thermal 4kT/R and 4kT*gamma*gm, flicker KF/f, shot 2qI) as
+// current sources across node pairs; for every frequency point the AC
+// system is factored once and solved per generator to get the transfer
+// to the output node. Reported: output noise PSD, per-device
+// contributions, and the band-integrated RMS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/device.hpp"  // NoiseSource
+#include "circuit/node.hpp"
+
+namespace vls {
+
+struct NoiseContribution {
+  std::string label;
+  double v2 = 0.0;  ///< band-integrated contribution at the output [V^2]
+};
+
+struct NoiseResult {
+  std::string output_node;
+  std::vector<double> freqs;
+  std::vector<double> output_psd;  ///< [V^2/Hz] at each frequency
+  std::vector<NoiseContribution> contributions;  ///< sorted, largest first
+  double total_v2 = 0.0;   ///< band-integrated output noise power [V^2]
+  double rms() const;      ///< sqrt(total_v2) [V]
+};
+
+}  // namespace vls

@@ -1,0 +1,38 @@
+// Simulator tolerance and control knobs (SPICE-equivalent names where
+// they exist).
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace vls {
+
+struct SimOptions {
+  // Newton iteration.
+  double reltol = 1e-3;       ///< relative convergence tolerance
+  double vntol = 1e-6;        ///< absolute node-voltage tolerance [V]
+  double abstol = 1e-12;      ///< absolute branch-current tolerance [A]
+  double gmin = 1e-12;        ///< node-to-ground convergence conductance [S]
+  int max_newton_iter = 120;  ///< iterations before declaring failure
+  double max_step_voltage = 0.4;  ///< per-iteration Newton damping clamp [V]
+  double voltage_bound = 20.0;    ///< hard |v| clamp [V]
+
+  // Homotopy fallbacks for the operating point.
+  int gmin_steps = 10;
+  int source_steps = 20;
+
+  // Transient control.
+  IntegrationMethod method = IntegrationMethod::Trapezoidal;
+  double tran_reltol = 2e-3;  ///< LTE relative tolerance
+  double tran_vntol = 50e-6;  ///< LTE absolute tolerance [V]
+  double dt_min = 1e-18;      ///< give up below this step [s]
+  double dt_shrink = 0.4;     ///< rejection shrink factor
+  double dt_grow_max = 2.0;   ///< max growth per accepted step
+  int be_steps_after_breakpoint = 2;  ///< BE damping steps after discontinuities
+
+  // Environment.
+  double temperature_c = 27.0;
+
+  double temperatureK() const { return temperature_c + 273.15; }
+};
+
+}  // namespace vls

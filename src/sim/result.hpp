@@ -1,0 +1,69 @@
+// Analysis result containers. A transient result stores the full
+// solution vector at every accepted timepoint; signals are extracted by
+// node name (voltages) or branch index (currents).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/node.hpp"
+
+namespace vls {
+
+/// A named time series extracted from a result.
+struct Signal {
+  std::vector<double> time;
+  std::vector<double> value;
+};
+
+class TransientResult {
+ public:
+  TransientResult(std::vector<std::string> node_names, size_t num_unknowns);
+
+  void append(double time, const std::vector<double>& x);
+
+  size_t steps() const { return time_.size(); }
+  const std::vector<double>& time() const { return time_; }
+
+  /// Voltage waveform of a node by name; ground returns all-zeros.
+  Signal node(const std::string& name) const;
+  /// Any unknown (voltage or branch current) by solution index.
+  Signal unknown(size_t index) const;
+  /// Raw value of unknown `index` at step `step`.
+  double at(size_t step, size_t index) const { return data_[step][index]; }
+  /// Full solution vector at a step.
+  const std::vector<double>& solution(size_t step) const { return data_[step]; }
+
+  size_t numUnknowns() const { return num_unknowns_; }
+  const std::vector<std::string>& nodeNames() const { return node_names_; }
+
+  /// Total Newton iterations and rejected steps (engine diagnostics).
+  size_t total_newton_iterations = 0;
+  size_t rejected_steps = 0;
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, size_t> node_index_;
+  size_t num_unknowns_;
+  std::vector<double> time_;
+  std::vector<std::vector<double>> data_;
+};
+
+/// DC sweep result: swept parameter values plus full solutions.
+struct DcSweepResult {
+  std::vector<double> sweep;
+  std::vector<std::vector<double>> solutions;
+  std::vector<std::string> node_names;
+  /// Per-point convergence flag: a bistable cell mid-transition can
+  /// defeat both warm-started and homotopy solves; such points repeat
+  /// the previous solution and are flagged false.
+  std::vector<bool> converged;
+
+  /// Voltage of `name` across the sweep.
+  std::vector<double> node(const std::string& name) const;
+  /// True when every point converged.
+  bool allConverged() const;
+};
+
+}  // namespace vls

@@ -1,0 +1,427 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+#include "base/logging.hpp"
+#include "devices/sources.hpp"
+#include "numeric/lu_sparse.hpp"
+
+namespace vls {
+
+Simulator::Simulator(Circuit& circuit, SimOptions options)
+    : circuit_(circuit), options_(options), num_nodes_(circuit.nodeCount()), system_(0, 0) {
+  const size_t branches = circuit_.assignBranchIndices();
+  num_unknowns_ = num_nodes_ + branches;
+  system_ = MnaSystem(num_nodes_, branches);
+}
+
+EvalContext Simulator::contextFor(const std::vector<double>& x, double time) const {
+  EvalContext ctx;
+  ctx.x = std::span<const double>(x);
+  ctx.time = time;
+  ctx.dt = 0.0;
+  ctx.method = IntegrationMethod::None;
+  ctx.temperature = options_.temperatureK();
+  ctx.gmin = options_.gmin;
+  return ctx;
+}
+
+void Simulator::assemble(MnaSystem& system, const EvalContext& ctx) {
+  system.clear();
+  Stamper stamper(system);
+  for (const auto& dev : circuit_.devices()) dev->stamp(stamper, ctx);
+  // gmin from every node to ground: keeps floating nodes solvable and
+  // Newton matrices nonsingular in cutoff.
+  for (size_t n = 0; n < num_nodes_; ++n) {
+    system.matrix().add(n, n, ctx.gmin);
+  }
+}
+
+bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
+                            double source_scale, double gmin, std::vector<double>& x,
+                            size_t* iterations) {
+  MnaSystem& system = system_;
+
+  EvalContext ctx;
+  ctx.time = time;
+  ctx.dt = dt;
+  ctx.method = method;
+  ctx.temperature = options_.temperatureK();
+  ctx.source_scale = source_scale;
+  ctx.gmin = gmin;
+
+  std::vector<double> x_new(num_unknowns_);
+  for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
+    if (iterations) ++*iterations;
+    ctx.x = std::span<const double>(x);
+    assemble(system, ctx);
+
+    try {
+      SparseLu lu(system.matrix());
+      x_new = lu.solve(system.rhs());
+    } catch (const NumericalError&) {
+      return false;
+    }
+
+    // Damping: scale the whole update if any component moves too far;
+    // preserves the Newton direction.
+    double max_delta = 0.0;
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      max_delta = std::max(max_delta, std::fabs(x_new[i] - x[i]));
+    }
+    if (!std::isfinite(max_delta)) return false;
+    double scale = 1.0;
+    if (max_delta > options_.max_step_voltage) scale = options_.max_step_voltage / max_delta;
+
+    bool converged = scale == 1.0;
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      const double next = x[i] + scale * (x_new[i] - x[i]);
+      const double bounded = std::clamp(next, -options_.voltage_bound, options_.voltage_bound);
+      const double tol = (i < num_nodes_ ? options_.vntol : options_.abstol) +
+                         options_.reltol * std::max(std::fabs(bounded), std::fabs(x[i]));
+      if (std::fabs(bounded - x[i]) > tol) converged = false;
+      x[i] = bounded;
+    }
+    if (converged && iter > 0) return true;
+  }
+  return false;
+}
+
+std::vector<double> Simulator::solveOp() { return solveOpInternal(std::vector<double>(num_unknowns_, 0.0)); }
+
+std::vector<double> Simulator::solveOp(std::vector<double> initial_guess) {
+  initial_guess.resize(num_unknowns_, 0.0);
+  return solveOpInternal(std::move(initial_guess));
+}
+
+std::vector<double> Simulator::solveOpAt(double time, std::vector<double> initial_guess) {
+  initial_guess.resize(num_unknowns_, 0.0);
+  if (!newtonSolve(time, 0.0, IntegrationMethod::None, 1.0, options_.gmin, initial_guess)) {
+    throw ConvergenceError("solveOpAt: Newton failed at t = " + std::to_string(time));
+  }
+  return initial_guess;
+}
+
+std::vector<double> Simulator::solveOpInternal(std::vector<double> x0) {
+  // 1) Direct Newton.
+  std::vector<double> x = x0;
+  if (newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x)) return x;
+
+  // 2) Gmin stepping: solve with a large gmin, then relax it.
+  VLS_LOG_DEBUG("OP: direct Newton failed, trying gmin stepping");
+  x = x0;
+  double gmin = 1e-2;
+  bool ok = true;
+  for (int step = 0; step <= options_.gmin_steps; ++step) {
+    if (!newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, gmin, x)) {
+      ok = false;
+      break;
+    }
+    if (gmin <= options_.gmin) break;
+    gmin = std::max(gmin * 0.1, options_.gmin);
+  }
+  if (ok && gmin <= options_.gmin) return x;
+
+  // 3) Source stepping: ramp all independent sources from zero.
+  VLS_LOG_DEBUG("OP: gmin stepping failed, trying source stepping");
+  x.assign(num_unknowns_, 0.0);
+  for (int step = 1; step <= options_.source_steps; ++step) {
+    const double scale = static_cast<double>(step) / options_.source_steps;
+    if (!newtonSolve(0.0, 0.0, IntegrationMethod::None, scale, options_.gmin, x)) {
+      throw ConvergenceError("Operating point failed to converge (source stepping at scale " +
+                             std::to_string(scale) + ")");
+    }
+  }
+  return x;
+}
+
+DcSweepResult Simulator::dcSweep(VoltageSource& source, double from, double to, double step) {
+  if (step <= 0.0) throw InvalidInputError("dcSweep: step must be positive");
+  DcSweepResult result;
+  result.node_names = circuit_.nodeNames();
+  const Waveform saved = source.waveform();
+  std::vector<double> x = solveOp();  // bias with original value for a warm start
+
+  const double span = to - from;
+  const int points = static_cast<int>(std::floor(std::fabs(span) / step + 0.5)) + 1;
+  const double dir = span >= 0.0 ? 1.0 : -1.0;
+  for (int k = 0; k < points; ++k) {
+    const double v = from + dir * static_cast<double>(k) * step;
+    source.setWaveform(Waveform::dc(v));
+    bool ok = newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x);
+    if (!ok) {
+      // Fall back to a cold homotopy solve; a bistable cell caught
+      // mid-transition can defeat that too — keep the previous point's
+      // solution and flag it rather than aborting the sweep.
+      try {
+        x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+        ok = true;
+      } catch (const ConvergenceError&) {
+        ok = false;
+      }
+    }
+    result.sweep.push_back(v);
+    result.solutions.push_back(x);
+    result.converged.push_back(ok);
+  }
+  source.setWaveform(saved);
+  return result;
+}
+
+AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
+  if (f_start <= 0.0 || f_stop < f_start || points_per_decade < 1) {
+    throw InvalidInputError("ac: bad frequency arguments");
+  }
+  // Linearization point.
+  const std::vector<double> x_op = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  EvalContext ctx = contextFor(x_op, 0.0);
+
+  // Conductance part: the assembled Newton Jacobian at the OP.
+  MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
+  assemble(g_sys, ctx);
+
+  // Reactive part and AC excitation.
+  SparseMatrix c_mat(num_unknowns_);
+  ReactiveStamper reactive(c_mat, num_nodes_);
+  std::vector<double> rhs_ac(num_unknowns_, 0.0);
+  for (const auto& dev : circuit_.devices()) {
+    dev->stampReactive(reactive, ctx);
+    dev->stampAcSource(rhs_ac);
+  }
+
+  AcResult result(circuit_.nodeNames(), num_unknowns_);
+  const size_t n = num_unknowns_;
+  const double decades = std::log10(f_stop / f_start);
+  const int total = std::max(1, static_cast<int>(std::ceil(decades * points_per_decade))) + 1;
+  for (int k = 0; k < total; ++k) {
+    const double f =
+        total == 1 ? f_start
+                   : f_start * std::pow(10.0, decades * static_cast<double>(k) / (total - 1));
+    const double w = 2.0 * M_PI * f;
+    // Real-equivalent 2n system.
+    SparseMatrix big(2 * n);
+    for (size_t e = 0; e < g_sys.matrix().entries().size(); ++e) {
+      const auto& ent = g_sys.matrix().entries()[e];
+      const double v = g_sys.matrix().value(e);
+      big.add(ent.row, ent.col, v);
+      big.add(ent.row + n, ent.col + n, v);
+    }
+    for (size_t e = 0; e < c_mat.entries().size(); ++e) {
+      const auto& ent = c_mat.entries()[e];
+      const double v = c_mat.value(e) * w;
+      big.add(ent.row, ent.col + n, -v);
+      big.add(ent.row + n, ent.col, v);
+    }
+    std::vector<double> rhs(2 * n, 0.0);
+    for (size_t i = 0; i < n; ++i) rhs[i] = rhs_ac[i];
+    const std::vector<double> sol = SparseLu(big).solve(rhs);
+    AcPoint point;
+    point.freq = f;
+    point.x.resize(n);
+    for (size_t i = 0; i < n; ++i) point.x[i] = {sol[i], sol[i + n]};
+    result.append(std::move(point));
+  }
+  return result;
+}
+
+NoiseResult Simulator::noise(const std::string& output_node, double f_start, double f_stop,
+                             int points_per_decade) {
+  if (f_start <= 0.0 || f_stop < f_start || points_per_decade < 1) {
+    throw InvalidInputError("noise: bad frequency arguments");
+  }
+  const auto out_id = circuit_.findNode(output_node);
+  if (!out_id || isGround(*out_id)) {
+    throw InvalidInputError("noise: unknown output node '" + output_node + "'");
+  }
+  const size_t out_idx = static_cast<size_t>(*out_id);
+
+  const std::vector<double> x_op = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  EvalContext ctx = contextFor(x_op, 0.0);
+
+  MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
+  assemble(g_sys, ctx);
+  SparseMatrix c_mat(num_unknowns_);
+  ReactiveStamper reactive(c_mat, num_nodes_);
+  std::vector<NoiseSource> sources;
+  for (const auto& dev : circuit_.devices()) {
+    dev->stampReactive(reactive, ctx);
+    dev->collectNoiseSources(sources, ctx);
+  }
+
+  NoiseResult result;
+  result.output_node = output_node;
+  result.contributions.resize(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) result.contributions[s].label = sources[s].label;
+
+  const size_t n = num_unknowns_;
+  const double decades = std::log10(f_stop / f_start);
+  const int total = std::max(1, static_cast<int>(std::ceil(decades * points_per_decade))) + 1;
+  std::vector<double> prev_psd_per_src(sources.size(), 0.0);
+  double prev_f = 0.0;
+  for (int k = 0; k < total; ++k) {
+    const double f =
+        total == 1 ? f_start
+                   : f_start * std::pow(10.0, decades * static_cast<double>(k) / (total - 1));
+    const double w = 2.0 * M_PI * f;
+    SparseMatrix big(2 * n);
+    for (size_t e = 0; e < g_sys.matrix().entries().size(); ++e) {
+      const auto& ent = g_sys.matrix().entries()[e];
+      const double v = g_sys.matrix().value(e);
+      big.add(ent.row, ent.col, v);
+      big.add(ent.row + n, ent.col + n, v);
+    }
+    for (size_t e = 0; e < c_mat.entries().size(); ++e) {
+      const auto& ent = c_mat.entries()[e];
+      const double v = c_mat.value(e) * w;
+      big.add(ent.row, ent.col + n, -v);
+      big.add(ent.row + n, ent.col, v);
+    }
+    const SparseLu lu(big);
+
+    double psd_total = 0.0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      std::vector<double> rhs(2 * n, 0.0);
+      // Unit current a -> b through the generator: leaves a, enters b.
+      if (!isGround(sources[s].a)) rhs[static_cast<size_t>(sources[s].a)] -= 1.0;
+      if (!isGround(sources[s].b)) rhs[static_cast<size_t>(sources[s].b)] += 1.0;
+      const std::vector<double> sol = lu.solve(rhs);
+      const double h2 = sol[out_idx] * sol[out_idx] + sol[out_idx + n] * sol[out_idx + n];
+      const double psd = h2 * sources[s].psd(f);
+      psd_total += psd;
+      // Band integration (trapezoid in linear f) per source.
+      if (k > 0) {
+        result.contributions[s].v2 += 0.5 * (psd + prev_psd_per_src[s]) * (f - prev_f);
+      }
+      prev_psd_per_src[s] = psd;
+    }
+    result.freqs.push_back(f);
+    result.output_psd.push_back(psd_total);
+    prev_f = f;
+  }
+  for (const auto& c : result.contributions) result.total_v2 += c.v2;
+  std::sort(result.contributions.begin(), result.contributions.end(),
+            [](const NoiseContribution& a, const NoiseContribution& b) { return a.v2 > b.v2; });
+  return result;
+}
+
+TransientResult Simulator::transient(double t_stop, double dt_max, double dt_initial) {
+  if (t_stop <= 0.0 || dt_max <= 0.0) throw InvalidInputError("transient: bad time arguments");
+
+  TransientResult result(circuit_.nodeNames(), num_unknowns_);
+
+  // Operating point at t = 0.
+  std::vector<double> x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  {
+    EvalContext ctx = contextFor(x, 0.0);
+    for (const auto& dev : circuit_.devices()) dev->startTransient(ctx);
+  }
+  result.append(0.0, x);
+
+  // Breakpoints: source corners are hard barriers.
+  std::vector<double> breaks;
+  for (const auto& dev : circuit_.devices()) dev->collectBreakpoints(t_stop, breaks);
+  breaks.push_back(t_stop);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+               breaks.end());
+
+  double t = 0.0;
+  double dt = dt_initial > 0.0 ? dt_initial : dt_max / 100.0;
+  dt = std::min(dt, dt_max);
+  std::vector<double> x_prev = x;       // solution one accepted step back
+  double dt_prev = 0.0;
+  int steps_since_break = 0;
+  size_t next_break = 0;
+  while (next_break < breaks.size() && breaks[next_break] <= 1e-18) ++next_break;
+
+  std::vector<double> x_try(num_unknowns_);
+  while (t < t_stop - 1e-18) {
+    // Clamp the step to the next breakpoint.
+    bool hits_break = false;
+    double dt_eff = std::min(dt, dt_max);
+    if (next_break < breaks.size()) {
+      const double gap = breaks[next_break] - t;
+      if (dt_eff >= gap - 1e-18) {
+        dt_eff = gap;
+        hits_break = true;
+      } else if (dt_eff > 0.5 * gap) {
+        dt_eff = 0.5 * gap;  // avoid a tiny sliver step before the breakpoint
+      }
+    }
+
+    const IntegrationMethod method =
+        (options_.method == IntegrationMethod::BackwardEuler ||
+         steps_since_break < options_.be_steps_after_breakpoint)
+            ? IntegrationMethod::BackwardEuler
+            : IntegrationMethod::Trapezoidal;
+
+    x_try = x;
+    size_t iters = 0;
+    const bool converged =
+        newtonSolve(t + dt_eff, dt_eff, method, 1.0, options_.gmin, x_try, &iters);
+    result.total_newton_iterations += iters;
+
+    if (!converged) {
+      ++result.rejected_steps;
+      dt = dt_eff * options_.dt_shrink;
+      if (dt < options_.dt_min) {
+        throw ConvergenceError("transient: timestep underflow at t = " + std::to_string(t));
+      }
+      continue;
+    }
+
+    // Predictor-based local truncation error estimate.
+    double err = 0.0;
+    if (dt_prev > 0.0 && steps_since_break >= 1) {
+      for (size_t i = 0; i < num_unknowns_; ++i) {
+        const double slope = (x[i] - x_prev[i]) / dt_prev;
+        const double pred = x[i] + slope * dt_eff;
+        const double tol = options_.tran_vntol +
+                           options_.tran_reltol * std::max(std::fabs(x_try[i]), std::fabs(x[i]));
+        err = std::max(err, std::fabs(x_try[i] - pred) / tol);
+      }
+    }
+
+    if (err > 8.0 && dt_eff > 16.0 * options_.dt_min) {
+      // Reject: the step was too aggressive.
+      ++result.rejected_steps;
+      dt = dt_eff * options_.dt_shrink;
+      continue;
+    }
+
+    // Accept.
+    const double t_new = t + dt_eff;
+    {
+      EvalContext ctx;
+      ctx.x = std::span<const double>(x_try);
+      ctx.time = t_new;
+      ctx.dt = dt_eff;
+      ctx.method = method;
+      ctx.temperature = options_.temperatureK();
+      ctx.gmin = options_.gmin;
+      for (const auto& dev : circuit_.devices()) dev->acceptStep(ctx);
+    }
+    x_prev = x;
+    dt_prev = dt_eff;
+    x = x_try;
+    t = t_new;
+    result.append(t, x);
+
+    if (hits_break) {
+      ++next_break;
+      steps_since_break = 0;
+      dt = std::min(dt_eff, dt_max / 100.0);  // restart cautiously after an edge
+    } else {
+      ++steps_since_break;
+      const double grow = err > 1e-9 ? std::min(options_.dt_grow_max, 0.9 / std::sqrt(err))
+                                     : options_.dt_grow_max;
+      dt = dt_eff * std::max(0.5, grow);
+    }
+  }
+  return result;
+}
+
+}  // namespace vls

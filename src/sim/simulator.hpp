@@ -1,0 +1,85 @@
+// The analysis engine: Newton-Raphson nonlinear solve with homotopy
+// fallbacks (gmin stepping, source stepping), DC operating point, DC
+// sweep, and adaptive-timestep transient (trapezoidal with backward-
+// Euler damping after discontinuities, predictor-based LTE control).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/mna.hpp"
+#include "sim/ac.hpp"
+#include "sim/noise.hpp"
+#include "sim/options.hpp"
+#include "sim/result.hpp"
+
+namespace vls {
+
+class VoltageSource;
+
+class Simulator {
+ public:
+  /// The circuit must outlive the simulator. Branch indices are
+  /// assigned on construction; adding devices afterwards is an error.
+  Simulator(Circuit& circuit, SimOptions options = {});
+
+  /// Solve the DC operating point (sources at their t=0 values).
+  /// Returns the full unknown vector.
+  std::vector<double> solveOp();
+
+  /// Solve OP starting from the supplied initial guess (warm start).
+  std::vector<double> solveOp(std::vector<double> initial_guess);
+
+  /// Warm-started DC solve with sources evaluated at `time` (used to
+  /// measure true steady-state leakage after a transient has brought
+  /// the circuit near the state of interest). Throws ConvergenceError
+  /// if Newton fails from the supplied guess.
+  std::vector<double> solveOpAt(double time, std::vector<double> initial_guess);
+
+  /// Sweep the DC value of a source, warm-starting each point.
+  DcSweepResult dcSweep(VoltageSource& source, double from, double to, double step);
+
+  /// Adaptive transient from a fresh operating point.
+  /// dt_max caps the step; dt_initial <= 0 picks dt_max / 100.
+  TransientResult transient(double t_stop, double dt_max, double dt_initial = -1.0);
+
+  /// AC small-signal sweep (log-spaced). Linearizes at the operating
+  /// point; sources with a nonzero AC magnitude excite the system.
+  AcResult ac(double f_start, double f_stop, int points_per_decade = 10);
+
+  /// Output-referred noise analysis over [f_start, f_stop]: every
+  /// device's physical generators (thermal/flicker/shot) are propagated
+  /// to `output_node` through the linearized network.
+  NoiseResult noise(const std::string& output_node, double f_start, double f_stop,
+                    int points_per_decade = 10);
+
+  size_t numUnknowns() const { return num_unknowns_; }
+  const SimOptions& options() const { return options_; }
+  SimOptions& options() { return options_; }
+
+  /// Evaluation context for post-processing a solution vector at a
+  /// given time (measurement helpers).
+  EvalContext contextFor(const std::vector<double>& x, double time = 0.0) const;
+
+ private:
+  /// One Newton solve at fixed (time, dt, method, scale, gmin).
+  /// Returns true on convergence; x holds the solution (or last iterate).
+  bool newtonSolve(double time, double dt, IntegrationMethod method, double source_scale,
+                   double gmin, std::vector<double>& x, size_t* iterations = nullptr);
+
+  /// OP with fallback homotopies. Throws ConvergenceError on failure.
+  std::vector<double> solveOpInternal(std::vector<double> x);
+
+  void assemble(MnaSystem& system, const EvalContext& ctx);
+
+  Circuit& circuit_;
+  SimOptions options_;
+  size_t num_unknowns_;
+  size_t num_nodes_;
+  /// Reused across Newton solves so the sparsity pattern (and its hash
+  /// index) is built once per simulator, not once per iteration.
+  MnaSystem system_;
+};
+
+}  // namespace vls

@@ -1,0 +1,49 @@
+#include "analysis/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/sstvs.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Area, ScalesWithDeviceCountAndWidth) {
+  Circuit c;
+  MosGeometry g;
+  g.w = 200e-9;
+  g.l = 100e-9;
+  auto& a = c.add<Mosfet>("a", kGround, c.node("g1"), kGround, kGround, nmos90(), g);
+  MosList one = {&a};
+  const double area1 = estimateCellArea(one);
+  auto& b = c.add<Mosfet>("b", kGround, c.node("g2"), kGround, kGround, nmos90(), g);
+  MosList two = {&a, &b};
+  EXPECT_NEAR(estimateCellArea(two), 2.0 * area1, area1 * 1e-9);
+
+  MosGeometry wide = g;
+  wide.w = 400e-9;
+  auto& w = c.add<Mosfet>("w", kGround, c.node("g3"), kGround, kGround, nmos90(), wide);
+  MosList wl = {&w};
+  EXPECT_GT(estimateCellArea(wl), area1);
+}
+
+TEST(Area, SstvsCellAreaNearPaperValue) {
+  // Paper: layout area 4.47 um^2. Our analytic estimator with default
+  // rules should land in the same small-cell class (2-9 um^2).
+  Circuit c;
+  const SstvsHandles h = buildSstvs(c, "x", c.node("in"), c.node("out"), c.node("vddo"), {});
+  const double area = estimateCellArea(h.fets);
+  EXPECT_GT(area, 2.0e-12);
+  EXPECT_LT(area, 9.0e-12);
+}
+
+TEST(Area, BoundingBoxRespectsAspect) {
+  Circuit c;
+  const SstvsHandles h = buildSstvs(c, "x", c.node("in"), c.node("out"), c.node("vddo"), {});
+  const CellBox box = estimateCellBox(h.fets, 6.4);
+  EXPECT_NEAR(box.height / box.width, 6.4, 1e-9);
+  EXPECT_NEAR(box.width * box.height, estimateCellArea(h.fets), 1e-18);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,55 @@
+#include "analysis/corners.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+TEST(Corners, StandardSetShape) {
+  const auto corners = standardCorners();
+  ASSERT_EQ(corners.size(), 5u);
+  EXPECT_EQ(corners[0].name, "TT");
+  EXPECT_LT(corners[1].nmos_dvt, 0.0);  // FF: fast NMOS
+  EXPECT_GT(corners[2].nmos_dvt, 0.0);  // SS: slow NMOS
+  EXPECT_NE(corners[3].nmos_dvt, corners[3].pmos_dvt);  // FS skewed
+}
+
+TEST(Corners, SstvsSurvivesAllCorners) {
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  base.vddi = 0.8;
+  base.vddo = 1.2;
+  const auto results = runCorners(base, standardCorners());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.metrics.functional) << r.corner.name;
+  }
+}
+
+TEST(Corners, SlowCornerIsSlowerThanFast) {
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  const auto results = runCorners(base, standardCorners());
+  const auto find = [&](const char* name) -> const CornerResult& {
+    for (const auto& r : results) {
+      if (r.corner.name == name) return r;
+    }
+    throw std::runtime_error("corner missing");
+  };
+  EXPECT_GT(find("SS").metrics.delay_rise, find("FF").metrics.delay_rise);
+  EXPECT_GT(find("SS").metrics.delay_fall, find("FF").metrics.delay_fall);
+  // Hot slow corner leaks more than nominal despite the higher VT.
+  EXPECT_GT(find("SS").metrics.leakage_high, find("TT").metrics.leakage_high);
+}
+
+TEST(Corners, CornerSkewAppliesOnlyToDut) {
+  // The TT corner must reproduce the plain measurement exactly.
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  const ShifterMetrics plain = measureShifter(base);
+  const auto results = runCorners(base, {standardCorners()[0]});
+  EXPECT_DOUBLE_EQ(results[0].metrics.delay_rise, plain.delay_rise);
+  EXPECT_DOUBLE_EQ(results[0].metrics.leakage_high, plain.leakage_high);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,116 @@
+#include "analysis/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interpolation.hpp"
+
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+Signal triangle() {
+  return Signal{{0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 1.0, 0.0, 0.0}};
+}
+
+TEST(Measure, CrossTime) {
+  const Signal s = triangle();
+  const auto r = crossTime(s, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(r);
+  EXPECT_DOUBLE_EQ(*r, 0.5);
+  const auto f = crossTime(s, 0.5, CrossDir::Falling);
+  ASSERT_TRUE(f);
+  EXPECT_DOUBLE_EQ(*f, 2.5);
+  EXPECT_FALSE(crossTime(s, 2.0, CrossDir::Rising).has_value());
+}
+
+TEST(Measure, PropagationDelay) {
+  const Signal in{{0.0, 1.0, 2.0}, {0.0, 1.0, 1.0}};
+  const Signal out{{0.0, 1.0, 1.5, 2.0}, {1.0, 1.0, 0.0, 0.0}};
+  const auto d = propagationDelay(in, out, 0.5, CrossDir::Rising, 0.5, CrossDir::Falling);
+  ASSERT_TRUE(d);
+  EXPECT_DOUBLE_EQ(*d, 0.75);  // in crosses at 0.5; out falls through 0.5 at 1.25
+}
+
+TEST(Measure, PropagationDelayMissingEdge) {
+  const Signal in{{0.0, 1.0}, {0.0, 0.0}};
+  const Signal out{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(
+      propagationDelay(in, out, 0.5, CrossDir::Rising, 0.5, CrossDir::Falling).has_value());
+}
+
+TEST(Measure, Averages) {
+  const Signal s = triangle();
+  EXPECT_NEAR(averageValue(s, 0.0, 4.0), 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(averageValue(s, 1.0, 2.0), 1.0, 1e-12);
+  EXPECT_THROW(averageValue(s, 2.0, 2.0), InvalidInputError);
+}
+
+TEST(Measure, MinMax) {
+  const Signal s = triangle();
+  EXPECT_DOUBLE_EQ(maxValue(s, 0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(minValue(s, 0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(maxValue(s, 2.6, 4.0), interpLinear(s.time, s.value, 2.6));
+}
+
+TEST(Measure, TransitionTime) {
+  const Signal s{{0.0, 1.0}, {0.0, 1.0}};
+  const auto tr = transitionTime(s, 0.0, 1.0, CrossDir::Rising);
+  ASSERT_TRUE(tr);
+  EXPECT_NEAR(*tr, 0.8, 1e-12);  // 10% to 90% of a linear ramp
+}
+
+TEST(Measure, TransitionEnergyOfCapacitorCharge) {
+  // Charging C to V through R draws E = C*V^2 from the supply (half
+  // stored, half dissipated). Measure it as a transition energy.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1.0;
+  p.delay = 0.5e-9;
+  p.rise = p.fall = 1e-12;
+  p.width = 1e-6;
+  auto& v = c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-12);
+  Simulator sim(c);
+  const auto tr = sim.transient(8e-9, 4e-11);
+  const double e = transitionEnergy(tr, v, 0.5e-9, 7e-9);
+  EXPECT_NEAR(e, 1e-12 * 1.0 * 1.0, 0.05e-12);  // C*V^2 = 1 pJ
+}
+
+TEST(Measure, TransitionEnergyBaselineSubtraction) {
+  // A purely resistive load shows static power only: with the baseline
+  // subtracted the transition energy is ~0.
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 1000.0);
+  Simulator sim(c);
+  const auto tr = sim.transient(2e-9, 1e-10);
+  const double baseline = 1.0 * 1.0 / 1000.0;
+  EXPECT_NEAR(transitionEnergy(tr, v, 0.5e-9, 1e-9, baseline), 0.0, 1e-17);
+}
+
+TEST(Measure, SupplyCurrentAndPower) {
+  // 1 V source across 1 kOhm: delivers 1 mA, 1 mW.
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 1000.0);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 1e-10);
+  const Signal i = supplyCurrent(tr, v);
+  for (double val : i.value) EXPECT_NEAR(val, 1e-3, 1e-9);
+  EXPECT_NEAR(averageSupplyPower(tr, v, 0.0, 1e-9), 1e-3, 1e-9);
+  EXPECT_NEAR(deliveredCharge(tr, v, 0.0, 1e-9), 1e-12, 1e-16);
+}
+
+}  // namespace
+}  // namespace vls

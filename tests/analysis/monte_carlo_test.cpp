@@ -1,0 +1,82 @@
+#include "analysis/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+MonteCarloConfig smallMc(int samples = 12) {
+  MonteCarloConfig mc;
+  mc.samples = samples;
+  mc.seed = 7;
+  return mc;
+}
+
+TEST(MonteCarlo, ProducesRequestedSamples) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  const MonteCarloResult r = runMonteCarlo(h, smallMc());
+  EXPECT_EQ(r.samples, 12);
+  EXPECT_EQ(r.delay_rise.size(), 12u);
+  EXPECT_EQ(r.leakage_low.size(), 12u);
+  EXPECT_EQ(r.functional_failures, 0);
+}
+
+TEST(MonteCarlo, DeterministicBySeed) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  const MonteCarloResult a = runMonteCarlo(h, smallMc(5));
+  const MonteCarloResult b = runMonteCarlo(h, smallMc(5));
+  ASSERT_EQ(a.delay_rise.size(), b.delay_rise.size());
+  for (size_t i = 0; i < a.delay_rise.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.delay_rise[i], b.delay_rise[i]);
+  }
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig m1 = smallMc(5);
+  MonteCarloConfig m2 = smallMc(5);
+  m2.seed = 8;
+  const MonteCarloResult a = runMonteCarlo(h, m1);
+  const MonteCarloResult b = runMonteCarlo(h, m2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.delay_rise.size(); ++i) {
+    if (a.delay_rise[i] != b.delay_rise[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MonteCarlo, VariationSpreadsDelays) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  const MonteCarloResult r = runMonteCarlo(h, smallMc(16));
+  const Summary s = r.delayRise();
+  EXPECT_GT(s.stddev, 0.0);
+  // Sigma should be a modest fraction of the mean for 3.34% variations.
+  EXPECT_LT(s.stddev, 0.5 * s.mean);
+}
+
+TEST(MonteCarlo, ZeroVariationCollapsesSpread) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(4);
+  mc.variation.sigma_w = 0.0;
+  mc.variation.sigma_l = 0.0;
+  mc.variation.sigma_vt_rel = 0.0;
+  const MonteCarloResult r = runMonteCarlo(h, mc);
+  EXPECT_NEAR(r.delayRise().stddev, 0.0, 1e-18);
+  EXPECT_NEAR(r.leakageHigh().stddev, 0.0, 1e-18);
+}
+
+TEST(MonteCarlo, PaperSigmas) {
+  const VariationSpec v{};
+  EXPECT_NEAR(v.sigma_w, 0.0334 * 90e-9, 1e-12);
+  EXPECT_NEAR(v.sigma_l, 0.0334 * 90e-9, 1e-12);
+  // 3 sigma = 10% of nominal VT.
+  EXPECT_NEAR(3.0 * v.sigma_vt_rel, 0.1, 2e-3);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,65 @@
+#include "analysis/routing_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+TEST(RoutingCost, SingleUpShiftSignal) {
+  std::vector<ModuleSpec> modules = {{"a", 0.8, 0.0, 0.0}, {"b", 1.2, 1e-3, 0.0}};
+  std::vector<SignalBundle> signals = {{0, 1, 4}};
+  RoutingCostModel model;
+  model.detour = 1.0;
+  const RoutingReport rep = compareRoutingCost(modules, signals, model);
+  EXPECT_EQ(rep.cvs_extra_rails, 1);
+  EXPECT_NEAR(rep.cvs_supply_wirelength, 1e-3, 1e-12);
+  EXPECT_NEAR(rep.cvs_supply_area, 1e-3 * 3e-6, 1e-15);
+  EXPECT_EQ(rep.dual_extra_wires, 4);
+  EXPECT_NEAR(rep.signal_wirelength, 4e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(rep.ssvs_extra_area, 0.0);
+}
+
+TEST(RoutingCost, DownShiftNeedsNothingExtra) {
+  // High-to-low: an inverter suffices at the receiver; no rail import.
+  std::vector<ModuleSpec> modules = {{"a", 1.2, 0.0, 0.0}, {"b", 0.8, 1e-3, 0.0}};
+  std::vector<SignalBundle> signals = {{0, 1, 4}};
+  const RoutingReport rep = compareRoutingCost(modules, signals);
+  EXPECT_EQ(rep.cvs_extra_rails, 0);
+  EXPECT_EQ(rep.dual_extra_wires, 0);
+  EXPECT_GT(rep.signal_area, 0.0);
+}
+
+TEST(RoutingCost, RailImportedOncePerReceiver) {
+  // Two bundles from the same low domain to the same high domain: one rail.
+  std::vector<ModuleSpec> modules = {{"a", 0.8, 0.0, 0.0}, {"b", 1.2, 1e-3, 0.0}};
+  std::vector<SignalBundle> signals = {{0, 1, 2}, {0, 1, 3}};
+  const RoutingReport rep = compareRoutingCost(modules, signals);
+  EXPECT_EQ(rep.cvs_extra_rails, 1);
+  EXPECT_EQ(rep.dual_extra_wires, 5);
+}
+
+TEST(RoutingCost, PaperFourModuleMesh) {
+  std::vector<ModuleSpec> modules;
+  std::vector<SignalBundle> signals;
+  paperFourModuleSystem(modules, signals);
+  ASSERT_EQ(modules.size(), 4u);
+  ASSERT_EQ(signals.size(), 12u);
+  const RoutingReport rep = compareRoutingCost(modules, signals);
+  // Exactly the up-shift pairs import rails: (0.8->1.0), (0.8->1.2),
+  // (0.8->1.4), (1.0->1.2), (1.0->1.4), (1.2->1.4) = 6.
+  EXPECT_EQ(rep.cvs_extra_rails, 6);
+  EXPECT_GT(rep.cvs_supply_area, 0.0);
+  // The supply rails are ~15x wider than signals: overhead is material.
+  EXPECT_GT(rep.cvs_supply_area / rep.signal_area, 0.05);
+}
+
+TEST(RoutingCost, BadIndexThrows) {
+  std::vector<ModuleSpec> modules = {{"a", 1.0, 0.0, 0.0}};
+  std::vector<SignalBundle> signals = {{0, 3, 1}};
+  EXPECT_THROW(compareRoutingCost(modules, signals), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,60 @@
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vls {
+namespace {
+
+TEST(Sensitivity, CoversEveryDutDevice) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::InverterOnly;  // small DUT: fast test
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  const SensitivityReport rep = analyzeVtSensitivity(cfg);
+  EXPECT_EQ(rep.entries.size(), 2u);  // inverter: mp + mn
+  for (const auto& e : rep.entries) {
+    EXPECT_EQ(e.device.rfind("xdut.", 0), 0u);
+    EXPECT_TRUE(std::isfinite(e.d_delay_rise));
+  }
+}
+
+TEST(Sensitivity, SortedByRisingContribution) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::InverterOnly;
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  const SensitivityReport rep = analyzeVtSensitivity(cfg);
+  for (size_t i = 1; i < rep.entries.size(); ++i) {
+    EXPECT_GE(rep.entries[i - 1].sigma_contrib_rise, rep.entries[i].sigma_contrib_rise);
+  }
+  EXPECT_GE(rep.predicted_sigma_rise, rep.entries.front().sigma_contrib_rise);
+}
+
+TEST(Sensitivity, InverterPmosDominatesRisingEdge) {
+  // For a bare inverter the rising-output edge is the PMOS's job: its
+  // VT sensitivity must dominate.
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::InverterOnly;
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  const SensitivityReport rep = analyzeVtSensitivity(cfg);
+  EXPECT_NE(rep.entries.front().device.find(".mp"), std::string::npos);
+}
+
+TEST(Sensitivity, LeakageSensitivityIsNegativeForHigherVt) {
+  // Raising any VT lowers subthreshold leakage: d(leak)/dVT < 0 for the
+  // dominant contributors.
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::InverterOnly;
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  const SensitivityReport rep = analyzeVtSensitivity(cfg);
+  double min_dleak = 0.0;
+  for (const auto& e : rep.entries) min_dleak = std::min(min_dleak, e.d_leak_high);
+  EXPECT_LT(min_dleak, 0.0);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,86 @@
+#include "analysis/static_margins.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+TEST(StaticMargins, InverterReferenceValues) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::InverterOnly;
+  cfg.vddi = 1.2;
+  cfg.vddo = 1.2;
+  const StaticMargins m = measureStaticMargins(cfg);
+  EXPECT_NEAR(m.voh, 1.2, 5e-3);
+  EXPECT_NEAR(m.vol, 0.0, 5e-3);
+  EXPECT_TRUE(m.regenerative);
+  EXPECT_GT(m.peak_gain, 4.0);
+  EXPECT_GT(m.vil, 0.2);
+  EXPECT_LT(m.vih, 1.0);
+  EXPECT_LT(m.vil, m.vih);
+  EXPECT_GT(m.nml, 0.2);
+  EXPECT_GT(m.nmh, 0.2);
+}
+
+TEST(StaticMargins, SstvsUpShiftIsDynamicOnly) {
+  // The SS-TVS up-shift path has NO static transition: under a
+  // quasi-static ramp the ctrl node tracks the input through M2 and M1
+  // never gains gate drive, so node2 stays latched. This is a real
+  // property of the topology (the cell is edge/stored-charge operated);
+  // the paper's stimuli always have edges.
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::Sstvs;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.2;
+  const StaticMargins m = measureStaticMargins(cfg);
+  EXPECT_FALSE(m.static_transition);
+  EXPECT_LT(m.peak_gain, 1.0);
+  // And yet the same cell converts these levels dynamically:
+  const ShifterMetrics dynamic = measureShifter(cfg);
+  EXPECT_TRUE(dynamic.functional);
+}
+
+TEST(StaticMargins, SstvsDownShiftHasStaticTransition) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::Sstvs;
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  const StaticMargins m = measureStaticMargins(cfg);
+  EXPECT_TRUE(m.static_transition);
+  EXPECT_NEAR(m.voh, 0.8, 0.03);
+  EXPECT_NEAR(m.vol, 0.0, 0.03);
+  EXPECT_TRUE(m.regenerative);
+}
+
+TEST(StaticMargins, PuriMarginsDegradeWithRailGap) {
+  // [13]'s static margins collapse as VDDO - VDDI grows (the virtual
+  // rail can no longer shut the output inverter's PMOS).
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::SsvsPuri;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.0;
+  const StaticMargins narrow = measureStaticMargins(cfg);
+  cfg.vddo = 1.4;
+  const StaticMargins wide = measureStaticMargins(cfg);
+  EXPECT_TRUE(narrow.static_transition);
+  // Wider gap: the cell still transitions statically but the input-high
+  // side leaks; margins must not improve.
+  EXPECT_LE(wide.nml + wide.nmh, narrow.nml + narrow.nmh + 0.05);
+}
+
+TEST(StaticMargins, SweepToleratesBistableSnapping) {
+  // The combined VS (with its internal latch) may have mid-transition
+  // points where DC convergence fails; the sweep must survive and
+  // report rather than abort.
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::CombinedVs;
+  cfg.vddi = 1.2;
+  cfg.vddo = 0.8;
+  EXPECT_NO_THROW({
+    const StaticMargins m = measureStaticMargins(cfg);
+    EXPECT_TRUE(m.static_transition);  // inverter path: clean DC curve
+  });
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,88 @@
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+TEST(Sweep, GridShape) {
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.2;
+  cfg.step = 0.4;
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+  ASSERT_EQ(r.vddi_axis.size(), 2u);
+  ASSERT_EQ(r.vddo_axis.size(), 2u);
+  ASSERT_EQ(r.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.at(0, 1).vddi, 0.8);
+  EXPECT_DOUBLE_EQ(r.at(0, 1).vddo, 1.2);
+  EXPECT_DOUBLE_EQ(r.at(1, 0).vddi, 1.2);
+  EXPECT_DOUBLE_EQ(r.at(1, 0).vddo, 0.8);
+}
+
+TEST(Sweep, ProgressCallbackFires) {
+  HarnessConfig base;
+  Sweep2dConfig cfg;
+  cfg.v_min = 1.0;
+  cfg.v_max = 1.2;
+  cfg.step = 0.2;
+  size_t calls = 0;
+  size_t last_total = 0;
+  cfg.on_point = [&](const SweepPoint&, size_t, size_t total) {
+    ++calls;
+    last_total = total;
+  };
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+  EXPECT_EQ(calls, r.points.size());
+  EXPECT_EQ(last_total, r.points.size());
+}
+
+TEST(Sweep, BadGridThrows) {
+  HarnessConfig base;
+  Sweep2dConfig cfg;
+  cfg.step = 0.0;
+  EXPECT_THROW(sweepSupplies(base, cfg), InvalidInputError);
+  cfg.step = 0.1;
+  cfg.v_min = 1.2;
+  cfg.v_max = 0.8;
+  EXPECT_THROW(sweepSupplies(base, cfg), InvalidInputError);
+}
+
+TEST(Sweep, AllPointsFunctionalOnCoarseGrid) {
+  // Paper Section 4: the SS-TVS converts correctly for ALL VDDI/VDDO
+  // combinations in [0.8, 1.4] V. Verified on the full grid (5 mV in
+  // the paper, coarse here for test time; bench_fig8 refines).
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.4;
+  cfg.step = 0.3;
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+  EXPECT_EQ(r.functionalCount(), r.points.size());
+}
+
+TEST(Sweep, DelaysVarySmoothly) {
+  // Neighbouring grid points must not jump by more than 2x (paper:
+  // "delays change smoothly with changing VDDI and VDDO").
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.4;
+  cfg.step = 0.2;
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+  const size_t n = r.vddo_axis.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j + 1 < n; ++j) {
+      const double a = r.at(i, j).metrics.delay_rise;
+      const double b = r.at(i, j + 1).metrics.delay_rise;
+      EXPECT_LT(std::max(a, b) / std::min(a, b), 2.0) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vls

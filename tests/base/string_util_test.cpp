@@ -1,0 +1,69 @@
+#include "base/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+TEST(StringUtil, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, CaseConversion) {
+  EXPECT_EQ(toLower("MixedCase123"), "mixedcase123");
+  EXPECT_EQ(toUpper("MixedCase123"), "MIXEDCASE123");
+}
+
+TEST(StringUtil, SplitFieldsDropsEmpty) {
+  const auto fields = splitFields("  a   b\tc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StringUtil, SplitFieldsEmptyInput) { EXPECT_TRUE(splitFields("   ").empty()); }
+
+TEST(StringUtil, CaseInsensitiveCompare) {
+  EXPECT_TRUE(iequals("PULSE", "pulse"));
+  EXPECT_FALSE(iequals("PULSE", "puls"));
+  EXPECT_TRUE(istartsWith("PULSE(0 1)", "pulse"));
+  EXPECT_FALSE(istartsWith("PU", "pulse"));
+}
+
+TEST(StringUtil, ParseSpiceNumberPlain) {
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("-3e-9"), -3e-9);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("  42 "), 42.0);
+}
+
+TEST(StringUtil, ParseSpiceNumberSuffixes) {
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("2.2meg"), 2.2e6);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("10u"), 10e-6);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("15p"), 15e-12);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1t"), 1e12);
+}
+
+TEST(StringUtil, ParseSpiceNumberWithUnit) {
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("15pF"), 15e-12);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("1.2V"), 1.2);
+  EXPECT_DOUBLE_EQ(*parseSpiceNumber("100nS"), 100e-9);
+}
+
+TEST(StringUtil, ParseSpiceNumberRejectsGarbage) {
+  EXPECT_FALSE(parseSpiceNumber("abc").has_value());
+  EXPECT_FALSE(parseSpiceNumber("").has_value());
+  EXPECT_FALSE(parseSpiceNumber("1.5x!").has_value());
+  EXPECT_FALSE(parseSpiceNumber("1k2").has_value());
+}
+
+}  // namespace
+}  // namespace vls

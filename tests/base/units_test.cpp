@@ -1,0 +1,43 @@
+#include "base/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+using namespace vls::literals;
+
+TEST(Units, ThermalVoltageAtRoomTemperature) {
+  // kT/q at 300.15 K is about 25.87 mV.
+  EXPECT_NEAR(thermalVoltage(300.15), 25.87e-3, 0.05e-3);
+}
+
+TEST(Units, ThermalVoltageScalesLinearly) {
+  EXPECT_NEAR(thermalVoltage(600.0) / thermalVoltage(300.0), 2.0, 1e-12);
+}
+
+TEST(Units, CelsiusConversion) {
+  EXPECT_DOUBLE_EQ(celsiusToKelvin(27.0), 300.15);
+  EXPECT_DOUBLE_EQ(celsiusToKelvin(-273.15), 0.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ(1.2_V, 1.2);
+  EXPECT_DOUBLE_EQ(800.0_mV, 0.8);
+  EXPECT_DOUBLE_EQ(1.0_fF, 1e-15);
+  EXPECT_DOUBLE_EQ(22.0_ps, 22e-12);
+  EXPECT_DOUBLE_EQ(2.0_ns, 2e-9);
+  EXPECT_DOUBLE_EQ(90_nm, 90e-9);
+  EXPECT_DOUBLE_EQ(0.837_um, 0.837e-6);
+  EXPECT_DOUBLE_EQ(20.8_nA, 20.8e-9);
+  EXPECT_DOUBLE_EQ(1.0_kOhm, 1000.0);
+}
+
+TEST(Units, OxideCapacitanceSanity) {
+  // Cox = eps0 * 3.9 / 2.05nm is about 16.8 fF/um^2.
+  const double cox = kEpsilon0 * kEpsSiO2 / 2.05e-9;
+  EXPECT_NEAR(cox, 16.8e-3, 0.5e-3);  // F/m^2
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,154 @@
+#include "cells/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+// Helper: evaluate a 2-input gate's DC truth table output at given
+// logic inputs (levels 0 / vdd).
+class GateFixture : public ::testing::Test {
+ protected:
+  double evalGate2(const char* which, int a, int b, double vdd_v = 1.2) {
+    Circuit c;
+    const NodeId vdd = c.node("vdd");
+    const NodeId na = c.node("a");
+    const NodeId nb = c.node("b");
+    const NodeId out = c.node("out");
+    c.add<VoltageSource>("vdd", vdd, kGround, vdd_v);
+    c.add<VoltageSource>("va", na, kGround, a ? vdd_v : 0.0);
+    c.add<VoltageSource>("vb", nb, kGround, b ? vdd_v : 0.0);
+    if (std::string(which) == "nor") {
+      buildNor2(c, "x", na, nb, out, vdd);
+    } else {
+      buildNand2(c, "x", na, nb, out, vdd);
+    }
+    Simulator sim(c);
+    return sim.solveOp()[out];
+  }
+};
+
+TEST_F(GateFixture, Nor2TruthTable) {
+  EXPECT_NEAR(evalGate2("nor", 0, 0), 1.2, 5e-3);
+  EXPECT_NEAR(evalGate2("nor", 0, 1), 0.0, 5e-3);
+  EXPECT_NEAR(evalGate2("nor", 1, 0), 0.0, 5e-3);
+  EXPECT_NEAR(evalGate2("nor", 1, 1), 0.0, 5e-3);
+}
+
+TEST_F(GateFixture, Nand2TruthTable) {
+  EXPECT_NEAR(evalGate2("nand", 0, 0), 1.2, 5e-3);
+  EXPECT_NEAR(evalGate2("nand", 0, 1), 1.2, 5e-3);
+  EXPECT_NEAR(evalGate2("nand", 1, 0), 1.2, 5e-3);
+  EXPECT_NEAR(evalGate2("nand", 1, 1), 0.0, 5e-3);
+}
+
+TEST_F(GateFixture, GatesWorkAcrossSupplyRange) {
+  for (double vdd : {0.8, 1.0, 1.4}) {
+    EXPECT_NEAR(evalGate2("nor", 0, 0, vdd), vdd, 5e-3);
+    EXPECT_NEAR(evalGate2("nand", 1, 1, vdd), 0.0, 5e-3);
+  }
+}
+
+TEST(Gates, InverterCreatesTwoFets) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const GateHandles h = buildInverter(c, "x", c.node("in"), c.node("out"), vdd);
+  EXPECT_EQ(h.fets.size(), 2u);
+  EXPECT_NE(c.findDevice("x.mp"), nullptr);
+  EXPECT_NE(c.findDevice("x.mn"), nullptr);
+}
+
+TEST(Gates, TransmissionGatePassesBothRails) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId ctl = c.node("ctl");
+  const NodeId ctlb = c.node("ctlb");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  auto& va = c.add<VoltageSource>("va", a, kGround, 1.2);
+  c.add<VoltageSource>("vc", ctl, kGround, 1.2);
+  c.add<VoltageSource>("vcb", ctlb, kGround, 0.0);
+  buildTgate(c, "tg", a, b, ctl, ctlb, vdd);
+  c.add<Resistor>("rl", b, kGround, 1e9);
+  Simulator sim(c);
+  auto x = sim.solveOp();
+  EXPECT_NEAR(x[b], 1.2, 5e-3);  // full rail: PMOS carries the high level
+  va.setWaveform(Waveform::dc(0.0));
+  x = sim.solveOp();
+  EXPECT_NEAR(x[b], 0.0, 5e-3);  // NMOS carries the low level
+}
+
+TEST(Gates, TransmissionGateBlocksWhenOff) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  c.add<VoltageSource>("va", a, kGround, 1.2);
+  const NodeId ctl = c.node("ctl");
+  const NodeId ctlb = c.node("ctlb");
+  c.add<VoltageSource>("vc", ctl, kGround, 0.0);
+  c.add<VoltageSource>("vcb", ctlb, kGround, 1.2);
+  buildTgate(c, "tg", a, b, ctl, ctlb, vdd);
+  c.add<Resistor>("rl", b, kGround, 1e6);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_LT(x[b], 0.05);  // only leakage reaches the load
+}
+
+TEST(Gates, Mux2Selects) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  const NodeId i0 = c.node("i0");
+  const NodeId i1 = c.node("i1");
+  c.add<VoltageSource>("v0", i0, kGround, 0.3);
+  c.add<VoltageSource>("v1", i1, kGround, 0.9);
+  const NodeId sel = c.node("sel");
+  const NodeId selb = c.node("selb");
+  auto& vs = c.add<VoltageSource>("vs", sel, kGround, 0.0);
+  auto& vsb = c.add<VoltageSource>("vsb", selb, kGround, 1.2);
+  const NodeId out = c.node("out");
+  buildMux2(c, "mx", i0, i1, sel, selb, out, vdd);
+  c.add<Resistor>("rl", out, kGround, 1e9);
+  Simulator sim(c);
+  auto x = sim.solveOp();
+  EXPECT_NEAR(x[out], 0.3, 0.01);
+  vs.setWaveform(Waveform::dc(1.2));
+  vsb.setWaveform(Waveform::dc(0.0));
+  x = sim.solveOp();
+  EXPECT_NEAR(x[out], 0.9, 0.01);
+}
+
+TEST(Gates, BufferChainParityAndCount) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  c.add<VoltageSource>("vin", in, kGround, 1.2);
+  const GateHandles h = buildBufferChain(c, "bc", in, vdd, 4);
+  EXPECT_EQ(h.fets.size(), 8u);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[h.out], 1.2, 5e-3);  // even stages: non-inverting
+}
+
+TEST(Gates, MosCapHasNoDcPath) {
+  Circuit c;
+  const NodeId n = c.node("n");
+  c.add<CurrentSource>("i", kGround, n, 0.0);
+  buildMosCap(c, "mc", n, MosSize{500e-9, 200e-9});
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[n], 0.0, 1e-6);  // held only by gmin
+}
+
+}  // namespace
+}  // namespace vls

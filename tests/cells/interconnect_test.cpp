@@ -1,0 +1,123 @@
+#include "cells/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "cells/sstvs.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Wire, StructureAndTotals) {
+  Circuit c;
+  WireSpec spec;
+  spec.length = 200e-6;
+  spec.segments = 4;
+  const WireHandles h = buildWire(c, "w", c.node("a"), c.node("b"), spec);
+  EXPECT_EQ(h.taps.size(), 3u);
+  EXPECT_NEAR(h.total_r, 250e3 * 200e-6, 1e-6);
+  EXPECT_NEAR(h.total_c, 200e-12 * 200e-6, 1e-20);
+  // 4 R + 8 C devices.
+  EXPECT_EQ(c.devices().size(), 12u);
+  EXPECT_THROW(buildWire(c, "bad", c.node("a"), c.node("b"), WireSpec{1e-6, 1, 1, 0}),
+               InvalidInputError);
+}
+
+TEST(Wire, StepResponseNearElmore) {
+  // Ideal step into the wire: 50% arrival within ~25% of the Elmore
+  // estimate (Elmore overestimates a distributed line's 50% point).
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = p.fall = 1e-13;
+  p.width = 1e-6;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  WireSpec spec;
+  spec.length = 1e-3;  // 1 mm global wire: Rw=250, Cw=200fF
+  spec.segments = 16;
+  buildWire(c, "w", a, b, spec);
+  Simulator sim(c);
+  const auto tr = sim.transient(200e-12, 2e-12);
+  const Signal vb = tr.node("b");
+  const auto t50 = crossTime(vb, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(t50);
+  const double elmore = wireElmoreDelay(spec);
+  EXPECT_NEAR(*t50, elmore, elmore * 0.30);
+}
+
+TEST(Wire, DcTransparent) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 1.2);
+  buildWire(c, "w", a, b, {});
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[b], 1.2, 1e-6);  // no DC load: wire passes the level
+}
+
+TEST(Wire, ShiftedSignalSurvivesLongWire) {
+  // SS-TVS output driving 0.5 mm of wire into a far-end load: the level
+  // must still reach the rail, with extra delay roughly the wire's RC.
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const NodeId far = c.node("far");
+  c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+  PulseSpec p;
+  p.v1 = 0.8;
+  p.v2 = 0.0;
+  p.delay = 0.5e-9;
+  p.rise = p.fall = 20e-12;
+  p.width = 2e-9;
+  c.add<VoltageSource>("vin", in, kGround, Waveform::pulse(p));
+  buildSstvs(c, "x", in, out, vddo, {});
+  WireSpec spec;
+  spec.length = 0.5e-3;
+  buildWire(c, "w", out, far, spec);
+  c.add<Capacitor>("cl", far, kGround, 2e-15);
+  Simulator sim(c);
+  const auto tr = sim.transient(3e-9, 20e-12);
+  const Signal vf = tr.node("far");
+  const auto t_rise = crossTime(vf, 0.6, CrossDir::Rising, 0.4e-9);
+  ASSERT_TRUE(t_rise);
+  EXPECT_NEAR(maxValue(vf, 1.5e-9, 2.4e-9), 1.2, 0.05);
+}
+
+TEST(Wire, ElmoreWithDriverAndLoadIsLarger) {
+  WireSpec spec;
+  EXPECT_GT(wireElmoreDelay(spec, 5e3, 2e-15), wireElmoreDelay(spec));
+}
+
+TEST(Wire, AcCornerTracksRc) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.0);
+  v.setAcMagnitude(1.0);
+  WireSpec spec;
+  spec.length = 1e-3;
+  spec.segments = 12;
+  buildWire(c, "w", a, b, spec);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e6, 1e12, 8);
+  const auto corner = res.cornerFrequency("b");
+  ASSERT_TRUE(corner);
+  // f50 of a distributed line ~ 1/(2 pi 0.5 Rw Cw) within a factor ~3.
+  const double f_est = 1.0 / (2.0 * M_PI * 0.5 * 250.0 * 200e-15);
+  EXPECT_GT(*corner, f_est / 3.0);
+  EXPECT_LT(*corner, f_est * 3.0);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,116 @@
+// Level-converting flip-flop: data from the VDDI domain is sampled on
+// the VDDO-domain clock edge with only the destination supply present.
+#include "cells/lcff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+struct LcffRun {
+  Circuit circuit;
+  TransientResult run{std::vector<std::string>{}, 0};
+};
+
+// Clock: rising edges at 1, 3, 5, 7 ns (period 2 ns). Data (VDDI swing):
+// the given PWL levels.
+TransientResult runLcff(double vddi_v, double vddo_v, Circuit& c,
+                        const std::vector<double>& d_times, const std::vector<double>& d_vals) {
+  const NodeId vddo = c.node("vddo");
+  const NodeId d = c.node("d");
+  const NodeId clk = c.node("clk");
+  const NodeId q = c.node("q");
+  c.add<VoltageSource>("v_vddo", vddo, kGround, vddo_v);
+  PulseSpec ck;
+  ck.v1 = 0;
+  ck.v2 = vddo_v;
+  ck.delay = 1e-9;
+  ck.rise = ck.fall = 20e-12;
+  ck.width = 1e-9 - 20e-12;
+  ck.period = 2e-9;
+  c.add<VoltageSource>("v_clk", clk, kGround, Waveform::pulse(ck));
+  c.add<VoltageSource>("v_d", d, kGround, Waveform::pwl(d_times, d_vals));
+  buildLcff(c, "xff", d, clk, q, vddo, {});
+  c.add<Capacitor>("cl", q, kGround, 1e-15);
+  Simulator sim(c);
+  return sim.transient(8e-9, 50e-12);
+}
+
+TEST(Lcff, CapturesOnRisingEdgeUpShift) {
+  // d: 1 until 1.6 ns, 0 until 3.6 ns, then 1.
+  Circuit c;
+  const double vi = 0.8;
+  const auto tr = runLcff(vi, 1.2, c,
+                          {0.0, 1.6e-9, 1.62e-9, 3.6e-9, 3.62e-9}, {vi, vi, 0.0, 0.0, vi});
+  const Signal q = tr.node("q");
+  // Edge 1 (1 ns): d=1 -> q=1.2 shortly after.
+  EXPECT_NEAR(interpLinear(q.time, q.value, 1.9e-9), 1.2, 0.06);
+  // Edge 2 (3 ns): d=0 -> q=0.
+  EXPECT_NEAR(interpLinear(q.time, q.value, 3.9e-9), 0.0, 0.06);
+  // Edge 3 (5 ns): d=1 again -> q=1.2.
+  EXPECT_NEAR(interpLinear(q.time, q.value, 5.9e-9), 1.2, 0.06);
+}
+
+TEST(Lcff, HoldsBetweenEdges) {
+  // Data toggles mid-cycle (at 1.6 ns, well after the 1 ns edge): q must
+  // NOT change until the next rising edge at 3 ns.
+  Circuit c;
+  const double vi = 0.8;
+  const auto tr = runLcff(vi, 1.2, c,
+                          {0.0, 1.6e-9, 1.62e-9}, {vi, vi, 0.0});
+  const Signal q = tr.node("q");
+  EXPECT_NEAR(interpLinear(q.time, q.value, 2.8e-9), 1.2, 0.06);  // still old value
+  EXPECT_NEAR(interpLinear(q.time, q.value, 3.9e-9), 0.0, 0.06);  // updated after edge
+}
+
+TEST(Lcff, WorksForDownShiftToo) {
+  // 1.4 V data into a 0.9 V flop: true level conversion inside the FF.
+  Circuit c;
+  const double vi = 1.4;
+  const auto tr = runLcff(vi, 0.9, c,
+                          {0.0, 1.6e-9, 1.62e-9, 3.6e-9, 3.62e-9}, {vi, vi, 0.0, 0.0, vi});
+  const Signal q = tr.node("q");
+  EXPECT_NEAR(interpLinear(q.time, q.value, 1.9e-9), 0.9, 0.05);
+  EXPECT_NEAR(interpLinear(q.time, q.value, 3.9e-9), 0.0, 0.05);
+  EXPECT_NEAR(interpLinear(q.time, q.value, 5.9e-9), 0.9, 0.05);
+}
+
+TEST(Lcff, ClkToQDelayIsReasonable) {
+  // Start from the conditioned d=1 state (q initially high); d falls at
+  // 2.5 ns inside the transparent master window, so the 3 ns clock edge
+  // launches a clean falling q for the clk-to-q measurement.
+  Circuit c;
+  const double vi = 0.8;
+  const auto tr = runLcff(vi, 1.2, c, {0.0, 2.5e-9, 2.52e-9}, {vi, vi, 0.0});
+  const Signal clk = tr.node("clk");
+  const Signal q = tr.node("q");
+  const auto d =
+      propagationDelay(clk, q, 0.6, CrossDir::Rising, 0.6, CrossDir::Falling, 2.9e-9);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, 10e-12);
+  EXPECT_LT(*d, 400e-12);
+}
+
+TEST(Lcff, SingleSupplyOnly) {
+  Circuit c;
+  runLcff(0.8, 1.2, c, {0.0}, {0.8});
+  // The whole flop (shifter included) references only vddo + ground:
+  // no device terminal touches a second rail.
+  EXPECT_EQ(c.findDevice("v_vddi"), nullptr);
+  int fet_count = 0;
+  for (const auto& dev : c.devices()) {
+    if (dev->name().rfind("xff.", 0) == 0) ++fet_count;
+  }
+  EXPECT_GE(fet_count, 25);  // SS-TVS (13) + clocking + latches
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,121 @@
+// Tests for the related-work comparison cells ([13] Puri, [9]-style
+// bootstrap), including the documented weaknesses the SS-TVS paper
+// builds its case on.
+#include "cells/related_work.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/shifter_harness.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(SsvsPuri, UpShiftsDcBothLevels) {
+  for (int bit : {0, 1}) {
+    Circuit c;
+    const NodeId no = c.node("vddo");
+    c.add<VoltageSource>("vo", no, kGround, 1.2);
+    c.add<VoltageSource>("vin", c.node("in"), kGround, bit ? 0.8 : 0.0);
+    buildSsvsPuri(c, "x", c.node("in"), c.node("out"), no, {});
+    Simulator sim(c);
+    const auto x = sim.solveOp();
+    const double expect = bit ? 1.2 : 0.0;  // two inverters: non-inverting
+    EXPECT_NEAR(x[*c.findNode("out")], expect, 0.05) << "bit " << bit;
+  }
+}
+
+TEST(SsvsPuri, LeakageGrowsWithRailGap) {
+  // [13]'s documented limitation: "suffers from higher leakage currents
+  // when the difference in voltage levels of the output supply and the
+  // input signal is more than a threshold voltage."
+  auto leak = [](double vddi, double vddo) {
+    Circuit c;
+    const NodeId no = c.node("vddo");
+    auto& vo = c.add<VoltageSource>("vo", no, kGround, vddo);
+    c.add<VoltageSource>("vin", c.node("in"), kGround, vddi);
+    buildSsvsPuri(c, "x", c.node("in"), c.node("out"), no, {});
+    Simulator sim(c);
+    return std::fabs(sim.solveOp()[vo.branchIndex()]);
+  };
+  const double small_gap = leak(1.0, 1.2);   // gap 0.2 V < VT
+  const double big_gap = leak(0.8, 1.4);     // gap 0.6 V > VT
+  EXPECT_GT(big_gap, 10.0 * small_gap);
+}
+
+TEST(SsvsPuri, ReducedInternalSwing) {
+  Circuit c;
+  const NodeId no = c.node("vddo");
+  c.add<VoltageSource>("vo", no, kGround, 1.2);
+  c.add<VoltageSource>("vin", c.node("in"), kGround, 0.0);
+  const SsvsPuriHandles h = buildSsvsPuri(c, "x", c.node("in"), c.node("out"), no, {});
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  // in=0 -> in_b high, but only up to the dropped rail, below VDDO.
+  EXPECT_LT(x[h.in_b], 1.1);
+  EXPECT_GT(x[h.in_b], 0.6);
+}
+
+TEST(Bootstrap, FunctionalViaHarness) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::Bootstrap;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.2;
+  const ShifterMetrics m = measureShifter(cfg);
+  EXPECT_TRUE(m.functional);
+  EXPECT_GT(m.delay_rise, 0.0);
+}
+
+TEST(Bootstrap, BootNodeKicksAboveRailOnRisingInput) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::Bootstrap;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.2;
+  cfg.bits = {1, 0, 1};
+  ShifterTestbench tb(cfg);
+  tb.measure();
+  const Signal boot = tb.lastRun().node("xdut.boot");
+  double boot_max = 0.0;
+  double boot_min = 10.0;
+  for (double v : boot.value) {
+    boot_max = std::max(boot_max, v);
+    boot_min = std::min(boot_min, v);
+  }
+  // The coupling cap must kick the gate meaningfully both ways around
+  // its ~VDDO-VT park level.
+  EXPECT_GT(boot_max, 1.0);
+  EXPECT_LT(boot_min, 0.6);
+}
+
+TEST(Bootstrap, LeaksLikeAnInverterWhenInputHighIsLow) {
+  // Bootstrapping buys speed, not leakage: with in = 0.8 at VDDO = 1.2
+  // the pull-up gate parks near VDDO - VT and the output stage leaks
+  // orders of magnitude more than the SS-TVS.
+  HarnessConfig cfg;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.2;
+  cfg.kind = ShifterKind::Bootstrap;
+  const ShifterMetrics boot = measureShifter(cfg);
+  cfg.kind = ShifterKind::Sstvs;
+  const ShifterMetrics tvs = measureShifter(cfg);
+  EXPECT_GT(boot.leakage_low, 20.0 * tvs.leakage_low);
+}
+
+TEST(Harness, NonInvertingPolarityHandled) {
+  HarnessConfig cfg;
+  cfg.kind = ShifterKind::SsvsPuri;
+  cfg.vddi = 0.8;
+  cfg.vddo = 1.2;
+  const ShifterMetrics m = measureShifter(cfg);
+  EXPECT_TRUE(m.functional);
+  EXPECT_GT(m.delay_rise, 0.0);
+  EXPECT_GT(m.delay_fall, 0.0);
+  EXPECT_FALSE(shifterKindInverting(ShifterKind::SsvsPuri));
+  EXPECT_TRUE(shifterKindInverting(ShifterKind::Sstvs));
+}
+
+}  // namespace
+}  // namespace vls

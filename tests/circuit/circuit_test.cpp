@@ -1,0 +1,77 @@
+#include "circuit/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Circuit, NodeCreationAndLookup) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.node("a"), a);  // idempotent
+  EXPECT_EQ(c.nodeCount(), 2u);
+  EXPECT_EQ(c.nodeName(a), "a");
+  ASSERT_TRUE(c.findNode("b").has_value());
+  EXPECT_EQ(*c.findNode("b"), b);
+  EXPECT_FALSE(c.findNode("zzz").has_value());
+}
+
+TEST(Circuit, GroundAliases) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), kGround);
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_EQ(c.node("GND"), kGround);
+  EXPECT_EQ(c.nodeCount(), 0u);
+  EXPECT_EQ(c.nodeName(kGround), "0");
+  EXPECT_TRUE(isGround(kGround));
+  EXPECT_FALSE(isGround(c.node("x")));
+}
+
+TEST(Circuit, DeviceOwnershipAndLookup) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& r = c.add<Resistor>("r1", a, kGround, 100.0);
+  EXPECT_EQ(c.findDevice("r1"), &r);
+  EXPECT_EQ(c.findDevice("nope"), nullptr);
+  EXPECT_EQ(c.devices().size(), 1u);
+}
+
+TEST(Circuit, DuplicateDeviceNameRejected) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<Resistor>("r1", a, kGround, 100.0);
+  EXPECT_THROW(c.add<Resistor>("r1", a, kGround, 200.0), InvalidInputError);
+}
+
+TEST(Circuit, BranchIndexAssignment) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& v1 = c.add<VoltageSource>("v1", a, kGround, 1.0);
+  c.add<Resistor>("r1", a, b, 100.0);
+  auto& v2 = c.add<VoltageSource>("v2", b, kGround, 2.0);
+  const size_t branches = c.assignBranchIndices();
+  EXPECT_EQ(branches, 2u);
+  // Branch unknowns follow the node unknowns in declaration order.
+  EXPECT_EQ(v1.branchIndex(), c.nodeCount());
+  EXPECT_EQ(v2.branchIndex(), c.nodeCount() + 1);
+}
+
+TEST(Circuit, NodeNamePreservedPerIndex) {
+  Circuit c;
+  c.node("x");
+  c.node("y");
+  c.node("z");
+  const auto& names = c.nodeNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[2], "z");
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,98 @@
+#include "circuit/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/device.hpp"
+#include "numeric/lu_sparse.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Mna, ConductanceStampPattern) {
+  MnaSystem sys(2, 0);
+  Stamper st(sys);
+  st.conductance(0, 1, 0.5);
+  const auto d = sys.matrix().toDense();
+  EXPECT_DOUBLE_EQ(d[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1][1], 0.5);
+  EXPECT_DOUBLE_EQ(d[0][1], -0.5);
+  EXPECT_DOUBLE_EQ(d[1][0], -0.5);
+}
+
+TEST(Mna, GroundEntriesDropped) {
+  MnaSystem sys(1, 0);
+  Stamper st(sys);
+  st.conductance(0, kGround, 2.0);
+  st.currentSource(kGround, 0, 1.0);  // 1 A into node 0
+  const auto d = sys.matrix().toDense();
+  EXPECT_DOUBLE_EQ(d[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(sys.rhs()[0], 1.0);
+  // Solve: v = i/g.
+  const auto x = SparseLu(sys.matrix()).solve(sys.rhs());
+  EXPECT_NEAR(x[0], 0.5, 1e-14);
+}
+
+TEST(Mna, CurrentSourceSigns) {
+  MnaSystem sys(2, 0);
+  Stamper st(sys);
+  st.currentSource(0, 1, 2.0);  // 2 A flows 0 -> 1 through the element
+  EXPECT_DOUBLE_EQ(sys.rhs()[0], -2.0);
+  EXPECT_DOUBLE_EQ(sys.rhs()[1], 2.0);
+}
+
+TEST(Mna, VoltageBranchSolvesDivider) {
+  // v1 = 2 V across node0; R from node0 to node1; R from node1 to gnd.
+  MnaSystem sys(2, 1);
+  Stamper st(sys);
+  st.conductance(0, 1, 1.0);
+  st.conductance(1, kGround, 1.0);
+  st.voltageBranch(2, 0, kGround, 2.0);
+  const auto x = SparseLu(sys.matrix()).solve(sys.rhs());
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  // Branch current: source delivers 1 A, so current into + is -1.
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(Mna, TransconductanceStamp) {
+  MnaSystem sys(3, 0);
+  Stamper st(sys);
+  st.transconductance(0, 1, 2, kGround, 0.1);
+  const auto d = sys.matrix().toDense();
+  EXPECT_DOUBLE_EQ(d[0][2], 0.1);
+  EXPECT_DOUBLE_EQ(d[1][2], -0.1);
+}
+
+TEST(Mna, ClearPreservesPattern) {
+  MnaSystem sys(2, 0);
+  Stamper st(sys);
+  st.conductance(0, 1, 1.0);
+  const size_t nnz = sys.matrix().nonZeros();
+  sys.clear();
+  EXPECT_EQ(sys.matrix().nonZeros(), nnz);
+  EXPECT_DOUBLE_EQ(sys.rhs()[0], 0.0);
+}
+
+TEST(ChargeCompanion, BackwardEuler) {
+  ChargeHistory h{1.0e-15, 0.0};  // 1 fC stored
+  const auto comp = integrateCharge(IntegrationMethod::BackwardEuler, 1e-12, 2.0e-15, 1e-15, h);
+  EXPECT_NEAR(comp.geq, 1e-3, 1e-15);             // C/dt
+  EXPECT_NEAR(comp.i_now, 1e-3, 1e-15);           // dq/dt
+}
+
+TEST(ChargeCompanion, Trapezoidal) {
+  ChargeHistory h{1.0e-15, 0.5e-3};
+  const auto comp = integrateCharge(IntegrationMethod::Trapezoidal, 1e-12, 2.0e-15, 1e-15, h);
+  EXPECT_NEAR(comp.geq, 2e-3, 1e-15);
+  EXPECT_NEAR(comp.i_now, 2.0 * 1e-3 - 0.5e-3, 1e-15);
+}
+
+TEST(ChargeCompanion, DcIsOpen) {
+  ChargeHistory h{};
+  const auto comp = integrateCharge(IntegrationMethod::None, 0.0, 5.0, 1.0, h);
+  EXPECT_DOUBLE_EQ(comp.geq, 0.0);
+  EXPECT_DOUBLE_EQ(comp.i_now, 0.0);
+}
+
+}  // namespace
+}  // namespace vls

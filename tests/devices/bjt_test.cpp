@@ -1,0 +1,147 @@
+#include "devices/bjt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interpolation.hpp"
+
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+BjtModelRef npn() {
+  static const BjtModelRef card = std::make_shared<BjtModelCard>();
+  return card;
+}
+
+BjtModelRef pnp() {
+  static const BjtModelRef card = [] {
+    BjtModelCard m;
+    m.name = "pnp";
+    m.type = BjtType::Pnp;
+    return std::make_shared<BjtModelCard>(m);
+  }();
+  return card;
+}
+
+TEST(Bjt, ForwardActiveGain) {
+  // Common-emitter: base driven through a big resistor, collector
+  // through a load; check ic ~ beta * ib.
+  Circuit c;
+  const NodeId vcc = c.node("vcc");
+  const NodeId vb = c.node("vb");
+  const NodeId base = c.node("base");
+  const NodeId col = c.node("col");
+  c.add<VoltageSource>("vcc", vcc, kGround, 5.0);
+  c.add<VoltageSource>("vbb", vb, kGround, 2.0);
+  c.add<Resistor>("rb", vb, base, 1e6);
+  c.add<Resistor>("rc", vcc, col, 1000.0);
+  auto& q = c.add<Bjt>("q1", col, base, kGround, npn());
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  const EvalContext ctx = sim.contextFor(x);
+  const double ib = q.terminalCurrent(1, ctx);
+  const double ic = q.terminalCurrent(0, ctx);
+  EXPECT_GT(ib, 1e-7);
+  EXPECT_NEAR(ic / ib, 100.0, 12.0);  // beta_f with Early-effect slack
+  // KCL at the device: ie = -(ic + ib).
+  EXPECT_NEAR(q.terminalCurrent(2, ctx), -(ic + ib), 1e-12);
+}
+
+TEST(Bjt, CutoffLeaksOnlySaturationCurrent) {
+  Circuit c;
+  const NodeId vcc = c.node("vcc");
+  const NodeId col = c.node("col");
+  c.add<VoltageSource>("vcc", vcc, kGround, 5.0);
+  c.add<Resistor>("rc", vcc, col, 1000.0);
+  auto& q = c.add<Bjt>("q1", col, kGround, kGround, npn());
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[col], 5.0, 1e-3);
+  EXPECT_LT(std::fabs(q.terminalCurrent(0, sim.contextFor(x))), 1e-9);
+}
+
+TEST(Bjt, EmitterFollowerLevelShift) {
+  // Follower output sits ~0.7 V below the base.
+  Circuit c;
+  const NodeId vcc = c.node("vcc");
+  const NodeId base = c.node("base");
+  const NodeId emit = c.node("emit");
+  c.add<VoltageSource>("vcc", vcc, kGround, 5.0);
+  c.add<VoltageSource>("vb", base, kGround, 2.0);
+  c.add<Bjt>("q1", vcc, base, emit, npn());
+  c.add<Resistor>("re", emit, kGround, 10000.0);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[emit], 2.0 - 0.68, 0.1);
+}
+
+TEST(Bjt, PnpComplement) {
+  // PNP follower from the negative side: emitter above the base by Vbe.
+  Circuit c;
+  const NodeId vcc = c.node("vcc");
+  const NodeId base = c.node("base");
+  const NodeId emit = c.node("emit");
+  c.add<VoltageSource>("vcc", vcc, kGround, 5.0);
+  c.add<VoltageSource>("vb", base, kGround, 3.0);
+  c.add<Bjt>("q1", kGround, base, emit, pnp());  // collector to ground
+  c.add<Resistor>("re", vcc, emit, 10000.0);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[emit], 3.0 + 0.68, 0.1);
+}
+
+TEST(Bjt, EarlyEffectGivesFiniteOutputResistance) {
+  auto ic_at = [](double vce) {
+    Circuit c;
+    const NodeId col = c.node("col");
+    const NodeId base = c.node("base");
+    c.add<VoltageSource>("vc", col, kGround, vce);
+    c.add<VoltageSource>("vb", base, kGround, 0.65);
+    auto& q = c.add<Bjt>("q1", col, base, kGround, npn());
+    Simulator sim(c);
+    const auto x = sim.solveOp();
+    return q.terminalCurrent(0, sim.contextFor(x));
+  };
+  const double i1 = ic_at(1.0);
+  const double i2 = ic_at(4.0);
+  EXPECT_GT(i2, i1 * 1.01);  // slope from VAF
+  EXPECT_LT(i2, i1 * 1.2);
+}
+
+TEST(Bjt, SwitchingTransient) {
+  // Saturating switch: base pulse drives the collector rail-to-rail.
+  Circuit c;
+  const NodeId vcc = c.node("vcc");
+  const NodeId bdrv = c.node("bdrv");
+  const NodeId base = c.node("base");
+  const NodeId col = c.node("col");
+  c.add<VoltageSource>("vcc", vcc, kGround, 5.0);
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 5.0;
+  p.delay = 10e-9;
+  p.rise = p.fall = 1e-9;
+  p.width = 40e-9;
+  c.add<VoltageSource>("vb", bdrv, kGround, Waveform::pulse(p));
+  c.add<Resistor>("rb", bdrv, base, 10e3);
+  c.add<Resistor>("rc", vcc, col, 1e3);
+  BjtModelCard m;
+  m.cje = 1e-12;
+  m.cjc = 0.5e-12;
+  c.add<Bjt>("q1", col, base, kGround, std::make_shared<BjtModelCard>(m));
+  Simulator sim(c);
+  const auto tr = sim.transient(100e-9, 1e-9);
+  const Signal vcol = tr.node("col");
+  EXPECT_NEAR(interpLinear(vcol.time, vcol.value, 5e-9), 5.0, 0.05);   // off
+  EXPECT_LT(interpLinear(vcol.time, vcol.value, 40e-9), 0.5);          // saturated on
+  EXPECT_NEAR(interpLinear(vcol.time, vcol.value, 95e-9), 5.0, 0.2);   // off again
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,50 @@
+#include "devices/model_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+TEST(ModelLibrary, PaperThresholds) {
+  // The paper states: nominal VT 0.39 V (NMOS) / -0.39 V (PMOS);
+  // high-VT 0.49 V / -0.44 V; low-VT 0.19 V for M8.
+  EXPECT_DOUBLE_EQ(nmos90()->vt0, 0.39);
+  EXPECT_DOUBLE_EQ(nmos90Hvt()->vt0, 0.49);
+  EXPECT_DOUBLE_EQ(nmos90Lvt()->vt0, 0.19);
+  EXPECT_DOUBLE_EQ(pmos90()->vt0, 0.39);
+  EXPECT_DOUBLE_EQ(pmos90Hvt()->vt0, 0.44);
+}
+
+TEST(ModelLibrary, Types) {
+  EXPECT_EQ(nmos90()->type, MosType::Nmos);
+  EXPECT_EQ(pmos90()->type, MosType::Pmos);
+  EXPECT_DOUBLE_EQ(nmos90()->sign(), 1.0);
+  EXPECT_DOUBLE_EQ(pmos90()->sign(), -1.0);
+}
+
+TEST(ModelLibrary, SharedInstances) {
+  EXPECT_EQ(nmos90().get(), nmos90().get());
+  EXPECT_NE(nmos90().get(), nmos90Hvt().get());
+}
+
+TEST(ModelLibrary, LookupByName) {
+  EXPECT_EQ(modelByName("nmos").get(), nmos90().get());
+  EXPECT_EQ(modelByName("NMOS_HVT").get(), nmos90Hvt().get());
+  EXPECT_EQ(modelByName("pmos_hvt").get(), pmos90Hvt().get());
+  EXPECT_THROW(modelByName("bsim4"), InvalidInputError);
+}
+
+TEST(ModelLibrary, PmosWeakerThanNmos) {
+  EXPECT_LT(pmos90()->kp, nmos90()->kp);
+}
+
+TEST(ModelLibrary, OxideCapacitance) {
+  // 90 nm class: Cox around 15-18 fF/um^2.
+  EXPECT_GT(nmos90()->cox(), 13e-3);
+  EXPECT_LT(nmos90()->cox(), 20e-3);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,250 @@
+// Properties of the EKV MOSFET core: region behaviour, continuity,
+// derivative consistency (AD vs finite differences), polarity symmetry,
+// temperature response. These are the invariants the paper's leakage
+// and delay results rest on.
+#include "devices/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "devices/model_library.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+MosOperating opFor(const MosModelCard& card, double w = 260e-9, double l = 100e-9,
+                   double temp = 300.15) {
+  MosGeometry g;
+  g.w = w;
+  g.l = l;
+  return resolveOperating(card, g, temp);
+}
+
+TEST(MosCore, ZeroVdsZeroCurrent) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  for (double vg : {0.0, 0.3, 0.6, 1.2}) {
+    for (double v : {0.0, 0.4, 1.0}) {
+      EXPECT_NEAR(mosCoreCurrent(m, op, vg, v, v), 0.0, 1e-18) << vg << " " << v;
+    }
+  }
+}
+
+TEST(MosCore, SignFlipsWithTerminalSwap) {
+  // Without DIBL the core is source/drain symmetric: I(d,s) = -I(s,d).
+  MosModelCard m = *nmos90();
+  m.sigma_dibl = 0.0;
+  const MosOperating op = opFor(m);
+  const double i_fwd = mosCoreCurrent(m, op, 1.0, 0.8, 0.2);
+  const double i_rev = mosCoreCurrent(m, op, 1.0, 0.2, 0.8);
+  EXPECT_NEAR(i_fwd, -i_rev, std::fabs(i_fwd) * 1e-9);
+}
+
+TEST(MosCore, MonotonicInVgs) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  double prev = -1.0;
+  for (double vg = 0.0; vg <= 1.4; vg += 0.01) {
+    const double i = mosCoreCurrent(m, op, vg, 1.2, 0.0);
+    EXPECT_GT(i, prev) << "vg=" << vg;
+    prev = i;
+  }
+}
+
+TEST(MosCore, MonotonicInVds) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  double prev = -1.0;
+  for (double vd = 0.0; vd <= 1.4; vd += 0.01) {
+    const double i = mosCoreCurrent(m, op, 0.9, vd, 0.0);
+    EXPECT_GE(i, prev) << "vd=" << vd;
+    prev = i;
+  }
+}
+
+TEST(MosCore, SubthresholdSlopeMatchesSlopeFactor) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  // Deep subthreshold: I ~ exp(vg / (n ut)).
+  const double i1 = mosCoreCurrent(m, op, 0.10, 1.2, 0.0);
+  const double i2 = mosCoreCurrent(m, op, 0.15, 1.2, 0.0);
+  const double n_measured = 0.05 / (op.ut * std::log(i2 / i1));
+  EXPECT_NEAR(n_measured, m.n_slope, 0.05);
+}
+
+TEST(MosCore, DiblRaisesLeakage) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  const double i_lo = mosCoreCurrent(m, op, 0.0, 0.1, 0.0);
+  const double i_hi = mosCoreCurrent(m, op, 0.0, 1.2, 0.0);
+  // Expected boost ~ exp(sigma * dV / (n ut)) plus the drain-side term.
+  EXPECT_GT(i_hi / i_lo, std::exp(m.sigma_dibl * 1.0 / (m.n_slope * op.ut)));
+}
+
+TEST(MosCore, BodyEffectThroughSourceVoltage) {
+  // Raising the source (and gate with it) reduces current because the
+  // bulk-referenced formulation embeds the (n-1)*vsb threshold shift.
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  const double i0 = mosCoreCurrent(m, op, 0.8, 1.2, 0.0);
+  const double i1 = mosCoreCurrent(m, op, 0.8 + 0.4, 1.2 + 0.4, 0.4);
+  EXPECT_LT(i1, i0);
+  // Effective VT shift ~ (n-1) * vsb ~ 0.11 V for 0.4 V of vsb.
+  EXPECT_GT(i1, i0 * 0.05);
+}
+
+TEST(MosCore, HighVtLeaksLess) {
+  const MosOperating nom = opFor(*nmos90());
+  const MosOperating hvt = opFor(*nmos90Hvt());
+  const double i_nom = mosCoreCurrent(*nmos90(), nom, 0.0, 1.2, 0.0);
+  const double i_hvt = mosCoreCurrent(*nmos90Hvt(), hvt, 0.0, 1.2, 0.0);
+  EXPECT_LT(i_hvt, i_nom / 5.0);
+}
+
+TEST(MosCore, LowVtLeaksMore) {
+  const MosOperating nom = opFor(*nmos90());
+  const MosOperating lvt = opFor(*nmos90Lvt());
+  const double i_nom = mosCoreCurrent(*nmos90(), nom, 0.0, 1.2, 0.0);
+  const double i_lvt = mosCoreCurrent(*nmos90Lvt(), lvt, 0.0, 1.2, 0.0);
+  EXPECT_GT(i_lvt, i_nom * 5.0);
+}
+
+TEST(MosCore, TemperatureRaisesLeakageLowersDrive) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating cold = opFor(m, 260e-9, 100e-9, celsiusToKelvin(27.0));
+  const MosOperating hot = opFor(m, 260e-9, 100e-9, celsiusToKelvin(90.0));
+  EXPECT_GT(mosCoreCurrent(m, hot, 0.0, 1.2, 0.0), mosCoreCurrent(m, cold, 0.0, 1.2, 0.0));
+  EXPECT_LT(mosCoreCurrent(m, hot, 1.2, 1.2, 0.0), mosCoreCurrent(m, cold, 1.2, 1.2, 0.0));
+}
+
+TEST(MosCore, AdDerivativesMatchFiniteDifference) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  const double h = 1e-6;
+  for (double vg : {0.2, 0.5, 0.9, 1.3}) {
+    for (double vd : {0.05, 0.4, 1.2}) {
+      for (double vs : {0.0, 0.2}) {
+        using D3 = Dual<3>;
+        const D3 i = mosCoreCurrent(m, op, D3::seed(vg, 0), D3::seed(vd, 1), D3::seed(vs, 2));
+        const double gm_fd = (mosCoreCurrent(m, op, vg + h, vd, vs) -
+                              mosCoreCurrent(m, op, vg - h, vd, vs)) /
+                             (2 * h);
+        const double gd_fd = (mosCoreCurrent(m, op, vg, vd + h, vs) -
+                              mosCoreCurrent(m, op, vg, vd - h, vs)) /
+                             (2 * h);
+        const double gs_fd = (mosCoreCurrent(m, op, vg, vd, vs + h) -
+                              mosCoreCurrent(m, op, vg, vd, vs - h)) /
+                             (2 * h);
+        const double scale = std::max(std::fabs(i.v) / op.ut, 1e-9);
+        EXPECT_NEAR(i.d[0], gm_fd, scale * 1e-3) << vg << " " << vd << " " << vs;
+        EXPECT_NEAR(i.d[1], gd_fd, scale * 1e-3);
+        EXPECT_NEAR(i.d[2], gs_fd, scale * 1e-3);
+      }
+    }
+  }
+}
+
+TEST(MosCore, IonIoffRatioIsProcessLike) {
+  const MosModelCard& m = *nmos90();
+  const MosOperating op = opFor(m);
+  const double ion = mosCoreCurrent(m, op, 1.2, 1.2, 0.0);
+  const double ioff = mosCoreCurrent(m, op, 0.0, 1.2, 0.0);
+  EXPECT_GT(ion / ioff, 1e4);
+  EXPECT_LT(ion / ioff, 1e8);
+  // Drive in the hundreds of uA/um class.
+  const double ion_per_um = ion / 0.26;
+  EXPECT_GT(ion_per_um, 300.0e-6);
+  EXPECT_LT(ion_per_um, 3000.0e-6);
+}
+
+TEST(Mosfet, PmosInverterComplement) {
+  // NMOS+PMOS inverter: out follows !in at both rails.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  auto& vin = c.add<VoltageSource>("vin", in, kGround, 0.0);
+  MosGeometry gp;
+  gp.w = 520e-9;
+  MosGeometry gn;
+  gn.w = 260e-9;
+  c.add<Mosfet>("mp", out, in, vdd, vdd, pmos90(), gp);
+  c.add<Mosfet>("mn", out, in, kGround, kGround, nmos90(), gn);
+  Simulator sim(c);
+  auto x = sim.solveOp();
+  EXPECT_NEAR(x[out], 1.2, 1e-3);
+  vin.setWaveform(Waveform::dc(1.2));
+  x = sim.solveOp();
+  EXPECT_NEAR(x[out], 0.0, 1e-3);
+}
+
+TEST(Mosfet, PassGateThresholdDrop) {
+  // NMOS pass device with gate at VDD passes VDD minus an effective VT.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId src = c.node("s");
+  const NodeId dst = c.node("d");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  c.add<VoltageSource>("vs", src, kGround, 1.2);
+  MosGeometry g;
+  g.w = 260e-9;
+  c.add<Mosfet>("mn", src, vdd, dst, kGround, nmos90(), g);
+  c.add<Resistor>("rl", dst, kGround, 1e9);  // tiny load defines the level
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  // Expect roughly VDD - VT - body ~ 0.55..0.85 V.
+  EXPECT_GT(x[dst], 0.5);
+  EXPECT_LT(x[dst], 0.95);
+}
+
+TEST(Mosfet, GeometryVariationMovesCurrent) {
+  const MosModelCard& m = *nmos90();
+  MosGeometry g;
+  g.w = 260e-9;
+  g.l = 100e-9;
+  const double i0 = mosCoreCurrent(m, resolveOperating(m, g, 300.15), 1.2, 1.2, 0.0);
+  g.delta_w = 26e-9;  // +10% W
+  const double i_w = mosCoreCurrent(m, resolveOperating(m, g, 300.15), 1.2, 1.2, 0.0);
+  EXPECT_NEAR(i_w / i0, 1.1, 0.02);
+  g.delta_w = 0.0;
+  g.delta_vt = 0.05;
+  const double i_vt = mosCoreCurrent(m, resolveOperating(m, g, 300.15), 1.2, 1.2, 0.0);
+  EXPECT_LT(i_vt, i0);
+}
+
+TEST(Mosfet, InvalidGeometryThrows) {
+  MosGeometry g;
+  g.w = 100e-9;
+  g.delta_w = -200e-9;
+  EXPECT_THROW(resolveOperating(*nmos90(), g, 300.15), InvalidInputError);
+}
+
+TEST(Mosfet, GateLeakageOptIn) {
+  MosModelCard card = *nmos90();
+  card.jg = 10.0;  // strong for test visibility [A/m^2]
+  auto ref = std::make_shared<const MosModelCard>(card);
+  Circuit c;
+  const NodeId g = c.node("g");
+  c.add<VoltageSource>("vg", g, kGround, 1.2);
+  MosGeometry geom;
+  geom.w = 1e-6;
+  geom.l = 1e-6;
+  auto& fet = c.add<Mosfet>("m", kGround, g, kGround, kGround, ref, geom);
+  (void)fet;
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  const EvalContext ctx = sim.contextFor(x);
+  // Gate current must flow (source delivers it).
+  auto* vg = dynamic_cast<VoltageSource*>(c.findDevice("vg"));
+  ASSERT_NE(vg, nullptr);
+  EXPECT_GT(std::fabs(vg->branchCurrent(ctx)), 1e-12);
+}
+
+}  // namespace
+}  // namespace vls

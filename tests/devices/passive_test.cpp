@@ -1,0 +1,127 @@
+#include "devices/passive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interpolation.hpp"
+
+#include "circuit/circuit.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Resistor, RejectsNonPositive) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  EXPECT_THROW(c.add<Resistor>("r", a, kGround, 0.0), InvalidInputError);
+  EXPECT_THROW(c.add<Resistor>("r2", a, kGround, -1.0), InvalidInputError);
+}
+
+TEST(Resistor, DividerOp) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 3.0);
+  c.add<Resistor>("r1", a, b, 2000.0);
+  auto& r2 = c.add<Resistor>("r2", b, kGround, 1000.0);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[b], 1.0, 1e-9);
+  const EvalContext ctx = sim.contextFor(x);
+  EXPECT_NEAR(r2.terminalCurrent(0, ctx), 1e-3, 1e-12);
+  EXPECT_NEAR(r2.terminalCurrent(1, ctx), -1e-3, 1e-12);
+}
+
+TEST(Capacitor, OpenInDc) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 2.0);
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("c", b, kGround, 1e-12);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[b], 2.0, 1e-6);  // no DC current through C
+}
+
+TEST(Capacitor, RcChargeCurve) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 0.0;
+  p.rise = 1e-15;
+  p.fall = 1e-15;
+  p.width = 1e-6;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("c", b, kGround, 1e-12);  // tau = 1 ns
+  Simulator sim(c);
+  const auto tr = sim.transient(5e-9, 2e-11);
+  const Signal vb = tr.node("b");
+  for (double mult : {0.5, 1.0, 2.0, 3.0}) {
+    const double expected = 1.0 - std::exp(-mult);
+    EXPECT_NEAR(interpLinear(vb.time, vb.value, mult * 1e-9), expected, 4e-3) << mult;
+  }
+}
+
+TEST(Capacitor, InitialConditionHonored) {
+  Circuit c;
+  const NodeId b = c.node("b");
+  c.add<Resistor>("r", b, kGround, 1000.0);
+  c.add<Capacitor>("c", b, kGround, 1e-12, 1.0, /*use_ic=*/true);
+  Simulator sim(c);
+  const auto tr = sim.transient(3e-9, 2e-11);
+  const Signal vb = tr.node("b");
+  // Discharges from the IC of 1 V with tau = 1 ns. The t=0 operating
+  // point itself is 0 V (IC applies at transient start), so check decay
+  // relative to the IC from shortly after t=0.
+  EXPECT_NEAR(interpLinear(vb.time, vb.value, 1e-9), std::exp(-1.0), 0.05);
+}
+
+TEST(Inductor, DcShortAndRlRiseTime) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = 1e-15;
+  p.fall = 1e-15;
+  p.width = 1e-3;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, b, 100.0);
+  c.add<Inductor>("l", b, kGround, 1e-7);  // tau = L/R = 1 ns
+  Simulator sim(c);
+  const auto tr = sim.transient(5e-9, 2e-11);
+  // Inductor current rises as (V/R)(1 - e^{-t/tau}).
+  // v(b) = V e^{-t/tau} decays correspondingly.
+  const Signal vb = tr.node("b");
+  EXPECT_NEAR(interpLinear(vb.time, vb.value, 1e-9), std::exp(-1.0), 6e-3);
+  EXPECT_NEAR(interpLinear(vb.time, vb.value, 3e-9), std::exp(-3.0), 6e-3);
+}
+
+TEST(Inductor, EnergyConservationLcOscillator) {
+  // LC tank started from a charged capacitor: oscillation period
+  // 2*pi*sqrt(LC); trapezoidal integration should hold amplitude.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<Capacitor>("c", a, kGround, 1e-12, 1.0, true);
+  c.add<Inductor>("l", a, kGround, 1e-6);  // f0 ~ 159 MHz, T ~ 6.28 ns
+  Simulator sim(c);
+  const auto tr = sim.transient(12.6e-9, 2e-11);
+  const Signal va = tr.node("a");
+  // After one full period the voltage should return near +1 V.
+  const double period = 2.0 * M_PI * std::sqrt(1e-6 * 1e-12);
+  EXPECT_NEAR(interpLinear(va.time, va.value, period), 1.0, 0.03);
+  // Half period: inverted.
+  EXPECT_NEAR(interpLinear(va.time, va.value, period / 2.0), -1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,140 @@
+#include "devices/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(1.2);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(w.at(1e9), 1.2);
+  EXPECT_DOUBLE_EQ(w.maxValue(1.0), 1.2);
+  std::vector<double> bp;
+  w.collectBreakpoints(1.0, bp);
+  EXPECT_TRUE(bp.empty());
+}
+
+TEST(Waveform, PulseShape) {
+  PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay = 1e-9;
+  p.rise = 1e-10;
+  p.fall = 2e-10;
+  p.width = 5e-10;
+  p.period = 0.0;
+  const Waveform w = Waveform::pulse(p);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(1e-9), 0.0);
+  EXPECT_NEAR(w.at(1e-9 + 5e-11), 0.5, 1e-12);  // mid-rise
+  EXPECT_DOUBLE_EQ(w.at(1.3e-9), 1.0);          // flat top
+  EXPECT_NEAR(w.at(1e-9 + 1e-10 + 5e-10 + 1e-10), 0.5, 1e-12);  // mid-fall
+  EXPECT_DOUBLE_EQ(w.at(5e-9), 0.0);            // back to v1
+}
+
+TEST(Waveform, PulsePeriodic) {
+  PulseSpec p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.rise = p.fall = 1e-11;
+  p.width = 4e-10;
+  p.period = 1e-9;
+  const Waveform w = Waveform::pulse(p);
+  EXPECT_DOUBLE_EQ(w.at(2e-10), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(1e-9 + 2e-10), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(7e-10), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(1e-9 + 7e-10), 0.0);
+}
+
+TEST(Waveform, PulseRejectsZeroEdges) {
+  PulseSpec p;
+  p.rise = 0.0;
+  EXPECT_THROW(Waveform::pulse(p), InvalidInputError);
+}
+
+TEST(Waveform, PulseBreakpointsCoverCorners) {
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 1e-9;
+  p.rise = p.fall = 1e-10;
+  p.width = 3e-10;
+  const Waveform w = Waveform::pulse(p);
+  std::vector<double> bp;
+  w.collectBreakpoints(10e-9, bp);
+  ASSERT_EQ(bp.size(), 4u);
+  EXPECT_DOUBLE_EQ(bp[0], 1e-9);
+  EXPECT_DOUBLE_EQ(bp[3], 1e-9 + 1e-10 + 3e-10 + 1e-10);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = Waveform::pwl({0.0, 1.0, 2.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.maxValue(2.0), 2.0);
+}
+
+TEST(Waveform, PwlRejectsNonIncreasing) {
+  EXPECT_THROW(Waveform::pwl({0.0, 0.0}, {1.0, 2.0}), InvalidInputError);
+  EXPECT_THROW(Waveform::pwl({1.0, 0.5}, {1.0, 2.0}), InvalidInputError);
+  EXPECT_THROW(Waveform::pwl({}, {}), InvalidInputError);
+}
+
+TEST(Waveform, SineBasics) {
+  SinSpec s;
+  s.offset = 1.0;
+  s.amplitude = 0.5;
+  s.freq = 1e6;
+  const Waveform w = Waveform::sine(s);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 1.0);
+  EXPECT_NEAR(w.at(0.25e-6), 1.5, 1e-9);
+  EXPECT_NEAR(w.at(0.75e-6), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.maxValue(1.0), 1.5);
+}
+
+TEST(Waveform, SineDelayAndDamping) {
+  SinSpec s;
+  s.amplitude = 1.0;
+  s.freq = 1e6;
+  s.delay = 1e-6;
+  s.damping = 1e6;
+  const Waveform w = Waveform::sine(s);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-6), 0.0);  // before delay
+  EXPECT_NEAR(w.at(1.25e-6), std::exp(-0.25), 1e-9);
+}
+
+TEST(Waveform, ExpRise) {
+  ExpSpec e;
+  e.v1 = 0.0;
+  e.v2 = 1.0;
+  e.rise_delay = 0.0;
+  e.rise_tau = 1e-9;
+  e.fall_delay = 0.0;  // no fall phase
+  const Waveform w = Waveform::exponential(e);
+  EXPECT_NEAR(w.at(1e-9), 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(Waveform, ToSpiceRoundTrippableText) {
+  EXPECT_EQ(Waveform::dc(1.2).toSpice(), "DC 1.2");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1.2;
+  p.rise = p.fall = 1e-11;
+  p.width = 1e-9;
+  const std::string s = Waveform::pulse(p).toSpice();
+  EXPECT_NE(s.find("PULSE("), std::string::npos);
+  const std::string pw = Waveform::pwl({0.0, 1e-9}, {0.0, 1.0}).toSpice();
+  EXPECT_NE(pw.find("PWL("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vls

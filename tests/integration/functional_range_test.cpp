@@ -1,0 +1,91 @@
+// The paper's Section 4 range claims: correct conversion for all
+// VDDI/VDDO combinations in [0.8, 1.4] V, at 27/60/90 C, and under
+// Monte-Carlo process variation (100% yield).
+#include <gtest/gtest.h>
+
+#include "analysis/monte_carlo.hpp"
+#include "analysis/sweep.hpp"
+
+namespace vls {
+namespace {
+
+class TemperatureRange : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureRange, FunctionalAcrossSupplies) {
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  base.temperature_c = GetParam();
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.8;
+  cfg.v_max = 1.4;
+  cfg.step = 0.3;
+  const Sweep2dResult r = sweepSupplies(base, cfg);
+  EXPECT_EQ(r.functionalCount(), r.points.size()) << "T=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTemperatures, TemperatureRange, ::testing::Values(27.0, 60.0, 90.0));
+
+TEST(MonteCarloYield, AllSamplesFunctionalBothDirections) {
+  // Paper: "In all Monte Carlo simulations, our SS-TVS was able to
+  // convert the voltage level correctly." Reduced sample count here;
+  // bench_table3/4 run the full 1000.
+  for (auto [vddi, vddo] : {std::pair{0.8, 1.2}, std::pair{1.2, 0.8}}) {
+    HarnessConfig h;
+    h.kind = ShifterKind::Sstvs;
+    h.vddi = vddi;
+    h.vddo = vddo;
+    MonteCarloConfig mc;
+    mc.samples = 25;
+    mc.seed = 99;
+    const MonteCarloResult r = runMonteCarlo(h, mc);
+    EXPECT_EQ(r.functional_failures, 0) << vddi << "->" << vddo;
+  }
+}
+
+TEST(MonteCarloSpread, SstvsTighterThanCombined) {
+  // Paper Tables 3/4 report absolute standard deviations, and the
+  // SS-TVS's are lower than the combined VS's for every metric. Check
+  // the two delay sigmas and the output-low leakage sigma.
+  HarnessConfig h;
+  h.vddi = 0.8;
+  h.vddo = 1.2;
+  MonteCarloConfig mc;
+  mc.samples = 30;
+  mc.seed = 5;
+
+  h.kind = ShifterKind::Sstvs;
+  const MonteCarloResult tvs = runMonteCarlo(h, mc);
+  h.kind = ShifterKind::CombinedVs;
+  const MonteCarloResult comb = runMonteCarlo(h, mc);
+  EXPECT_LT(tvs.delayRise().stddev, comb.delayRise().stddev);
+  EXPECT_LT(tvs.delayFall().stddev, comb.delayFall().stddev);
+  EXPECT_LT(tvs.leakageLow().stddev, comb.leakageLow().stddev);
+}
+
+TEST(EqualSupplies, DegeneratesToCleanBuffering) {
+  // VDDI = VDDO must also work (a DVS crossover moment).
+  for (double v : {0.8, 1.1, 1.4}) {
+    HarnessConfig h;
+    h.kind = ShifterKind::Sstvs;
+    h.vddi = v;
+    h.vddo = v;
+    const ShifterMetrics m = measureShifter(h);
+    EXPECT_TRUE(m.functional) << v;
+  }
+}
+
+TEST(SmallDeltas, FiveMillivoltApart) {
+  // The paper sweeps in 5 mV steps; check a pair of nearly-equal rails
+  // on both sides.
+  for (auto [vddi, vddo] : {std::pair{1.0, 1.005}, std::pair{1.005, 1.0}}) {
+    HarnessConfig h;
+    h.kind = ShifterKind::Sstvs;
+    h.vddi = vddi;
+    h.vddo = vddo;
+    const ShifterMetrics m = measureShifter(h);
+    EXPECT_TRUE(m.functional) << vddi << "->" << vddo;
+  }
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,96 @@
+#include "io/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+Signal ramp() {
+  Signal s;
+  for (int i = 0; i <= 10; ++i) {
+    s.time.push_back(i * 1e-10);
+    s.value.push_back(i * 0.1);
+  }
+  return s;
+}
+
+TEST(AsciiPlot, BasicStructure) {
+  AsciiPlotOptions opt;
+  opt.width = 40;
+  opt.height = 6;
+  const std::string out = renderAsciiPlot({{"ramp", ramp()}}, opt);
+  EXPECT_NE(out.find("ramp:"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("+----"), std::string::npos);
+  // 6 rows + axis + time labels + name line.
+  size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 9u);
+}
+
+TEST(AsciiPlot, MonotoneRampFillsDiagonal) {
+  AsciiPlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  const std::string out = renderAsciiPlot({{"r", ramp()}}, opt);
+  // First data row (top) must contain a mark near the right edge; the
+  // bottom data row near the left edge.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t nl = out.find('\n', pos);
+    lines.push_back(out.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const std::string& top = lines[1];
+  const std::string& bottom = lines[5];
+  EXPECT_GT(top.rfind('*'), top.size() - 5);
+  EXPECT_LT(bottom.find('*'), 15u);
+}
+
+TEST(AsciiPlot, SharedAxisOverlaysMarks) {
+  Signal flat;
+  flat.time = {0.0, 1e-9};
+  flat.value = {0.5, 0.5};
+  AsciiPlotOptions opt;
+  opt.shared_axis = true;
+  opt.width = 30;
+  opt.height = 5;
+  const std::string out = renderAsciiPlot({{"a", ramp()}, {"b", flat}}, opt);
+  EXPECT_NE(out.find("[*] a"), std::string::npos);
+  EXPECT_NE(out.find("[+] b"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyThrows) {
+  EXPECT_THROW(renderAsciiPlot({}), InvalidInputError);
+}
+
+TEST(AsciiPlot, PlotNodesFromTransient) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 0.2e-9;
+  p.rise = p.fall = 1e-11;
+  p.width = 0.4e-9;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, kGround, 1e3);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 2e-11);
+  const std::string out = plotNodes(tr, {"a"});
+  EXPECT_NE(out.find("a:"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,71 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "io/json_writer.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Csv, RendersColumns) {
+  const std::string text = csvToString({{"t", {0.0, 1.0}}, {"v", {0.5, 1.5}}});
+  EXPECT_EQ(text, "t,v\n0,0.5\n1,1.5\n");
+}
+
+TEST(Csv, RejectsRaggedAndEmpty) {
+  EXPECT_THROW(csvToString({}), InvalidInputError);
+  EXPECT_THROW(csvToString({{"a", {1.0}}, {"b", {1.0, 2.0}}}), InvalidInputError);
+}
+
+TEST(Csv, WritesWaveformFile) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 1e-10);
+  const std::string path = "/tmp/vls_csv_test.csv";
+  writeWaveformsCsv(path, tr, {"a"});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time,a");
+  std::remove(path.c_str());
+}
+
+TEST(Json, BasicSerialization) {
+  JsonValue::Object obj;
+  obj["name"] = "table1";
+  obj["count"] = 3;
+  obj["ok"] = true;
+  obj["values"] = std::vector<double>{1.0, 2.5};
+  const std::string s = JsonValue(obj).dump();
+  EXPECT_NE(s.find("\"name\": \"table1\""), std::string::npos);
+  EXPECT_NE(s.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Json, EscapesStrings) {
+  const std::string s = JsonValue(std::string("a\"b\\c\nd")).dump();
+  EXPECT_NE(s.find("\\\""), std::string::npos);
+  EXPECT_NE(s.find("\\\\"), std::string::npos);
+  EXPECT_NE(s.find("\\n"), std::string::npos);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null\n");
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,64 @@
+#include "io/liberty_writer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+LibertyCellData sampleCell() {
+  LibertyCellData cell;
+  cell.cell_name = "SSTVS_08_12";
+  cell.vddi = 0.8;
+  cell.vddo = 1.2;
+  cell.area_um2 = 5.8;
+  cell.metrics.delay_rise = 84.4e-12;
+  cell.metrics.delay_fall = 52.0e-12;
+  cell.metrics.power_rise = 10e-6;
+  cell.metrics.power_fall = 7e-6;
+  cell.metrics.leakage_high = 0.9e-9;
+  cell.metrics.leakage_low = 0.08e-9;
+  cell.metrics.functional = true;
+  return cell;
+}
+
+TEST(Liberty, StructureAndValues) {
+  const std::string lib = writeLiberty({}, {sampleCell()});
+  EXPECT_NE(lib.find("library (sstvs_ls_lib)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (SSTVS_08_12)"), std::string::npos);
+  EXPECT_NE(lib.find("is_level_shifter : true;"), std::string::npos);
+  EXPECT_NE(lib.find("values (\"84.4\")"), std::string::npos);  // ps
+  EXPECT_NE(lib.find("values (\"52\")"), std::string::npos);
+  EXPECT_NE(lib.find("function : \"!A\""), std::string::npos);
+  EXPECT_NE(lib.find("negative_unate"), std::string::npos);
+  EXPECT_NE(lib.find("area : 5.8;"), std::string::npos);
+}
+
+TEST(Liberty, NonInvertingCell) {
+  LibertyCellData cell = sampleCell();
+  cell.inverting = false;
+  const std::string lib = writeLiberty({}, {cell});
+  EXPECT_NE(lib.find("function : \"A\""), std::string::npos);
+  EXPECT_NE(lib.find("positive_unate"), std::string::npos);
+}
+
+TEST(Liberty, BalancedBraces) {
+  const std::string lib = writeLiberty({}, {sampleCell(), sampleCell()});
+  // Second cell with a distinct name to avoid semantic duplicates is
+  // not required for the brace check.
+  int depth = 0;
+  for (char c : lib) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Liberty, LeakagePowerStates) {
+  const std::string lib = writeLiberty({}, {sampleCell()});
+  // Output-high leakage (input low) maps to when "!A".
+  EXPECT_NE(lib.find("when : \"!A\"; value : 1.08"), std::string::npos);  // 0.9nA * 1.2V
+}
+
+}  // namespace
+}  // namespace vls

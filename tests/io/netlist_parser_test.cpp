@@ -1,0 +1,268 @@
+#include "io/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Parser, TitleCommentsContinuations) {
+  ParsedNetlist nl = parseNetlist(
+      "my title line\n"
+      "* a comment\n"
+      "r1 a b 1k ; trailing comment\n"
+      "+\n"
+      "c1 b 0\n"
+      "+ 10p\n"
+      ".end\n");
+  EXPECT_EQ(nl.title, "my title line");
+  auto* r = dynamic_cast<Resistor*>(nl.circuit.findDevice("r1"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->resistance(), 1000.0);
+  auto* c = dynamic_cast<Capacitor*>(nl.circuit.findDevice("c1"));
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->capacitance(), 10e-12);
+}
+
+TEST(Parser, SourcesAllFlavours) {
+  ParsedNetlist nl = parseNetlist(
+      "sources\n"
+      "v1 a 0 1.2\n"
+      "v2 b 0 DC 0.8\n"
+      "v3 c 0 PULSE(0 1.2 1n 10p 10p 400p 1n)\n"
+      "v4 d 0 PWL(0 0 1n 1.2)\n"
+      "v5 e 0 SIN(0.6 0.6 1meg)\n"
+      "i1 0 a 1u\n"
+      ".end\n");
+  auto wave_of = [&](const char* name) {
+    return dynamic_cast<VoltageSource*>(nl.circuit.findDevice(name))->waveform();
+  };
+  EXPECT_DOUBLE_EQ(wave_of("v1").at(0.0), 1.2);
+  EXPECT_DOUBLE_EQ(wave_of("v2").at(0.0), 0.8);
+  EXPECT_DOUBLE_EQ(wave_of("v3").at(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(wave_of("v3").at(1.2e-9), 1.2);
+  EXPECT_NEAR(wave_of("v4").at(0.5e-9), 0.6, 1e-12);
+  EXPECT_NEAR(wave_of("v5").at(0.25e-6), 1.2, 1e-9);
+}
+
+TEST(Parser, MosfetWithModelCard) {
+  ParsedNetlist nl = parseNetlist(
+      "mos deck\n"
+      ".model mynmos nmos vto=0.45 kp=300u n=1.3\n"
+      "m1 d g s 0 mynmos w=0.4u l=0.1u\n"
+      "m2 d g s 0 nmos_hvt w=0.2u l=0.1u\n"
+      ".end\n");
+  auto* m1 = dynamic_cast<Mosfet*>(nl.circuit.findDevice("m1"));
+  ASSERT_NE(m1, nullptr);
+  EXPECT_DOUBLE_EQ(m1->model().vt0, 0.45);
+  EXPECT_DOUBLE_EQ(m1->model().kp, 300e-6);
+  EXPECT_NEAR(m1->geometry().w, 0.4e-6, 1e-15);
+  auto* m2 = dynamic_cast<Mosfet*>(nl.circuit.findDevice("m2"));
+  ASSERT_NE(m2, nullptr);
+  EXPECT_DOUBLE_EQ(m2->model().vt0, 0.49);  // built-in card
+}
+
+TEST(Parser, SubcircuitFlattening) {
+  ParsedNetlist nl = parseNetlist(
+      "subckt deck\n"
+      ".subckt divider top out\n"
+      "r1 top out 1k\n"
+      "r2 out 0 1k\n"
+      ".ends\n"
+      "v1 in 0 2.0\n"
+      "x1 in mid divider\n"
+      "x2 mid low divider\n"
+      ".op\n"
+      ".end\n");
+  // Internal devices exist with prefixed names.
+  EXPECT_NE(nl.circuit.findDevice("x1.r1"), nullptr);
+  EXPECT_NE(nl.circuit.findDevice("x2.r2"), nullptr);
+  Simulator sim(nl.circuit);
+  const auto x = sim.solveOp();
+  const NodeId mid = *nl.circuit.findNode("mid");
+  const NodeId low = *nl.circuit.findNode("low");
+  // KCL: 3*mid - low = 2 and mid = 2*low  =>  mid = 0.8 V, low = 0.4 V.
+  EXPECT_NEAR(x[mid], 0.8, 1e-6);
+  EXPECT_NEAR(x[low], 0.4, 1e-6);
+}
+
+TEST(Parser, NestedSubcircuits) {
+  ParsedNetlist nl = parseNetlist(
+      "nest\n"
+      ".subckt leaf a b\n"
+      "r1 a b 100\n"
+      ".ends\n"
+      ".subckt pair a b\n"
+      "x1 a m leaf\n"
+      "x2 m b leaf\n"
+      ".ends\n"
+      "xtop in 0 pair\n"
+      ".end\n");
+  EXPECT_NE(nl.circuit.findDevice("xtop.x1.r1"), nullptr);
+  EXPECT_NE(nl.circuit.findDevice("xtop.x2.r1"), nullptr);
+}
+
+TEST(Parser, AnalysisCards) {
+  ParsedNetlist nl = parseNetlist(
+      "cards\n"
+      "v1 a 0 1\n"
+      "r1 a 0 1k\n"
+      ".op\n"
+      ".tran 1p 2n\n"
+      ".dc v1 0 1.2 0.1\n"
+      ".temp 60\n"
+      ".save v(a) a\n"
+      ".end\n");
+  ASSERT_EQ(nl.analyses.size(), 3u);
+  EXPECT_EQ(nl.analyses[0].kind, AnalysisCommand::Kind::Op);
+  EXPECT_EQ(nl.analyses[1].kind, AnalysisCommand::Kind::Tran);
+  EXPECT_DOUBLE_EQ(nl.analyses[1].tran_stop, 2e-9);
+  EXPECT_EQ(nl.analyses[2].kind, AnalysisCommand::Kind::DcSweep);
+  EXPECT_EQ(nl.analyses[2].dc_source, "v1");
+  EXPECT_DOUBLE_EQ(nl.temperature_c, 60.0);
+  EXPECT_FALSE(nl.save_nodes.empty());
+}
+
+TEST(Parser, AcCardAndSourceMagnitude) {
+  ParsedNetlist nl = parseNetlist(
+      "ac deck\n"
+      "v1 a 0 DC 0.6 AC 1.0\n"
+      "r1 a b 1k\n"
+      "c1 b 0 1p\n"
+      ".ac dec 10 1meg 1g\n"
+      ".end\n");
+  ASSERT_EQ(nl.analyses.size(), 1u);
+  EXPECT_EQ(nl.analyses[0].kind, AnalysisCommand::Kind::Ac);
+  EXPECT_DOUBLE_EQ(nl.analyses[0].ac_fstart, 1e6);
+  EXPECT_DOUBLE_EQ(nl.analyses[0].ac_fstop, 1e9);
+  EXPECT_EQ(nl.analyses[0].ac_points_per_decade, 10);
+  auto* v = dynamic_cast<VoltageSource*>(nl.circuit.findDevice("v1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->acMagnitude(), 1.0);
+  EXPECT_DOUBLE_EQ(v->waveform().at(0.0), 0.6);
+
+  // Run it end to end: RC corner at ~159 MHz.
+  Simulator sim(nl.circuit);
+  const AcResult res = sim.ac(nl.analyses[0].ac_fstart, nl.analyses[0].ac_fstop,
+                              nl.analyses[0].ac_points_per_decade);
+  const auto corner = res.cornerFrequency("b");
+  ASSERT_TRUE(corner);
+  EXPECT_NEAR(*corner, 1.59e8, 1e7);
+}
+
+TEST(Parser, ParamSubstitution) {
+  ParsedNetlist nl = parseNetlist(
+      "params\n"
+      ".param rload=2k wdrv=0.52u\n"
+      ".param rhalf={rload}\n"
+      "r1 a 0 {rload}\n"
+      "m1 a g 0 0 nmos w={wdrv} l=0.1u\n"
+      ".subckt cell p\n"
+      "r2 p 0 {rhalf}\n"
+      ".ends\n"
+      "x1 a cell\n"
+      ".end\n");
+  auto* r1 = dynamic_cast<Resistor*>(nl.circuit.findDevice("r1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 2000.0);
+  auto* m1 = dynamic_cast<Mosfet*>(nl.circuit.findDevice("m1"));
+  ASSERT_NE(m1, nullptr);
+  EXPECT_NEAR(m1->geometry().w, 0.52e-6, 1e-15);
+  auto* r2 = dynamic_cast<Resistor*>(nl.circuit.findDevice("x1.r2"));
+  ASSERT_NE(r2, nullptr);
+  EXPECT_DOUBLE_EQ(r2->resistance(), 2000.0);
+}
+
+TEST(Parser, IncludeDirective) {
+  const std::string inc_path = "/tmp/vls_include_test.sp";
+  {
+    std::ofstream out(inc_path);
+    out << ".param rinc=3k\nr2 b 0 {rinc}\n";
+  }
+  ParsedNetlist nl = parseNetlist(
+      "include deck\n"
+      "r1 a b 1k\n"
+      ".include " + inc_path + "\n"
+      ".end\n");
+  auto* r2 = dynamic_cast<Resistor*>(nl.circuit.findDevice("r2"));
+  ASSERT_NE(r2, nullptr);
+  EXPECT_DOUBLE_EQ(r2->resistance(), 3000.0);
+  std::remove(inc_path.c_str());
+}
+
+TEST(Parser, IncludeMissingFileThrows) {
+  EXPECT_THROW(parseNetlist("t\n.include /no/such/file.sp\n.end\n"), InvalidInputError);
+}
+
+TEST(Parser, ParamErrors) {
+  EXPECT_THROW(parseNetlist("t\nr1 a 0 {nope}\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\n.param broken\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\nr1 a 0 {unterminated\n.end\n"), InvalidInputError);
+}
+
+TEST(Parser, AcCardRejectsBadSyntax) {
+  EXPECT_THROW(parseNetlist("t\n.ac lin 10 1 2\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\n.ac dec 10 1\n.end\n"), InvalidInputError);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parseNetlist("t\nr1 a b\n.end\n");
+    FAIL() << "expected throw";
+  } catch (const InvalidInputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownThings) {
+  EXPECT_THROW(parseNetlist("t\nq1 a b c qmod\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\nm1 d g s 0 nosuchmodel w=1u l=1u\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\nx1 a b nosub\n.end\n"), InvalidInputError);
+  EXPECT_THROW(parseNetlist("t\n.subckt s a\nr1 a 0 1\n"), InvalidInputError);  // unterminated
+  EXPECT_THROW(parseNetlist("t\n.frobnicate\n.end\n"), InvalidInputError);
+}
+
+TEST(Parser, SubcircuitPortCountMismatch) {
+  EXPECT_THROW(parseNetlist("t\n.subckt s a b\nr1 a b 1\n.ends\nx1 n1 s\n.end\n"),
+               InvalidInputError);
+}
+
+TEST(Parser, ControlledSources) {
+  ParsedNetlist nl = parseNetlist(
+      "ctl\n"
+      "v1 in 0 0.5\n"
+      "e1 out 0 in 0 4\n"
+      "g1 out2 0 in 0 1m\n"
+      "r1 out 0 1k\n"
+      "r2 out2 0 1k\n"
+      ".end\n");
+  Simulator sim(nl.circuit);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[*nl.circuit.findNode("out")], 2.0, 1e-9);
+  EXPECT_NEAR(x[*nl.circuit.findNode("out2")], -0.5, 1e-9);
+}
+
+TEST(Parser, GroundAliasInsideSubckt) {
+  ParsedNetlist nl = parseNetlist(
+      "gndalias\n"
+      ".subckt cell a\n"
+      "r1 a gnd 1k\n"
+      ".ends\n"
+      "v1 n 0 1\n"
+      "x1 n cell\n"
+      ".end\n");
+  Simulator sim(nl.circuit);
+  const auto x = sim.solveOp();
+  auto* v = dynamic_cast<VoltageSource*>(nl.circuit.findDevice("v1"));
+  EXPECT_NEAR(x[v->branchIndex()], -1e-3, 1e-9);  // 1 mA delivered to ground
+}
+
+}  // namespace
+}  // namespace vls

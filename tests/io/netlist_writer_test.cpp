@@ -1,0 +1,80 @@
+#include "io/netlist_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/sstvs.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "io/netlist_parser.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Writer, EmitsAllElementTypes) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v1", a, kGround, 1.2);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Capacitor>("c1", b, kGround, 1e-12);
+  c.add<Inductor>("l1", b, kGround, 1e-9);
+  MosGeometry g;
+  c.add<Mosfet>("m1", b, a, kGround, kGround, nmos90(), g);
+  const std::string text = writeNetlist(c, "export test");
+  EXPECT_NE(text.find("export test"), std::string::npos);
+  EXPECT_NE(text.find("Rr1 a b 1000"), std::string::npos);
+  EXPECT_NE(text.find("Cc1 b 0 1e-12"), std::string::npos);
+  EXPECT_NE(text.find("Mm1 b a 0 0 nmos"), std::string::npos);
+  EXPECT_NE(text.find(".model nmos nmos"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Writer, RoundTripPreservesDcSolution) {
+  // Build a MOS divider, export, re-parse, and check the operating
+  // points agree.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("v1", vdd, kGround, 1.2);
+  c.add<VoltageSource>("v2", in, kGround, 0.6);
+  MosGeometry gp;
+  gp.w = 520e-9;
+  MosGeometry gn;
+  gn.w = 260e-9;
+  c.add<Mosfet>("mp", out, in, vdd, vdd, pmos90(), gp);
+  c.add<Mosfet>("mn", out, in, kGround, kGround, nmos90(), gn);
+  Simulator sim1(c);
+  const double v_out_orig = sim1.solveOp()[out];
+
+  const std::string text = writeNetlist(c, "roundtrip");
+  ParsedNetlist nl = parseNetlist(text);
+  Simulator sim2(nl.circuit);
+  const double v_out_rt = sim2.solveOp()[*nl.circuit.findNode("out")];
+  EXPECT_NEAR(v_out_rt, v_out_orig, 1e-4);
+}
+
+TEST(Writer, SstvsCellExportsAndReimports) {
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+  c.add<VoltageSource>("vin", in, kGround, 0.8);
+  buildSstvs(c, "xdut", in, out, vddo, {});
+  const std::string text = writeNetlist(c, "sstvs cell");
+  // All five model cards used by the cell must be emitted.
+  EXPECT_NE(text.find(".model nmos_hvt"), std::string::npos);
+  EXPECT_NE(text.find(".model nmos_lvt"), std::string::npos);
+  EXPECT_NE(text.find(".model pmos_hvt"), std::string::npos);
+
+  ParsedNetlist nl = parseNetlist(text);
+  Simulator sim(nl.circuit);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[*nl.circuit.findNode("out")], 0.0, 0.05);
+  EXPECT_NEAR(x[*nl.circuit.findNode("xdut.node2")], 1.2, 0.05);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,50 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"Parameter", "Value"});
+  t.addRow({"Delay Rise (ps)", "22.0"});
+  t.addRow({"X", "1"});
+  const std::string s = t.toString();
+  // All lines have equal length (box alignment).
+  size_t len = std::string::npos;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t nl = s.find('\n', pos);
+    const size_t line_len = nl - pos;
+    if (len == std::string::npos) len = line_len;
+    EXPECT_EQ(line_len, len);
+    pos = nl + 1;
+  }
+  EXPECT_NE(s.find("Delay Rise (ps)"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only one"}), InvalidInputError);
+  EXPECT_THROW(Table empty({}), InvalidInputError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 3), "1.23");
+  EXPECT_EQ(Table::fmtScaled(22.0e-12, 1e-12, 1), "22.0");
+  EXPECT_EQ(Table::fmtScaled(20.8e-9, 1e-9, 1), "20.8");
+  EXPECT_EQ(Table::fmtScaled(4.47e-12, 1e-12, 2), "4.47");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"x"});
+  t.addRow({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,107 @@
+#include "numeric/lu_dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "numeric/rng.hpp"
+
+namespace vls {
+namespace {
+
+TEST(DenseMatrix, BasicOps) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 2;
+  a(1, 1) = -3;
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 3.0);
+
+  const auto y = a.multiply(std::vector<double>{1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+
+  const DenseMatrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 0), 2.0);
+}
+
+TEST(DenseMatrix, MatrixProductAgainstIdentity) {
+  DenseMatrix a(3, 3);
+  Rng rng(7);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1, 1);
+  const DenseMatrix prod = a.multiply(DenseMatrix::identity(3));
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(DenseLu, SolvesSmallSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  DenseLu lu(a);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLu, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  DenseLu lu(a);
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, Determinant) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = 2;
+  EXPECT_NEAR(DenseLu(a).determinant(), 4.0, 1e-12);
+}
+
+TEST(DenseLu, ThrowsOnSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(DenseLu lu(a), NumericalError);
+}
+
+TEST(DenseLu, ThrowsOnNonSquare) {
+  EXPECT_THROW(DenseLu lu(DenseMatrix(2, 3)), InvalidInputError);
+}
+
+class DenseLuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseLuRandomTest, RandomSystemsRoundTrip) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  DenseMatrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+    a(r, r) += 2.0;  // diagonally dominant-ish: well-conditioned
+  }
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.uniform(-5, 5);
+  const auto b = a.multiply(x_true);
+  const auto x = DenseLu(a).solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLuRandomTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,78 @@
+#include "numeric/dual.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vls {
+namespace {
+
+using D2 = Dual<2>;
+
+// Finite-difference reference for a single-variable function.
+template <typename F>
+double fdiff(F f, double x, double h = 1e-7) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+TEST(Dual, SeedAndArithmetic) {
+  const D2 x = D2::seed(3.0, 0);
+  const D2 y = D2::seed(4.0, 1);
+  const D2 z = x * y + x - y / x;
+  EXPECT_DOUBLE_EQ(z.v, 12.0 + 3.0 - 4.0 / 3.0);
+  // dz/dx = y + 1 + y/x^2 = 4 + 1 + 4/9
+  EXPECT_NEAR(z.d[0], 5.0 + 4.0 / 9.0, 1e-12);
+  // dz/dy = x - 1/x = 3 - 1/3
+  EXPECT_NEAR(z.d[1], 3.0 - 1.0 / 3.0, 1e-12);
+}
+
+TEST(Dual, ChainedTranscendentals) {
+  const double x0 = 0.7;
+  auto f = [](auto x) { return exp(sqrt(x) * 2.0) + log(x + 1.0); };
+  const auto z = f(Dual<1>::seed(x0, 0));
+  EXPECT_NEAR(z.d[0], fdiff([&](double x) { return f(Dual<1>(x)).v; }, x0), 1e-6);
+}
+
+TEST(Dual, Log1p) {
+  const auto z = log1p(Dual<1>::seed(0.5, 0));
+  EXPECT_DOUBLE_EQ(z.v, std::log1p(0.5));
+  EXPECT_NEAR(z.d[0], 1.0 / 1.5, 1e-12);
+}
+
+TEST(Dual, SoftplusRegions) {
+  // Deep negative: value ~ e^x, derivative ~ e^x.
+  const auto lo = softplus(Dual<1>::seed(-50.0, 0));
+  EXPECT_NEAR(lo.v, std::exp(-50.0), 1e-30);
+  EXPECT_NEAR(lo.d[0], std::exp(-50.0), 1e-30);
+  // Deep positive: value ~ x, derivative ~ 1.
+  const auto hi = softplus(Dual<1>::seed(50.0, 0));
+  EXPECT_DOUBLE_EQ(hi.v, 50.0);
+  EXPECT_DOUBLE_EQ(hi.d[0], 1.0);
+  // Middle: matches log1p(exp(x)).
+  const auto mid = softplus(Dual<1>::seed(0.3, 0));
+  EXPECT_NEAR(mid.v, std::log1p(std::exp(0.3)), 1e-14);
+  EXPECT_NEAR(mid.d[0], 1.0 / (1.0 + std::exp(-0.3)), 1e-12);
+}
+
+TEST(Dual, SoftplusDoubleOverloadMatches) {
+  for (double x : {-60.0, -3.0, 0.0, 2.5, 60.0}) {
+    EXPECT_DOUBLE_EQ(softplus(x), softplus(Dual<1>(x)).v);
+  }
+}
+
+TEST(Dual, UnaryMinusAndComparisons) {
+  const D2 x = D2::seed(2.0, 0);
+  const D2 y = -x;
+  EXPECT_DOUBLE_EQ(y.v, -2.0);
+  EXPECT_DOUBLE_EQ(y.d[0], -1.0);
+  EXPECT_TRUE(y < x);
+  EXPECT_TRUE(x > y);
+}
+
+TEST(Dual, SqrtAtZeroHasFiniteDerivative) {
+  // Guard against division by zero: derivative defined as 0 at x = 0.
+  const auto z = sqrt(Dual<1>::seed(0.0, 0));
+  EXPECT_DOUBLE_EQ(z.v, 0.0);
+  EXPECT_DOUBLE_EQ(z.d[0], 0.0);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,87 @@
+#include "numeric/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+const std::vector<double> kT = {0.0, 1.0, 2.0, 3.0};
+const std::vector<double> kV = {0.0, 1.0, 1.0, 0.0};
+
+TEST(Interp, LinearInside) {
+  EXPECT_DOUBLE_EQ(interpLinear(kT, kV, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(interpLinear(kT, kV, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(interpLinear(kT, kV, 2.75), 0.25);
+}
+
+TEST(Interp, ClampsOutside) {
+  EXPECT_DOUBLE_EQ(interpLinear(kT, kV, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(interpLinear(kT, kV, 99.0), 0.0);
+}
+
+TEST(Interp, MismatchedThrows) {
+  EXPECT_THROW(interpLinear({0.0}, {}, 0.0), InvalidInputError);
+  EXPECT_THROW(interpLinear({}, {}, 0.0), InvalidInputError);
+}
+
+TEST(Crossing, RisingAndFalling) {
+  const auto rise = firstCrossing(kT, kV, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(rise);
+  EXPECT_DOUBLE_EQ(*rise, 0.5);
+  const auto fall = firstCrossing(kT, kV, 0.5, CrossDir::Falling);
+  ASSERT_TRUE(fall);
+  EXPECT_DOUBLE_EQ(*fall, 2.5);
+}
+
+TEST(Crossing, FromOffsetSkipsEarlier) {
+  const auto c = firstCrossing(kT, kV, 0.5, CrossDir::Either, 1.0);
+  ASSERT_TRUE(c);
+  EXPECT_DOUBLE_EQ(*c, 2.5);
+}
+
+TEST(Crossing, NoneFound) {
+  EXPECT_FALSE(firstCrossing(kT, kV, 2.0, CrossDir::Rising).has_value());
+  EXPECT_FALSE(firstCrossing(kT, kV, 0.5, CrossDir::Rising, 1.5).has_value());
+}
+
+TEST(Crossing, AllCrossings) {
+  const std::vector<double> t = {0, 1, 2, 3, 4};
+  const std::vector<double> v = {0, 1, 0, 1, 0};
+  const auto rises = allCrossings(t, v, 0.5, CrossDir::Rising);
+  ASSERT_EQ(rises.size(), 2u);
+  EXPECT_DOUBLE_EQ(rises[0], 0.5);
+  EXPECT_DOUBLE_EQ(rises[1], 2.5);
+  const auto all = allCrossings(t, v, 0.5, CrossDir::Either);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(Crossing, ExactlyAtLevelCounts) {
+  // Segment ends exactly on the level: counted once (>= level).
+  const std::vector<double> t = {0, 1, 2};
+  const std::vector<double> v = {0, 0.5, 1.0};
+  const auto c = firstCrossing(t, v, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(c);
+  EXPECT_DOUBLE_EQ(*c, 1.0);
+}
+
+TEST(Integrate, TriangleArea) {
+  EXPECT_NEAR(integrateTrapezoid(kT, kV, 0.0, 3.0), 2.0, 1e-12);
+  EXPECT_NEAR(integrateTrapezoid(kT, kV, 1.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(integrateTrapezoid(kT, kV, 0.0, 0.5), 0.125, 1e-12);
+}
+
+TEST(Integrate, WindowBeyondDomainExtendsWithEndValues) {
+  const std::vector<double> t = {0.0, 1.0};
+  const std::vector<double> v = {2.0, 2.0};
+  EXPECT_NEAR(integrateTrapezoid(t, v, 0.0, 3.0), 2.0 + 2.0 * 2.0, 1e-12);
+}
+
+TEST(Integrate, EmptyWindowIsZero) {
+  EXPECT_DOUBLE_EQ(integrateTrapezoid(kT, kV, 2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(integrateTrapezoid(kT, kV, 3.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vls

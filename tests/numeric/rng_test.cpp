@@ -1,0 +1,96 @@
+#include "numeric/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/statistics.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.nextU64() == b.nextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 5e-3);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 2e-3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian(3.0, 0.5));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.02);
+}
+
+TEST(Rng, GaussianTailFractionIsPlausible) {
+  // ~31.7% of samples should fall outside +-1 sigma.
+  Rng rng(19);
+  int outside = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(rng.gaussian()) > 1.0) ++outside;
+  }
+  EXPECT_NEAR(static_cast<double>(outside) / n, 0.3173, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(23);
+  int counts[5] = {0};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng base(99);
+  Rng a = base.split();
+  Rng b = base.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.nextU64() == b.nextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace vls

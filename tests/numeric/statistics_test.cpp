@@ -1,0 +1,67 @@
+#include "numeric/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+TEST(OnlineStats, KnownSmallSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, NumericallyStableAroundLargeOffset) {
+  OnlineStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(v, 0.125), 1.5);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentileSorted({}, 0.5), InvalidInputError);
+}
+
+TEST(Summary, Summarize) {
+  const Summary s = summarize({3.0, 1.0, 2.0, 5.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, EmptyIsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace vls

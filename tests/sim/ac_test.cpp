@@ -1,0 +1,146 @@
+// AC small-signal analysis against closed-form transfer functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Ac, BadArgumentsThrow) {
+  Circuit c;
+  c.add<Resistor>("r", c.node("a"), kGround, 1.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.ac(0.0, 1e6), InvalidInputError);
+  EXPECT_THROW(sim.ac(1e6, 1e3), InvalidInputError);
+}
+
+TEST(Ac, RcLowPassMagnitudeAndPhase) {
+  // R=1k, C=1p: f_c = 1/(2 pi RC) ~ 159 MHz.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.0);
+  v.setAcMagnitude(1.0);
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-12);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e6, 1e11, 10);
+
+  const auto freqs = res.frequencies();
+  const auto mag = res.magnitude("b");
+  const auto ph = res.phase("b");
+  const double tau = 1e-9;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    const double wt = 2.0 * M_PI * freqs[i] * tau;
+    const double expect_mag = 1.0 / std::sqrt(1.0 + wt * wt);
+    EXPECT_NEAR(mag[i], expect_mag, expect_mag * 1e-6) << freqs[i];
+    EXPECT_NEAR(ph[i], -std::atan(wt), 1e-6) << freqs[i];
+  }
+  const auto corner = res.cornerFrequency("b");
+  ASSERT_TRUE(corner);
+  EXPECT_NEAR(*corner, 1.0 / (2.0 * M_PI * tau), 0.03 / (2.0 * M_PI * tau));
+}
+
+TEST(Ac, RlcSeriesResonance) {
+  // Series RLC driven by AC: current peaks at f0 = 1/(2 pi sqrt(LC)).
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId d = c.node("d");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.0);
+  v.setAcMagnitude(1.0);
+  c.add<Resistor>("r", a, b, 10.0);
+  c.add<Inductor>("l", b, d, 1e-6);
+  c.add<Capacitor>("cc", d, kGround, 1e-12);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e7, 1e9, 40);
+  // Voltage across the capacitor peaks near f0 with Q = sqrt(L/C)/R = 100.
+  const auto freqs = res.frequencies();
+  const auto mag = res.magnitude("d");
+  size_t peak = 0;
+  for (size_t i = 1; i < mag.size(); ++i) {
+    if (mag[i] > mag[peak]) peak = i;
+  }
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(1e-6 * 1e-12));
+  EXPECT_NEAR(freqs[peak], f0, f0 * 0.1);
+  EXPECT_GT(mag[peak], 20.0);  // high-Q peaking
+}
+
+TEST(Ac, VoltageDividerIsFrequencyFlat) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.0);
+  v.setAcMagnitude(2.0);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Resistor>("r2", b, kGround, 1000.0);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e3, 1e9, 5);
+  for (double m : res.magnitude("b")) EXPECT_NEAR(m, 1.0, 1e-9);
+}
+
+TEST(Ac, InverterSmallSignalGainAtMidrail) {
+  // Bias an inverter near its switching threshold: the small-signal
+  // gain |vout/vin| must exceed the large-signal regenerative gain
+  // floor at low frequency and roll off at high frequency.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  auto& vin = c.add<VoltageSource>("vin", in, kGround, 0.58);
+  vin.setAcMagnitude(1.0);
+  buildInverter(c, "x", in, out, vdd);
+  c.add<Capacitor>("cl", out, kGround, 10e-15);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e6, 1e12, 8);
+  const auto mag = res.magnitude("out");
+  EXPECT_GT(mag.front(), 3.0);            // low-frequency gain
+  EXPECT_LT(mag.back(), mag.front() / 10.0);  // rolled off
+  const auto corner = res.cornerFrequency("out");
+  ASSERT_TRUE(corner);
+  EXPECT_GT(*corner, 1e8);   // gm/C in a plausible band
+  EXPECT_LT(*corner, 1e11);
+}
+
+TEST(Ac, QuietSupplyContributesNothing) {
+  // No AC magnitude set anywhere: response is identically zero.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e6, 1e8, 3);
+  for (double m : res.magnitude("a")) EXPECT_NEAR(m, 0.0, 1e-15);
+}
+
+TEST(Ac, MosfetCapacitancesLoadTheDriver) {
+  // A source driving only a MOSFET gate through a resistor sees an RC
+  // corner set by the (nonzero) gate capacitance.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId g = c.node("g");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.6);
+  v.setAcMagnitude(1.0);
+  c.add<Resistor>("r", a, g, 1e5);
+  MosGeometry geom;
+  geom.w = 2e-6;
+  geom.l = 1e-6;
+  c.add<Mosfet>("m", kGround, g, kGround, kGround, nmos90(), geom);
+  Simulator sim(c);
+  const AcResult res = sim.ac(1e4, 1e12, 6);
+  const auto corner = res.cornerFrequency("g");
+  ASSERT_TRUE(corner);
+  // Gate cap ~ Cox*W*L ~ 34 fF -> corner ~ 1/(2 pi * 1e5 * 34f) ~ 47 MHz.
+  EXPECT_GT(*corner, 5e6);
+  EXPECT_LT(*corner, 5e8);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(DcSweep, LinearRampOnDivider) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.0);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Resistor>("r2", b, kGround, 1000.0);
+  Simulator sim(c);
+  const auto res = sim.dcSweep(v, 0.0, 2.0, 0.5);
+  ASSERT_EQ(res.sweep.size(), 5u);
+  const auto vb = res.node("b");
+  for (size_t i = 0; i < res.sweep.size(); ++i) {
+    EXPECT_NEAR(vb[i], res.sweep[i] / 2.0, 1e-9);
+  }
+}
+
+TEST(DcSweep, DescendingDirection) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  const auto res = sim.dcSweep(v, 1.0, 0.0, 0.25);
+  ASSERT_EQ(res.sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(res.sweep.front(), 1.0);
+  EXPECT_DOUBLE_EQ(res.sweep.back(), 0.0);
+}
+
+TEST(DcSweep, RestoresSourceWaveform) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& v = c.add<VoltageSource>("v", a, kGround, 0.7);
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  sim.dcSweep(v, 0.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(v.waveform().at(0.0), 0.7);
+}
+
+TEST(DcSweep, InverterVtcIsMonotoneAndRailToRail) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  auto& vin = c.add<VoltageSource>("vin", in, kGround, 0.0);
+  buildInverter(c, "x", in, out, vdd);
+  Simulator sim(c);
+  const auto res = sim.dcSweep(vin, 0.0, 1.2, 0.05);
+  const auto vout = res.node("out");
+  EXPECT_NEAR(vout.front(), 1.2, 2e-3);
+  EXPECT_NEAR(vout.back(), 0.0, 2e-3);
+  for (size_t i = 1; i < vout.size(); ++i) {
+    EXPECT_LE(vout[i], vout[i - 1] + 1e-6) << "non-monotone at " << i;
+  }
+  // Switching threshold in a sane band (PMOS/NMOS ratioed for ~VDD/2).
+  double vm = 0.0;
+  for (size_t i = 1; i < vout.size(); ++i) {
+    if (vout[i] < res.sweep[i]) {  // crossing v(out) = v(in)
+      vm = res.sweep[i];
+      break;
+    }
+  }
+  EXPECT_GT(vm, 0.4);
+  EXPECT_LT(vm, 0.8);
+}
+
+TEST(DcSweep, GainAtMidpointExceedsOne) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  auto& vin = c.add<VoltageSource>("vin", in, kGround, 0.0);
+  buildInverter(c, "x", in, out, vdd);
+  Simulator sim(c);
+  const auto res = sim.dcSweep(vin, 0.4, 0.8, 0.01);
+  const auto vout = res.node("out");
+  double max_gain = 0.0;
+  for (size_t i = 1; i < vout.size(); ++i) {
+    max_gain = std::max(max_gain, -(vout[i] - vout[i - 1]) / 0.01);
+  }
+  EXPECT_GT(max_gain, 4.0);  // regenerative digital gain
+}
+
+TEST(DcSweep, BadStepThrows) {
+  Circuit c;
+  auto& v = c.add<VoltageSource>("v", c.node("a"), kGround, 0.0);
+  c.add<Resistor>("r", c.node("a"), kGround, 1.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.dcSweep(v, 0.0, 1.0, 0.0), InvalidInputError);
+}
+
+}  // namespace
+}  // namespace vls

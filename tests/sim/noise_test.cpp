@@ -1,0 +1,134 @@
+// Noise analysis against closed-form results: kT/C noise of an RC
+// filter, 4kTR of a divider, shot noise of a biased diode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/units.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/diode.hpp"
+#include "devices/model_library.hpp"
+#include "devices/mosfet.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Noise, BadArgumentsThrow) {
+  Circuit c;
+  c.add<Resistor>("r", c.node("a"), kGround, 1.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.noise("a", -1.0, 1e6), InvalidInputError);
+  EXPECT_THROW(sim.noise("zzz", 1.0, 1e6), InvalidInputError);
+}
+
+TEST(Noise, ResistorSpotNoiseMatches4kTR) {
+  // Output directly across R (driven by a noiseless ideal source is
+  // absent; the node floats through R to ground => transfer = R).
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<Resistor>("r", a, kGround, 10e3);
+  Simulator sim(c);
+  const NoiseResult res = sim.noise("a", 1e3, 1e3, 1);
+  // Spot PSD: i_n^2 * R^2 = (4kT/R) R^2 = 4kTR.
+  const double expect = 4.0 * kBoltzmann * 300.15 * 10e3;
+  ASSERT_FALSE(res.output_psd.empty());
+  EXPECT_NEAR(res.output_psd.front(), expect, expect * 1e-3);
+}
+
+TEST(Noise, RcFilterIntegratesToKTOverC) {
+  // The classic: total output noise of R-C is kT/C, independent of R.
+  for (double r : {1e3, 100e3}) {
+    Circuit c;
+    const NodeId a = c.node("a");
+    const NodeId b = c.node("b");
+    c.add<VoltageSource>("v", a, kGround, 0.0);  // noiseless bias
+    c.add<Resistor>("r", a, b, r);
+    const double cap = 1e-12;
+    c.add<Capacitor>("cb", b, kGround, cap);
+    Simulator sim(c);
+    // Band must cover well past the corner 1/(2 pi R C).
+    const NoiseResult res = sim.noise("b", 1e2, 1e13, 8);
+    const double expect = kBoltzmann * 300.15 / cap;
+    EXPECT_NEAR(res.total_v2, expect, expect * 0.05) << "R=" << r;
+  }
+}
+
+TEST(Noise, DividerContributionsSplit) {
+  // Two equal resistors to a noiseless rail: both contribute equally.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r1", a, b, 10e3);
+  c.add<Resistor>("r2", b, kGround, 10e3);
+  Simulator sim(c);
+  const NoiseResult res = sim.noise("b", 1e3, 1e6, 2);
+  ASSERT_EQ(res.contributions.size(), 2u);
+  EXPECT_NEAR(res.contributions[0].v2, res.contributions[1].v2,
+              res.contributions[0].v2 * 1e-6);
+}
+
+TEST(Noise, DiodeShotNoiseScalesWithBias) {
+  auto spot = [](double bias_v) {
+    Circuit c;
+    const NodeId a = c.node("a");
+    const NodeId k = c.node("k");
+    c.add<VoltageSource>("v", a, kGround, bias_v);
+    c.add<Resistor>("r", a, k, 100e3);
+    c.add<Diode>("d", k, kGround, DiodeParams{});
+    Simulator sim(c);
+    const NoiseResult res = sim.noise("k", 1e3, 1e3, 1);
+    return res.output_psd.front();
+  };
+  // Stronger bias -> more shot current but much lower diode impedance:
+  // output-referred spot noise DROPS with bias (r_d = nVt/I dominates).
+  EXPECT_GT(spot(0.7), spot(2.0));
+}
+
+TEST(Noise, MosfetAmplifierFlickerCorner) {
+  // Common-source stage: flicker dominates at low f, thermal at high f.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId g = c.node("g");
+  const NodeId d = c.node("d");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  c.add<VoltageSource>("vg", g, kGround, 0.55);
+  c.add<Resistor>("rl", vdd, d, 20e3);
+  MosGeometry geom;
+  geom.w = 1e-6;
+  geom.l = 100e-9;
+  c.add<Mosfet>("m1", d, g, kGround, kGround, nmos90(), geom);
+  Simulator sim(c);
+  const NoiseResult res = sim.noise("d", 1e3, 1e9, 4);
+  // PSD at 1 kHz must exceed PSD at 100 MHz (flicker tail).
+  EXPECT_GT(res.output_psd.front(), res.output_psd.back());
+  // The flicker contribution of m1 is present and labelled.
+  bool found_flicker = false;
+  for (const auto& contrib : res.contributions) {
+    if (contrib.label == "m1.flicker") found_flicker = true;
+  }
+  EXPECT_TRUE(found_flicker);
+}
+
+TEST(Noise, ContributionsSumToTotal) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r1", a, b, 5e3);
+  c.add<Resistor>("r2", b, kGround, 7e3);
+  c.add<Capacitor>("cb", b, kGround, 1e-12);
+  Simulator sim(c);
+  const NoiseResult res = sim.noise("b", 1e3, 1e12, 6);
+  double sum = 0.0;
+  for (const auto& contrib : res.contributions) sum += contrib.v2;
+  EXPECT_NEAR(sum, res.total_v2, res.total_v2 * 1e-12);
+  EXPECT_GT(res.rms(), 0.0);
+  EXPECT_NEAR(res.rms() * res.rms(), res.total_v2, res.total_v2 * 1e-12);
+}
+
+}  // namespace
+}  // namespace vls

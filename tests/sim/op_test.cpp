@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/diode.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Op, LinearNetwork) {
+  // Wheatstone-ish resistive mesh.
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId d = c.node("d");
+  c.add<VoltageSource>("v", a, kGround, 10.0);
+  c.add<Resistor>("r1", a, b, 100.0);
+  c.add<Resistor>("r2", b, kGround, 100.0);
+  c.add<Resistor>("r3", a, d, 200.0);
+  c.add<Resistor>("r4", d, kGround, 200.0);
+  c.add<Resistor>("r5", b, d, 50.0);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  // Balanced bridge: both dividers sit at 5 V, no current through r5.
+  EXPECT_NEAR(x[b], 5.0, 1e-9);
+  EXPECT_NEAR(x[d], 5.0, 1e-9);
+}
+
+TEST(Op, FloatingNodePinnedByGmin) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId fl = c.node("float");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 1000.0);
+  c.add<Capacitor>("cf", fl, a, 1e-15);  // only capacitive connection
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[fl], 0.0, 1e-6);  // gmin ties it to ground in DC
+}
+
+TEST(Op, WarmStartMatchesColdStart) {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  c.add<VoltageSource>("vin", in, kGround, 0.6);
+  buildInverter(c, "x", in, out, vdd);
+  Simulator sim(c);
+  const auto cold = sim.solveOp();
+  const auto warm = sim.solveOp(cold);
+  for (size_t i = 0; i < cold.size(); ++i) EXPECT_NEAR(cold[i], warm[i], 1e-6);
+}
+
+TEST(Op, SolveOpAtEvaluatesSourcesAtTime) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("v", a, kGround, Waveform::pwl({0.0, 1e-9}, {0.0, 2.0}));
+  c.add<Resistor>("r", a, kGround, 1000.0);
+  Simulator sim(c);
+  const auto x = sim.solveOpAt(0.5e-9, std::vector<double>(sim.numUnknowns(), 0.0));
+  EXPECT_NEAR(x[a], 1.0, 1e-9);
+}
+
+TEST(Op, CrossCoupledLatchFindsAStableState) {
+  // Two cross-coupled inverters with no input: bistable. Homotopy must
+  // land on one valid digital state (not metastable midpoint is not
+  // required, but rails must be consistent if reached).
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId q = c.node("q");
+  const NodeId qb = c.node("qb");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  buildInverter(c, "x1", q, qb, vdd);
+  buildInverter(c, "x2", qb, q, vdd);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  // Consistency: q and qb must be complements of the same inverter pair
+  // (sum near VDD if digital, or both at the metastable point).
+  const double vq = x[q];
+  const double vqb = x[qb];
+  EXPECT_NEAR(vq + vqb, 1.2, 0.4);
+}
+
+TEST(Op, SeriesDiodeChainNeedsHomotopy) {
+  // A stiff exponential chain from a large supply exercises the gmin /
+  // source-stepping fallbacks.
+  Circuit c;
+  NodeId prev = c.node("a");
+  c.add<VoltageSource>("v", prev, kGround, 12.0);
+  c.add<Resistor>("r", prev, c.node("n0"), 50.0);
+  prev = c.node("n0");
+  for (int i = 0; i < 6; ++i) {
+    const NodeId next = c.node("n" + std::to_string(i + 1));
+    c.add<Diode>("d" + std::to_string(i), prev, next, DiodeParams{});
+    prev = next;
+  }
+  c.add<Resistor>("rl", prev, kGround, 10.0);
+  Simulator sim(c);
+  const auto x = sim.solveOp();
+  // Six forward drops of ~0.75-1.0 V each (high current), the rest on R.
+  const double chain_drop = x[c.node("n0")] - x[prev];
+  EXPECT_GT(chain_drop, 3.5);
+  EXPECT_LT(chain_drop, 6.5);
+}
+
+TEST(Op, SingularWithoutGminThrows) {
+  // Two ideal voltage sources in parallel with different values cannot
+  // be satisfied: expect a convergence/numerical error, not a hang.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("v1", a, kGround, 1.0);
+  c.add<VoltageSource>("v2", a, kGround, 2.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.solveOp(), Error);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,119 @@
+// Integration-accuracy property tests: the adaptive trapezoidal engine
+// against closed-form linear-circuit responses over a parameter sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+struct RcCase {
+  double r;
+  double c;
+};
+
+class RcAccuracyTest : public ::testing::TestWithParam<RcCase> {};
+
+TEST_P(RcAccuracyTest, StepResponseWithinTolerance) {
+  const auto [r, cap] = GetParam();
+  const double tau = r * cap;
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = p.fall = tau * 1e-5;
+  p.width = tau * 100;
+  ckt.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  ckt.add<Resistor>("r", a, b, r);
+  ckt.add<Capacitor>("c", b, kGround, cap);
+  Simulator sim(ckt);
+  const auto tr = sim.transient(5.0 * tau, tau / 20.0);
+  const Signal vb = tr.node("b");
+  for (double mult : {0.3, 1.0, 2.0, 4.0}) {
+    const double expect = 1.0 - std::exp(-mult);
+    EXPECT_NEAR(interpLinear(vb.time, vb.value, mult * tau), expect, 6e-3)
+        << "R=" << r << " C=" << cap << " t/tau=" << mult;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeConstants, RcAccuracyTest,
+                         ::testing::Values(RcCase{1e3, 1e-12},   // 1 ns
+                                           RcCase{1e4, 1e-12},   // 10 ns
+                                           RcCase{1e2, 1e-15},   // 0.1 ps-class
+                                           RcCase{1e6, 1e-9},    // 1 ms
+                                           RcCase{50.0, 2e-12}));
+
+class SineTrackingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SineTrackingTest, RcLowPassGainAndPhase) {
+  // Drive RC with a sine at f; compare steady-state amplitude against
+  // |H| = 1/sqrt(1+(2 pi f tau)^2).
+  const double freq = GetParam();
+  const double r = 1e3;
+  const double cap = 1e-12;
+  const double tau = r * cap;
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  SinSpec s;
+  s.amplitude = 1.0;
+  s.freq = freq;
+  ckt.add<VoltageSource>("v", a, kGround, Waveform::sine(s));
+  ckt.add<Resistor>("r", a, b, r);
+  ckt.add<Capacitor>("c", b, kGround, cap);
+  Simulator sim(ckt);
+  const double t_stop = 10.0 / freq + 10.0 * tau;
+  Simulator sim2(ckt);
+  const auto tr = sim2.transient(t_stop, 1.0 / (freq * 60.0));
+  const Signal vb = tr.node("b");
+  // Amplitude over the last two periods.
+  const double t0 = t_stop - 2.0 / freq;
+  double amp = 0.0;
+  for (size_t i = 0; i < vb.time.size(); ++i) {
+    if (vb.time[i] >= t0) amp = std::max(amp, std::fabs(vb.value[i]));
+  }
+  const double w_tau = 2.0 * M_PI * freq * tau;
+  const double expect = 1.0 / std::sqrt(1.0 + w_tau * w_tau);
+  EXPECT_NEAR(amp, expect, expect * 0.05 + 5e-3) << "f=" << freq;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, SineTrackingTest,
+                         ::testing::Values(1e7, 1e8, 1.59e8, 1e9));
+
+TEST(TransientAccuracy, RlcRingdownFrequencyAndDecay) {
+  // Series RLC: R=20, L=1uH, C=1pF -> f0 ~ 159 MHz, Q ~ 50.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add<Capacitor>("c", a, kGround, 1e-12, 1.0, true);
+  ckt.add<Resistor>("r", a, b, 20.0);
+  ckt.add<Inductor>("l", b, kGround, 1e-6);
+  Simulator sim(ckt);
+  const auto tr = sim.transient(30e-9, 3e-11);
+  const Signal va = tr.node("a");
+  const auto zeros = allCrossings(va.time, va.value, 0.0, CrossDir::Rising, 1e-9);
+  ASSERT_GE(zeros.size(), 3u);
+  const double period = zeros[2] - zeros[1];
+  const double f_meas = 1.0 / period;
+  const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(1e-6 * 1e-12));
+  EXPECT_NEAR(f_meas, f0, f0 * 0.02);
+  // Envelope decay: alpha = R/(2L) = 1e7 -> e-fold in 100 ns; at 30 ns
+  // amplitude should still exceed 0.6.
+  double late_amp = 0.0;
+  for (size_t i = 0; i < va.time.size(); ++i) {
+    if (va.time[i] > 25e-9) late_amp = std::max(late_amp, std::fabs(va.value[i]));
+  }
+  EXPECT_GT(late_amp, 0.55);
+  EXPECT_LT(late_amp, 1.0);
+}
+
+}  // namespace
+}  // namespace vls

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/gates.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TEST(Transient, BadArgumentsThrow) {
+  Circuit c;
+  c.add<Resistor>("r", c.node("a"), kGround, 1.0);
+  Simulator sim(c);
+  EXPECT_THROW(sim.transient(0.0, 1e-12), InvalidInputError);
+  EXPECT_THROW(sim.transient(1e-9, 0.0), InvalidInputError);
+}
+
+TEST(Transient, StartsFromOperatingPoint) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 2.0);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Resistor>("r2", b, kGround, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-12);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 1e-11);
+  // DC start: no transient on a settled node.
+  const Signal vb = tr.node("b");
+  for (size_t i = 0; i < vb.value.size(); ++i) EXPECT_NEAR(vb.value[i], 1.0, 1e-6);
+}
+
+TEST(Transient, TimeAxisIsStrictlyIncreasingAndHitsStop) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 1e-10);
+  const auto& t = tr.time();
+  ASSERT_GE(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_NEAR(t.back(), 1e-9, 1e-15);
+  for (size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]);
+}
+
+TEST(Transient, AdaptiveStepsRefineAtEdges) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.delay = 5e-9;
+  p.rise = p.fall = 1e-11;
+  p.width = 2e-9;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-13);
+  Simulator sim(c);
+  const auto tr = sim.transient(10e-9, 5e-10);
+  // Count samples in the quiet first 4 ns vs the busy 5-6 ns window.
+  size_t quiet = 0;
+  size_t busy = 0;
+  for (double t : tr.time()) {
+    if (t < 4e-9) ++quiet;
+    if (t >= 5e-9 && t < 6e-9) ++busy;
+  }
+  EXPECT_GT(busy, quiet / 2);  // denser sampling around the edge
+}
+
+TEST(Transient, RcMatchesAnalyticClosely) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = p.fall = 1e-14;
+  p.width = 1e-6;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, b, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-12);
+  Simulator sim(c);
+  const auto tr = sim.transient(6e-9, 3e-11);
+  const Signal vb = tr.node("b");
+  double max_err = 0.0;
+  for (size_t i = 0; i < vb.time.size(); ++i) {
+    const double expect = 1.0 - std::exp(-vb.time[i] / 1e-9);
+    max_err = std::max(max_err, std::fabs(vb.value[i] - expect));
+  }
+  EXPECT_LT(max_err, 5e-3);
+}
+
+TEST(Transient, CapacitorChargeConservationOnChain) {
+  // Charge delivered by the source equals the charge stored on the
+  // capacitors at the end (series R only dissipates energy, not charge).
+  Circuit c;
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  const NodeId d = c.node("d");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = p.fall = 1e-13;
+  p.width = 1e-6;
+  auto& v = c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r1", a, b, 100.0);
+  c.add<Capacitor>("c1", b, kGround, 1e-12);
+  c.add<Resistor>("r2", b, d, 100.0);
+  c.add<Capacitor>("c2", d, kGround, 2e-12);
+  Simulator sim(c);
+  const auto tr = sim.transient(5e-9, 2e-11);
+
+  // Integrate source current.
+  Signal i = tr.unknown(v.branchIndex());
+  for (double& s : i.value) s = -s;
+  const double q_delivered = integrateTrapezoid(i.time, i.value, 0.0, 5e-9);
+  const double vb = tr.node("b").value.back();
+  const double vd = tr.node("d").value.back();
+  const double q_stored = 1e-12 * vb + 2e-12 * vd;
+  EXPECT_NEAR(q_delivered, q_stored, q_stored * 0.02);
+}
+
+TEST(Transient, InverterRingOscillatorOscillates) {
+  // 3-stage ring: self-sustained oscillation is a strong end-to-end
+  // check of MOSFET caps + transient control.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  const NodeId n0 = c.node("n0");
+  const NodeId n1 = c.node("n1");
+  const NodeId n2 = c.node("n2");
+  buildInverter(c, "i0", n0, n1, vdd);
+  buildInverter(c, "i1", n1, n2, vdd);
+  buildInverter(c, "i2", n2, n0, vdd);
+  // Kick it out of the metastable OP.
+  c.add<CurrentSource>("kick", kGround, n0,
+                       Waveform::pwl({0.0, 1e-11, 2e-11}, {0.0, 50e-6, 0.0}));
+  Simulator sim(c);
+  const auto tr = sim.transient(3e-9, 2e-11);
+  const Signal v0 = tr.node("n0");
+  const auto crossings = allCrossings(v0.time, v0.value, 0.6, CrossDir::Rising, 0.3e-9);
+  EXPECT_GE(crossings.size(), 3u) << "ring did not oscillate";
+  if (crossings.size() >= 3) {
+    const double period = crossings[2] - crossings[1];
+    // 3-stage minimal-inverter ring at 1.2 V, 90 nm class: tens of ps.
+    EXPECT_GT(period, 10e-12);
+    EXPECT_LT(period, 500e-12);
+  }
+}
+
+TEST(Transient, DiagnosticsAreTracked) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  PulseSpec p;
+  p.v1 = 0;
+  p.v2 = 1;
+  p.rise = p.fall = 1e-12;
+  p.width = 1e-10;
+  c.add<VoltageSource>("v", a, kGround, Waveform::pulse(p));
+  c.add<Resistor>("r", a, kGround, 100.0);
+  Simulator sim(c);
+  const auto tr = sim.transient(1e-9, 1e-10);
+  EXPECT_GT(tr.total_newton_iterations, tr.steps());
+}
+
+}  // namespace
+}  // namespace vls
