@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_cards.dir/bench_model_cards.cpp.o"
+  "CMakeFiles/bench_model_cards.dir/bench_model_cards.cpp.o.d"
+  "bench_model_cards"
+  "bench_model_cards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_cards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_work_cells.dir/bench_related_work_cells.cpp.o"
+  "CMakeFiles/bench_related_work_cells.dir/bench_related_work_cells.cpp.o.d"
+  "bench_related_work_cells"
+  "bench_related_work_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_work_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

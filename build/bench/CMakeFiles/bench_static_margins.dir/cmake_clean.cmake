@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_margins.dir/bench_static_margins.cpp.o"
+  "CMakeFiles/bench_static_margins.dir/bench_static_margins.cpp.o.d"
+  "bench_static_margins"
+  "bench_static_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mc_low_to_high.dir/bench_table3_mc_low_to_high.cpp.o"
+  "CMakeFiles/bench_table3_mc_low_to_high.dir/bench_table3_mc_low_to_high.cpp.o.d"
+  "bench_table3_mc_low_to_high"
+  "bench_table3_mc_low_to_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mc_low_to_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

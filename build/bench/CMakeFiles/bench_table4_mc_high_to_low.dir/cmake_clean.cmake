@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mc_high_to_low.dir/bench_table4_mc_high_to_low.cpp.o"
+  "CMakeFiles/bench_table4_mc_high_to_low.dir/bench_table4_mc_high_to_low.cpp.o.d"
+  "bench_table4_mc_high_to_low"
+  "bench_table4_mc_high_to_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mc_high_to_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

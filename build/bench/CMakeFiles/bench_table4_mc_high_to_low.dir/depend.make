@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_mc_high_to_low.
+# This may be replaced when dependencies are built.

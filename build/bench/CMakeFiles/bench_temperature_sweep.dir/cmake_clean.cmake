@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temperature_sweep.dir/bench_temperature_sweep.cpp.o"
+  "CMakeFiles/bench_temperature_sweep.dir/bench_temperature_sweep.cpp.o.d"
+  "bench_temperature_sweep"
+  "bench_temperature_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temperature_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_transition.dir/dvs_transition.cpp.o"
+  "CMakeFiles/dvs_transition.dir/dvs_transition.cpp.o.d"
+  "dvs_transition"
+  "dvs_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_cells.dir/export_cells.cpp.o"
+  "CMakeFiles/export_cells.dir/export_cells.cpp.o.d"
+  "export_cells"
+  "export_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcff_pipeline.dir/lcff_pipeline.cpp.o"
+  "CMakeFiles/lcff_pipeline.dir/lcff_pipeline.cpp.o.d"
+  "lcff_pipeline"
+  "lcff_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcff_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netlist_runner.cpp" "examples/CMakeFiles/netlist_runner.dir/netlist_runner.cpp.o" "gcc" "examples/CMakeFiles/netlist_runner.dir/netlist_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/sstvs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/sstvs_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/sstvs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sstvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sstvs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sstvs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_multi_domain.dir/soc_multi_domain.cpp.o"
+  "CMakeFiles/soc_multi_domain.dir/soc_multi_domain.cpp.o.d"
+  "soc_multi_domain"
+  "soc_multi_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_multi_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

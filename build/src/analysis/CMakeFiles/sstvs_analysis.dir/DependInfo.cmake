@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/area.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/area.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/area.cpp.o.d"
+  "/root/repo/src/analysis/corners.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/corners.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/corners.cpp.o.d"
+  "/root/repo/src/analysis/measure.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/measure.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/measure.cpp.o.d"
+  "/root/repo/src/analysis/monte_carlo.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/monte_carlo.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/analysis/routing_cost.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/routing_cost.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/routing_cost.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/shifter_harness.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/shifter_harness.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/shifter_harness.cpp.o.d"
+  "/root/repo/src/analysis/static_margins.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/static_margins.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/static_margins.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/sstvs_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/sstvs_analysis.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sstvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/sstvs_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sstvs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sstvs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_analysis.dir/area.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/area.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/corners.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/corners.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/measure.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/measure.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/monte_carlo.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/routing_cost.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/routing_cost.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/shifter_harness.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/shifter_harness.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/static_margins.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/static_margins.cpp.o.d"
+  "CMakeFiles/sstvs_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/sstvs_analysis.dir/sweep.cpp.o.d"
+  "libsstvs_analysis.a"
+  "libsstvs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_base.dir/error.cpp.o"
+  "CMakeFiles/sstvs_base.dir/error.cpp.o.d"
+  "CMakeFiles/sstvs_base.dir/logging.cpp.o"
+  "CMakeFiles/sstvs_base.dir/logging.cpp.o.d"
+  "CMakeFiles/sstvs_base.dir/string_util.cpp.o"
+  "CMakeFiles/sstvs_base.dir/string_util.cpp.o.d"
+  "libsstvs_base.a"
+  "libsstvs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/gates.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/gates.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/gates.cpp.o.d"
+  "/root/repo/src/cells/interconnect.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/interconnect.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/interconnect.cpp.o.d"
+  "/root/repo/src/cells/lcff.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/lcff.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/lcff.cpp.o.d"
+  "/root/repo/src/cells/level_shifters.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/level_shifters.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/level_shifters.cpp.o.d"
+  "/root/repo/src/cells/related_work.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/related_work.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/related_work.cpp.o.d"
+  "/root/repo/src/cells/sstvs.cpp" "src/cells/CMakeFiles/sstvs_cells.dir/sstvs.cpp.o" "gcc" "src/cells/CMakeFiles/sstvs_cells.dir/sstvs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/sstvs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sstvs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

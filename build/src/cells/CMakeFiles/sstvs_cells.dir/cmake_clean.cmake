@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_cells.dir/gates.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/gates.cpp.o.d"
+  "CMakeFiles/sstvs_cells.dir/interconnect.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/interconnect.cpp.o.d"
+  "CMakeFiles/sstvs_cells.dir/lcff.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/lcff.cpp.o.d"
+  "CMakeFiles/sstvs_cells.dir/level_shifters.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/level_shifters.cpp.o.d"
+  "CMakeFiles/sstvs_cells.dir/related_work.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/related_work.cpp.o.d"
+  "CMakeFiles/sstvs_cells.dir/sstvs.cpp.o"
+  "CMakeFiles/sstvs_cells.dir/sstvs.cpp.o.d"
+  "libsstvs_cells.a"
+  "libsstvs_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

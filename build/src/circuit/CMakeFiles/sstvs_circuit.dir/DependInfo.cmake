@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/sstvs_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/sstvs_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/circuit/CMakeFiles/sstvs_circuit.dir/device.cpp.o" "gcc" "src/circuit/CMakeFiles/sstvs_circuit.dir/device.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/circuit/CMakeFiles/sstvs_circuit.dir/mna.cpp.o" "gcc" "src/circuit/CMakeFiles/sstvs_circuit.dir/mna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/sstvs_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/sstvs_circuit.dir/device.cpp.o"
+  "CMakeFiles/sstvs_circuit.dir/device.cpp.o.d"
+  "CMakeFiles/sstvs_circuit.dir/mna.cpp.o"
+  "CMakeFiles/sstvs_circuit.dir/mna.cpp.o.d"
+  "libsstvs_circuit.a"
+  "libsstvs_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_devices.dir/bjt.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/bjt.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/diode.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/diode.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/model_library.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/model_library.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/mos_model.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/mos_model.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/mosfet.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/mosfet.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/passive.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/passive.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/sources.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/sources.cpp.o.d"
+  "CMakeFiles/sstvs_devices.dir/waveform.cpp.o"
+  "CMakeFiles/sstvs_devices.dir/waveform.cpp.o.d"
+  "libsstvs_devices.a"
+  "libsstvs_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

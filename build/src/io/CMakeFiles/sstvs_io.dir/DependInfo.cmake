@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_plot.cpp" "src/io/CMakeFiles/sstvs_io.dir/ascii_plot.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/sstvs_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/json_writer.cpp" "src/io/CMakeFiles/sstvs_io.dir/json_writer.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/json_writer.cpp.o.d"
+  "/root/repo/src/io/liberty_writer.cpp" "src/io/CMakeFiles/sstvs_io.dir/liberty_writer.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/io/netlist_parser.cpp" "src/io/CMakeFiles/sstvs_io.dir/netlist_parser.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/io/netlist_writer.cpp" "src/io/CMakeFiles/sstvs_io.dir/netlist_writer.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/netlist_writer.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/sstvs_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/sstvs_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sstvs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sstvs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sstvs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_io.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sstvs_io.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/csv.cpp.o"
+  "CMakeFiles/sstvs_io.dir/csv.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/json_writer.cpp.o"
+  "CMakeFiles/sstvs_io.dir/json_writer.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/liberty_writer.cpp.o"
+  "CMakeFiles/sstvs_io.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/netlist_parser.cpp.o"
+  "CMakeFiles/sstvs_io.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/netlist_writer.cpp.o"
+  "CMakeFiles/sstvs_io.dir/netlist_writer.cpp.o.d"
+  "CMakeFiles/sstvs_io.dir/table.cpp.o"
+  "CMakeFiles/sstvs_io.dir/table.cpp.o.d"
+  "libsstvs_io.a"
+  "libsstvs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

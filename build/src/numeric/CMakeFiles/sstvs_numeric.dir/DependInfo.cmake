@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/dense_matrix.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/dense_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/numeric/interpolation.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/interpolation.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/interpolation.cpp.o.d"
+  "/root/repo/src/numeric/lu_dense.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/lu_dense.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/lu_dense.cpp.o.d"
+  "/root/repo/src/numeric/lu_sparse.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/lu_sparse.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/lu_sparse.cpp.o.d"
+  "/root/repo/src/numeric/rng.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/rng.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/rng.cpp.o.d"
+  "/root/repo/src/numeric/sparse_matrix.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/sparse_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/numeric/statistics.cpp" "src/numeric/CMakeFiles/sstvs_numeric.dir/statistics.cpp.o" "gcc" "src/numeric/CMakeFiles/sstvs_numeric.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

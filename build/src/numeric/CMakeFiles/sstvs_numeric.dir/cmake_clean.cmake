@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_numeric.dir/dense_matrix.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/interpolation.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/interpolation.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/lu_dense.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/lu_dense.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/lu_sparse.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/lu_sparse.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/rng.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/rng.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/sstvs_numeric.dir/statistics.cpp.o"
+  "CMakeFiles/sstvs_numeric.dir/statistics.cpp.o.d"
+  "libsstvs_numeric.a"
+  "libsstvs_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

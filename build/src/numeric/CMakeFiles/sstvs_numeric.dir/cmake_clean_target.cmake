@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsstvs_numeric.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac.cpp" "src/sim/CMakeFiles/sstvs_sim.dir/ac.cpp.o" "gcc" "src/sim/CMakeFiles/sstvs_sim.dir/ac.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/sstvs_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/sstvs_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/result.cpp" "src/sim/CMakeFiles/sstvs_sim.dir/result.cpp.o" "gcc" "src/sim/CMakeFiles/sstvs_sim.dir/result.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/sstvs_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/sstvs_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/sstvs_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sstvs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/sstvs_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sstvs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstvs_sim.dir/ac.cpp.o"
+  "CMakeFiles/sstvs_sim.dir/ac.cpp.o.d"
+  "CMakeFiles/sstvs_sim.dir/noise.cpp.o"
+  "CMakeFiles/sstvs_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/sstvs_sim.dir/result.cpp.o"
+  "CMakeFiles/sstvs_sim.dir/result.cpp.o.d"
+  "CMakeFiles/sstvs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sstvs_sim.dir/simulator.cpp.o.d"
+  "libsstvs_sim.a"
+  "libsstvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstvs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/area_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/area_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/corners_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/corners_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/harness_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/harness_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/measure_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/measure_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/monte_carlo_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/monte_carlo_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/routing_cost_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/routing_cost_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/sensitivity_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/static_margins_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/static_margins_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/sweep_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/sweep_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cells.dir/cells/gates_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/gates_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/interconnect_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/interconnect_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/lcff_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/lcff_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/level_shifter_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/level_shifter_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/related_work_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/related_work_test.cpp.o.d"
+  "CMakeFiles/test_cells.dir/cells/sstvs_test.cpp.o"
+  "CMakeFiles/test_cells.dir/cells/sstvs_test.cpp.o.d"
+  "test_cells"
+  "test_cells.pdb"
+  "test_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devices.dir/devices/bjt_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/bjt_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/diode_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/diode_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/model_library_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/model_library_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/mosfet_property_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/mosfet_property_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/mosfet_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/mosfet_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/passive_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/passive_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/sources_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/sources_test.cpp.o.d"
+  "CMakeFiles/test_devices.dir/devices/waveform_test.cpp.o"
+  "CMakeFiles/test_devices.dir/devices/waveform_test.cpp.o.d"
+  "test_devices"
+  "test_devices.pdb"
+  "test_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/numeric/dense_lu_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/dense_lu_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/dual_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/dual_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/interpolation_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/interpolation_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/rng_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/rng_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/sparse_lu_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/sparse_lu_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/statistics_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/statistics_test.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

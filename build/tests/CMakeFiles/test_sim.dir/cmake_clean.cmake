@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/ac_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/ac_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/dc_sweep_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/dc_sweep_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/noise_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/noise_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/op_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/op_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/transient_accuracy_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/transient_accuracy_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/transient_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/transient_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
