@@ -1,6 +1,7 @@
 #include "analysis/corners.hpp"
 
 #include "base/logging.hpp"
+#include "base/parallel.hpp"
 
 namespace vls {
 
@@ -18,9 +19,11 @@ std::vector<CornerSpec> standardCorners(double k) {
 
 std::vector<CornerResult> runCorners(const HarnessConfig& base,
                                      const std::vector<CornerSpec>& corners) {
-  std::vector<CornerResult> results;
-  results.reserve(corners.size());
-  for (const CornerSpec& corner : corners) {
+  // Corners are independent simulations: run them across the worker
+  // pool, each writing its pre-sized slot.
+  std::vector<CornerResult> results(corners.size());
+  parallelFor(corners.size(), [&](size_t i) {
+    const CornerSpec& corner = corners[i];
     HarnessConfig cfg = base;
     cfg.temperature_c = corner.temperature_c;
     cfg.vddi = base.vddi * corner.supply_scale;
@@ -42,8 +45,8 @@ std::vector<CornerResult> runCorners(const HarnessConfig& base,
       VLS_LOG_WARN("corner %s failed: %s", corner.name.c_str(), e.what());
       r.metrics.functional = false;
     }
-    results.push_back(std::move(r));
-  }
+    results[i] = std::move(r);
+  });
   return results;
 }
 

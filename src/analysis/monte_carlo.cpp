@@ -1,6 +1,10 @@
 #include "analysis/monte_carlo.hpp"
 
+#include <atomic>
+#include <cstdint>
+
 #include "base/logging.hpp"
+#include "base/parallel.hpp"
 #include "numeric/rng.hpp"
 
 namespace vls {
@@ -8,33 +12,60 @@ namespace vls {
 MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config) {
   MonteCarloResult result;
   result.samples = config.samples;
-  Rng rng(config.seed);
+  const size_t n = config.samples > 0 ? static_cast<size_t>(config.samples) : 0;
 
-  for (int s = 0; s < config.samples; ++s) {
-    ShifterTestbench tb(harness);
-    for (Mosfet* fet : tb.dutFets()) {
-      MosGeometry g = fet->geometry();
-      g.delta_w = rng.gaussian(0.0, config.variation.sigma_w);
-      g.delta_l = rng.gaussian(0.0, config.variation.sigma_l);
-      g.delta_vt = rng.gaussian(0.0, config.variation.sigma_vt_rel * fet->model().vt0);
-      fet->setGeometry(g);
-    }
-    ShifterMetrics m;
-    try {
-      m = tb.measure();
-    } catch (const Error& e) {
-      VLS_LOG_WARN("Monte-Carlo sample %d failed: %s", s, e.what());
+  // Derive one independent RNG stream per sample up front (serially), so
+  // the perturbations depend only on (seed, sample index) — never on the
+  // thread count or completion order.
+  Rng root(config.seed);
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (size_t s = 0; s < n; ++s) streams.push_back(root.split());
+
+  std::vector<ShifterMetrics> metrics(n);
+  std::vector<uint8_t> threw(n, 0);
+  std::atomic<int> done{0};
+  parallelFor(
+      n,
+      [&](size_t s) {
+        Rng rng = streams[s];
+        ShifterTestbench tb(harness);
+        for (Mosfet* fet : tb.dutFets()) {
+          MosGeometry g = fet->geometry();
+          g.delta_w = rng.gaussian(0.0, config.variation.sigma_w);
+          g.delta_l = rng.gaussian(0.0, config.variation.sigma_l);
+          g.delta_vt = rng.gaussian(0.0, config.variation.sigma_vt_rel * fet->model().vt0);
+          fet->setGeometry(g);
+        }
+        try {
+          metrics[s] = tb.measure();
+        } catch (const Error& e) {
+          VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
+          threw[s] = 1;
+        }
+        const int d = ++done;
+        if (d % 100 == 0) VLS_LOG_INFO("Monte-Carlo: %d / %d samples", d, config.samples);
+      },
+      config.threads);
+
+  // Serial gather in sample order: identical output for any thread count.
+  for (size_t s = 0; s < n; ++s) {
+    if (threw[s]) {
+      result.failed_samples.push_back(static_cast<int>(s));
       ++result.functional_failures;
       continue;
     }
-    if (!m.functional) ++result.functional_failures;
+    const ShifterMetrics& m = metrics[s];
+    if (!m.functional) {
+      result.failed_samples.push_back(static_cast<int>(s));
+      ++result.functional_failures;
+    }
     result.delay_rise.push_back(m.delay_rise);
     result.delay_fall.push_back(m.delay_fall);
     result.power_rise.push_back(m.power_rise);
     result.power_fall.push_back(m.power_fall);
     result.leakage_high.push_back(m.leakage_high);
     result.leakage_low.push_back(m.leakage_low);
-    if ((s + 1) % 100 == 0) VLS_LOG_INFO("Monte-Carlo: %d / %d samples", s + 1, config.samples);
   }
   return result;
 }

@@ -23,13 +23,26 @@ struct MonteCarloConfig {
   int samples = 1000;
   uint64_t seed = 20080310;  ///< deterministic by default (DATE 2008 ;-)
   VariationSpec variation{};
+  /// Worker threads for the sample loop: 0 = parallelThreadCount()
+  /// (VLS_THREADS env override, else hardware concurrency).
+  int threads = 0;
 };
 
 /// Raw per-sample metric vectors plus their summaries.
+///
+/// Determinism: each sample draws from its own RNG stream derived
+/// serially from the seed, and results are gathered in sample order, so
+/// every vector here is bit-identical for any thread count. Samples
+/// whose simulation threw contribute no metric entries; their ids are
+/// in failed_samples, so metric index i maps to the i-th sample id not
+/// listed there as thrown.
 struct MonteCarloResult {
   std::vector<double> delay_rise, delay_fall;
   std::vector<double> power_rise, power_fall;
   std::vector<double> leakage_high, leakage_low;
+  /// Sample indices that failed: simulation threw, or the shifter was
+  /// measured non-functional. Size equals functional_failures.
+  std::vector<int> failed_samples;
   int functional_failures = 0;
   int samples = 0;
 

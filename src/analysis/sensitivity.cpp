@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/parallel.hpp"
+
 namespace vls {
 namespace {
 
@@ -20,12 +22,22 @@ SensitivityReport analyzeVtSensitivity(const HarnessConfig& config, double vt_st
   ShifterTestbench probe(config);
   const size_t n = probe.dutFets().size();
 
+  // The 2n probe simulations (+/- step per device) are independent:
+  // dispatch them across the worker pool into pre-sized slots, then
+  // combine the central differences serially.
+  std::vector<ShifterMetrics> hi_all(n), lo_all(n);
+  parallelFor(2 * n, [&](size_t t) {
+    const size_t i = t / 2;
+    const bool up = (t % 2) == 0;
+    (up ? hi_all : lo_all)[i] = measureWithVtShift(config, i, up ? vt_step : -vt_step);
+  });
+
   double variance_rise = 0.0;
   for (size_t i = 0; i < n; ++i) {
     const std::string name = probe.dutFets()[i]->name();
     const double vt_nominal = probe.dutFets()[i]->model().vt0;
-    const ShifterMetrics hi = measureWithVtShift(config, i, vt_step);
-    const ShifterMetrics lo = measureWithVtShift(config, i, -vt_step);
+    const ShifterMetrics& hi = hi_all[i];
+    const ShifterMetrics& lo = lo_all[i];
 
     SensitivityEntry e;
     e.device = name;

@@ -1,8 +1,11 @@
 #include "analysis/sweep.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "base/error.hpp"
+#include "base/parallel.hpp"
 
 namespace vls {
 
@@ -25,27 +28,38 @@ Sweep2dResult sweepSupplies(const HarnessConfig& base, const Sweep2dConfig& conf
   }
   result.vddo_axis = result.vddi_axis;
 
-  const size_t total = result.vddi_axis.size() * result.vddo_axis.size();
-  result.points.reserve(total);
-  size_t done = 0;
-  for (double vddi : result.vddi_axis) {
-    for (double vddo : result.vddo_axis) {
-      HarnessConfig cfg = base;
-      cfg.vddi = vddi;
-      cfg.vddo = vddo;
-      SweepPoint p;
-      p.vddi = vddi;
-      p.vddo = vddo;
-      try {
-        p.metrics = measureShifter(cfg);
-      } catch (const Error&) {
-        p.metrics.functional = false;
-      }
-      ++done;
-      if (config.on_point) config.on_point(p, done, total);
-      result.points.push_back(std::move(p));
-    }
-  }
+  // Grid points are independent simulations: dispatch them across the
+  // worker pool, each writing its pre-sized row-major slot so the result
+  // layout never depends on completion order.
+  const size_t cols = result.vddo_axis.size();
+  const size_t total = result.vddi_axis.size() * cols;
+  result.points.resize(total);
+  std::atomic<size_t> done{0};
+  std::mutex progress_mutex;
+  parallelFor(
+      total,
+      [&](size_t idx) {
+        HarnessConfig cfg = base;
+        cfg.vddi = result.vddi_axis[idx / cols];
+        cfg.vddo = result.vddo_axis[idx % cols];
+        SweepPoint p;
+        p.vddi = cfg.vddi;
+        p.vddo = cfg.vddo;
+        try {
+          p.metrics = measureShifter(cfg);
+        } catch (const Error&) {
+          p.metrics.functional = false;
+        }
+        const size_t d = ++done;
+        if (config.on_point) {
+          // Progress callbacks are serialized; `d` counts completions,
+          // which under parallel execution need not follow grid order.
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          config.on_point(p, d, total);
+        }
+        result.points[idx] = std::move(p);
+      },
+      config.threads);
   return result;
 }
 

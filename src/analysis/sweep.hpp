@@ -20,8 +20,11 @@ struct Sweep2dConfig {
   double v_min = 0.8;
   double v_max = 1.4;
   double step = 0.05;
-  /// Called after each point (progress reporting); may be null.
+  /// Called after each point (progress reporting); may be null. Calls
+  /// are serialized, but arrive in completion order when threads > 1.
   std::function<void(const SweepPoint&, size_t done, size_t total)> on_point;
+  /// Worker threads for the grid: 0 = parallelThreadCount().
+  int threads = 0;
 };
 
 struct Sweep2dResult {

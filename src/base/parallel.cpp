@@ -1,0 +1,58 @@
+#include "base/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vls {
+
+int parallelThreadCount() {
+  if (const char* env = std::getenv("VLS_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallelFor(size_t count, const std::function<void(size_t)>& body, int num_threads) {
+  if (count == 0) return;
+  size_t workers = num_threads > 0 ? static_cast<size_t>(num_threads)
+                                   : static_cast<size_t>(parallelThreadCount());
+  workers = std::min(workers, count);
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto run = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(run);
+  run();
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vls

@@ -1,0 +1,31 @@
+// Minimal parallel-for over std::thread with an atomic work queue. The
+// analysis engines (Monte-Carlo, supply sweeps, corners, sensitivity)
+// dispatch independent simulations through parallelFor; each iteration
+// builds its own Circuit/Simulator, so no simulator state is shared
+// between workers.
+//
+// Determinism contract: callers derive any randomness serially up front
+// (one RNG stream per index) and write results into pre-sized slot i,
+// so the work product is bit-identical for every thread count,
+// including 1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace vls {
+
+/// Worker count used when parallelFor is called with num_threads = 0:
+/// the VLS_THREADS environment variable if set to a positive integer,
+/// else std::thread::hardware_concurrency() (min 1). Read on every
+/// call, so tests can flip VLS_THREADS between runs.
+int parallelThreadCount();
+
+/// Run body(i) for every i in [0, count), distributing indices across
+/// up to num_threads workers (0 = parallelThreadCount()). The calling
+/// thread participates. Blocks until all dispatched iterations finish;
+/// the first exception thrown by any iteration stops the dispatch of
+/// further indices and is rethrown on the calling thread.
+void parallelFor(size_t count, const std::function<void(size_t)>& body, int num_threads = 0);
+
+}  // namespace vls

@@ -7,14 +7,34 @@
 
 namespace vls {
 
-SparseLu::SparseLu(const SparseMatrix& a, double pivot_threshold) : n_(a.size()) {
+SparseLu::SparseLu(const SparseMatrix& a, double pivot_threshold) { factor(a, pivot_threshold); }
+
+void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
+  n_ = a.size();
+  valid_ = false;
+  pivot_threshold_ = pivot_threshold;
+  ++symbolic_count_;
+
+  // Cache the source pattern grouped by row: refactor() scatters new
+  // values through these handles, and patternMatches() compares against
+  // the snapshot.
+  const auto& coords = a.entries();
+  pattern_.assign(coords.begin(), coords.end());
+  row_start_.assign(n_ + 1, 0);
+  for (const auto& e : coords) ++row_start_[e.row + 1];
+  for (size_t r = 0; r < n_; ++r) row_start_[r + 1] += row_start_[r];
+  row_entry_.resize(coords.size());
+  {
+    std::vector<size_t> fill(row_start_.begin(), row_start_.end() - 1);
+    for (size_t h = 0; h < coords.size(); ++h) {
+      row_entry_[fill[coords[h].row]++] = {coords[h].col, h};
+    }
+  }
+
   // Build working rows (sorted column order) from the assembled matrix.
   std::vector<Row> work(n_);
   {
-    const auto& coords = a.entries();
-    std::vector<size_t> counts(n_, 0);
-    for (const auto& e : coords) ++counts[e.row];
-    for (size_t r = 0; r < n_; ++r) work[r].reserve(counts[r]);
+    for (size_t r = 0; r < n_; ++r) work[r].reserve(row_start_[r + 1] - row_start_[r]);
     for (size_t k = 0; k < coords.size(); ++k) {
       work[coords[k].row].push_back({coords[k].col, a.value(k)});
     }
@@ -37,6 +57,7 @@ SparseLu::SparseLu(const SparseMatrix& a, double pivot_threshold) : n_(a.size())
   upper_.assign(n_, {});
   diag_inv_.assign(n_, 0.0);
   perm_.resize(n_);
+  work_.assign(n_, 0.0);
   std::vector<size_t> active(n_);  // active[k] = index into `work` of the row currently at position k
   for (size_t i = 0; i < n_; ++i) active[i] = i;
 
@@ -105,6 +126,57 @@ SparseLu::SparseLu(const SparseMatrix& a, double pivot_threshold) : n_(a.size())
       row.assign(merged.begin(), merged.end());
     }
   }
+  valid_ = true;
+}
+
+bool SparseLu::patternMatches(const SparseMatrix& a) const {
+  if (a.size() != n_ || a.entries().size() != pattern_.size()) return false;
+  const auto& coords = a.entries();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i].row != pattern_[i].row || coords[i].col != pattern_[i].col) return false;
+  }
+  return true;
+}
+
+bool SparseLu::refactorNumeric(const SparseMatrix& a) {
+  // Replay the cached elimination row by row in pivot order through a
+  // dense scatter workspace. At step k the final pattern of permuted row
+  // k is exactly {cols of lower_[r]} U {cols of upper_[k]} (the symbolic
+  // phase computed the fill), so zeroing those positions, scattering the
+  // source row, and applying the cached updates stays inside the
+  // pattern — no searching, sorting, or allocation.
+  for (size_t k = 0; k < n_; ++k) {
+    const size_t r = perm_[k];
+    Row& lrow = lower_[r];
+    Row& urow = upper_[k];
+    for (const Term& t : lrow) work_[t.col] = 0.0;
+    for (const Term& t : urow) work_[t.col] = 0.0;
+    for (size_t e = row_start_[r]; e < row_start_[r + 1]; ++e) {
+      work_[row_entry_[e].col] += a.value(row_entry_[e].handle);
+    }
+    for (Term& t : lrow) {  // lrow cols are increasing elimination steps < k
+      const double factor = work_[t.col] * diag_inv_[t.col];
+      t.val = factor;
+      const Row& u = upper_[t.col];
+      for (size_t i = 1; i < u.size(); ++i) work_[u[i].col] -= factor * u[i].val;
+    }
+    const double pivot = work_[k];
+    if (!(std::fabs(pivot) > pivot_threshold_) || !std::isfinite(pivot)) return false;
+    for (Term& t : urow) t.val = work_[t.col];
+    diag_inv_[k] = 1.0 / pivot;
+  }
+  ++numeric_count_;
+  return true;
+}
+
+void SparseLu::refactor(const SparseMatrix& a) {
+  if (valid_ && patternMatches(a)) {
+    valid_ = refactorNumeric(a);
+    if (valid_) return;
+  }
+  // Pattern changed, no valid factorization to reuse, or a cached pivot
+  // went bad under the new values: redo the symbolic analysis.
+  factor(a, pivot_threshold_);
 }
 
 size_t SparseLu::factorNonZeros() const {
@@ -121,10 +193,12 @@ std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
 }
 
 void SparseLu::solveInPlace(std::vector<double>& b) const {
+  if (!valid_) throw InvalidInputError("SparseLu::solve: no valid factorization");
   if (b.size() != n_) throw InvalidInputError("SparseLu::solve: size mismatch");
   // Forward: L y = P b. lower_[perm_[k]] holds multipliers indexed by
   // elimination step, already expressed in step coordinates.
-  std::vector<double> y(n_);
+  std::vector<double>& y = solve_scratch_;
+  y.resize(n_);
   for (size_t k = 0; k < n_; ++k) {
     double acc = b[perm_[k]];
     for (const Term& t : lower_[perm_[k]]) acc -= t.val * y[t.col];
@@ -137,7 +211,7 @@ void SparseLu::solveInPlace(std::vector<double>& b) const {
     for (size_t i = 1; i < row.size(); ++i) acc -= row[i].val * y[row[i].col];
     y[kk] = acc * diag_inv_[kk];
   }
-  b = std::move(y);
+  std::swap(b, y);
 }
 
 }  // namespace vls

@@ -3,6 +3,13 @@
 // after gmin insertion, so fill-in stays modest without a fancy
 // ordering; rows are kept as sorted (column, value) vectors and merged
 // during elimination.
+//
+// The factorization is split into a symbolic phase (pivot order, L/U
+// fill pattern, and a row-grouped index of the source matrix, computed
+// once per sparsity pattern) and a numeric phase. refactor() reruns
+// only the numeric phase into the preallocated factor storage, which is
+// the Newton hot path: the MNA pattern is fixed per circuit, only the
+// values change between iterations.
 #pragma once
 
 #include <vector>
@@ -13,8 +20,24 @@ namespace vls {
 
 class SparseLu {
  public:
+  /// Empty factorization; call factor() or refactor() before solving.
+  SparseLu() = default;
+
   /// Factor the given matrix. Throws NumericalError if singular.
   explicit SparseLu(const SparseMatrix& a, double pivot_threshold = 1e-13);
+
+  /// Full factorization: recompute pivot order and fill pattern
+  /// (symbolic) and the factor values (numeric). Throws NumericalError
+  /// if singular.
+  void factor(const SparseMatrix& a, double pivot_threshold = 1e-13);
+
+  /// Refactor for a matrix with new values. Reuses the cached pivot
+  /// order and fill pattern (numeric-only, no searching, sorting, or
+  /// allocation) when the sparsity pattern matches and every cached
+  /// pivot stays well-conditioned; transparently falls back to a full
+  /// factor() otherwise. Throws NumericalError only if the fresh
+  /// factorization is singular too.
+  void refactor(const SparseMatrix& a);
 
   std::vector<double> solve(const std::vector<double>& b) const;
   void solveInPlace(std::vector<double>& b) const;
@@ -23,6 +46,10 @@ class SparseLu {
   /// Total stored L+U entries (fill-in diagnostics).
   size_t factorNonZeros() const;
 
+  /// Lifetime counters (tests and perf diagnostics).
+  size_t symbolicFactorizations() const { return symbolic_count_; }
+  size_t numericRefactorizations() const { return numeric_count_; }
+
  private:
   struct Term {
     size_t col;
@@ -30,11 +57,35 @@ class SparseLu {
   };
   using Row = std::vector<Term>;
 
+  /// Numeric-only replay of the cached elimination. Returns false when a
+  /// cached pivot falls below the threshold (or goes non-finite), leaving
+  /// the factorization invalid until the caller re-runs factor().
+  bool refactorNumeric(const SparseMatrix& a);
+  bool patternMatches(const SparseMatrix& a) const;
+
   size_t n_ = 0;
+  bool valid_ = false;  // false until a factorization completes; a throwing
+                        // factor() leaves partially overwritten caches behind
+  double pivot_threshold_ = 1e-13;
   std::vector<Row> lower_;          // strictly lower triangle, unit diagonal implied
   std::vector<Row> upper_;          // upper triangle including diagonal
   std::vector<double> diag_inv_;    // 1 / U(k,k)
   std::vector<size_t> perm_;        // row permutation: perm_[k] = original row index
+
+  // Symbolic cache for refactor(): snapshot of the source pattern (for
+  // the exact-match check) plus its entries grouped by row so new values
+  // scatter straight into a dense workspace without sorting or merging.
+  struct SourceRef {
+    size_t col;
+    size_t handle;  // index into the source matrix's value array
+  };
+  std::vector<SparseMatrix::Entry> pattern_;
+  std::vector<size_t> row_start_;       // per original row, offsets into row_entry_
+  std::vector<SourceRef> row_entry_;
+  std::vector<double> work_;            // dense scatter workspace, size n
+  mutable std::vector<double> solve_scratch_;
+  size_t symbolic_count_ = 0;
+  size_t numeric_count_ = 0;
 };
 
 }  // namespace vls

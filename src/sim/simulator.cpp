@@ -52,15 +52,18 @@ bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
   ctx.source_scale = source_scale;
   ctx.gmin = gmin;
 
-  std::vector<double> x_new(num_unknowns_);
+  std::vector<double>& x_new = x_new_;
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
     if (iterations) ++*iterations;
     ctx.x = std::span<const double>(x);
     assemble(system, ctx);
 
     try {
-      SparseLu lu(system.matrix());
-      x_new = lu.solve(system.rhs());
+      // Numeric-only refactorization on the fixed MNA pattern; the first
+      // call (and any pivot degradation) runs the full symbolic pass.
+      lu_.refactor(system.matrix());
+      x_new = system.rhs();
+      lu_.solveInPlace(x_new);
     } catch (const NumericalError&) {
       return false;
     }
@@ -195,13 +198,16 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
   const size_t n = num_unknowns_;
   const double decades = std::log10(f_stop / f_start);
   const int total = std::max(1, static_cast<int>(std::ceil(decades * points_per_decade))) + 1;
+  // Real-equivalent 2n system: the pattern is frequency-independent, so
+  // build it once and refactor numerically per point.
+  SparseMatrix big(2 * n);
+  SparseLu lu;
   for (int k = 0; k < total; ++k) {
     const double f =
         total == 1 ? f_start
                    : f_start * std::pow(10.0, decades * static_cast<double>(k) / (total - 1));
     const double w = 2.0 * M_PI * f;
-    // Real-equivalent 2n system.
-    SparseMatrix big(2 * n);
+    big.clearValues();
     for (size_t e = 0; e < g_sys.matrix().entries().size(); ++e) {
       const auto& ent = g_sys.matrix().entries()[e];
       const double v = g_sys.matrix().value(e);
@@ -216,7 +222,8 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
     }
     std::vector<double> rhs(2 * n, 0.0);
     for (size_t i = 0; i < n; ++i) rhs[i] = rhs_ac[i];
-    const std::vector<double> sol = SparseLu(big).solve(rhs);
+    lu.refactor(big);
+    const std::vector<double> sol = lu.solve(rhs);
     AcPoint point;
     point.freq = f;
     point.x.resize(n);
@@ -260,12 +267,14 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
   const int total = std::max(1, static_cast<int>(std::ceil(decades * points_per_decade))) + 1;
   std::vector<double> prev_psd_per_src(sources.size(), 0.0);
   double prev_f = 0.0;
+  SparseMatrix big(2 * n);
+  SparseLu lu;
   for (int k = 0; k < total; ++k) {
     const double f =
         total == 1 ? f_start
                    : f_start * std::pow(10.0, decades * static_cast<double>(k) / (total - 1));
     const double w = 2.0 * M_PI * f;
-    SparseMatrix big(2 * n);
+    big.clearValues();
     for (size_t e = 0; e < g_sys.matrix().entries().size(); ++e) {
       const auto& ent = g_sys.matrix().entries()[e];
       const double v = g_sys.matrix().value(e);
@@ -278,7 +287,7 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
       big.add(ent.row, ent.col + n, -v);
       big.add(ent.row + n, ent.col, v);
     }
-    const SparseLu lu(big);
+    lu.refactor(big);
 
     double psd_total = 0.0;
     for (size_t s = 0; s < sources.size(); ++s) {

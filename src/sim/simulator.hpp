@@ -9,6 +9,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
+#include "numeric/lu_sparse.hpp"
 #include "sim/ac.hpp"
 #include "sim/noise.hpp"
 #include "sim/options.hpp"
@@ -80,6 +81,12 @@ class Simulator {
   /// Reused across Newton solves so the sparsity pattern (and its hash
   /// index) is built once per simulator, not once per iteration.
   MnaSystem system_;
+  /// Persistent factorization: the symbolic phase (pivot order + fill
+  /// pattern) runs once per sparsity pattern; every later Newton
+  /// iteration and transient step only refreshes the numeric values.
+  SparseLu lu_;
+  /// Per-iteration Newton scratch, allocated once per simulator.
+  std::vector<double> x_new_;
 };
 
 }  // namespace vls

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace vls {
 namespace {
 
@@ -68,6 +70,65 @@ TEST(MonteCarlo, ZeroVariationCollapsesSpread) {
   const MonteCarloResult r = runMonteCarlo(h, mc);
   EXPECT_NEAR(r.delayRise().stddev, 0.0, 1e-18);
   EXPECT_NEAR(r.leakageHigh().stddev, 0.0, 1e-18);
+}
+
+void expectBitIdentical(const MonteCarloResult& a, const MonteCarloResult& b) {
+  ASSERT_EQ(a.delay_rise.size(), b.delay_rise.size());
+  for (size_t i = 0; i < a.delay_rise.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.delay_rise[i], b.delay_rise[i]);
+    EXPECT_DOUBLE_EQ(a.delay_fall[i], b.delay_fall[i]);
+    EXPECT_DOUBLE_EQ(a.power_rise[i], b.power_rise[i]);
+    EXPECT_DOUBLE_EQ(a.power_fall[i], b.power_fall[i]);
+    EXPECT_DOUBLE_EQ(a.leakage_high[i], b.leakage_high[i]);
+    EXPECT_DOUBLE_EQ(a.leakage_low[i], b.leakage_low[i]);
+  }
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  EXPECT_EQ(a.functional_failures, b.functional_failures);
+}
+
+TEST(MonteCarlo, ThreadCountInvariant) {
+  // The determinism contract: VLS_THREADS=1 and VLS_THREADS=4 must give
+  // bit-identical per-sample metric vectors for the same seed.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  setenv("VLS_THREADS", "1", 1);
+  const MonteCarloResult serial = runMonteCarlo(h, smallMc(8));
+  setenv("VLS_THREADS", "4", 1);
+  const MonteCarloResult parallel = runMonteCarlo(h, smallMc(8));
+  unsetenv("VLS_THREADS");
+  expectBitIdentical(serial, parallel);
+}
+
+TEST(MonteCarlo, ExplicitThreadOverrideInvariant) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig one = smallMc(6);
+  one.threads = 1;
+  MonteCarloConfig three = smallMc(6);
+  three.threads = 3;
+  expectBitIdentical(runMonteCarlo(h, one), runMonteCarlo(h, three));
+}
+
+TEST(MonteCarlo, RecordsFailedSampleIndices) {
+  // The Khan SS-VS cannot shift this far down: every sample is
+  // non-functional by a wide margin, and each sample id must be recorded.
+  HarnessConfig h;
+  h.kind = ShifterKind::SsvsKhan;
+  h.vddi = 1.4;
+  h.vddo = 0.5;
+  const MonteCarloResult r = runMonteCarlo(h, smallMc(4));
+  EXPECT_EQ(r.functional_failures, 4);
+  ASSERT_EQ(r.failed_samples.size(), 4u);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(r.failed_samples[s], s);
+}
+
+TEST(MonteCarlo, NoFailuresMeansEmptyFailedSamples) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  const MonteCarloResult r = runMonteCarlo(h, smallMc(5));
+  EXPECT_TRUE(r.failed_samples.empty());
+  // Metric vectors stay index-aligned with sample ids.
+  EXPECT_EQ(r.delay_rise.size(), 5u);
 }
 
 TEST(MonteCarlo, PaperSigmas) {

@@ -22,6 +22,29 @@ TEST(Sweep, GridShape) {
   EXPECT_DOUBLE_EQ(r.at(1, 0).vddo, 0.8);
 }
 
+TEST(Sweep, ThreadCountInvariant) {
+  // Grid results land in pre-sized row-major slots, so the sweep is
+  // bit-identical for any worker count.
+  HarnessConfig base;
+  base.kind = ShifterKind::Sstvs;
+  Sweep2dConfig cfg;
+  cfg.v_min = 0.9;
+  cfg.v_max = 1.1;
+  cfg.step = 0.2;
+  cfg.threads = 1;
+  const Sweep2dResult serial = sweepSupplies(base, cfg);
+  cfg.threads = 4;
+  const Sweep2dResult parallel = sweepSupplies(base, cfg);
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.points[i].vddi, parallel.points[i].vddi);
+    EXPECT_DOUBLE_EQ(serial.points[i].vddo, parallel.points[i].vddo);
+    EXPECT_DOUBLE_EQ(serial.points[i].metrics.delay_rise, parallel.points[i].metrics.delay_rise);
+    EXPECT_DOUBLE_EQ(serial.points[i].metrics.delay_fall, parallel.points[i].metrics.delay_fall);
+    EXPECT_EQ(serial.points[i].metrics.functional, parallel.points[i].metrics.functional);
+  }
+}
+
 TEST(Sweep, ProgressCallbackFires) {
   HarnessConfig base;
   Sweep2dConfig cfg;

@@ -22,7 +22,7 @@ struct LcffRun {
 
 // Clock: rising edges at 1, 3, 5, 7 ns (period 2 ns). Data (VDDI swing):
 // the given PWL levels.
-TransientResult runLcff(double vddi_v, double vddo_v, Circuit& c,
+TransientResult runLcff(double /*vddi_v*/, double vddo_v, Circuit& c,
                         const std::vector<double>& d_times, const std::vector<double>& d_vals) {
   const NodeId vddo = c.node("vddo");
   const NodeId d = c.node("d");

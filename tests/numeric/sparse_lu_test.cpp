@@ -103,6 +103,106 @@ INSTANTIATE_TEST_SUITE_P(Grids, SparseLuRandomTest,
                                            std::pair{25, 0.15}, std::pair{60, 0.08},
                                            std::pair{120, 0.04}));
 
+TEST(SparseLu, RefactorMatchesFreshFactorization) {
+  // Same pattern, new values: the numeric-only refactor must agree with
+  // a from-scratch factorization to tight tolerance.
+  const int n = 40;
+  Rng rng(99);
+  SparseMatrix m(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r == c || rng.uniform() < 0.12) m.add(r, c, rng.uniform(-1, 1) + (r == c ? 3.0 : 0.0));
+    }
+  }
+  SparseLu lu(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+
+  for (int round = 0; round < 3; ++round) {
+    // Rewrite every value in place; the pattern is untouched.
+    for (size_t h = 0; h < m.entries().size(); ++h) {
+      const bool diag = m.entries()[h].row == m.entries()[h].col;
+      m.setAt(h, rng.uniform(-1, 1) + (diag ? 3.0 : 0.0));
+    }
+    lu.refactor(m);
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.uniform(-2, 2);
+    const auto x_reused = lu.solve(b);
+    const auto x_fresh = SparseLu(m).solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x_reused[i], x_fresh[i], 1e-12);
+  }
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);  // numeric path only
+  EXPECT_EQ(lu.numericRefactorizations(), 3u);
+}
+
+TEST(SparseLu, RefactorPatternChangeRerunsSymbolic) {
+  SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(1, 1, 3.0);
+  a.add(2, 2, 4.0);
+  SparseLu lu(a);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+
+  SparseMatrix b(3);  // extra off-diagonal entry: different pattern
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 2, 4.0);
+  lu.refactor(b);
+  EXPECT_EQ(lu.symbolicFactorizations(), 2u);
+  const auto x = lu.solve({3.0, 3.0, 4.0});
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[2], 1.0, 1e-14);
+}
+
+TEST(SparseLu, RefactorPivotFailureRerunsSymbolic) {
+  // First factorization pivots on the larger row-1 entry in column 0.
+  SparseMatrix m(2);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h01 = m.entryHandle(0, 1);
+  const size_t h10 = m.entryHandle(1, 0);
+  const size_t h11 = m.entryHandle(1, 1);
+  m.setAt(h00, 1.0);
+  m.setAt(h01, 2.0);
+  m.setAt(h10, 5.0);
+  m.setAt(h11, 1.0);
+  SparseLu lu(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+
+  // New values make the cached pivot (row 1, column 0) essentially zero
+  // while the matrix stays well-conditioned: the refactor must fall back
+  // to a fresh symbolic pass transparently and still solve correctly.
+  m.setAt(h10, 1e-20);
+  lu.refactor(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 2u);
+  const auto x = lu.solve({3.0, 1.0});  // x = [1, 1]
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SparseLu, RefactorSingularStillThrows) {
+  SparseMatrix m(2);
+  const size_t h00 = m.entryHandle(0, 0);
+  m.setAt(h00, 1.0);
+  const size_t h11 = m.entryHandle(1, 1);
+  m.setAt(h11, 1.0);
+  SparseLu lu(m);
+  m.setAt(h11, 0.0);  // now truly singular
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+}
+
+TEST(SparseLu, DefaultConstructedRefactorFactorsFromScratch) {
+  SparseMatrix m(2);
+  m.add(0, 0, 2.0);
+  m.add(1, 1, 4.0);
+  SparseLu lu;
+  lu.refactor(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+  const auto x = lu.solve({2.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+}
+
 TEST(SparseLu, StructurallySymmetricCircuitLikeSystem) {
   // Resistor-ladder conductance matrix: tridiagonal SPD.
   const int n = 50;
