@@ -1,0 +1,91 @@
+#include "circuit/assembly.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+void Assembler::invalidate() {
+  tape_dc_.reset();
+  tape_tran_.reset();
+}
+
+void Assembler::assemble(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx,
+                         const AssemblyOptions& options) {
+  system.clear();
+  AssemblyTape& tape = tapeFor(ctx.method);
+  const auto& devices = circuit.devices();
+  Stamper stamper(system);
+
+  if (!tape.matches(&system, circuit.revision(), devices.size())) {
+    // Record: resolve every handle once for this topology + mode.
+    ++recordings_;
+    tape.beginRecording(&system, circuit.revision());
+    stamper.startRecording(tape);
+    for (const auto& dev : devices) {
+      tape.beginDevice();
+      dev->stamp(stamper, ctx);
+      for (size_t t = 0; t < dev->terminalCount(); ++t) {
+        tape.recordTerminalVoltage(ctx.v(dev->terminalNode(t)));
+      }
+      tape.endDevice();
+    }
+    tape.finishRecording(system.matrix(), system.numNodes());
+  } else {
+    ++replays_;
+    stamper.startReplay(tape);
+    const bool bypass_active = options.enable_bypass && options.allow_bypass_now;
+    // Terminal-voltage tracking is bypass bookkeeping. While bypass is
+    // disabled the snapshots are left stale — harmless, because the
+    // forced full evaluations at the start of every bypass-enabled
+    // Newton solve refresh them before any bypass decision is taken.
+    const bool track_voltages = options.enable_bypass;
+    for (size_t i = 0; i < devices.size(); ++i) {
+      Device& dev = *devices[i];
+      const AssemblyTape::Span& sp = tape.span(i);
+      if (bypass_active && dev.supportsBypass()) {
+        bool unchanged = true;
+        for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
+          if (std::fabs(ctx.v(dev.terminalNode(t)) - tape.vLast(k)) > options.bypass_tol) {
+            unchanged = false;
+            break;
+          }
+        }
+        if (unchanged) {
+          ++bypassed_;
+          tape.replayStored(i, system.matrix(), system.rhs());
+          continue;
+        }
+      }
+      stamper.seek(sp.op_begin);
+      dev.stamp(stamper, ctx);
+      if (stamper.cursor() != sp.op_end) {
+        throw Error("Assembler: device '" + dev.name() +
+                    "' changed its stamp sequence without a topology revision bump");
+      }
+      if (track_voltages) {
+        for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
+          tape.setVLast(k, ctx.v(dev.terminalNode(t)));
+        }
+      }
+    }
+  }
+
+  // gmin from every node to ground, through the cached diagonal
+  // handles: keeps floating nodes solvable and Newton matrices
+  // nonsingular in cutoff.
+  SparseMatrix& matrix = system.matrix();
+  for (const size_t h : tape.gminHandles()) matrix.addAt(h, ctx.gmin);
+}
+
+void assembleDirect(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx) {
+  system.clear();
+  Stamper stamper(system);
+  for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
+  for (size_t n = 0; n < system.numNodes(); ++n) {
+    system.matrix().add(n, n, ctx.gmin);
+  }
+}
+
+}  // namespace vls

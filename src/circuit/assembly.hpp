@@ -1,0 +1,62 @@
+// Stamp-tape assembly engine. The Assembler owns one AssemblyTape per
+// analysis mode (DC vs transient — the two modes stamp different call
+// sequences) for a (circuit, MnaSystem) pairing. The first assembly of
+// a given topology records every device's resolved entry handles; every
+// later assembly replays through those handles with zero hashing, and
+// — when bypass is enabled — devices whose terminal voltages are
+// unchanged since their last linearization replay their stored values
+// without re-evaluating the model at all.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/mna.hpp"
+
+namespace vls {
+
+struct AssemblyOptions {
+  /// Master switch for SPICE-style device bypass (see Device::supportsBypass).
+  bool enable_bypass = false;
+  /// Max terminal-voltage move [V] since the last linearization for a
+  /// device to qualify for bypass.
+  double bypass_tol = 1e-7;
+  /// Caller-side gate: the Newton loop forces full re-evaluation on the
+  /// first iterations of every solve (fresh dt / charge histories /
+  /// post-breakpoint state), then sets this true.
+  bool allow_bypass_now = false;
+};
+
+class Assembler {
+ public:
+  /// Assemble `circuit` linearized at `ctx` into `system`. Records a
+  /// fresh tape when the topology revision, target system, or analysis
+  /// mode changed; replays otherwise. The per-node gmin diagonal is
+  /// routed through cached handles in both cases.
+  void assemble(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx,
+                const AssemblyOptions& options = {});
+
+  /// Drop all recorded tapes (next assemble re-records).
+  void invalidate();
+
+  // Introspection for tests and benchmarks.
+  size_t recordings() const { return recordings_; }
+  size_t replays() const { return replays_; }
+  size_t bypassedEvaluations() const { return bypassed_; }
+
+ private:
+  AssemblyTape& tapeFor(IntegrationMethod method) {
+    return method == IntegrationMethod::None ? tape_dc_ : tape_tran_;
+  }
+
+  AssemblyTape tape_dc_;    ///< OP / DC sweep / gmin- and source-stepping
+  AssemblyTape tape_tran_;  ///< BE and trapezoidal (identical stamp sequences)
+  size_t recordings_ = 0;
+  size_t replays_ = 0;
+  size_t bypassed_ = 0;
+};
+
+/// One-shot hashed assembly — the reference implementation the tape is
+/// tested against bit-for-bit, and the right tool for systems assembled
+/// once (AC/noise linearization).
+void assembleDirect(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx);
+
+}  // namespace vls

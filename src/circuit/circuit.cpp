@@ -49,9 +49,11 @@ void Circuit::registerDevice(std::unique_ptr<Device> dev) {
     throw InvalidInputError("Circuit: duplicate device name '" + dev->name() + "'");
   }
   devices_.push_back(std::move(dev));
+  ++revision_;
 }
 
 size_t Circuit::assignBranchIndices() {
+  ++revision_;
   size_t next = nodeCount();
   for (const auto& dev : devices_) {
     const size_t count = dev->branchCount();

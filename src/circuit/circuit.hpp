@@ -4,6 +4,7 @@
 // every internal node probeable.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,6 +53,12 @@ class Circuit {
   /// Called by the simulator before stamping.
   size_t assignBranchIndices();
 
+  /// Monotonic topology revision: bumped whenever a device is added or
+  /// branch indices are (re)assigned. Assembly tapes record the
+  /// revision they were built at and rebuild on mismatch, so cached
+  /// entry handles can never go stale silently.
+  uint64_t revision() const { return revision_; }
+
   /// All node names in index order (for result labeling).
   const std::vector<std::string>& nodeNames() const { return names_; }
 
@@ -63,6 +70,7 @@ class Circuit {
   std::unordered_map<std::string, NodeId> index_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<std::string, Device*> device_index_;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace vls

@@ -85,6 +85,15 @@ class Device {
   /// Linearize at ctx.x and stamp the companion into the system.
   virtual void stamp(Stamper& stamper, const EvalContext& ctx) = 0;
 
+  /// Whether stamp() may be bypassed — its last recorded values
+  /// replayed without re-evaluating the model — when the terminal
+  /// voltages are unchanged since the last linearization. Only safe
+  /// for devices whose stamps depend solely on terminal voltages,
+  /// temperature, and per-timestep state that is constant within one
+  /// Newton solve (charge histories, dt). Time-dependent sources and
+  /// externally tunable elements must return false.
+  virtual bool supportsBypass() const { return false; }
+
   /// Initialize integration state from a converged DC solution (called
   /// once when a transient starts).
   virtual void startTransient(const EvalContext& ctx) { (void)ctx; }

@@ -2,16 +2,156 @@
 
 #include <algorithm>
 
+#include "base/error.hpp"
+
 namespace vls {
+namespace {
+
+/// Applies one recorded op with scalar `s`. The write order matches the
+/// direct-mode call order exactly, so replayed accumulation is
+/// bit-identical to hashed assembly.
+void applyTapeOp(const TapeOp& op, double s, SparseMatrix& matrix, std::vector<double>& rhs) {
+  constexpr uint32_t kNone = TapeOp::kNone;
+  switch (op.kind) {
+    case TapeOp::Kind::Conductance:
+      if (op.m[0] != kNone) matrix.addAt(op.m[0], s);
+      if (op.m[1] != kNone) matrix.addAt(op.m[1], s);
+      if (op.m[2] != kNone) {
+        matrix.addAt(op.m[2], -s);
+        matrix.addAt(op.m[3], -s);
+      }
+      break;
+    case TapeOp::Kind::CurrentSource:
+      if (op.r[0] != kNone) rhs[op.r[0]] -= s;
+      if (op.r[1] != kNone) rhs[op.r[1]] += s;
+      break;
+    case TapeOp::Kind::Transconductance:
+      if (op.m[0] != kNone) matrix.addAt(op.m[0], s);
+      if (op.m[1] != kNone) matrix.addAt(op.m[1], -s);
+      if (op.m[2] != kNone) matrix.addAt(op.m[2], -s);
+      if (op.m[3] != kNone) matrix.addAt(op.m[3], s);
+      break;
+    case TapeOp::Kind::VoltageBranch:
+      if (op.m[0] != kNone) matrix.addAt(op.m[0], 1.0);
+      if (op.m[1] != kNone) matrix.addAt(op.m[1], -1.0);
+      if (op.m[2] != kNone) matrix.addAt(op.m[2], 1.0);
+      if (op.m[3] != kNone) matrix.addAt(op.m[3], -1.0);
+      rhs[op.r[0]] += s;  // the branch row always exists
+      break;
+    case TapeOp::Kind::Matrix:
+      if (op.m[0] != kNone) matrix.addAt(op.m[0], s);
+      break;
+    case TapeOp::Kind::Rhs:
+      if (op.r[0] != kNone) rhs[op.r[0]] += s;
+      break;
+  }
+}
+
+}  // namespace
 
 void MnaSystem::clear() {
   matrix_.clearValues();
   std::fill(rhs_.begin(), rhs_.end(), 0.0);
 }
 
+void AssemblyTape::reset() {
+  ops_.clear();
+  op_values_.clear();
+  v_last_.clear();
+  spans_.clear();
+  gmin_handles_.clear();
+  system_key_ = nullptr;
+  revision_ = 0;
+  recorded_ = false;
+}
+
+void AssemblyTape::beginRecording(const void* system_key, uint64_t revision) {
+  reset();
+  system_key_ = system_key;
+  revision_ = revision;
+}
+
+void AssemblyTape::beginDevice() {
+  Span span;
+  span.op_begin = static_cast<uint32_t>(ops_.size());
+  span.op_end = span.op_begin;
+  span.volt_begin = static_cast<uint32_t>(v_last_.size());
+  span.volt_end = span.volt_begin;
+  spans_.push_back(span);
+}
+
+void AssemblyTape::endDevice() {
+  spans_.back().op_end = static_cast<uint32_t>(ops_.size());
+  spans_.back().volt_end = static_cast<uint32_t>(v_last_.size());
+}
+
+void AssemblyTape::finishRecording(SparseMatrix& matrix, size_t num_nodes) {
+  gmin_handles_.resize(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) gmin_handles_[n] = matrix.entryHandle(n, n);
+  recorded_ = true;
+}
+
+void AssemblyTape::replayStored(size_t device, SparseMatrix& matrix,
+                                std::vector<double>& rhs) const {
+  const Span& sp = spans_[device];
+  for (uint32_t i = sp.op_begin; i < sp.op_end; ++i) {
+    applyTapeOp(ops_[i], op_values_[i], matrix, rhs);
+  }
+}
+
+void Stamper::startRecording(AssemblyTape& tape) {
+  tape_ = &tape;
+  mode_ = Mode::Record;
+  cursor_ = 0;
+}
+
+void Stamper::startReplay(AssemblyTape& tape) {
+  tape_ = &tape;
+  mode_ = Mode::Replay;
+  cursor_ = 0;
+}
+
+void Stamper::recordOp(const TapeOp& op, double value) {
+  tape_->pushOp(op, value);
+  applyTapeOp(op, value, sys_.matrix(), sys_.rhs());
+}
+
+namespace {
+[[noreturn]] void tapeDivergence() {
+  throw Error("Stamper: stamp call sequence diverged from the recorded tape "
+              "(stale tape not invalidated?)");
+}
+}  // namespace
+
+void Stamper::replayOp(TapeOp::Kind kind, double value) {
+  if (cursor_ >= tape_->opCount()) tapeDivergence();
+  const TapeOp& op = tape_->op(cursor_);
+  if (op.kind != kind) tapeDivergence();
+  tape_->setOpValue(cursor_, value);
+  ++cursor_;
+  applyTapeOp(op, value, sys_.matrix(), sys_.rhs());
+}
+
 void Stamper::conductance(NodeId a, NodeId b, double g) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::Conductance, g);
+    return;
+  }
   const int ia = nodeIndex(a);
   const int ib = nodeIndex(b);
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::Conductance;
+    SparseMatrix& mat = sys_.matrix();
+    if (ia >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ia, ia));
+    if (ib >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(ib, ib));
+    if (ia >= 0 && ib >= 0) {
+      op.m[2] = static_cast<uint32_t>(mat.entryHandle(ia, ib));
+      op.m[3] = static_cast<uint32_t>(mat.entryHandle(ib, ia));
+    }
+    recordOp(op, g);
+    return;
+  }
   if (ia >= 0) addMatrix(ia, ia, g);
   if (ib >= 0) addMatrix(ib, ib, g);
   if (ia >= 0 && ib >= 0) {
@@ -21,17 +161,44 @@ void Stamper::conductance(NodeId a, NodeId b, double g) {
 }
 
 void Stamper::currentSource(NodeId a, NodeId b, double i) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::CurrentSource, i);
+    return;
+  }
   const int ia = nodeIndex(a);
   const int ib = nodeIndex(b);
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::CurrentSource;
+    if (ia >= 0) op.r[0] = static_cast<uint32_t>(ia);
+    if (ib >= 0) op.r[1] = static_cast<uint32_t>(ib);
+    recordOp(op, i);
+    return;
+  }
   if (ia >= 0) addRhs(ia, -i);
   if (ib >= 0) addRhs(ib, i);
 }
 
 void Stamper::transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::Transconductance, gm);
+    return;
+  }
   const int ia = nodeIndex(a);
   const int ib = nodeIndex(b);
   const int ic = nodeIndex(c);
   const int id = nodeIndex(d);
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::Transconductance;
+    SparseMatrix& mat = sys_.matrix();
+    if (ia >= 0 && ic >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ia, ic));
+    if (ia >= 0 && id >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(ia, id));
+    if (ib >= 0 && ic >= 0) op.m[2] = static_cast<uint32_t>(mat.entryHandle(ib, ic));
+    if (ib >= 0 && id >= 0) op.m[3] = static_cast<uint32_t>(mat.entryHandle(ib, id));
+    recordOp(op, gm);
+    return;
+  }
   if (ia >= 0 && ic >= 0) addMatrix(ia, ic, gm);
   if (ia >= 0 && id >= 0) addMatrix(ia, id, -gm);
   if (ib >= 0 && ic >= 0) addMatrix(ib, ic, -gm);
@@ -39,9 +206,25 @@ void Stamper::transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm
 }
 
 void Stamper::voltageBranch(size_t branch_index, NodeId plus, NodeId minus, double v_value) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::VoltageBranch, v_value);
+    return;
+  }
   const int row = static_cast<int>(branch_index);
   const int ip = nodeIndex(plus);
   const int im = nodeIndex(minus);
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::VoltageBranch;
+    SparseMatrix& mat = sys_.matrix();
+    if (ip >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ip, row));
+    if (im >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(im, row));
+    if (ip >= 0) op.m[2] = static_cast<uint32_t>(mat.entryHandle(row, ip));
+    if (im >= 0) op.m[3] = static_cast<uint32_t>(mat.entryHandle(row, im));
+    op.r[0] = static_cast<uint32_t>(row);
+    recordOp(op, v_value);
+    return;
+  }
   // KCL coupling: branch current leaves `plus`, enters `minus`.
   if (ip >= 0) addMatrix(ip, row, 1.0);
   if (im >= 0) addMatrix(im, row, -1.0);
@@ -52,11 +235,36 @@ void Stamper::voltageBranch(size_t branch_index, NodeId plus, NodeId minus, doub
 }
 
 void Stamper::addMatrix(int row, int col, double value) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::Matrix, value);
+    return;
+  }
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::Matrix;
+    if (row >= 0 && col >= 0) {
+      op.m[0] = static_cast<uint32_t>(
+          sys_.matrix().entryHandle(static_cast<size_t>(row), static_cast<size_t>(col)));
+    }
+    recordOp(op, value);
+    return;
+  }
   if (row < 0 || col < 0) return;
   sys_.matrix().add(static_cast<size_t>(row), static_cast<size_t>(col), value);
 }
 
 void Stamper::addRhs(int row, double value) {
+  if (mode_ == Mode::Replay) {
+    replayOp(TapeOp::Kind::Rhs, value);
+    return;
+  }
+  if (mode_ == Mode::Record) {
+    TapeOp op;
+    op.kind = TapeOp::Kind::Rhs;
+    if (row >= 0) op.r[0] = static_cast<uint32_t>(row);
+    recordOp(op, value);
+    return;
+  }
   if (row < 0) return;
   sys_.rhs()[static_cast<size_t>(row)] += value;
 }

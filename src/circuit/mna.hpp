@@ -1,9 +1,18 @@
 // Modified Nodal Analysis system and the Stamper facade devices write
 // through. Unknown ordering: node voltages [0, numNodes) followed by
 // branch currents [numNodes, numNodes + numBranches).
+//
+// The Stamper has three modes. Direct (default) resolves every write
+// by coordinates through the matrix's hash index. Record additionally
+// captures each high-level call as a TapeOp — the resolved entry
+// handles and RHS slots — into an AssemblyTape. Replay consumes the
+// tape instead of resolving: the steady-state Newton inner loop then
+// contains zero hash lookups, zero ground checks, and zero allocation.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "circuit/node.hpp"
@@ -36,6 +45,86 @@ class MnaSystem {
   size_t num_branches_;
   SparseMatrix matrix_;
   std::vector<double> rhs_;
+};
+
+/// One recorded high-level Stamper call. `m` holds SparseMatrix value
+/// handles, `r` absolute RHS indices; kNone marks a write dropped on
+/// ground at record time. Every Stamper call records exactly one op —
+/// including fully-dropped ones — so record and replay stay in step.
+struct TapeOp {
+  enum class Kind : uint8_t {
+    Conductance,       ///< m(aa,bb,ab,ba) += (+g,+g,-g,-g)
+    CurrentSource,     ///< r(a,b) += (-i,+i)
+    Transconductance,  ///< m(ac,ad,bc,bd) += (+gm,-gm,-gm,+gm)
+    VoltageBranch,     ///< m((p,row),(m,row),(row,p),(row,m)) += (+1,-1,+1,-1); r(row) += v
+    Matrix,            ///< m[0] += v
+    Rhs,               ///< r[0] += v
+  };
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  Kind kind = Kind::Matrix;
+  std::array<uint32_t, 4> m = {kNone, kNone, kNone, kNone};
+  std::array<uint32_t, 2> r = {kNone, kNone};
+};
+
+/// Recorded assembly of one circuit into one MnaSystem for one analysis
+/// mode: per-device op spans, the scalar each op carried at the last
+/// model evaluation (for bypass replay), the terminal voltages at the
+/// last linearization, and the gmin diagonal handles. Valid as long as
+/// the circuit topology revision and target system are unchanged —
+/// SparseMatrix handles are append-only stable, so pattern growth by a
+/// later-recorded tape never invalidates an earlier one.
+class AssemblyTape {
+ public:
+  struct Span {
+    uint32_t op_begin = 0, op_end = 0;
+    uint32_t volt_begin = 0, volt_end = 0;
+  };
+
+  bool recorded() const { return recorded_; }
+  bool matches(const void* system_key, uint64_t revision, size_t device_count) const {
+    return recorded_ && system_key_ == system_key && revision_ == revision &&
+           spans_.size() == device_count;
+  }
+  void reset();
+
+  // --- recording protocol (driven by the Assembler + Stamper) --------
+  void beginRecording(const void* system_key, uint64_t revision);
+  void beginDevice();
+  void recordTerminalVoltage(double v) { v_last_.push_back(v); }
+  void endDevice();
+  /// Seals the tape and resolves the per-node gmin diagonal handles.
+  void finishRecording(SparseMatrix& matrix, size_t num_nodes);
+  /// Appends one op and applies it (record mode write-through).
+  void pushOp(const TapeOp& op, double value) {
+    ops_.push_back(op);
+    op_values_.push_back(value);
+  }
+
+  // --- replay access -------------------------------------------------
+  size_t deviceCount() const { return spans_.size(); }
+  const Span& span(size_t device) const { return spans_[device]; }
+  size_t opCount() const { return ops_.size(); }
+  const TapeOp& op(size_t i) const { return ops_[i]; }
+  void setOpValue(size_t i, double v) { op_values_[i] = v; }
+  double opValue(size_t i) const { return op_values_[i]; }
+  double vLast(size_t k) const { return v_last_[k]; }
+  void setVLast(size_t k, double v) { v_last_[k] = v; }
+  const std::vector<size_t>& gminHandles() const { return gmin_handles_; }
+
+  /// Re-applies a device's recorded ops with their last-evaluated
+  /// scalars: the SPICE bypass path — no model evaluation at all.
+  void replayStored(size_t device, SparseMatrix& matrix, std::vector<double>& rhs) const;
+
+ private:
+  std::vector<TapeOp> ops_;
+  std::vector<double> op_values_;  ///< scalar per op at last evaluation
+  std::vector<double> v_last_;     ///< terminal voltages at last linearization
+  std::vector<Span> spans_;        ///< per device, in circuit order
+  std::vector<size_t> gmin_handles_;
+  const void* system_key_ = nullptr;
+  uint64_t revision_ = 0;
+  bool recorded_ = false;
 };
 
 /// Device-facing stamping interface. All methods silently drop ground
@@ -72,8 +161,26 @@ class Stamper {
 
   size_t numNodes() const { return sys_.numNodes(); }
 
+  // --- tape protocol (used by the Assembler) -------------------------
+  /// Switch to record mode: every call resolves handles once and
+  /// appends a TapeOp to `tape` while writing through.
+  void startRecording(AssemblyTape& tape);
+  /// Switch to replay mode: calls consume ops from `tape` at the
+  /// cursor instead of resolving coordinates.
+  void startReplay(AssemblyTape& tape);
+  size_t cursor() const { return cursor_; }
+  void seek(size_t op_cursor) { cursor_ = op_cursor; }
+
  private:
+  enum class Mode : uint8_t { Direct, Record, Replay };
+
+  void recordOp(const TapeOp& op, double value);
+  void replayOp(TapeOp::Kind kind, double value);
+
   MnaSystem& sys_;
+  AssemblyTape* tape_ = nullptr;
+  Mode mode_ = Mode::Direct;
+  size_t cursor_ = 0;
 };
 
 /// Collects the frequency-proportional (capacitive/inductive) part of

@@ -35,6 +35,7 @@ class Bjt : public Device {
   Bjt(std::string name, NodeId collector, NodeId base, NodeId emitter, BjtModelRef card);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsBypass() const override { return true; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;

@@ -19,6 +19,7 @@ class Diode : public Device {
   Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsBypass() const override { return true; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;

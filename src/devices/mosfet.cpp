@@ -28,9 +28,17 @@ Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, NodeI
   if (!card_) throw InvalidInputError("Mosfet " + this->name() + ": null model card");
 }
 
+const MosOperating& Mosfet::operating(double temperature) const {
+  if (temperature != op_temperature_) {
+    op_cache_ = resolveOperating(*card_, geometry_, temperature);
+    op_temperature_ = temperature;
+  }
+  return op_cache_;
+}
+
 Mosfet::DcEval Mosfet::evalDc(const EvalContext& ctx) const {
   const double s = card_->sign();
-  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  const MosOperating& op = operating(ctx.temperature);
 
   // Polarity-normalized, bulk-referenced voltages.
   const double vb = ctx.v(nodes_[kB]);
@@ -56,16 +64,28 @@ Mosfet::DcEval Mosfet::evalDc(const EvalContext& ctx) const {
 double Mosfet::drainCurrent(const EvalContext& ctx) const { return evalDc(ctx).ids; }
 
 double Mosfet::junctionArea(bool drain) const {
-  const double configured = drain ? geometry_.area_d : geometry_.area_s;
-  if (configured > 0.0) return configured;
-  // Default diffusion: 2.5 gate lengths long.
-  return geometry_.effW() * 2.5 * geometry_.l;
+  double& cached = junction_area_[drain ? 0 : 1];
+  if (cached < 0.0) {
+    const double configured = drain ? geometry_.area_d : geometry_.area_s;
+    // Default diffusion: 2.5 gate lengths long.
+    cached = configured > 0.0 ? configured : geometry_.effW() * 2.5 * geometry_.l;
+  }
+  return cached;
 }
 
-double Mosfet::junctionCap(double v, double area) const {
-  // Depletion capacitance cj/(1 - v/pb)^mj, linearized above fc*pb.
+double Mosfet::junctionC0(bool drain) const {
+  double& cached = junction_c0_[drain ? 0 : 1];
+  if (cached < 0.0) {
+    const double area = junctionArea(drain);
+    // Area plus sidewall perimeter term (square-diffusion estimate).
+    cached = card_->cj * area + card_->cjsw * 2.0 * (std::sqrt(area) * 2.0);
+  }
+  return cached;
+}
+
+double Mosfet::junctionCap(double v, double c0) const {
+  // Depletion capacitance c0/(1 - v/pb)^mj, linearized above fc*pb.
   const MosModelCard& m = *card_;
-  const double c0 = m.cj * area + m.cjsw * 2.0 * (std::sqrt(area) * 2.0);
   const double v_knee = m.fc * m.pb;
   if (v < v_knee) {
     return c0 / std::pow(1.0 - v / m.pb, m.mj);
@@ -77,7 +97,7 @@ double Mosfet::junctionCap(double v, double area) const {
 
 Mosfet::MeyerCaps Mosfet::meyerCaps(const EvalContext& ctx) const {
   const double s = card_->sign();
-  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  const MosOperating& op = operating(ctx.temperature);
   const MosModelCard& m = *card_;
 
   const double vb = ctx.v(nodes_[kB]);
@@ -164,7 +184,7 @@ void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) {
 
   // --- Junction diodes (bulk-drain, bulk-source) ----------------------
   const double sgn = card_->sign();
-  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  const MosOperating& op = operating(ctx.temperature);
   for (int which = 0; which < 2; ++which) {
     const NodeId diff = which == 0 ? d : s_node;
     const double area = junctionArea(which == 0);
@@ -198,8 +218,8 @@ void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) {
     stampCap(stamper, ctx, g, s_node, caps.cgs, cap_gs_);
     stampCap(stamper, ctx, g, d, caps.cgd, cap_gd_);
     stampCap(stamper, ctx, g, b, caps.cgb, cap_gb_);
-    const double cbd = junctionCap(sgn * (ctx.v(b) - ctx.v(d)), junctionArea(true));
-    const double cbs = junctionCap(sgn * (ctx.v(b) - ctx.v(s_node)), junctionArea(false));
+    const double cbd = junctionCap(sgn * (ctx.v(b) - ctx.v(d)), junctionC0(true));
+    const double cbs = junctionCap(sgn * (ctx.v(b) - ctx.v(s_node)), junctionC0(false));
     stampCap(stamper, ctx, b, d, cbd, cap_bd_);
     stampCap(stamper, ctx, b, s_node, cbs, cap_bs_);
   }
@@ -213,10 +233,10 @@ void Mosfet::stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) {
   stamper.capacitance(nodes_[kG], nodes_[kB], caps.cgb);
   stamper.capacitance(nodes_[kB], nodes_[kD],
                       junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kD])),
-                                  junctionArea(true)));
+                                  junctionC0(true)));
   stamper.capacitance(nodes_[kB], nodes_[kS],
                       junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])),
-                                  junctionArea(false)));
+                                  junctionC0(false)));
 }
 
 void Mosfet::collectNoiseSources(std::vector<NoiseSource>& sources,
@@ -263,9 +283,9 @@ void Mosfet::acceptStep(const EvalContext& ctx) {
   acceptCap(ctx, nodes_[kG], nodes_[kS], caps.cgs, cap_gs_);
   acceptCap(ctx, nodes_[kG], nodes_[kD], caps.cgd, cap_gd_);
   acceptCap(ctx, nodes_[kG], nodes_[kB], caps.cgb, cap_gb_);
-  const double cbd = junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kD])), junctionArea(true));
+  const double cbd = junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kD])), junctionC0(true));
   const double cbs =
-      junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])), junctionArea(false));
+      junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])), junctionC0(false));
   acceptCap(ctx, nodes_[kB], nodes_[kD], cbd, cap_bd_);
   acceptCap(ctx, nodes_[kB], nodes_[kS], cbs, cap_bs_);
 }
@@ -273,7 +293,7 @@ void Mosfet::acceptStep(const EvalContext& ctx) {
 double Mosfet::terminalCurrent(size_t t, const EvalContext& ctx) const {
   const DcEval dc = evalDc(ctx);
   const double sgn = card_->sign();
-  const MosOperating op = resolveOperating(*card_, geometry_, ctx.temperature);
+  const MosOperating& op = operating(ctx.temperature);
   auto junction = [&](bool drain_side) {
     const NodeId diff = drain_side ? nodes_[kD] : nodes_[kS];
     const double i_sat = card_->js * junctionArea(drain_side);

@@ -19,6 +19,7 @@ class Mosfet : public Device {
          std::shared_ptr<const MosModelCard> card, MosGeometry geometry);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsBypass() const override { return true; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
@@ -33,9 +34,17 @@ class Mosfet : public Device {
 
   const MosModelCard& model() const { return *card_; }
   const MosGeometry& geometry() const { return geometry_; }
-  MosGeometry& geometry() { return geometry_; }
+  /// Mutable geometry access invalidates the cached derived quantities
+  /// (operating point, junction areas/capacitance prefactors).
+  MosGeometry& geometry() {
+    invalidateDerived();
+    return geometry_;
+  }
   /// Replace instance geometry (Monte-Carlo perturbations).
-  void setGeometry(const MosGeometry& g) { geometry_ = g; }
+  void setGeometry(const MosGeometry& g) {
+    geometry_ = g;
+    invalidateDerived();
+  }
 
   /// Drain current (positive = conventional current into the drain for
   /// NMOS in normal operation) at the given solution.
@@ -59,7 +68,18 @@ class Mosfet : public Device {
   };
   MeyerCaps meyerCaps(const EvalContext& ctx) const;
   double junctionArea(bool drain) const;
-  double junctionCap(double v_anode_cathode, double area) const;
+  /// Zero-bias junction capacitance prefactor (area + sidewall terms).
+  double junctionC0(bool drain) const;
+  double junctionCap(double v_anode_cathode, double c0) const;
+
+  /// Temperature/geometry-derived operating point, memoized so it is
+  /// resolved once per analysis instead of several times per stamp.
+  const MosOperating& operating(double temperature) const;
+  void invalidateDerived() {
+    op_temperature_ = -1.0;
+    junction_area_[0] = junction_area_[1] = -1.0;
+    junction_c0_[0] = junction_c0_[1] = -1.0;
+  }
 
   void stampCap(Stamper& stamper, const EvalContext& ctx, NodeId a, NodeId b, double c,
                 CapState& state);
@@ -71,6 +91,13 @@ class Mosfet : public Device {
 
   // Charge histories: gs, gd, gb, bd, bs.
   CapState cap_gs_, cap_gd_, cap_gb_, cap_bd_, cap_bs_;
+
+  // Memoized derived quantities (-1 = unresolved). Temperatures are in
+  // kelvin (always positive), areas/prefactors strictly positive.
+  mutable MosOperating op_cache_{};
+  mutable double op_temperature_ = -1.0;
+  mutable double junction_area_[2] = {-1.0, -1.0};  // [drain, source]
+  mutable double junction_c0_[2] = {-1.0, -1.0};
 };
 
 }  // namespace vls

@@ -19,6 +19,9 @@ class SparseMatrix {
 
   /// Register (or find) the entry at (row, col) and return a stable
   /// handle usable with addAt()/setAt(). Safe to call repeatedly.
+  /// Stability guarantee: handles are never invalidated — the pattern
+  /// is append-only, so a handle resolved once (e.g. into an assembly
+  /// tape) stays valid even as later stamps grow the pattern.
   size_t entryHandle(size_t row, size_t col);
 
   /// Accumulate into an entry via its handle.

@@ -16,6 +16,16 @@ struct SimOptions {
   double max_step_voltage = 0.4;  ///< per-iteration Newton damping clamp [V]
   double voltage_bound = 20.0;    ///< hard |v| clamp [V]
 
+  // SPICE-style device bypass (assembly fast path). Off by default: a
+  // device whose terminal voltages moved less than bypass_tol since
+  // its last linearization replays its recorded stamp values instead
+  // of re-evaluating the model. The first bypass_settle_iterations of
+  // every Newton solve always re-evaluate, so new timesteps, fresh
+  // charge histories, and post-breakpoint states are never bypassed.
+  bool enable_bypass = false;
+  double bypass_tol = 1e-7;         ///< terminal-voltage move threshold [V]
+  int bypass_settle_iterations = 2; ///< forced full evaluations per solve
+
   // Homotopy fallbacks for the operating point.
   int gmin_steps = 10;
   int source_steps = 20;

@@ -28,17 +28,6 @@ EvalContext Simulator::contextFor(const std::vector<double>& x, double time) con
   return ctx;
 }
 
-void Simulator::assemble(MnaSystem& system, const EvalContext& ctx) {
-  system.clear();
-  Stamper stamper(system);
-  for (const auto& dev : circuit_.devices()) dev->stamp(stamper, ctx);
-  // gmin from every node to ground: keeps floating nodes solvable and
-  // Newton matrices nonsingular in cutoff.
-  for (size_t n = 0; n < num_nodes_; ++n) {
-    system.matrix().add(n, n, ctx.gmin);
-  }
-}
-
 bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
                             double source_scale, double gmin, std::vector<double>& x,
                             size_t* iterations) {
@@ -52,11 +41,19 @@ bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
   ctx.source_scale = source_scale;
   ctx.gmin = gmin;
 
+  AssemblyOptions assembly_opts;
+  assembly_opts.enable_bypass = options_.enable_bypass;
+  assembly_opts.bypass_tol = options_.bypass_tol;
+
   std::vector<double>& x_new = x_new_;
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
     if (iterations) ++*iterations;
     ctx.x = std::span<const double>(x);
-    assemble(system, ctx);
+    // Bypass only after the settle iterations: every Newton solve
+    // starts with full evaluations so fresh timesteps, committed
+    // charge histories, and post-breakpoint states are re-linearized.
+    assembly_opts.allow_bypass_now = iter >= options_.bypass_settle_iterations;
+    assembler_.assemble(system, circuit_, ctx, assembly_opts);
 
     try {
       // Numeric-only refactorization on the fixed MNA pattern; the first
@@ -182,8 +179,9 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
   EvalContext ctx = contextFor(x_op, 0.0);
 
   // Conductance part: the assembled Newton Jacobian at the OP.
+  // One-shot system — the hashed path is the right tool here.
   MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
-  assemble(g_sys, ctx);
+  assembleDirect(g_sys, circuit_, ctx);
 
   // Reactive part and AC excitation.
   SparseMatrix c_mat(num_unknowns_);
@@ -248,7 +246,7 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
   EvalContext ctx = contextFor(x_op, 0.0);
 
   MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
-  assemble(g_sys, ctx);
+  assembleDirect(g_sys, circuit_, ctx);
   SparseMatrix c_mat(num_unknowns_);
   ReactiveStamper reactive(c_mat, num_nodes_);
   std::vector<NoiseSource> sources;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "circuit/assembly.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
 #include "numeric/lu_sparse.hpp"
@@ -72,8 +73,6 @@ class Simulator {
   /// OP with fallback homotopies. Throws ConvergenceError on failure.
   std::vector<double> solveOpInternal(std::vector<double> x);
 
-  void assemble(MnaSystem& system, const EvalContext& ctx);
-
   Circuit& circuit_;
   SimOptions options_;
   size_t num_unknowns_;
@@ -81,6 +80,11 @@ class Simulator {
   /// Reused across Newton solves so the sparsity pattern (and its hash
   /// index) is built once per simulator, not once per iteration.
   MnaSystem system_;
+  /// Stamp-tape assembly engine: the first Newton iteration of a given
+  /// analysis mode records every device's entry handles; every later
+  /// iteration replays with zero hash lookups (and, with
+  /// options_.enable_bypass, skips unchanged-device model evaluation).
+  Assembler assembler_;
   /// Persistent factorization: the symbolic phase (pivot order + fill
   /// pattern) runs once per sparsity pattern; every later Newton
   /// iteration and transient step only refreshes the numeric values.

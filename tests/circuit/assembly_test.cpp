@@ -1,0 +1,243 @@
+// Stamp-tape assembly engine: replayed assembly must be bit-identical
+// to hashed assembly in every analysis context, tapes must invalidate
+// on topology changes, stale tapes must be detected rather than
+// silently misapplied, and bypass must reproduce a full evaluation at
+// an unchanged linearization point exactly.
+#include "circuit/assembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.hpp"
+#include "cells/sstvs.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+
+namespace vls {
+namespace {
+
+/// SS-TVS cell plus passives and an inductor branch: exercises every
+/// Stamper entry point (conductance, current source, transconductance
+/// via the MOSFET Jacobian rows, voltage branch, raw matrix/RHS).
+struct AssemblyFixture {
+  Circuit c;
+  size_t branches = 0;
+  std::vector<double> x;
+  NodeId out = kGround;
+
+  AssemblyFixture() {
+    const NodeId vddo = c.node("vddo");
+    const NodeId in = c.node("in");
+    out = c.node("out");
+    c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+    c.add<VoltageSource>("vin", in, kGround, 0.8);
+    buildSstvs(c, "x", in, out, vddo, {});
+    c.add<Resistor>("rl", out, kGround, 1e6);
+    c.add<Capacitor>("cl", out, kGround, 1e-15);
+    const NodeId lout = c.node("lout");
+    c.add<Inductor>("lw", out, lout, 1e-9);
+    c.add<Resistor>("rlout", lout, kGround, 1e3);
+    branches = c.assignBranchIndices();
+    x.resize(c.nodeCount() + branches);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = 0.1 * static_cast<double>(i % 13);  // plausible, nonzero, deterministic
+    }
+  }
+
+  EvalContext ctx(IntegrationMethod method = IntegrationMethod::None, double dt = 0.0,
+                  double gmin = 1e-12, double source_scale = 1.0) const {
+    EvalContext e;
+    e.x = x;
+    e.method = method;
+    e.dt = dt;
+    e.gmin = gmin;
+    e.source_scale = source_scale;
+    return e;
+  }
+
+  MnaSystem system() const { return MnaSystem(c.nodeCount(), branches); }
+};
+
+/// Exact (bitwise) equality of two assembled systems. Dense comparison
+/// makes the check independent of pattern insertion order.
+void expectIdentical(const MnaSystem& actual, const MnaSystem& expected, const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  const auto da = actual.matrix().toDense();
+  const auto de = expected.matrix().toDense();
+  for (size_t i = 0; i < da.size(); ++i) {
+    for (size_t j = 0; j < da[i].size(); ++j) {
+      EXPECT_EQ(da[i][j], de[i][j]) << label << ": matrix (" << i << ", " << j << ")";
+    }
+  }
+  for (size_t i = 0; i < actual.rhs().size(); ++i) {
+    EXPECT_EQ(actual.rhs()[i], expected.rhs()[i]) << label << ": rhs " << i;
+  }
+}
+
+TEST(AssemblyTape, ReplayBitIdenticalAcrossContexts) {
+  AssemblyFixture f;
+  // Transient contexts need committed integration state.
+  {
+    const EvalContext tctx = f.ctx(IntegrationMethod::Trapezoidal, 1e-12);
+    for (const auto& dev : f.c.devices()) dev->startTransient(tctx);
+  }
+
+  struct Case {
+    const char* label;
+    EvalContext ctx;
+  };
+  const Case cases[] = {
+      {"op", f.ctx()},
+      {"gmin step 1e-2", f.ctx(IntegrationMethod::None, 0.0, 1e-2)},
+      {"gmin step 1e-3", f.ctx(IntegrationMethod::None, 0.0, 1e-3)},
+      {"source step 0.5", f.ctx(IntegrationMethod::None, 0.0, 1e-12, 0.5)},
+      {"tran trapezoidal", f.ctx(IntegrationMethod::Trapezoidal, 1e-12)},
+      {"tran backward euler", f.ctx(IntegrationMethod::BackwardEuler, 2e-12)},
+  };
+
+  MnaSystem reference = f.system();
+  MnaSystem tape_sys = f.system();
+  Assembler assembler;
+  for (const Case& kase : cases) {
+    assembleDirect(reference, f.c, kase.ctx);
+    // First call per analysis mode records, every later call replays;
+    // both must match hashed assembly exactly.
+    assembler.assemble(tape_sys, f.c, kase.ctx);
+    expectIdentical(tape_sys, reference, kase.label);
+    assembler.assemble(tape_sys, f.c, kase.ctx);
+    expectIdentical(tape_sys, reference, kase.label);
+  }
+  // One tape per analysis mode: DC and transient.
+  EXPECT_EQ(assembler.recordings(), 2u);
+  EXPECT_EQ(assembler.replays(), 10u);
+}
+
+TEST(AssemblyTape, InvalidatedWhenDeviceAdded) {
+  AssemblyFixture f;
+  const EvalContext ctx = f.ctx();
+  MnaSystem sys = f.system();
+  Assembler assembler;
+  assembler.assemble(sys, f.c, ctx);
+  assembler.assemble(sys, f.c, ctx);
+  ASSERT_EQ(assembler.recordings(), 1u);
+
+  // Topology change between existing nodes: the revision bump must
+  // force a re-record, and the result must match hashed assembly.
+  f.c.add<Resistor>("rx", f.out, kGround, 2e6);
+  assembler.assemble(sys, f.c, ctx);
+  EXPECT_EQ(assembler.recordings(), 2u);
+  MnaSystem reference = f.system();
+  assembleDirect(reference, f.c, ctx);
+  expectIdentical(sys, reference, "after adding device");
+}
+
+TEST(AssemblyTape, InvalidatedWhenBranchesReassigned) {
+  AssemblyFixture f;
+  const EvalContext ctx = f.ctx();
+  MnaSystem sys = f.system();
+  Assembler assembler;
+  assembler.assemble(sys, f.c, ctx);
+  ASSERT_EQ(assembler.recordings(), 1u);
+
+  f.c.assignBranchIndices();
+  assembler.assemble(sys, f.c, ctx);
+  EXPECT_EQ(assembler.recordings(), 2u);
+}
+
+TEST(AssemblyTape, InvalidatedAcrossSystems) {
+  AssemblyFixture f;
+  const EvalContext ctx = f.ctx();
+  MnaSystem sys_a = f.system();
+  MnaSystem sys_b = f.system();
+  Assembler assembler;
+  assembler.assemble(sys_a, f.c, ctx);
+  // A different target system has its own handle space: the tape must
+  // not replay handles recorded against another matrix.
+  assembler.assemble(sys_b, f.c, ctx);
+  EXPECT_EQ(assembler.recordings(), 2u);
+}
+
+/// A device whose stamp sequence can be mutated without a topology
+/// revision bump — illegal, and the engine must detect it.
+class TogglingDevice : public Device {
+ public:
+  TogglingDevice(std::string name, NodeId a) : Device(std::move(name)), a_(a) {}
+  void stamp(Stamper& stamper, const EvalContext&) override {
+    stamper.currentSource(kGround, a_, 1e-6);
+    if (extra) stamper.conductance(a_, kGround, 1e-6);
+  }
+  size_t terminalCount() const override { return 1; }
+  NodeId terminalNode(size_t) const override { return a_; }
+
+  bool extra = false;
+
+ private:
+  NodeId a_;
+};
+
+TEST(AssemblyTape, StaleStampSequenceDetected) {
+  Circuit c;
+  const NodeId n0 = c.node("n0");
+  TogglingDevice& toggle = c.add<TogglingDevice>("tg", n0);
+  c.add<Resistor>("r0", n0, kGround, 1e3);
+  const size_t branches = c.assignBranchIndices();
+  std::vector<double> x(c.nodeCount() + branches, 0.0);
+  EvalContext ctx;
+  ctx.x = x;
+
+  MnaSystem sys(c.nodeCount(), branches);
+  Assembler assembler;
+  assembler.assemble(sys, c, ctx);
+  toggle.extra = true;  // changes the stamp sequence, no revision bump
+  EXPECT_THROW(assembler.assemble(sys, c, ctx), Error);
+}
+
+TEST(AssemblyBypass, ReplaysExactValuesAtUnchangedPoint) {
+  AssemblyFixture f;
+  const EvalContext tctx = f.ctx(IntegrationMethod::Trapezoidal, 1e-12);
+  for (const auto& dev : f.c.devices()) dev->startTransient(tctx);
+
+  MnaSystem reference = f.system();
+  assembleDirect(reference, f.c, tctx);
+
+  MnaSystem sys = f.system();
+  Assembler assembler;
+  AssemblyOptions opts;
+  opts.enable_bypass = true;
+  opts.allow_bypass_now = true;
+  assembler.assemble(sys, f.c, tctx, opts);  // records
+  assembler.assemble(sys, f.c, tctx, opts);  // replays, bypass engages
+  EXPECT_GT(assembler.bypassedEvaluations(), 0u);
+  expectIdentical(sys, reference, "bypassed assembly at unchanged x");
+}
+
+TEST(AssemblyBypass, MovedVoltagesForceReevaluation) {
+  AssemblyFixture f;
+  const EvalContext tctx = f.ctx(IntegrationMethod::Trapezoidal, 1e-12);
+  for (const auto& dev : f.c.devices()) dev->startTransient(tctx);
+
+  MnaSystem sys = f.system();
+  Assembler assembler;
+  AssemblyOptions opts;
+  opts.enable_bypass = true;
+  opts.allow_bypass_now = true;
+  assembler.assemble(sys, f.c, tctx, opts);
+
+  // Move every node voltage well past bypass_tol: no device may be
+  // bypassed and the result must match hashed assembly at the new x.
+  std::vector<double> moved = f.x;
+  for (double& v : moved) v += 0.01;
+  EvalContext mctx = tctx;
+  mctx.x = moved;
+  assembler.assemble(sys, f.c, mctx, opts);
+  EXPECT_EQ(assembler.bypassedEvaluations(), 0u);
+
+  MnaSystem reference = f.system();
+  assembleDirect(reference, f.c, mctx);
+  expectIdentical(sys, reference, "moved voltages");
+}
+
+}  // namespace
+}  // namespace vls

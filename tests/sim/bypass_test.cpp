@@ -1,0 +1,102 @@
+// SPICE-style device bypass (SimOptions::enable_bypass): transient
+// waveforms with bypass enabled must track the non-bypass solution
+// within the LTE tolerance, and the paper's characterization delays
+// must be unchanged. Bypass is opt-in and off by default.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/shifter_harness.hpp"
+#include "cells/sstvs.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+TransientResult runSstvsTransient(bool bypass) {
+  Circuit c;
+  const NodeId vddo = c.node("vddo");
+  const NodeId in = c.node("in");
+  c.add<VoltageSource>("vo", vddo, kGround, 1.2);
+  PulseSpec p;
+  p.v1 = 0.8;
+  p.v2 = 0.0;
+  p.delay = 0.2e-9;
+  p.rise = p.fall = 20e-12;
+  p.width = 0.4e-9;
+  c.add<VoltageSource>("vin", in, kGround, Waveform::pulse(p));
+  buildSstvs(c, "x", in, c.node("out"), vddo, {});
+  c.add<Capacitor>("cl", c.node("out"), kGround, 1e-15);
+  SimOptions opt;
+  opt.enable_bypass = bypass;
+  Simulator sim(c, opt);
+  return sim.transient(1e-9, 20e-12);
+}
+
+double interpolate(const Signal& s, double t) {
+  const auto it = std::lower_bound(s.time.begin(), s.time.end(), t);
+  if (it == s.time.begin()) return s.value.front();
+  if (it == s.time.end()) return s.value.back();
+  const size_t hi = static_cast<size_t>(it - s.time.begin());
+  const size_t lo = hi - 1;
+  const double w = (t - s.time[lo]) / (s.time[hi] - s.time[lo]);
+  return s.value[lo] + w * (s.value[hi] - s.value[lo]);
+}
+
+TEST(Bypass, OffByDefault) {
+  EXPECT_FALSE(SimOptions{}.enable_bypass);
+}
+
+TEST(Bypass, TransientWaveformMatchesReference) {
+  const TransientResult ref = runSstvsTransient(false);
+  const TransientResult byp = runSstvsTransient(true);
+  const Signal a = ref.node("out");
+  const Signal b = byp.node("out");
+  ASSERT_GT(a.time.size(), 2u);
+  ASSERT_GT(b.time.size(), 2u);
+
+  // Compare on a uniform grid. Both runs take independent adaptive
+  // step sequences, so on fast edges allow the LTE band to scale with
+  // the local slew (a sub-picosecond step placement difference is not
+  // a solution difference); on flat regions the bound stays tight.
+  const SimOptions opt;
+  const double swing = 1.2;
+  const double t_end = std::min(a.time.back(), b.time.back());
+  const double grid_dt = 1e-12;
+  double worst_margin = 0.0;
+  for (double t = 0.0; t <= t_end; t += grid_dt) {
+    const double va = interpolate(a, t);
+    const double vb = interpolate(b, t);
+    const double slope =
+        std::fabs(interpolate(a, t + grid_dt) - interpolate(a, std::max(0.0, t - grid_dt))) /
+        (2.0 * grid_dt);
+    const double tol = opt.tran_reltol * swing + opt.tran_vntol + slope * 2e-12;
+    worst_margin = std::max(worst_margin, std::fabs(va - vb) - tol);
+  }
+  EXPECT_LE(worst_margin, 0.0) << "bypass waveform drifted past the LTE band";
+}
+
+TEST(Bypass, CharacterizationDelaysUnchanged) {
+  HarnessConfig off;
+  off.kind = ShifterKind::Sstvs;
+  HarnessConfig on = off;
+  on.sim.enable_bypass = true;
+
+  const ShifterMetrics m_off = measureShifter(off);
+  const ShifterMetrics m_on = measureShifter(on);
+  EXPECT_TRUE(m_off.functional);
+  EXPECT_TRUE(m_on.functional);
+
+  // Table-1/Table-2 delays are quoted at picosecond resolution; bypass
+  // must not move them beyond measurement noise.
+  const double tol_rise = 0.01 * m_off.delay_rise + 0.5e-12;
+  const double tol_fall = 0.01 * m_off.delay_fall + 0.5e-12;
+  EXPECT_NEAR(m_on.delay_rise, m_off.delay_rise, tol_rise);
+  EXPECT_NEAR(m_on.delay_fall, m_off.delay_fall, tol_fall);
+}
+
+}  // namespace
+}  // namespace vls
