@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -433,6 +434,66 @@ JsonValue measureMonteCarloThroughput(int samples) {
   return JsonValue(std::move(o));
 }
 
+/// Scalar vs lockstep-ensemble Monte-Carlo throughput at a fixed seed
+/// on a single worker thread: K samples advance through one SoA
+/// transient per batch instead of K scalar transients. Also records how
+/// closely the ensemble summary statistics track the scalar reference
+/// and whether the failed-sample ids are identical.
+JsonValue measureEnsembleMonteCarlo(int samples) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  // Converged time resolution (same settings as the acceptance test in
+  // monte_carlo_test.cpp): the lockstep engine advances on the min-dt
+  // of its lanes, so only at converged resolution are scalar and
+  // ensemble summary means comparable at the 0.5% level CI asserts.
+  h.dt_max = 10e-12;
+  h.sim.tran_reltol = 5e-4;
+  MonteCarloConfig mc;
+  mc.samples = samples;
+  mc.seed = 20080310;
+  mc.threads = 1;
+
+  JsonValue::Object o;
+  o["samples"] = samples;
+  o["threads"] = 1;
+  double sec_k1 = 0.0;
+  double sec_k8 = 0.0;
+  MonteCarloResult base;
+  for (const int k : {1, 4, 8}) {
+    mc.ensemble_width = k;
+    const auto t0 = std::chrono::steady_clock::now();
+    const MonteCarloResult r = runMonteCarlo(h, mc);
+    const double sec = secondsSince(t0);
+    JsonValue::Object e;
+    e["sec"] = sec;
+    e["samples_per_sec"] = sec > 0.0 ? samples / sec : 0.0;
+    if (k == 1) {
+      sec_k1 = sec;
+      base = r;
+    } else {
+      if (k == 8) sec_k8 = sec;
+      e["speedup_vs_scalar"] = sec > 0.0 ? sec_k1 / sec : 0.0;
+      e["failed_ids_match"] = r.failedIds() == base.failedIds();
+      auto rel = [](double a, double b) {
+        const double d = std::fabs(a - b);
+        const double m = std::max(std::fabs(a), std::fabs(b));
+        return m > 0.0 ? d / m : 0.0;
+      };
+      double worst = 0.0;
+      worst = std::max(worst, rel(r.delayRise().mean, base.delayRise().mean));
+      worst = std::max(worst, rel(r.delayFall().mean, base.delayFall().mean));
+      worst = std::max(worst, rel(r.powerRise().mean, base.powerRise().mean));
+      worst = std::max(worst, rel(r.powerFall().mean, base.powerFall().mean));
+      worst = std::max(worst, rel(r.leakageHigh().mean, base.leakageHigh().mean));
+      worst = std::max(worst, rel(r.leakageLow().mean, base.leakageLow().mean));
+      e["max_mean_rel_err"] = worst;
+    }
+    o["k" + std::to_string(k)] = JsonValue(std::move(e));
+  }
+  o["speedup_k8_vs_k1"] = sec_k8 > 0.0 ? sec_k1 / sec_k8 : 0.0;
+  return JsonValue(std::move(o));
+}
+
 void writeBenchPerfJson() {
   JsonValue::Object root;
   root["lu_reuse_small"] = measureLuReuse(64, 400);
@@ -440,6 +501,7 @@ void writeBenchPerfJson() {
   root["assembly"] = measureAssembly(2000);
   root["newton_workload"] = measureNewtonWorkload();
   root["monte_carlo"] = measureMonteCarloThroughput(16);
+  root["ensemble"] = measureEnsembleMonteCarlo(16);
   const JsonValue doc{std::move(root)};
   writeJsonFile("BENCH_perf.json", doc);
   std::cout << "BENCH_perf.json:\n" << doc.dump() << "\n";

@@ -1,13 +1,38 @@
 #include "analysis/monte_carlo.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
 #include "base/logging.hpp"
 #include "base/parallel.hpp"
+#include "numeric/lanes.hpp"
 #include "numeric/rng.hpp"
 
 namespace vls {
+
+namespace {
+
+/// One sample's perturbed DUT geometries, in dutFets() order. The draw
+/// order (per fet: delta_w, delta_l, delta_vt) is the determinism
+/// contract shared by the scalar and ensemble paths: both consume the
+/// sample's RNG stream identically, so switching ensemble_width never
+/// changes which perturbations a sample id receives.
+std::vector<MosGeometry> drawGeometries(Rng& rng, const MosList& fets,
+                                        const VariationSpec& variation) {
+  std::vector<MosGeometry> geoms;
+  geoms.reserve(fets.size());
+  for (const Mosfet* fet : fets) {
+    MosGeometry g = fet->geometry();
+    g.delta_w = rng.gaussian(0.0, variation.sigma_w);
+    g.delta_l = rng.gaussian(0.0, variation.sigma_l);
+    g.delta_vt = rng.gaussian(0.0, variation.sigma_vt_rel * fet->model().vt0);
+    geoms.push_back(g);
+  }
+  return geoms;
+}
+
+}  // namespace
 
 MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config) {
   MonteCarloResult result;
@@ -16,7 +41,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
 
   // Derive one independent RNG stream per sample up front (serially), so
   // the perturbations depend only on (seed, sample index) — never on the
-  // thread count or completion order.
+  // thread count, completion order, or ensemble width.
   Rng root(config.seed);
   std::vector<Rng> streams;
   streams.reserve(n);
@@ -25,39 +50,95 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
   std::vector<ShifterMetrics> metrics(n);
   std::vector<uint8_t> threw(n, 0);
   std::atomic<int> done{0};
-  parallelFor(
-      n,
-      [&](size_t s) {
-        Rng rng = streams[s];
-        ShifterTestbench tb(harness);
-        for (Mosfet* fet : tb.dutFets()) {
-          MosGeometry g = fet->geometry();
-          g.delta_w = rng.gaussian(0.0, config.variation.sigma_w);
-          g.delta_l = rng.gaussian(0.0, config.variation.sigma_l);
-          g.delta_vt = rng.gaussian(0.0, config.variation.sigma_vt_rel * fet->model().vt0);
-          fet->setGeometry(g);
-        }
-        try {
-          metrics[s] = tb.measure();
-        } catch (const Error& e) {
-          VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
-          threw[s] = 1;
-        }
-        const int d = ++done;
-        if (d % 100 == 0) VLS_LOG_INFO("Monte-Carlo: %d / %d samples", d, config.samples);
-      },
-      config.threads);
+  auto report = [&](int count) {
+    const int d = done += count;
+    if (d / 100 != (d - count) / 100) {
+      VLS_LOG_INFO("Monte-Carlo: %d / %d samples", d, config.samples);
+    }
+  };
+  // Scalar reference simulation of one sample with fixed perturbations.
+  auto run_scalar = [&](size_t s, const std::vector<MosGeometry>& geoms) {
+    ShifterTestbench tb(harness);
+    MosList& fets = tb.dutFets();
+    for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(geoms[f]);
+    try {
+      metrics[s] = tb.measure();
+    } catch (const Error& e) {
+      VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
+      threw[s] = 1;
+    }
+  };
+
+  const size_t width = static_cast<size_t>(
+      std::clamp<int>(config.ensemble_width, 1, static_cast<int>(kMaxLanes)));
+  if (width <= 1) {
+    // Scalar path: one Simulator per sample.
+    parallelFor(
+        n,
+        [&](size_t s) {
+          Rng rng = streams[s];
+          ShifterTestbench tb(harness);
+          const std::vector<MosGeometry> geoms =
+              drawGeometries(rng, tb.dutFets(), config.variation);
+          MosList& fets = tb.dutFets();
+          for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(geoms[f]);
+          try {
+            metrics[s] = tb.measure();
+          } catch (const Error& e) {
+            VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
+            threw[s] = 1;
+          }
+          report(1);
+        },
+        config.threads);
+  } else {
+    // Ensemble path: `width` consecutive samples per lockstep batch,
+    // batches distributed across worker threads. Lanes that drop out of
+    // a batch (and whole batches that fail outright) fall back to the
+    // scalar path with the very same perturbations, so failed_samples
+    // semantics are unchanged.
+    const size_t num_batches = (n + width - 1) / width;
+    parallelFor(
+        num_batches,
+        [&](size_t b) {
+          const size_t s0 = b * width;
+          const size_t count = std::min(width, n - s0);
+          ShifterTestbench tb(harness);
+          std::vector<std::vector<MosGeometry>> lane_geoms(count);
+          for (size_t l = 0; l < count; ++l) {
+            Rng rng = streams[s0 + l];
+            lane_geoms[l] = drawGeometries(rng, tb.dutFets(), config.variation);
+          }
+          std::vector<EnsembleSample> batch;
+          try {
+            batch = tb.measureEnsemble(lane_geoms);
+          } catch (const Error& e) {
+            VLS_LOG_WARN("Monte-Carlo ensemble batch %zu failed (%s); samples re-run scalar",
+                         b, e.what());
+            batch.assign(count, EnsembleSample{});
+          }
+          for (size_t l = 0; l < count; ++l) {
+            if (batch[l].ok) {
+              metrics[s0 + l] = batch[l].metrics;
+            } else {
+              run_scalar(s0 + l, lane_geoms[l]);
+            }
+          }
+          report(static_cast<int>(count));
+        },
+        config.threads);
+  }
 
   // Serial gather in sample order: identical output for any thread count.
   for (size_t s = 0; s < n; ++s) {
     if (threw[s]) {
-      result.failed_samples.push_back(static_cast<int>(s));
-      ++result.functional_failures;
+      result.failed_samples.push_back({static_cast<int>(s), FailureKind::SimulationError});
+      ++result.simulation_errors;
       continue;
     }
     const ShifterMetrics& m = metrics[s];
     if (!m.functional) {
-      result.failed_samples.push_back(static_cast<int>(s));
+      result.failed_samples.push_back({static_cast<int>(s), FailureKind::NonFunctional});
       ++result.functional_failures;
     }
     result.delay_rise.push_back(m.delay_rise);

@@ -26,6 +26,27 @@ struct MonteCarloConfig {
   /// Worker threads for the sample loop: 0 = parallelThreadCount()
   /// (VLS_THREADS env override, else hardware concurrency).
   int threads = 0;
+  /// Lanes per lockstep ensemble batch: 1 (default) runs every sample
+  /// through the scalar reference Simulator; K > 1 batches K
+  /// consecutive samples into one EnsembleSimulator run (SoA lanes,
+  /// shared LU structure). Per-sample RNG draws are identical in both
+  /// modes, and lanes that drop out of a lockstep run are transparently
+  /// re-run scalar, so failure semantics do not change. Values above
+  /// kMaxLanes are clamped; composes with `threads` (each worker
+  /// thread runs whole batches).
+  int ensemble_width = 1;
+};
+
+/// Why a sample is listed in MonteCarloResult::failed_samples.
+enum class FailureKind : uint8_t {
+  SimulationError,  ///< the sample's simulation threw (no metric entries)
+  NonFunctional,    ///< simulated fine, but the output missed a rail
+};
+
+struct SampleFailure {
+  int id = 0;
+  FailureKind kind = FailureKind::SimulationError;
+  friend bool operator==(const SampleFailure&, const SampleFailure&) = default;
 };
 
 /// Raw per-sample metric vectors plus their summaries.
@@ -40,11 +61,23 @@ struct MonteCarloResult {
   std::vector<double> delay_rise, delay_fall;
   std::vector<double> power_rise, power_fall;
   std::vector<double> leakage_high, leakage_low;
-  /// Sample indices that failed: simulation threw, or the shifter was
-  /// measured non-functional. Size equals functional_failures.
-  std::vector<int> failed_samples;
+  /// Per-sample failure records in ascending id order, split by reason:
+  /// the simulation threw (SimulationError) or the shifter simulated
+  /// fine but was measured non-functional (NonFunctional).
+  std::vector<SampleFailure> failed_samples;
+  /// Samples measured non-functional (kind == NonFunctional).
   int functional_failures = 0;
+  /// Samples whose simulation threw (kind == SimulationError).
+  int simulation_errors = 0;
   int samples = 0;
+
+  /// Ids of all failed samples, both kinds, ascending.
+  std::vector<int> failedIds() const {
+    std::vector<int> ids;
+    ids.reserve(failed_samples.size());
+    for (const SampleFailure& f : failed_samples) ids.push_back(f.id);
+    return ids;
+  }
 
   Summary delayRise() const { return summarize(delay_rise); }
   Summary delayFall() const { return summarize(delay_fall); }

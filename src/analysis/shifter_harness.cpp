@@ -5,7 +5,9 @@
 
 #include "analysis/measure.hpp"
 #include "base/error.hpp"
+#include "devices/mosfet.hpp"
 #include "devices/passive.hpp"
+#include "sim/ensemble.hpp"
 #include "sim/simulator.hpp"
 
 namespace vls {
@@ -148,8 +150,65 @@ ShifterMetrics ShifterTestbench::measure() {
   Simulator sim(circuit_, opts);
   last_run_ = std::make_unique<TransientResult>(
       sim.transient(t_stop_, config_.dt_max, config_.edge_time / 4.0));
-  const TransientResult& run = *last_run_;
+  return extractMetrics(*last_run_, [&](double t_probe, const std::vector<double>& x0) {
+    return sim.solveOpAt(t_probe, x0);
+  });
+}
 
+std::vector<EnsembleSample> ShifterTestbench::measureEnsemble(
+    const std::vector<std::vector<MosGeometry>>& lane_geoms) {
+  const size_t lanes = lane_geoms.size();
+  if (lanes == 0) throw InvalidInputError("measureEnsemble: no lanes");
+  SimOptions opts = config_.sim;
+  opts.temperature_c = config_.temperature_c;
+  EnsembleSimulator sim(circuit_, lanes, opts);
+  for (size_t f = 0; f < dut_fets_.size(); ++f) {
+    auto* state = static_cast<MosfetLaneState*>(sim.laneState(*dut_fets_[f]));
+    for (size_t l = 0; l < lanes; ++l) {
+      if (lane_geoms[l].size() != dut_fets_.size()) {
+        throw InvalidInputError("measureEnsemble: geometry row size != dutFets() size");
+      }
+      state->setGeometry(l, lane_geoms[l][f]);
+    }
+  }
+  sim.transient(t_stop_, config_.dt_max, config_.edge_time / 4.0);
+
+  // Static leakage probes, ensemble-native: both probe instants are
+  // shared by every lane (the stimulus is lane-invariant), so solve
+  // each once for all lanes and gather per lane below. The probe times
+  // mirror extractMetrics' leak_at calls exactly.
+  const double win = config_.leak_settle * config_.leak_window_frac;
+  const double t_probe_a = t_leak_high_start_ + config_.leak_settle - 0.5 * win;
+  const double t_probe_b = t_stop_ - 0.5 * win;
+  auto warm_step = [&](double t_probe) {
+    size_t step = sim.steps() - 1;
+    while (step > 0 && sim.time()[step] > t_probe) --step;
+    return step;
+  };
+  const std::vector<double> leak_a = sim.solveOpAt(t_probe_a, sim.solutionSoA(warm_step(t_probe_a)));
+  const std::vector<double> leak_b = sim.solveOpAt(t_probe_b, sim.solutionSoA(warm_step(t_probe_b)));
+
+  std::vector<EnsembleSample> out(lanes);
+  for (size_t l = 0; l < lanes; ++l) {
+    if (sim.laneFailed(l)) continue;  // ok stays false: re-run scalar
+    const TransientResult run = sim.laneResult(l);
+    auto gather = [&](const std::vector<double>& soa) {
+      std::vector<double> x(sim.numUnknowns());
+      for (size_t i = 0; i < x.size(); ++i) x[i] = soa[i * lanes + l];
+      return x;
+    };
+    const std::vector<double> x_a = gather(leak_a);
+    const std::vector<double> x_b = gather(leak_b);
+    out[l].metrics = extractMetrics(run, [&](double t_probe, const std::vector<double>&) {
+      return t_probe < 0.5 * (t_probe_a + t_probe_b) ? x_a : x_b;
+    });
+    out[l].ok = true;
+  }
+  return out;
+}
+
+ShifterMetrics ShifterTestbench::extractMetrics(const TransientResult& run,
+                                                const LeakSolver& solve_op_at) const {
   const Signal in_sig = run.node("in");
   const Signal out_sig = run.node("out");
   const double vmi = 0.5 * config_.vddi;
@@ -199,7 +258,7 @@ ShifterMetrics ShifterTestbench::measure() {
   auto leak_at = [&](double t_probe, double& vddo_leak, double& vddi_leak) {
     size_t step = run.steps() - 1;
     while (step > 0 && run.time()[step] > t_probe) --step;
-    const std::vector<double> x = sim.solveOpAt(t_probe, run.solution(step));
+    const std::vector<double> x = solve_op_at(t_probe, run.solution(step));
     vddo_leak = std::fabs(x[vddo_src_->branchIndex()]);
     vddi_leak = std::fabs(x[vddi_src_->branchIndex()]);
   };

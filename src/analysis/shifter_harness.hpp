@@ -6,6 +6,7 @@
 // inverting (the paper's comparison baseline has the same property).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +78,14 @@ struct ShifterMetrics {
   bool functional = false;    ///< output reached both rails correctly
 };
 
+/// One lane's outcome of an ensemble measurement. `ok` is false when
+/// the lane dropped out of the lockstep run (Newton / pivot / timestep
+/// failure); such samples must be re-run through the scalar path.
+struct EnsembleSample {
+  ShifterMetrics metrics{};
+  bool ok = false;
+};
+
 /// Builds the full testbench circuit for one configuration. The
 /// transistor list of the DUT is exposed for Monte-Carlo perturbation;
 /// call measure() after any perturbation.
@@ -94,6 +103,14 @@ class ShifterTestbench {
   /// Run the transient and extract all metrics.
   ShifterMetrics measure();
 
+  /// Lockstep ensemble measurement: one EnsembleSimulator run covering
+  /// lane_geoms.size() Monte-Carlo variants of this testbench.
+  /// lane_geoms[lane][f] is the geometry of dutFets()[f] in that lane.
+  /// The scalar measure() path is untouched — this never perturbs the
+  /// Mosfet objects themselves.
+  std::vector<EnsembleSample> measureEnsemble(
+      const std::vector<std::vector<MosGeometry>>& lane_geoms);
+
   /// The transient of the last measure() call (waveform export).
   const TransientResult& lastRun() const;
 
@@ -105,6 +122,15 @@ class ShifterTestbench {
 
  private:
   void build();
+
+  /// Shared metric extraction for the scalar and ensemble paths:
+  /// delays/powers/functionality from the run's waveforms, leakage from
+  /// `solve_op_at(t_probe, warm_start)` — a warm-started DC solve in
+  /// the scalar path, a gather from the ensemble's batched leak solves
+  /// in the lane path.
+  using LeakSolver =
+      std::function<std::vector<double>(double t_probe, const std::vector<double>& x0)>;
+  ShifterMetrics extractMetrics(const TransientResult& run, const LeakSolver& solve_op_at) const;
 
   HarnessConfig config_;
   Circuit circuit_;

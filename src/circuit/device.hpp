@@ -5,7 +5,9 @@
 // engine commits via acceptStep().
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@ namespace vls {
 
 class Stamper;
 class ReactiveStamper;
+class LaneStamper;
 
 /// One physical noise generator: a current source a -> b with the given
 /// one-sided PSD [A^2/Hz] as a function of frequency. Devices register
@@ -64,6 +67,37 @@ struct ChargeCompanion {
 ChargeCompanion integrateCharge(IntegrationMethod method, double dt, double q, double c,
                                 const ChargeHistory& history);
 
+/// Evaluation context for the ensemble (lane-batched) engine: K
+/// Monte-Carlo variants of one topology advance in lockstep, with every
+/// unknown stored structure-of-arrays as x[i * lanes + lane].
+struct LaneContext {
+  std::span<const double> x;         ///< SoA unknowns, size() * lanes doubles
+  const double* zero = nullptr;      ///< shared double[lanes] of zeros (ground voltages)
+  size_t lanes = 1;
+  const uint8_t* active = nullptr;   ///< per-lane mask; null = every lane active
+  double time = 0.0;
+  double dt = 0.0;
+  IntegrationMethod method = IntegrationMethod::None;
+  double temperature = 300.15;      ///< device temperature [K]
+  double source_scale = 1.0;        ///< homotopy scale for source stepping (0..1)
+  double gmin = 1e-12;
+
+  /// Contiguous double[lanes] run of node n's candidate voltages.
+  const double* v(NodeId n) const {
+    return isGround(n) ? zero : &x[static_cast<size_t>(n) * lanes];
+  }
+  bool laneActive(size_t l) const { return active == nullptr || active[l] != 0; }
+};
+
+///// Opaque per-device ensemble state: per-lane geometry overrides,
+/// cached operating points, and charge histories. Created by the device
+/// (createLaneState), owned by the EnsembleSimulator, and passed back
+/// into every lane-wise call — the device object itself stays untouched
+/// so the scalar reference path is never perturbed by ensemble runs.
+struct DeviceLaneState {
+  virtual ~DeviceLaneState() = default;
+};
+
 /// Base class of all circuit elements.
 class Device {
  public:
@@ -100,6 +134,49 @@ class Device {
 
   /// Commit integration state after an accepted timestep.
   virtual void acceptStep(const EvalContext& ctx) { (void)ctx; }
+
+  // --- ensemble (lane-batched) evaluation ----------------------------
+  /// Whether this device implements the lane-wise stamping API. Devices
+  /// that do not are still usable in ensembles: the ensemble assembler
+  /// falls back to per-lane scalar stamp() through a scratch system.
+  virtual bool supportsLanes() const { return false; }
+
+  /// Whether the per-lane scalar fallback (stamp() run once per lane
+  /// through a scratch system) is correct for this device. False for
+  /// devices whose stamp()/acceptStep() carry integration state that
+  /// would be shared — and corrupted — across lanes. The ensemble
+  /// engine refuses circuits containing a device that neither supports
+  /// lanes nor is fallback-safe.
+  virtual bool laneFallbackSafe() const { return true; }
+
+  /// Allocate per-lane state for an ensemble of the given width. Only
+  /// called when supportsLanes() is true; may return null if the device
+  /// is stateless across lanes.
+  virtual std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const {
+    (void)lanes;
+    return nullptr;
+  }
+
+  /// Linearize all lanes at ctx.x and stamp companion models for every
+  /// active lane (inactive lanes' slots must be left as assembled, i.e.
+  /// zero). Only called when supportsLanes() is true.
+  virtual void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                          DeviceLaneState* state) {
+    (void)stamper;
+    (void)ctx;
+    (void)state;
+  }
+
+  /// Lane-wise analogue of startTransient / acceptStep, operating purely
+  /// on `state`.
+  virtual void startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) {
+    (void)ctx;
+    (void)state;
+  }
+  virtual void acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) {
+    (void)ctx;
+    (void)state;
+  }
 
   /// Terminals (for netlist export and current probes).
   virtual size_t terminalCount() const = 0;

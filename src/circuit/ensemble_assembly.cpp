@@ -1,0 +1,336 @@
+#include "circuit/ensemble_assembly.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+namespace {
+[[noreturn]] void laneTapeDivergence() {
+  throw Error("LaneStamper: stamp call sequence diverged from the recorded lane tape "
+              "(stale tape not invalidated?)");
+}
+}  // namespace
+
+void LaneStamper::startRecording(LaneTape& tape) {
+  tape_ = &tape;
+  mode_ = Mode::Record;
+  cursor_ = 0;
+}
+
+void LaneStamper::startReplay(LaneTape& tape) {
+  tape_ = &tape;
+  mode_ = Mode::Replay;
+  cursor_ = 0;
+}
+
+const TapeOp& LaneStamper::nextOp(TapeOp::Kind kind) {
+  if (cursor_ >= tape_->opCount()) laneTapeDivergence();
+  const TapeOp& op = tape_->op(cursor_);
+  if (op.kind != kind) laneTapeDivergence();
+  ++cursor_;
+  return op;
+}
+
+void LaneStamper::applyConductance(const TapeOp& op, const double* g, double uniform,
+                                   double scale) {
+  constexpr uint32_t kNone = TapeOp::kNone;
+  const size_t K = sys_.lanes();
+  LaneMatrix& mat = sys_.matrix();
+  auto addRun = [&](uint32_t handle, double sign) {
+    if (handle == kNone) return;
+    double* v = mat.laneValues(handle);
+    if (g != nullptr) {
+      const double s = sign * scale;
+      for (size_t l = 0; l < K; ++l) v[l] += s * g[l];
+    } else {
+      const double s = sign * uniform;
+      for (size_t l = 0; l < K; ++l) v[l] += s;
+    }
+  };
+  addRun(op.m[0], 1.0);
+  addRun(op.m[1], 1.0);
+  addRun(op.m[2], -1.0);
+  addRun(op.m[3], -1.0);
+}
+
+void LaneStamper::applyCurrentSource(const TapeOp& op, const double* i, double uniform,
+                                     double scale) {
+  constexpr uint32_t kNone = TapeOp::kNone;
+  const size_t K = sys_.lanes();
+  auto addRun = [&](uint32_t row, double sign) {
+    if (row == kNone) return;
+    double* r = sys_.rhsLanes(row);
+    if (i != nullptr) {
+      const double s = sign * scale;
+      for (size_t l = 0; l < K; ++l) r[l] += s * i[l];
+    } else {
+      const double s = sign * uniform;
+      for (size_t l = 0; l < K; ++l) r[l] += s;
+    }
+  };
+  addRun(op.r[0], -1.0);
+  addRun(op.r[1], 1.0);
+}
+
+void LaneStamper::applyVoltageBranch(const TapeOp& op, double v_value) {
+  constexpr uint32_t kNone = TapeOp::kNone;
+  const size_t K = sys_.lanes();
+  LaneMatrix& mat = sys_.matrix();
+  auto addOnes = [&](uint32_t handle, double sign) {
+    if (handle == kNone) return;
+    double* v = mat.laneValues(handle);
+    for (size_t l = 0; l < K; ++l) v[l] += sign;
+  };
+  addOnes(op.m[0], 1.0);
+  addOnes(op.m[1], -1.0);
+  addOnes(op.m[2], 1.0);
+  addOnes(op.m[3], -1.0);
+  double* r = sys_.rhsLanes(op.r[0]);  // the branch row always exists
+  for (size_t l = 0; l < K; ++l) r[l] += v_value;
+}
+
+void LaneStamper::applyMatrix(const TapeOp& op, const double* v, double uniform, double scale) {
+  if (op.m[0] == TapeOp::kNone) return;
+  const size_t K = sys_.lanes();
+  double* dst = sys_.matrix().laneValues(op.m[0]);
+  if (v != nullptr) {
+    for (size_t l = 0; l < K; ++l) dst[l] += scale * v[l];
+  } else {
+    for (size_t l = 0; l < K; ++l) dst[l] += uniform;
+  }
+}
+
+void LaneStamper::applyRhs(const TapeOp& op, const double* v, double uniform, double scale) {
+  if (op.r[0] == TapeOp::kNone) return;
+  const size_t K = sys_.lanes();
+  double* dst = sys_.rhsLanes(op.r[0]);
+  if (v != nullptr) {
+    for (size_t l = 0; l < K; ++l) dst[l] += scale * v[l];
+  } else {
+    for (size_t l = 0; l < K; ++l) dst[l] += uniform;
+  }
+}
+
+void LaneStamper::conductance(NodeId a, NodeId b, const double* g) {
+  if (mode_ == Mode::Replay) {
+    applyConductance(nextOp(TapeOp::Kind::Conductance), g, 0.0, 1.0);
+    return;
+  }
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  TapeOp op;
+  op.kind = TapeOp::Kind::Conductance;
+  LaneMatrix& mat = sys_.matrix();
+  if (ia >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ia, ia));
+  if (ib >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(ib, ib));
+  if (ia >= 0 && ib >= 0) {
+    op.m[2] = static_cast<uint32_t>(mat.entryHandle(ia, ib));
+    op.m[3] = static_cast<uint32_t>(mat.entryHandle(ib, ia));
+  }
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyConductance(op, g, 0.0, 1.0);
+}
+
+void LaneStamper::conductanceUniform(NodeId a, NodeId b, double g) {
+  if (mode_ == Mode::Replay) {
+    applyConductance(nextOp(TapeOp::Kind::Conductance), nullptr, g, 1.0);
+    return;
+  }
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  TapeOp op;
+  op.kind = TapeOp::Kind::Conductance;
+  LaneMatrix& mat = sys_.matrix();
+  if (ia >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ia, ia));
+  if (ib >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(ib, ib));
+  if (ia >= 0 && ib >= 0) {
+    op.m[2] = static_cast<uint32_t>(mat.entryHandle(ia, ib));
+    op.m[3] = static_cast<uint32_t>(mat.entryHandle(ib, ia));
+  }
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyConductance(op, nullptr, g, 1.0);
+}
+
+void LaneStamper::currentSource(NodeId a, NodeId b, const double* i) {
+  if (mode_ == Mode::Replay) {
+    applyCurrentSource(nextOp(TapeOp::Kind::CurrentSource), i, 0.0, 1.0);
+    return;
+  }
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  TapeOp op;
+  op.kind = TapeOp::Kind::CurrentSource;
+  if (ia >= 0) op.r[0] = static_cast<uint32_t>(ia);
+  if (ib >= 0) op.r[1] = static_cast<uint32_t>(ib);
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyCurrentSource(op, i, 0.0, 1.0);
+}
+
+void LaneStamper::currentSourceUniform(NodeId a, NodeId b, double i) {
+  if (mode_ == Mode::Replay) {
+    applyCurrentSource(nextOp(TapeOp::Kind::CurrentSource), nullptr, i, 1.0);
+    return;
+  }
+  const int ia = nodeIndex(a);
+  const int ib = nodeIndex(b);
+  TapeOp op;
+  op.kind = TapeOp::Kind::CurrentSource;
+  if (ia >= 0) op.r[0] = static_cast<uint32_t>(ia);
+  if (ib >= 0) op.r[1] = static_cast<uint32_t>(ib);
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyCurrentSource(op, nullptr, i, 1.0);
+}
+
+void LaneStamper::voltageBranchUniform(size_t branch_index, NodeId plus, NodeId minus,
+                                       double v_value) {
+  if (mode_ == Mode::Replay) {
+    applyVoltageBranch(nextOp(TapeOp::Kind::VoltageBranch), v_value);
+    return;
+  }
+  const int row = static_cast<int>(branch_index);
+  const int ip = nodeIndex(plus);
+  const int im = nodeIndex(minus);
+  TapeOp op;
+  op.kind = TapeOp::Kind::VoltageBranch;
+  LaneMatrix& mat = sys_.matrix();
+  if (ip >= 0) op.m[0] = static_cast<uint32_t>(mat.entryHandle(ip, row));
+  if (im >= 0) op.m[1] = static_cast<uint32_t>(mat.entryHandle(im, row));
+  if (ip >= 0) op.m[2] = static_cast<uint32_t>(mat.entryHandle(row, ip));
+  if (im >= 0) op.m[3] = static_cast<uint32_t>(mat.entryHandle(row, im));
+  op.r[0] = static_cast<uint32_t>(row);
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyVoltageBranch(op, v_value);
+}
+
+void LaneStamper::addMatrix(int row, int col, const double* value, double scale) {
+  if (mode_ == Mode::Replay) {
+    applyMatrix(nextOp(TapeOp::Kind::Matrix), value, 0.0, scale);
+    return;
+  }
+  TapeOp op;
+  op.kind = TapeOp::Kind::Matrix;
+  if (row >= 0 && col >= 0) {
+    op.m[0] = static_cast<uint32_t>(
+        sys_.matrix().entryHandle(static_cast<size_t>(row), static_cast<size_t>(col)));
+  }
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyMatrix(op, value, 0.0, scale);
+}
+
+void LaneStamper::addMatrixUniform(int row, int col, double value) {
+  if (mode_ == Mode::Replay) {
+    applyMatrix(nextOp(TapeOp::Kind::Matrix), nullptr, value, 1.0);
+    return;
+  }
+  TapeOp op;
+  op.kind = TapeOp::Kind::Matrix;
+  if (row >= 0 && col >= 0) {
+    op.m[0] = static_cast<uint32_t>(
+        sys_.matrix().entryHandle(static_cast<size_t>(row), static_cast<size_t>(col)));
+  }
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyMatrix(op, nullptr, value, 1.0);
+}
+
+void LaneStamper::addRhs(int row, const double* value, double scale) {
+  if (mode_ == Mode::Replay) {
+    applyRhs(nextOp(TapeOp::Kind::Rhs), value, 0.0, scale);
+    return;
+  }
+  TapeOp op;
+  op.kind = TapeOp::Kind::Rhs;
+  if (row >= 0) op.r[0] = static_cast<uint32_t>(row);
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyRhs(op, value, 0.0, scale);
+}
+
+void LaneStamper::addRhsUniform(int row, double value) {
+  if (mode_ == Mode::Replay) {
+    applyRhs(nextOp(TapeOp::Kind::Rhs), nullptr, value, 1.0);
+    return;
+  }
+  TapeOp op;
+  op.kind = TapeOp::Kind::Rhs;
+  if (row >= 0) op.r[0] = static_cast<uint32_t>(row);
+  if (mode_ == Mode::Record) tape_->pushOp(op);
+  applyRhs(op, nullptr, value, 1.0);
+}
+
+EnsembleAssembler::EnsembleAssembler(const Circuit& circuit, EnsembleSystem& system)
+    : circuit_(circuit), sys_(system), scratch_(system.numNodes(), system.numBranches()) {}
+
+void EnsembleAssembler::assemble(const LaneContext& ctx,
+                                 const std::vector<DeviceLaneState*>& states) {
+  sys_.clear();
+  const auto& devices = circuit_.devices();
+  LaneTape& tape = ctx.method == IntegrationMethod::None ? tape_dc_ : tape_tran_;
+  LaneStamper stamper(sys_);
+  const bool record = !tape.matches(&sys_, circuit_.revision(), devices.size());
+  if (record) {
+    tape.beginRecording(&sys_, circuit_.revision(), devices.size());
+    stamper.startRecording(tape);
+  } else {
+    stamper.startReplay(tape);
+  }
+  for (size_t i = 0; i < devices.size(); ++i) {
+    Device* dev = devices[i].get();
+    if (dev->supportsLanes()) {
+      dev->stampLanes(stamper, ctx, states[i]);
+    } else {
+      assembleGeneric(*dev, ctx);
+    }
+  }
+  if (record) {
+    tape.finishRecording(sys_.matrix(), sys_.numNodes());
+  } else if (stamper.cursor() != tape.opCount()) {
+    laneTapeDivergence();
+  }
+  // Convergence-aid gmin on every node diagonal, all lanes.
+  const size_t K = sys_.lanes();
+  for (size_t handle : tape.gminHandles()) {
+    double* v = sys_.matrix().laneValues(handle);
+    for (size_t l = 0; l < K; ++l) v[l] += ctx.gmin;
+  }
+}
+
+void EnsembleAssembler::assembleGeneric(Device& dev, const LaneContext& ctx) {
+  // Per-lane scalar fallback: gather one lane's unknowns into AoS form,
+  // run the device's scalar stamp() into the scratch system, and
+  // scatter the scratch entries into that lane's slots. Correct for any
+  // device whose stamp is stateless between Newton iterations; devices
+  // with integration state must implement the lane API (enforced by the
+  // EnsembleSimulator).
+  const size_t K = ctx.lanes;
+  const size_t n = sys_.size();
+  x_lane_.resize(n);
+  for (size_t l = 0; l < K; ++l) {
+    for (size_t i = 0; i < n; ++i) x_lane_[i] = ctx.x[i * K + l];
+    EvalContext ectx;
+    ectx.x = x_lane_;
+    ectx.time = ctx.time;
+    ectx.dt = ctx.dt;
+    ectx.method = ctx.method;
+    ectx.temperature = ctx.temperature;
+    ectx.source_scale = ctx.source_scale;
+    ectx.gmin = ctx.gmin;
+    scratch_.clear();
+    Stamper st(scratch_);
+    dev.stamp(st, ectx);
+    const auto& coords = scratch_.matrix().entries();
+    for (size_t h = scratch_map_.size(); h < coords.size(); ++h) {
+      scratch_map_.push_back(sys_.matrix().entryHandle(coords[h].row, coords[h].col));
+    }
+    for (size_t h = 0; h < coords.size(); ++h) {
+      const double v = scratch_.matrix().value(h);
+      if (v != 0.0) sys_.matrix().laneValues(scratch_map_[h])[l] += v;
+    }
+    const auto& rhs = scratch_.rhs();
+    for (size_t r = 0; r < n; ++r) {
+      if (rhs[r] != 0.0) sys_.rhsLanes(r)[l] += rhs[r];
+    }
+  }
+}
+
+}  // namespace vls

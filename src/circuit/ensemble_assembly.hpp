@@ -1,0 +1,165 @@
+// Ensemble (lane-batched) MNA assembly. One EnsembleSystem holds the
+// shared sparsity pattern plus K lanes of numeric values (SoA: each
+// matrix entry and RHS row is a contiguous double[K] run). Lane-capable
+// devices stamp all K Monte-Carlo variants of themselves in one pass
+// through the LaneStamper; devices without lane support fall back to
+// their scalar stamp() run once per lane through a scratch system whose
+// entries are scattered into the matching lane slots.
+//
+// The LaneStamper reuses the scalar TapeOp record/replay protocol with
+// lane stride: record mode resolves LaneMatrix handles once per
+// topology revision, replay mode applies double[K] value runs through
+// the cached handles — no hash lookups or ground checks in the ensemble
+// Newton inner loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/device.hpp"
+#include "circuit/mna.hpp"
+#include "numeric/lane_matrix.hpp"
+
+namespace vls {
+
+class EnsembleSystem {
+ public:
+  EnsembleSystem(size_t num_nodes, size_t num_branches, size_t lanes)
+      : num_nodes_(num_nodes),
+        num_branches_(num_branches),
+        lanes_(lanes),
+        matrix_(num_nodes + num_branches, lanes),
+        rhs_((num_nodes + num_branches) * lanes, 0.0) {}
+
+  size_t numNodes() const { return num_nodes_; }
+  size_t numBranches() const { return num_branches_; }
+  size_t size() const { return num_nodes_ + num_branches_; }
+  size_t lanes() const { return lanes_; }
+
+  LaneMatrix& matrix() { return matrix_; }
+  const LaneMatrix& matrix() const { return matrix_; }
+  std::vector<double>& rhs() { return rhs_; }
+  const std::vector<double>& rhs() const { return rhs_; }
+  double* rhsLanes(size_t row) { return rhs_.data() + row * lanes_; }
+
+  void clear() {
+    matrix_.clearValues();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  }
+
+ private:
+  size_t num_nodes_;
+  size_t num_branches_;
+  size_t lanes_;
+  LaneMatrix matrix_;
+  std::vector<double> rhs_;
+};
+
+/// Recorded lane-stamp sequence for one (system, topology revision,
+/// analysis mode). Stores resolved TapeOps only — values always come
+/// from the device at replay time (the ensemble engine has no bypass).
+class LaneTape {
+ public:
+  bool matches(const void* system_key, uint64_t revision, size_t device_count) const {
+    return recorded_ && system_key_ == system_key && revision_ == revision &&
+           device_count_ == device_count;
+  }
+  void beginRecording(const void* system_key, uint64_t revision, size_t device_count) {
+    ops_.clear();
+    gmin_handles_.clear();
+    system_key_ = system_key;
+    revision_ = revision;
+    device_count_ = device_count;
+    recorded_ = false;
+  }
+  void finishRecording(LaneMatrix& matrix, size_t num_nodes) {
+    gmin_handles_.resize(num_nodes);
+    for (size_t n = 0; n < num_nodes; ++n) gmin_handles_[n] = matrix.entryHandle(n, n);
+    recorded_ = true;
+  }
+  void pushOp(const TapeOp& op) { ops_.push_back(op); }
+  size_t opCount() const { return ops_.size(); }
+  const TapeOp& op(size_t i) const { return ops_[i]; }
+  const std::vector<size_t>& gminHandles() const { return gmin_handles_; }
+
+ private:
+  std::vector<TapeOp> ops_;
+  std::vector<size_t> gmin_handles_;
+  const void* system_key_ = nullptr;
+  uint64_t revision_ = 0;
+  size_t device_count_ = 0;
+  bool recorded_ = false;
+};
+
+/// Device-facing lane stamping interface. Value parameters are either
+/// contiguous double[lanes] arrays (one value per Monte-Carlo variant)
+/// or uniform scalars broadcast to every lane (lane-invariant stamps:
+/// sources, linear resistors, topology constants). Sign conventions
+/// match the scalar Stamper exactly.
+class LaneStamper {
+ public:
+  explicit LaneStamper(EnsembleSystem& system) : sys_(system) {}
+
+  void conductance(NodeId a, NodeId b, const double* g);
+  void conductanceUniform(NodeId a, NodeId b, double g);
+  void currentSource(NodeId a, NodeId b, const double* i);
+  void currentSourceUniform(NodeId a, NodeId b, double i);
+  void voltageBranchUniform(size_t branch_index, NodeId plus, NodeId minus, double v_value);
+  /// Raw entry accumulation: value[l] * scale into (row, col) lane l.
+  void addMatrix(int row, int col, const double* value, double scale = 1.0);
+  void addMatrixUniform(int row, int col, double value);
+  void addRhs(int row, const double* value, double scale = 1.0);
+  void addRhsUniform(int row, double value);
+
+  int nodeIndex(NodeId n) const { return isGround(n) ? -1 : n; }
+  size_t lanes() const { return sys_.lanes(); }
+  size_t numNodes() const { return sys_.numNodes(); }
+
+  // --- tape protocol (driven by the EnsembleAssembler) ---------------
+  void startRecording(LaneTape& tape);
+  void startReplay(LaneTape& tape);
+  size_t cursor() const { return cursor_; }
+
+ private:
+  enum class Mode : uint8_t { Direct, Record, Replay };
+
+  /// m[0..1] += v, m[2..3] -= v (per lane; scale applied).
+  void applyConductance(const TapeOp& op, const double* g, double uniform, double scale);
+  void applyCurrentSource(const TapeOp& op, const double* i, double uniform, double scale);
+  void applyVoltageBranch(const TapeOp& op, double v_value);
+  void applyMatrix(const TapeOp& op, const double* v, double uniform, double scale);
+  void applyRhs(const TapeOp& op, const double* v, double uniform, double scale);
+  const TapeOp& nextOp(TapeOp::Kind kind);
+
+  EnsembleSystem& sys_;
+  LaneTape* tape_ = nullptr;
+  Mode mode_ = Mode::Direct;
+  size_t cursor_ = 0;
+};
+
+/// Assembles every device of a circuit into an EnsembleSystem for one
+/// lane context: lane-capable devices through the LaneStamper (with
+/// per-mode record/replay tapes), the rest through the per-lane scalar
+/// fallback. Adds ctx.gmin on every node diagonal (all lanes).
+class EnsembleAssembler {
+ public:
+  EnsembleAssembler(const Circuit& circuit, EnsembleSystem& system);
+
+  /// states[i] belongs to circuit.devices()[i] (null for devices
+  /// without lane support).
+  void assemble(const LaneContext& ctx, const std::vector<DeviceLaneState*>& states);
+
+ private:
+  void assembleGeneric(Device& dev, const LaneContext& ctx);
+
+  const Circuit& circuit_;
+  EnsembleSystem& sys_;
+  LaneTape tape_dc_;
+  LaneTape tape_tran_;
+  MnaSystem scratch_;               // per-lane scalar fallback target
+  std::vector<size_t> scratch_map_;  // scratch matrix handle -> ensemble handle
+  std::vector<double> x_lane_;       // gathered AoS unknowns of one lane
+};
+
+}  // namespace vls

@@ -36,6 +36,9 @@ class Bjt : public Device {
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   bool supportsBypass() const override { return true; }
+  /// Junction-cap charge histories are scalar state shared across lanes,
+  /// so per-lane scalar fallback would corrupt them in transients.
+  bool laneFallbackSafe() const override { return false; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;

@@ -1,12 +1,25 @@
 #include "devices/diode.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/units.hpp"
+#include "circuit/ensemble_assembly.hpp"
 #include "circuit/mna.hpp"
 #include "devices/mos_model.hpp"
+#include "numeric/lanes.hpp"
 
 namespace vls {
+
+namespace {
+
+/// Per-lane depletion-cap charge history of a diode.
+struct DiodeLaneState : DeviceLaneState {
+  explicit DiodeLaneState(size_t n) : q(n, 0.0), i(n, 0.0), v_prev(n, 0.0) {}
+  std::vector<double> q, i, v_prev;
+};
+
+}  // namespace
 
 Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
     : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {}
@@ -55,6 +68,81 @@ void Diode::acceptStep(const EvalContext& ctx) {
   cap_hist_.q = q;
   cap_hist_.i = comp.i_now;
   v_prev_ = v;
+}
+
+std::unique_ptr<DeviceLaneState> Diode::createLaneState(size_t lanes) const {
+  return std::make_unique<DiodeLaneState>(lanes);
+}
+
+void Diode::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                       DeviceLaneState* state) {
+  auto& st = static_cast<DiodeLaneState&>(*state);
+  const size_t K = ctx.lanes;
+  const double ut = thermalVoltage(ctx.temperature);
+  const double* va = ctx.v(anode_);
+  const double* vc = ctx.v(cathode_);
+
+  double v[kMaxLanes] = {}, i_sat[kMaxLanes] = {}, ij[kMaxLanes] = {}, gj[kMaxLanes] = {}, ieq[kMaxLanes] = {};
+  for (size_t l = 0; l < K; ++l) {
+    v[l] = va[l] - vc[l];
+    i_sat[l] = params_.i_sat;
+  }
+  junctionCurrentLanes(K, i_sat, params_.n_ideal, ut, v, ij, gj);
+  for (size_t l = 0; l < K; ++l) ieq[l] = ij[l] - gj[l] * v[l];
+  stamper.conductance(anode_, cathode_, gj);
+  stamper.currentSource(anode_, cathode_, ieq);
+
+  if (ctx.method != IntegrationMethod::None && params_.cj0 > 0.0) {
+    // Depletion cap, same knee linearization as capAt but branch-free.
+    const double fc = 0.5;
+    const double knee = fc * params_.pb;
+    const double k_knee = std::pow(1.0 - fc, -params_.mj);
+    const double k_slope = k_knee * params_.mj / (params_.pb * (1.0 - fc));
+    const double inv_pb = 1.0 / params_.pb;
+    const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+    const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+    double geq[kMaxLanes] = {}, iceq[kMaxLanes] = {};
+    for (size_t l = 0; l < K; ++l) {
+      const double arg = std::max(1.0 - v[l] * inv_pb, 1e-9);
+      const double c_dep = params_.cj0 * fastExp(-params_.mj * fastLog(arg));
+      const double c_lin = params_.cj0 * (k_knee + k_slope * (v[l] - knee));
+      const double c = v[l] < knee ? c_dep : c_lin;
+      const double dq = c * (v[l] - st.v_prev[l]);
+      const double g_eq = k_g * c;
+      const double i_now = k_g * dq - tr * st.i[l];
+      geq[l] = g_eq;
+      iceq[l] = i_now - g_eq * v[l];
+    }
+    stamper.conductance(anode_, cathode_, geq);
+    stamper.currentSource(anode_, cathode_, iceq);
+  }
+}
+
+void Diode::startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<DiodeLaneState&>(*state);
+  const double* va = ctx.v(anode_);
+  const double* vc = ctx.v(cathode_);
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    st.v_prev[l] = va[l] - vc[l];
+    st.q[l] = 0.0;
+    st.i[l] = 0.0;
+  }
+}
+
+void Diode::acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<DiodeLaneState&>(*state);
+  const double* va = ctx.v(anode_);
+  const double* vc = ctx.v(cathode_);
+  const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+  const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double v = va[l] - vc[l];
+    const double c = capAt(v);
+    const double dq = c * (v - st.v_prev[l]);
+    st.i[l] = k_g * dq - tr * st.i[l];
+    st.q[l] += dq;
+    st.v_prev[l] = v;
+  }
 }
 
 void Diode::collectNoiseSources(std::vector<NoiseSource>& sources,

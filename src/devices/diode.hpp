@@ -1,6 +1,8 @@
 // Standalone junction diode (exponential DC + depletion capacitance).
 #pragma once
 
+#include <memory>
+
 #include "circuit/device.hpp"
 
 namespace vls {
@@ -22,6 +24,12 @@ class Diode : public Device {
   bool supportsBypass() const override { return true; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const override;
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
+  void startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) override;
+  void acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
   void collectNoiseSources(std::vector<NoiseSource>& sources,
                            const EvalContext& ctx) const override;

@@ -143,6 +143,27 @@ T mosCoreCurrent(const MosModelCard& card, const MosOperating& op, const T& vg, 
   return i0 * m_clm / denom;
 }
 
+/// Lane-wise (structure-of-arrays) core evaluation for the ensemble
+/// engine: drain current and its partials w.r.t. the polarity-normalized
+/// (vg, vd, vs) for `lanes` Monte-Carlo variants of one device in a
+/// single pass. `ut` and `n` are temperature/process quantities shared
+/// by every lane; `vt` and `beta` carry the per-sample variation. The
+/// math mirrors mosCoreCurrent<Dual<3>> exactly (same softplus
+/// saturation branches) but uses hand-derived partials and the
+/// branch-free fastExp/fastLog kernels, so the per-lane loop body
+/// auto-vectorizes. Scalar simulation remains the reference; agreement
+/// is enforced by a differential test.
+void mosCoreCurrentLanes(const MosModelCard& card, size_t lanes, double ut, double n,
+                         const double* vt, const double* beta, const double* vg,
+                         const double* vd, const double* vs, double* ids, double* gg,
+                         double* gd, double* gs);
+
+/// Lane-wise junction diode current + conductance, matching
+/// junctionCurrent's linearized exponential (switch at 40
+/// ideality-units, value and slope continuous).
+void junctionCurrentLanes(size_t lanes, const double* i_sat, double n_j, double ut,
+                          const double* v, double* i, double* g);
+
 /// Junction (bulk-to-diffusion) diode current, polarity-normalized: the
 /// anode-cathode voltage is `v` (negative when reverse biased). The
 /// exponential is linearized above 10 ideality-units so a wild Newton

@@ -1,9 +1,12 @@
 #include "devices/mosfet.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/error.hpp"
+#include "circuit/ensemble_assembly.hpp"
 #include "circuit/mna.hpp"
+#include "numeric/lanes.hpp"
 
 namespace vls {
 namespace {
@@ -288,6 +291,274 @@ void Mosfet::acceptStep(const EvalContext& ctx) {
       junctionCap(sgn * (ctx.v(nodes_[kB]) - ctx.v(nodes_[kS])), junctionC0(false));
   acceptCap(ctx, nodes_[kB], nodes_[kD], cbd, cap_bd_);
   acceptCap(ctx, nodes_[kB], nodes_[kS], cbs, cap_bs_);
+}
+
+// --- lane-batched (ensemble) evaluation ------------------------------
+
+MosfetLaneState::MosfetLaneState(const MosGeometry& base, size_t lane_count)
+    : lanes(lane_count), geom(lane_count, base), vt(lane_count, 0.0),
+      beta(lane_count, 0.0), w_eff(lane_count, 0.0), l_eff(lane_count, 0.0),
+      jarea_d(lane_count, 0.0), jarea_s(lane_count, 0.0), jc0_d(lane_count, 0.0),
+      jc0_s(lane_count, 0.0), cap_gs(lane_count), cap_gd(lane_count),
+      cap_gb(lane_count), cap_bd(lane_count), cap_bs(lane_count) {}
+
+std::unique_ptr<DeviceLaneState> Mosfet::createLaneState(size_t lanes) const {
+  return std::make_unique<MosfetLaneState>(geometry_, lanes);
+}
+
+void Mosfet::resolveLaneDerived(MosfetLaneState& s, double temperature) const {
+  if (s.derived_valid && s.temperature == temperature) return;
+  for (size_t l = 0; l < s.lanes; ++l) {
+    const MosGeometry& g = s.geom[l];
+    const MosOperating op = resolveOperating(*card_, g, temperature);
+    s.vt[l] = op.vt;
+    s.beta[l] = op.beta;
+    s.w_eff[l] = g.effW();
+    s.l_eff[l] = g.l + g.delta_l - 2.0 * card_->dl;
+    const double area_d = g.area_d > 0.0 ? g.area_d : g.effW() * 2.5 * g.l;
+    const double area_s = g.area_s > 0.0 ? g.area_s : g.effW() * 2.5 * g.l;
+    s.jarea_d[l] = area_d;
+    s.jarea_s[l] = area_s;
+    s.jc0_d[l] = card_->cj * area_d + card_->cjsw * 2.0 * (std::sqrt(area_d) * 2.0);
+    s.jc0_s[l] = card_->cj * area_s + card_->cjsw * 2.0 * (std::sqrt(area_s) * 2.0);
+  }
+  s.derived_valid = true;
+  s.temperature = temperature;
+}
+
+void Mosfet::meyerCapsLanes(const MosfetLaneState& st, const LaneContext& ctx, double* cgs,
+                            double* cgd, double* cgb) const {
+  const double s = card_->sign();
+  const MosModelCard& m = *card_;
+  const double ut = thermalVoltage(ctx.temperature);
+  const double n = m.n_slope;
+  const double cox = m.cox();
+  const double k_soft = 2.0 * n * ut;
+  const double inv_k = 1.0 / k_soft;
+  const double inv_2ut = 1.0 / (2.0 * ut);
+  const double* vdl = ctx.v(nodes_[kD]);
+  const double* vgl = ctx.v(nodes_[kG]);
+  const double* vsl = ctx.v(nodes_[kS]);
+  const double* vbl = ctx.v(nodes_[kB]);
+#pragma omp simd
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double vb = vbl[l];
+    const double vg = s * (vgl[l] - vb);
+    const double vd = s * (vdl[l] - vb);
+    const double vs = s * (vsl[l] - vb);
+    const double cox_area = cox * st.w_eff[l] * st.l_eff[l];
+    const double v_min =
+        -k_soft * fastLog(fastExp(-vd * inv_k) + fastExp(-vs * inv_k));
+    const double vp = (vg - st.vt[l]) / n;
+    const double x_inv = fastSigmoid((vp - v_min) * inv_2ut);
+    const double vgt = std::max(n * (vp - v_min), 0.0);
+    const double vdsat = std::max(vgt / n, 4.0 * ut);
+    const double sp = 0.5 * (1.0 + fastTanh((vd - vs) / vdsat));
+    const double sp_m = 1.0 - sp;
+    const double meyer_s = (-2.0 / 3.0) * sp * sp + (4.0 / 3.0) * sp;
+    const double meyer_d = (-2.0 / 3.0) * sp_m * sp_m + (4.0 / 3.0) * sp_m;
+    cgs[l] = cox_area * x_inv * meyer_s + m.cgso * st.w_eff[l];
+    cgd[l] = cox_area * x_inv * meyer_d + m.cgdo * st.w_eff[l];
+    cgb[l] = cox_area * (1.0 - x_inv) * 0.7 + m.cgbo * st.l_eff[l];
+  }
+}
+
+void Mosfet::junctionCapLanes(size_t lanes, const double* v, const double* c0,
+                              double* c) const {
+  const MosModelCard& m = *card_;
+  const double v_knee = m.fc * m.pb;
+  const double k_knee = std::pow(1.0 - m.fc, -m.mj);
+  const double k_slope = k_knee * m.mj / (m.pb * (1.0 - m.fc));
+  const double inv_pb = 1.0 / m.pb;
+#pragma omp simd
+  for (size_t l = 0; l < lanes; ++l) {
+    // Clamp the depletion argument: lanes above the knee take the linear
+    // branch, so the clamped value only keeps the dead computation finite.
+    const double arg = std::max(1.0 - v[l] * inv_pb, 1e-9);
+    const double c_dep = c0[l] * fastExp(-m.mj * fastLog(arg));
+    const double c_lin = c0[l] * (k_knee + k_slope * (v[l] - v_knee));
+    c[l] = v[l] < v_knee ? c_dep : c_lin;
+  }
+}
+
+void Mosfet::stampCapLanes(LaneStamper& stamper, const LaneContext& ctx, NodeId a, NodeId b,
+                           const double* c, MosfetLaneState::CapLanes& state) const {
+  if (ctx.method == IntegrationMethod::None) return;
+  const double* va = ctx.v(a);
+  const double* vb = ctx.v(b);
+  const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+  const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+  double geq[kMaxLanes] = {}, ieq[kMaxLanes] = {};
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double v = va[l] - vb[l];
+    const double dq = c[l] * (v - state.v_prev[l]);  // q - hist.q
+    const double g_eq = k_g * c[l];
+    const double i_now = k_g * dq - tr * state.i[l];
+    geq[l] = g_eq;
+    ieq[l] = i_now - g_eq * v;
+  }
+  stamper.conductance(a, b, geq);
+  stamper.currentSource(a, b, ieq);
+}
+
+void Mosfet::acceptCapLanes(const LaneContext& ctx, NodeId a, NodeId b, const double* c,
+                            MosfetLaneState::CapLanes& state) const {
+  const double* va = ctx.v(a);
+  const double* vb = ctx.v(b);
+  const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+  const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+#pragma omp simd
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double v = va[l] - vb[l];
+    const double dq = c[l] * (v - state.v_prev[l]);
+    state.i[l] = k_g * dq - tr * state.i[l];
+    state.q[l] += dq;
+    state.v_prev[l] = v;
+  }
+}
+
+void Mosfet::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                        DeviceLaneState* state) {
+  auto& st = static_cast<MosfetLaneState&>(*state);
+  const size_t K = ctx.lanes;
+  resolveLaneDerived(st, ctx.temperature);
+  const double s = card_->sign();
+  const double ut = thermalVoltage(ctx.temperature);
+  const double n = card_->n_slope;
+
+  const NodeId d = nodes_[kD];
+  const NodeId g = nodes_[kG];
+  const NodeId s_node = nodes_[kS];
+  const NodeId b = nodes_[kB];
+  const double* vd0 = ctx.v(d);
+  const double* vg0 = ctx.v(g);
+  const double* vs0 = ctx.v(s_node);
+  const double* vb0 = ctx.v(b);
+
+  // --- DC channel current (SoA core + hand-derived Jacobian) ----------
+  double vgn[kMaxLanes] = {}, vdn[kMaxLanes] = {}, vsn[kMaxLanes] = {};
+#pragma omp simd
+  for (size_t l = 0; l < K; ++l) {
+    vgn[l] = s * (vg0[l] - vb0[l]);
+    vdn[l] = s * (vd0[l] - vb0[l]);
+    vsn[l] = s * (vs0[l] - vb0[l]);
+  }
+  double ids[kMaxLanes] = {}, gg[kMaxLanes] = {}, gd[kMaxLanes] = {}, gs[kMaxLanes] = {}, gb[kMaxLanes] = {};
+  mosCoreCurrentLanes(*card_, K, ut, n, st.vt.data(), st.beta.data(), vgn, vdn, vsn, ids,
+                      gg, gd, gs);
+  double i_const[kMaxLanes] = {};
+#pragma omp simd
+  for (size_t l = 0; l < K; ++l) {
+    ids[l] *= s;
+    gb[l] = -(gg[l] + gd[l] + gs[l]);
+    i_const[l] =
+        ids[l] - gg[l] * vg0[l] - gd[l] * vd0[l] - gs[l] * vs0[l] - gb[l] * vb0[l];
+  }
+  const int id = stamper.nodeIndex(d);
+  const int ig = stamper.nodeIndex(g);
+  const int is = stamper.nodeIndex(s_node);
+  const int ib = stamper.nodeIndex(b);
+  auto stamp_row = [&](int row, double sign) {
+    if (row < 0) return;
+    if (ig >= 0) stamper.addMatrix(row, ig, gg, sign);
+    if (id >= 0) stamper.addMatrix(row, id, gd, sign);
+    if (is >= 0) stamper.addMatrix(row, is, gs, sign);
+    if (ib >= 0) stamper.addMatrix(row, ib, gb, sign);
+  };
+  stamp_row(id, 1.0);
+  stamp_row(is, -1.0);
+  stamper.currentSource(d, s_node, i_const);
+
+  // --- Junction diodes (bulk-drain, bulk-source) ----------------------
+  double v_ac[kMaxLanes] = {}, i_sat[kMaxLanes] = {}, ij[kMaxLanes] = {}, gj[kMaxLanes] = {},
+      i_rhs[kMaxLanes] = {};
+  for (int which = 0; which < 2; ++which) {
+    const NodeId diff = which == 0 ? d : s_node;
+    const double* vdiff = which == 0 ? vd0 : vs0;
+    const double* area = which == 0 ? st.jarea_d.data() : st.jarea_s.data();
+    for (size_t l = 0; l < K; ++l) {
+      i_sat[l] = card_->js * area[l];
+      v_ac[l] = s * (vb0[l] - vdiff[l]);
+    }
+    junctionCurrentLanes(K, i_sat, card_->n_j, ut, v_ac, ij, gj);
+    for (size_t l = 0; l < K; ++l) {
+      i_rhs[l] = s * ij[l] - gj[l] * (vb0[l] - vdiff[l]);
+    }
+    stamper.conductance(b, diff, gj);
+    stamper.currentSource(b, diff, i_rhs);
+  }
+
+  // --- Gate leakage (optional; constant per topology, tape-safe) ------
+  if (card_->jg > 0.0) {
+    double i_gl[kMaxLanes] = {}, g_gl[kMaxLanes] = {};
+    const double j_scale = card_->jg / std::sinh(2.0);
+#pragma omp simd
+    for (size_t l = 0; l < K; ++l) {
+      const double scale = j_scale * st.geom[l].effW() * st.geom[l].l;
+      const double vgb = vg0[l] - vb0[l];
+      const double e = fastExp(2.0 * vgb);
+      const double ei = 1.0 / e;
+      g_gl[l] = scale * (e + ei);                      // scale * 2 cosh(2 vgb)
+      i_gl[l] = scale * 0.5 * (e - ei) - g_gl[l] * vgb;  // sinh term minus g*v
+    }
+    stamper.conductance(g, b, g_gl);
+    stamper.currentSource(g, b, i_gl);
+  }
+
+  // --- Capacitances ----------------------------------------------------
+  if (ctx.method != IntegrationMethod::None) {
+    double cgs[kMaxLanes] = {}, cgd[kMaxLanes] = {}, cgb[kMaxLanes] = {};
+    meyerCapsLanes(st, ctx, cgs, cgd, cgb);
+    stampCapLanes(stamper, ctx, g, s_node, cgs, st.cap_gs);
+    stampCapLanes(stamper, ctx, g, d, cgd, st.cap_gd);
+    stampCapLanes(stamper, ctx, g, b, cgb, st.cap_gb);
+    double vj[kMaxLanes] = {}, cbd[kMaxLanes] = {}, cbs[kMaxLanes] = {};
+    for (size_t l = 0; l < K; ++l) vj[l] = s * (vb0[l] - vd0[l]);
+    junctionCapLanes(K, vj, st.jc0_d.data(), cbd);
+    for (size_t l = 0; l < K; ++l) vj[l] = s * (vb0[l] - vs0[l]);
+    junctionCapLanes(K, vj, st.jc0_s.data(), cbs);
+    stampCapLanes(stamper, ctx, b, d, cbd, st.cap_bd);
+    stampCapLanes(stamper, ctx, b, s_node, cbs, st.cap_bs);
+  }
+}
+
+void Mosfet::startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<MosfetLaneState&>(*state);
+  auto init = [&](NodeId a, NodeId b, MosfetLaneState::CapLanes& cap) {
+    const double* va = ctx.v(a);
+    const double* vb = ctx.v(b);
+    for (size_t l = 0; l < ctx.lanes; ++l) {
+      cap.v_prev[l] = va[l] - vb[l];
+      cap.q[l] = 0.0;
+      cap.i[l] = 0.0;
+    }
+  };
+  init(nodes_[kG], nodes_[kS], st.cap_gs);
+  init(nodes_[kG], nodes_[kD], st.cap_gd);
+  init(nodes_[kG], nodes_[kB], st.cap_gb);
+  init(nodes_[kB], nodes_[kD], st.cap_bd);
+  init(nodes_[kB], nodes_[kS], st.cap_bs);
+}
+
+void Mosfet::acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<MosfetLaneState&>(*state);
+  resolveLaneDerived(st, ctx.temperature);
+  const double s = card_->sign();
+  double cgs[kMaxLanes] = {}, cgd[kMaxLanes] = {}, cgb[kMaxLanes] = {};
+  meyerCapsLanes(st, ctx, cgs, cgd, cgb);
+  acceptCapLanes(ctx, nodes_[kG], nodes_[kS], cgs, st.cap_gs);
+  acceptCapLanes(ctx, nodes_[kG], nodes_[kD], cgd, st.cap_gd);
+  acceptCapLanes(ctx, nodes_[kG], nodes_[kB], cgb, st.cap_gb);
+  double vj[kMaxLanes] = {}, cbd[kMaxLanes] = {}, cbs[kMaxLanes] = {};
+  const double* vbl = ctx.v(nodes_[kB]);
+  const double* vdl = ctx.v(nodes_[kD]);
+  const double* vsl = ctx.v(nodes_[kS]);
+  for (size_t l = 0; l < ctx.lanes; ++l) vj[l] = s * (vbl[l] - vdl[l]);
+  junctionCapLanes(ctx.lanes, vj, st.jc0_d.data(), cbd);
+  for (size_t l = 0; l < ctx.lanes; ++l) vj[l] = s * (vbl[l] - vsl[l]);
+  junctionCapLanes(ctx.lanes, vj, st.jc0_s.data(), cbs);
+  acceptCapLanes(ctx, nodes_[kB], nodes_[kD], cbd, st.cap_bd);
+  acceptCapLanes(ctx, nodes_[kB], nodes_[kS], cbs, st.cap_bs);
 }
 
 double Mosfet::terminalCurrent(size_t t, const EvalContext& ctx) const {

@@ -6,11 +6,43 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "circuit/device.hpp"
 #include "devices/mos_model.hpp"
 
 namespace vls {
+
+/// Per-lane ensemble state of one Mosfet: per-sample geometry
+/// overrides, lazily resolved per-lane derived quantities, and the
+/// Meyer/junction charge histories. Public so the Monte-Carlo driver
+/// can install per-sample geometry before an ensemble run; the Mosfet
+/// object itself is never mutated by ensemble evaluation.
+struct MosfetLaneState : DeviceLaneState {
+  MosfetLaneState(const MosGeometry& base, size_t lane_count);
+
+  void setGeometry(size_t lane, const MosGeometry& g) {
+    geom[lane] = g;
+    derived_valid = false;
+  }
+
+  size_t lanes;
+  std::vector<MosGeometry> geom;
+
+  // Derived per-lane quantities (resolved on first stamp per temperature).
+  bool derived_valid = false;
+  double temperature = -1.0;
+  std::vector<double> vt, beta;          // core variation (SoA)
+  std::vector<double> w_eff, l_eff;      // caps / gate leakage
+  std::vector<double> jarea_d, jarea_s;  // junction areas [m^2]
+  std::vector<double> jc0_d, jc0_s;      // junction cap prefactors [F]
+
+  struct CapLanes {
+    std::vector<double> q, i, v_prev;
+    explicit CapLanes(size_t n) : q(n, 0.0), i(n, 0.0), v_prev(n, 0.0) {}
+  };
+  CapLanes cap_gs, cap_gd, cap_gb, cap_bd, cap_bs;
+};
 
 class Mosfet : public Device {
  public:
@@ -22,6 +54,12 @@ class Mosfet : public Device {
   bool supportsBypass() const override { return true; }
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const override;
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
+  void startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) override;
+  void acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
   void collectNoiseSources(std::vector<NoiseSource>& sources,
                            const EvalContext& ctx) const override;
@@ -84,6 +122,19 @@ class Mosfet : public Device {
   void stampCap(Stamper& stamper, const EvalContext& ctx, NodeId a, NodeId b, double c,
                 CapState& state);
   void acceptCap(const EvalContext& ctx, NodeId a, NodeId b, double c, CapState& state);
+
+  // --- lane-batched (ensemble) helpers -------------------------------
+  void resolveLaneDerived(MosfetLaneState& s, double temperature) const;
+  /// Meyer caps for all lanes (outputs are double[lanes] scratch).
+  void meyerCapsLanes(const MosfetLaneState& s, const LaneContext& ctx, double* cgs,
+                      double* cgd, double* cgb) const;
+  /// Depletion cap for all lanes (same knee linearization as
+  /// junctionCap, evaluated branch-free).
+  void junctionCapLanes(size_t lanes, const double* v, const double* c0, double* c) const;
+  void stampCapLanes(LaneStamper& stamper, const LaneContext& ctx, NodeId a, NodeId b,
+                     const double* c, MosfetLaneState::CapLanes& state) const;
+  void acceptCapLanes(const LaneContext& ctx, NodeId a, NodeId b, const double* c,
+                      MosfetLaneState::CapLanes& state) const;
 
   std::array<NodeId, 4> nodes_;  // d, g, s, b
   std::shared_ptr<const MosModelCard> card_;

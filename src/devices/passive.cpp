@@ -2,9 +2,21 @@
 
 #include "base/error.hpp"
 #include "base/units.hpp"
+#include "circuit/ensemble_assembly.hpp"
 #include "circuit/mna.hpp"
+#include "numeric/lanes.hpp"
 
 namespace vls {
+
+namespace {
+
+/// Per-lane charge history of a linear capacitor.
+struct CapacitorLaneState : DeviceLaneState {
+  explicit CapacitorLaneState(size_t n) : q(n, 0.0), i(n, 0.0) {}
+  std::vector<double> q, i;
+};
+
+}  // namespace
 
 Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
     : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
@@ -18,6 +30,10 @@ void Resistor::setResistance(double r) {
 
 void Resistor::stamp(Stamper& stamper, const EvalContext&) {
   stamper.conductance(a_, b_, 1.0 / resistance_);
+}
+
+void Resistor::stampLanes(LaneStamper& stamper, const LaneContext&, DeviceLaneState*) {
+  stamper.conductanceUniform(a_, b_, 1.0 / resistance_);
 }
 
 double Resistor::terminalCurrent(size_t t, const EvalContext& ctx) const {
@@ -69,6 +85,54 @@ void Capacitor::acceptStep(const EvalContext& ctx) {
   const ChargeCompanion comp = integrateCharge(ctx.method, ctx.dt, q, capacitance_, history_);
   history_.q = q;
   history_.i = comp.i_now;
+}
+
+std::unique_ptr<DeviceLaneState> Capacitor::createLaneState(size_t lanes) const {
+  return std::make_unique<CapacitorLaneState>(lanes);
+}
+
+void Capacitor::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                           DeviceLaneState* state) {
+  if (ctx.method == IntegrationMethod::None) return;  // DC: open circuit
+  auto& st = static_cast<CapacitorLaneState&>(*state);
+  const double* va = ctx.v(a_);
+  const double* vb = ctx.v(b_);
+  const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+  const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+  const double geq = k_g * capacitance_;
+  double ieq[kMaxLanes] = {};
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double v = va[l] - vb[l];
+    const double q = capacitance_ * v;
+    const double i_now = k_g * (q - st.q[l]) - tr * st.i[l];
+    ieq[l] = i_now - geq * v;
+  }
+  stamper.conductanceUniform(a_, b_, geq);
+  stamper.currentSource(a_, b_, ieq);
+}
+
+void Capacitor::startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<CapacitorLaneState&>(*state);
+  const double* va = ctx.v(a_);
+  const double* vb = ctx.v(b_);
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double v = use_ic_ ? initial_voltage_ : va[l] - vb[l];
+    st.q[l] = capacitance_ * v;
+    st.i[l] = 0.0;
+  }
+}
+
+void Capacitor::acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) {
+  auto& st = static_cast<CapacitorLaneState&>(*state);
+  const double* va = ctx.v(a_);
+  const double* vb = ctx.v(b_);
+  const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
+  const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const double q = capacitance_ * (va[l] - vb[l]);
+    st.i[l] = k_g * (q - st.q[l]) - tr * st.i[l];
+    st.q[l] = q;
+  }
 }
 
 void Capacitor::stampReactive(ReactiveStamper& stamper, const EvalContext&) {

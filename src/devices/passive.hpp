@@ -1,6 +1,9 @@
 // Linear passive elements: resistor, capacitor, inductor.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "circuit/device.hpp"
 
 namespace vls {
@@ -10,6 +13,9 @@ class Resistor : public Device {
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
   void collectNoiseSources(std::vector<NoiseSource>& sources,
                            const EvalContext& ctx) const override;
   size_t terminalCount() const override { return 2; }
@@ -33,6 +39,12 @@ class Capacitor : public Device {
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const override;
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
+  void startTransientLanes(const LaneContext& ctx, DeviceLaneState* state) override;
+  void acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) override;
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
   size_t terminalCount() const override { return 2; }
   NodeId terminalNode(size_t t) const override { return t == 0 ? a_ : b_; }
@@ -59,6 +71,9 @@ class Inductor : public Device {
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
+  /// Branch current / voltage history is shared scalar state, so the
+  /// per-lane fallback would leak one lane's history into the next.
+  bool laneFallbackSafe() const override { return false; }
   void stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) override;
   size_t terminalCount() const override { return 2; }
   NodeId terminalNode(size_t t) const override { return t == 0 ? a_ : b_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/error.hpp"
+#include "circuit/ensemble_assembly.hpp"
 #include "circuit/mna.hpp"
 
 namespace vls {
@@ -16,6 +17,14 @@ VoltageSource::VoltageSource(std::string name, NodeId plus, NodeId minus, double
 void VoltageSource::stamp(Stamper& stamper, const EvalContext& ctx) {
   const double v = waveform_.at(ctx.time) * ctx.source_scale;
   stamper.voltageBranch(branch_, plus_, minus_, v);
+}
+
+void VoltageSource::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                               DeviceLaneState*) {
+  // Sources are lane-invariant: the same drive waveform excites every
+  // Monte-Carlo variant.
+  const double v = waveform_.at(ctx.time) * ctx.source_scale;
+  stamper.voltageBranchUniform(branch_, plus_, minus_, v);
 }
 
 double VoltageSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
@@ -39,6 +48,11 @@ CurrentSource::CurrentSource(std::string name, NodeId plus, NodeId minus, double
 
 void CurrentSource::stamp(Stamper& stamper, const EvalContext& ctx) {
   stamper.currentSource(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
+}
+
+void CurrentSource::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                               DeviceLaneState*) {
+  stamper.currentSourceUniform(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
 }
 
 double CurrentSource::terminalCurrent(size_t t, const EvalContext& ctx) const {

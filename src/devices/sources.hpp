@@ -16,6 +16,9 @@ class VoltageSource : public Device {
   size_t branchCount() const override { return 1; }
   void assignBranches(size_t first_index) override { branch_ = first_index; }
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
   size_t terminalCount() const override { return 2; }
   NodeId terminalNode(size_t t) const override { return t == 0 ? plus_ : minus_; }
   /// Current into the + terminal; -current() is the delivered current.
@@ -51,6 +54,9 @@ class CurrentSource : public Device {
   CurrentSource(std::string name, NodeId plus, NodeId minus, double dc_value);
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
+  bool supportsLanes() const override { return true; }
+  void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
+                  DeviceLaneState* state) override;
   size_t terminalCount() const override { return 2; }
   NodeId terminalNode(size_t t) const override { return t == 0 ? plus_ : minus_; }
   double terminalCurrent(size_t t, const EvalContext& ctx) const override;

@@ -1,0 +1,58 @@
+// Lane-strided sparse matrix for the ensemble engine: one shared
+// sparsity pattern (all Monte-Carlo variants of a topology stamp the
+// same positions), per-lane numeric values stored structure-of-arrays
+// as contiguous double[lanes] runs per entry. Mirrors SparseMatrix's
+// handle contract: the pattern is append-only and handles, once
+// resolved (e.g. into a lane stamp tape), stay valid forever.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+
+namespace vls {
+
+class LaneMatrix {
+ public:
+  LaneMatrix(size_t n, size_t lanes) : n_(n), lanes_(lanes) {}
+
+  size_t size() const { return n_; }
+  size_t lanes() const { return lanes_; }
+  size_t nonZeros() const { return coords_.size(); }
+
+  /// Register (or find) the entry at (row, col); returns a stable handle.
+  size_t entryHandle(size_t row, size_t col) {
+    const uint64_t key = (static_cast<uint64_t>(row) << 32) | static_cast<uint64_t>(col);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const size_t handle = coords_.size();
+    coords_.push_back({row, col});
+    values_.resize(values_.size() + lanes_, 0.0);
+    index_.emplace(key, handle);
+    return handle;
+  }
+
+  /// Contiguous double[lanes] run for one entry.
+  double* laneValues(size_t handle) { return values_.data() + handle * lanes_; }
+  const double* laneValues(size_t handle) const { return values_.data() + handle * lanes_; }
+
+  double value(size_t handle, size_t lane) const { return values_[handle * lanes_ + lane]; }
+
+  /// Zero all values, keep the pattern.
+  void clearValues() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+  const std::vector<SparseMatrix::Entry>& entries() const { return coords_; }
+
+ private:
+  size_t n_;
+  size_t lanes_;
+  std::vector<SparseMatrix::Entry> coords_;
+  std::vector<double> values_;  // [handle * lanes_ + lane]
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+}  // namespace vls

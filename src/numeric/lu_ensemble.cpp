@@ -1,0 +1,306 @@
+#include "numeric/lu_ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+namespace {
+struct Term {
+  size_t col;
+  double val;
+};
+using Row = std::vector<Term>;
+}  // namespace
+
+void EnsembleLu::analyze(const LaneMatrix& a, size_t pivot_lane, double pivot_threshold,
+                         const uint8_t* live, uint8_t* ok) {
+  n_ = a.size();
+  lanes_ = a.lanes();
+  valid_ = false;
+  pivot_threshold_ = pivot_threshold;
+  ++symbolic_count_;
+
+  // Source scatter index: entries grouped by row, with their LaneMatrix
+  // handles, so numeric refactors stream straight into the workspace.
+  const auto& coords = a.entries();
+  pattern_.assign(coords.begin(), coords.end());
+  row_start_.assign(n_ + 1, 0);
+  for (const auto& e : coords) ++row_start_[e.row + 1];
+  for (size_t r = 0; r < n_; ++r) row_start_[r + 1] += row_start_[r];
+  row_entry_col_.resize(coords.size());
+  row_entry_handle_.resize(coords.size());
+  {
+    std::vector<uint32_t> fill(row_start_.begin(), row_start_.end() - 1);
+    for (size_t h = 0; h < coords.size(); ++h) {
+      const uint32_t slot = fill[coords[h].row]++;
+      row_entry_col_[slot] = static_cast<uint32_t>(coords[h].col);
+      row_entry_handle_[slot] = static_cast<uint32_t>(h);
+    }
+  }
+
+  // Scalar elimination on the pivot lane's values: same algorithm as
+  // SparseLu::factor (row pivoting only, so elimination step k clears
+  // original column k), but we keep only the structure — per-lane values
+  // are recomputed by the numeric replay below.
+  std::vector<Row> work(n_);
+  for (size_t r = 0; r < n_; ++r) work[r].reserve(row_start_[r + 1] - row_start_[r]);
+  for (size_t h = 0; h < coords.size(); ++h) {
+    work[coords[h].row].push_back({coords[h].col, a.value(h, pivot_lane)});
+  }
+  for (auto& row : work) {
+    std::sort(row.begin(), row.end(), [](const Term& x, const Term& y) { return x.col < y.col; });
+    size_t w = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (w > 0 && row[w - 1].col == row[i].col) {
+        row[w - 1].val += row[i].val;
+      } else {
+        row[w++] = row[i];
+      }
+    }
+    row.resize(w);
+  }
+
+  std::vector<std::vector<uint32_t>> lower_cols(n_);  // per original row
+  std::vector<Row> upper(n_);                         // per step, with pivot-lane values
+  perm_.resize(n_);
+  std::vector<size_t> active(n_);
+  for (size_t i = 0; i < n_; ++i) active[i] = i;
+
+  Row merged;
+  for (size_t k = 0; k < n_; ++k) {
+    size_t best_pos = k;
+    double best_mag = -1.0;
+    for (size_t pos = k; pos < n_; ++pos) {
+      const Row& row = work[active[pos]];
+      auto it = std::lower_bound(row.begin(), row.end(), k,
+                                 [](const Term& t, size_t col) { return t.col < col; });
+      const double mag = (it != row.end() && it->col == k) ? std::fabs(it->val) : 0.0;
+      if (mag > best_mag) {
+        best_mag = mag;
+        best_pos = pos;
+      }
+    }
+    if (best_mag <= pivot_threshold || !std::isfinite(best_mag)) {
+      throw NumericalError("EnsembleLu: pivot lane singular at column " + std::to_string(k));
+    }
+    std::swap(active[k], active[best_pos]);
+    const size_t prow = active[k];
+    perm_[k] = prow;
+
+    Row& pivot_row = work[prow];
+    auto split = std::lower_bound(pivot_row.begin(), pivot_row.end(), k,
+                                  [](const Term& t, size_t col) { return t.col < col; });
+    upper[k].assign(split, pivot_row.end());
+    const double diag_inv = 1.0 / upper[k].front().val;
+
+    for (size_t pos = k + 1; pos < n_; ++pos) {
+      Row& row = work[active[pos]];
+      auto it = std::lower_bound(row.begin(), row.end(), k,
+                                 [](const Term& t, size_t col) { return t.col < col; });
+      if (it == row.end() || it->col != k) continue;
+      const double factor = it->val * diag_inv;
+      lower_cols[active[pos]].push_back(static_cast<uint32_t>(k));
+
+      merged.clear();
+      auto ri = it + 1;
+      auto ui = upper[k].begin() + 1;
+      while (ri != row.end() && ui != upper[k].end()) {
+        if (ri->col < ui->col) {
+          merged.push_back(*ri++);
+        } else if (ri->col > ui->col) {
+          merged.push_back({ui->col, -factor * ui->val});
+          ++ui;
+        } else {
+          merged.push_back({ri->col, ri->val - factor * ui->val});
+          ++ri;
+          ++ui;
+        }
+      }
+      for (; ri != row.end(); ++ri) merged.push_back(*ri);
+      for (; ui != upper[k].end(); ++ui) merged.push_back({ui->col, -factor * ui->val});
+      row.assign(merged.begin(), merged.end());
+    }
+  }
+
+  // Flatten the structure to CSR and size the SoA value arrays.
+  lo_start_.assign(n_ + 1, 0);
+  for (size_t r = 0; r < n_; ++r) {
+    lo_start_[r + 1] = lo_start_[r] + static_cast<uint32_t>(lower_cols[r].size());
+  }
+  lo_cols_.resize(lo_start_[n_]);
+  for (size_t r = 0; r < n_; ++r) {
+    std::copy(lower_cols[r].begin(), lower_cols[r].end(), lo_cols_.begin() + lo_start_[r]);
+  }
+  up_start_.assign(n_ + 1, 0);
+  for (size_t k = 0; k < n_; ++k) {
+    up_start_[k + 1] = up_start_[k] + static_cast<uint32_t>(upper[k].size());
+  }
+  up_cols_.resize(up_start_[n_]);
+  for (size_t k = 0; k < n_; ++k) {
+    for (size_t i = 0; i < upper[k].size(); ++i) {
+      up_cols_[up_start_[k] + i] = static_cast<uint32_t>(upper[k][i].col);
+    }
+  }
+  lo_vals_.assign(lo_cols_.size() * lanes_, 0.0);
+  up_vals_.assign(up_cols_.size() * lanes_, 0.0);
+  diag_inv_.assign(n_ * lanes_, 0.0);
+  work_.assign(n_ * lanes_, 0.0);
+  valid_ = true;
+
+  refactorNumeric(a, live);
+  if (ok != nullptr) std::copy(lane_ok_.begin(), lane_ok_.end(), ok);
+}
+
+bool EnsembleLu::patternMatches(const LaneMatrix& a) const {
+  if (a.size() != n_ || a.lanes() != lanes_ || a.entries().size() != pattern_.size()) return false;
+  const auto& coords = a.entries();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i].row != pattern_[i].row || coords[i].col != pattern_[i].col) return false;
+  }
+  return true;
+}
+
+bool EnsembleLu::refactorNumeric(const LaneMatrix& a, const uint8_t* live) {
+  // Lane-parallel replay of the cached elimination. Every lane runs the
+  // same structural walk with contiguous double[K] inner loops; lanes are
+  // numerically independent columns of the SoA arrays, so a lane whose
+  // pivot collapses (flagged in lane_ok_, its 1/pivot deadened to 0)
+  // cannot contaminate its siblings.
+  const size_t K = lanes_;
+  lane_ok_.assign(K, 1);
+  for (size_t k = 0; k < n_; ++k) {
+    const size_t r = perm_[k];
+    for (uint32_t idx = lo_start_[r]; idx < lo_start_[r + 1]; ++idx) {
+      double* w = &work_[lo_cols_[idx] * K];
+      for (size_t l = 0; l < K; ++l) w[l] = 0.0;
+    }
+    for (uint32_t idx = up_start_[k]; idx < up_start_[k + 1]; ++idx) {
+      double* w = &work_[up_cols_[idx] * K];
+      for (size_t l = 0; l < K; ++l) w[l] = 0.0;
+    }
+    for (uint32_t e = row_start_[r]; e < row_start_[r + 1]; ++e) {
+      const double* src = a.laneValues(row_entry_handle_[e]);
+      double* w = &work_[row_entry_col_[e] * K];
+      for (size_t l = 0; l < K; ++l) w[l] += src[l];
+    }
+    for (uint32_t idx = lo_start_[r]; idx < lo_start_[r + 1]; ++idx) {
+      const uint32_t c = lo_cols_[idx];
+      double* f = &lo_vals_[idx * K];
+      const double* wc = &work_[c * K];
+      const double* dinv = &diag_inv_[c * K];
+      for (size_t l = 0; l < K; ++l) f[l] = wc[l] * dinv[l];
+      for (uint32_t i = up_start_[c] + 1; i < up_start_[c + 1]; ++i) {
+        double* w = &work_[up_cols_[i] * K];
+        const double* uv = &up_vals_[i * K];
+        for (size_t l = 0; l < K; ++l) w[l] -= f[l] * uv[l];
+      }
+    }
+    const double* wk = &work_[k * K];
+    double* dk = &diag_inv_[k * K];
+    for (size_t l = 0; l < K; ++l) {
+      const double pv = wk[l];
+      const bool good = (std::fabs(pv) > pivot_threshold_) && std::isfinite(pv);
+      if (!good) lane_ok_[l] = 0;
+      dk[l] = good ? 1.0 / pv : 0.0;
+    }
+    for (uint32_t idx = up_start_[k]; idx < up_start_[k + 1]; ++idx) {
+      const double* w = &work_[up_cols_[idx] * K];
+      double* uv = &up_vals_[idx * K];
+      for (size_t l = 0; l < K; ++l) uv[l] = w[l];
+    }
+  }
+  ++numeric_count_;
+  bool all_ok = true;
+  for (size_t l = 0; l < K; ++l) {
+    if (live != nullptr && !live[l]) {
+      lane_ok_[l] = 0;  // never factored meaningfully; don't solve with it
+    } else if (!lane_ok_[l]) {
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+void EnsembleLu::refactor(const LaneMatrix& a, const uint8_t* live, uint8_t* ok) {
+  if (valid_ && patternMatches(a) && refactorNumeric(a, live)) {
+    if (ok != nullptr) std::copy(lane_ok_.begin(), lane_ok_.end(), ok);
+    return;
+  }
+  // Pattern changed, or some live lane's pivot degraded under the shared
+  // order: re-analyze with a fresh pivot order. Prefer choosing it on a
+  // lane that just failed (that is where the old order went bad), then
+  // fall back to the remaining live lanes.
+  const size_t K = lanes_ == 0 ? a.lanes() : lanes_;
+  std::vector<size_t> candidates;
+  if (valid_ && lane_ok_.size() == K) {
+    for (size_t l = 0; l < K; ++l) {
+      if ((live == nullptr || live[l]) && !lane_ok_[l]) candidates.push_back(l);
+    }
+  }
+  for (size_t l = 0; l < K; ++l) {
+    if ((live == nullptr || live[l]) &&
+        std::find(candidates.begin(), candidates.end(), l) == candidates.end()) {
+      candidates.push_back(l);
+    }
+  }
+  std::vector<uint8_t> dead(K, 0);
+  for (size_t p : candidates) {
+    try {
+      analyze(a, p, pivot_threshold_, live, nullptr);
+    } catch (const NumericalError&) {
+      dead[p] = 1;  // structurally hopeless as a pivot source; try another
+      continue;
+    }
+    for (size_t l = 0; l < K; ++l) {
+      if (dead[l]) lane_ok_[l] = 0;
+    }
+    if (ok != nullptr) std::copy(lane_ok_.begin(), lane_ok_.end(), ok);
+    return;
+  }
+  throw NumericalError("EnsembleLu: every live lane is singular");
+}
+
+void EnsembleLu::solveInPlace(std::vector<double>& b, const uint8_t* live) const {
+  if (!valid_) throw InvalidInputError("EnsembleLu::solve: no valid factorization");
+  const size_t K = lanes_;
+  if (b.size() != n_ * K) throw InvalidInputError("EnsembleLu::solve: size mismatch");
+  std::vector<double>& y = solve_scratch_;
+  y.resize(n_ * K);
+  // Forward: L y = P b (all lanes; dead lanes compute garbage into the
+  // scratch but are filtered out by the masked copy-back).
+  for (size_t k = 0; k < n_; ++k) {
+    double* yk = &y[k * K];
+    const double* bp = &b[perm_[k] * K];
+    for (size_t l = 0; l < K; ++l) yk[l] = bp[l];
+    for (uint32_t idx = lo_start_[perm_[k]]; idx < lo_start_[perm_[k] + 1]; ++idx) {
+      const double* lv = &lo_vals_[idx * K];
+      const double* yc = &y[lo_cols_[idx] * K];
+      for (size_t l = 0; l < K; ++l) yk[l] -= lv[l] * yc[l];
+    }
+  }
+  // Backward: U x = y.
+  for (size_t kk = n_; kk-- > 0;) {
+    double* yk = &y[kk * K];
+    for (uint32_t i = up_start_[kk] + 1; i < up_start_[kk + 1]; ++i) {
+      const double* uv = &up_vals_[i * K];
+      const double* yc = &y[up_cols_[i] * K];
+      for (size_t l = 0; l < K; ++l) yk[l] -= uv[l] * yc[l];
+    }
+    const double* dk = &diag_inv_[kk * K];
+    for (size_t l = 0; l < K; ++l) yk[l] *= dk[l];
+  }
+  if (live == nullptr) {
+    std::swap(b, y);
+  } else {
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t l = 0; l < K; ++l) {
+        if (live[l]) b[i * K + l] = y[i * K + l];
+      }
+    }
+  }
+}
+
+}  // namespace vls

@@ -1,0 +1,85 @@
+// Batched sparse LU for ensembles: K same-pattern matrices (lanes)
+// factored in lockstep. The symbolic phase (pivot order + L/U fill
+// pattern + row-grouped source scatter index) runs once on a designated
+// pivot lane and is shared by every lane; the numeric phase replays the
+// cached elimination with structure-of-arrays values, so the inner
+// updates are contiguous double[K] loops the compiler can vectorize.
+//
+// Failure is per-lane: a lane whose pivot degrades under the shared
+// pivot order is flagged (ok[l] = 0) without disturbing its siblings —
+// the ensemble Newton drops that lane and the Monte-Carlo driver
+// re-runs the sample through the scalar reference path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/lane_matrix.hpp"
+
+namespace vls {
+
+class EnsembleLu {
+ public:
+  EnsembleLu() = default;
+
+  /// Symbolic + numeric factorization of every lane, sharing the pivot
+  /// order chosen on `pivot_lane`'s values. Throws NumericalError if the
+  /// pivot lane is structurally singular. Per-lane numeric outcomes go
+  /// to ok[l] (1 = usable) when `ok` is non-null.
+  void analyze(const LaneMatrix& a, size_t pivot_lane = 0, double pivot_threshold = 1e-13,
+               const uint8_t* live = nullptr, uint8_t* ok = nullptr);
+
+  /// Numeric-only refactorization for lanes with live[l] != 0 (null =
+  /// all lanes). Reuses the cached pivot order when the pattern matches;
+  /// if any live lane's pivot degrades, re-analyzes once with a fresh
+  /// pivot order chosen on the first failing lane and retries. Lanes
+  /// still failing get ok[l] = 0; throws only if no live lane can be
+  /// factored at all.
+  void refactor(const LaneMatrix& a, const uint8_t* live, uint8_t* ok);
+
+  /// In-place forward/back substitution on SoA vector b (size n*lanes)
+  /// for lanes with live[l] != 0 (null = all). Dead lanes keep their b
+  /// entries untouched.
+  void solveInPlace(std::vector<double>& b, const uint8_t* live = nullptr) const;
+
+  size_t size() const { return n_; }
+  size_t lanes() const { return lanes_; }
+  size_t factorNonZeros() const { return lo_cols_.size() + up_cols_.size(); }
+  size_t symbolicFactorizations() const { return symbolic_count_; }
+  size_t numericRefactorizations() const { return numeric_count_; }
+
+ private:
+  bool patternMatches(const LaneMatrix& a) const;
+  /// Replays the cached elimination for the selected lanes. Returns true
+  /// if every selected lane factored; per-lane outcomes in lane_ok_.
+  bool refactorNumeric(const LaneMatrix& a, const uint8_t* live);
+
+  size_t n_ = 0;
+  size_t lanes_ = 0;
+  bool valid_ = false;
+  double pivot_threshold_ = 1e-13;
+
+  // Shared symbolic structure (CSR-style):
+  std::vector<size_t> perm_;      // perm_[k] = original row at elimination step k
+  std::vector<uint32_t> lo_start_;  // per original row r: [lo_start_[r], lo_start_[r+1])
+  std::vector<uint32_t> lo_cols_;   // elimination-step columns, increasing
+  std::vector<uint32_t> up_start_;  // per step k: [up_start_[k], up_start_[k+1]); first col == k
+  std::vector<uint32_t> up_cols_;
+  std::vector<SparseMatrix::Entry> pattern_;
+  std::vector<uint32_t> row_start_;      // source scatter: per original row
+  std::vector<uint32_t> row_entry_col_;  // step-space column of each source entry
+  std::vector<uint32_t> row_entry_handle_;
+
+  // Per-lane numeric values (SoA, [idx * lanes_ + lane]):
+  std::vector<double> lo_vals_;
+  std::vector<double> up_vals_;
+  std::vector<double> diag_inv_;
+  std::vector<double> work_;  // dense scatter workspace, n * lanes_
+  mutable std::vector<double> solve_scratch_;
+  std::vector<uint8_t> lane_ok_;
+
+  size_t symbolic_count_ = 0;
+  size_t numeric_count_ = 0;
+};
+
+}  // namespace vls

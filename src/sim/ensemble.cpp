@@ -1,0 +1,399 @@
+#include "sim/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "base/error.hpp"
+#include "numeric/lanes.hpp"
+
+namespace vls {
+
+namespace {
+
+size_t checkedLanes(size_t lanes) {
+  if (lanes == 0 || lanes > kMaxLanes) {
+    throw InvalidInputError("EnsembleSimulator: lanes must be in [1, " +
+                            std::to_string(kMaxLanes) + "], got " + std::to_string(lanes));
+  }
+  return lanes;
+}
+
+}  // namespace
+
+EnsembleSimulator::EnsembleSimulator(Circuit& circuit, size_t lanes, SimOptions options)
+    : circuit_(circuit),
+      options_(options),
+      num_nodes_(circuit.nodeCount()),
+      num_unknowns_(circuit.nodeCount() + circuit.assignBranchIndices()),
+      lanes_(checkedLanes(lanes)),
+      sys_(num_nodes_, num_unknowns_ - num_nodes_, lanes_),
+      assembler_(circuit, sys_) {
+  const auto& devices = circuit_.devices();
+  states_.resize(devices.size());
+  state_ptrs_.resize(devices.size(), nullptr);
+  for (size_t i = 0; i < devices.size(); ++i) {
+    Device* dev = devices[i].get();
+    if (dev->supportsLanes()) {
+      states_[i] = dev->createLaneState(lanes_);
+      state_ptrs_[i] = states_[i].get();
+    } else if (!dev->laneFallbackSafe()) {
+      throw InvalidInputError("EnsembleSimulator: device " + dev->name() +
+                              " carries integration state but has no lane support; "
+                              "run this circuit through the scalar Simulator");
+    }
+    device_index_[dev] = i;
+  }
+  zeros_.assign(lanes_, 0.0);
+  failed_.assign(lanes_, 0);
+  x_new_.resize(num_unknowns_ * lanes_);
+  pending_.assign(lanes_, 0);
+  lane_ok_.assign(lanes_, 1);
+}
+
+DeviceLaneState* EnsembleSimulator::laneState(const Device& dev) {
+  auto it = device_index_.find(&dev);
+  if (it == device_index_.end()) {
+    throw InvalidInputError("EnsembleSimulator: device " + dev.name() +
+                            " is not part of this circuit");
+  }
+  return state_ptrs_[it->second];
+}
+
+size_t EnsembleSimulator::aliveLaneCount() const {
+  size_t n = 0;
+  for (uint8_t f : failed_) n += f == 0 ? 1 : 0;
+  return n;
+}
+
+LaneContext EnsembleSimulator::contextFor(const std::vector<double>& x, double time, double dt,
+                                          IntegrationMethod method, double gmin) const {
+  LaneContext ctx;
+  ctx.x = std::span<const double>(x);
+  ctx.zero = zeros_.data();
+  ctx.lanes = lanes_;
+  ctx.time = time;
+  ctx.dt = dt;
+  ctx.method = method;
+  ctx.temperature = options_.temperatureK();
+  ctx.gmin = gmin;
+  return ctx;
+}
+
+bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod method,
+                                    double source_scale, double gmin, std::vector<double>& x,
+                                    const uint8_t* live, uint8_t* converged,
+                                    size_t* iterations) {
+  const size_t K = lanes_;
+  LaneContext ctx;
+  ctx.zero = zeros_.data();
+  ctx.lanes = K;
+  ctx.time = time;
+  ctx.dt = dt;
+  ctx.method = method;
+  ctx.temperature = options_.temperatureK();
+  ctx.source_scale = source_scale;
+  ctx.gmin = gmin;
+
+  bool any_selected = false;
+  for (size_t l = 0; l < K; ++l) {
+    pending_[l] = live ? live[l] : static_cast<uint8_t>(failed_[l] == 0);
+    converged[l] = 0;
+    any_selected = any_selected || pending_[l] != 0;
+  }
+  if (!any_selected) return true;
+
+  for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
+    bool any_pending = false;
+    for (size_t l = 0; l < K; ++l) any_pending = any_pending || pending_[l] != 0;
+    if (!any_pending) break;
+    if (iterations) ++*iterations;
+
+    ctx.x = std::span<const double>(x);
+    assembler_.assemble(ctx, state_ptrs_);
+
+    try {
+      // Shared symbolic structure, per-lane numeric refactorization. A
+      // lane whose pivot degrades under the shared order is deadened
+      // (lane_ok_ = 0) without disturbing its siblings.
+      lu_.refactor(sys_.matrix(), pending_.data(), lane_ok_.data());
+    } catch (const NumericalError&) {
+      for (size_t l = 0; l < K; ++l) pending_[l] = 0;
+      break;
+    }
+    for (size_t l = 0; l < K; ++l) {
+      if (pending_[l] && !lane_ok_[l]) pending_[l] = 0;
+    }
+    x_new_ = sys_.rhs();
+    lu_.solveInPlace(x_new_, pending_.data());
+
+    // Per-lane damping, bounding and tolerance checks — the scalar
+    // newtonSolve formulas applied lane by lane. Converged lanes freeze:
+    // their unknowns stop moving while siblings keep iterating.
+    for (size_t l = 0; l < K; ++l) {
+      if (!pending_[l]) continue;
+      double max_delta = 0.0;
+      for (size_t i = 0; i < num_unknowns_; ++i) {
+        max_delta = std::max(max_delta, std::fabs(x_new_[i * K + l] - x[i * K + l]));
+      }
+      if (!std::isfinite(max_delta)) {
+        pending_[l] = 0;
+        continue;
+      }
+      double scale = 1.0;
+      if (max_delta > options_.max_step_voltage) scale = options_.max_step_voltage / max_delta;
+
+      bool conv = scale == 1.0;
+      for (size_t i = 0; i < num_unknowns_; ++i) {
+        const size_t k = i * K + l;
+        const double next = x[k] + scale * (x_new_[k] - x[k]);
+        const double bounded = std::clamp(next, -options_.voltage_bound, options_.voltage_bound);
+        const double tol = (i < num_nodes_ ? options_.vntol : options_.abstol) +
+                           options_.reltol * std::max(std::fabs(bounded), std::fabs(x[k]));
+        if (std::fabs(bounded - x[k]) > tol) conv = false;
+        x[k] = bounded;
+      }
+      if (conv && iter > 0) {
+        converged[l] = 1;
+        pending_[l] = 0;
+      }
+    }
+  }
+
+  for (size_t l = 0; l < K; ++l) {
+    const bool selected = live ? live[l] != 0 : failed_[l] == 0;
+    if (selected && !converged[l]) return false;
+  }
+  return true;
+}
+
+std::vector<double> EnsembleSimulator::solveOp() {
+  const size_t K = lanes_;
+  std::vector<double> x(num_unknowns_ * K, 0.0);
+  std::vector<uint8_t> conv(K, 0);
+
+  // 1) Direct Newton on every live lane.
+  newtonLanes(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x, nullptr, conv.data(),
+              nullptr);
+
+  // 2) Gmin ladder, in lockstep, for the holdouts. Lanes failing a rung
+  // drop out permanently (the scalar fallback path owns source
+  // stepping; a lane this stubborn is re-run there anyway).
+  std::vector<uint8_t> retry(K, 0);
+  bool any_retry = false;
+  for (size_t l = 0; l < K; ++l) {
+    if (failed_[l] == 0 && !conv[l]) {
+      retry[l] = 1;
+      any_retry = true;
+    }
+  }
+  if (any_retry) {
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      for (size_t l = 0; l < K; ++l) {
+        if (retry[l]) x[i * K + l] = 0.0;
+      }
+    }
+    double gmin = 1e-2;
+    for (int step = 0; step <= options_.gmin_steps; ++step) {
+      newtonLanes(0.0, 0.0, IntegrationMethod::None, 1.0, gmin, x, retry.data(), conv.data(),
+                  nullptr);
+      bool any_left = false;
+      for (size_t l = 0; l < K; ++l) {
+        if (retry[l] && !conv[l]) {
+          retry[l] = 0;
+          failed_[l] = 1;
+        }
+        any_left = any_left || retry[l] != 0;
+      }
+      if (!any_left || gmin <= options_.gmin) break;
+      gmin = std::max(gmin * 0.1, options_.gmin);
+    }
+  }
+
+  if (aliveLaneCount() == 0) {
+    throw ConvergenceError("EnsembleSimulator: operating point failed on every lane");
+  }
+  return x;
+}
+
+std::vector<double> EnsembleSimulator::solveOpAt(double time, std::vector<double> x0_soa) {
+  x0_soa.resize(num_unknowns_ * lanes_, 0.0);
+  std::vector<uint8_t> conv(lanes_, 0);
+  newtonLanes(time, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x0_soa, nullptr,
+              conv.data(), nullptr);
+  for (size_t l = 0; l < lanes_; ++l) {
+    if (failed_[l] == 0 && !conv[l]) failed_[l] = 1;
+  }
+  if (aliveLaneCount() == 0) {
+    throw ConvergenceError("EnsembleSimulator: solveOpAt failed on every lane at t = " +
+                           std::to_string(time));
+  }
+  return x0_soa;
+}
+
+void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initial) {
+  if (t_stop <= 0.0 || dt_max <= 0.0) throw InvalidInputError("transient: bad time arguments");
+  const size_t K = lanes_;
+
+  time_.clear();
+  data_.clear();
+  total_newton_iterations_ = 0;
+  rejected_steps_ = 0;
+  std::fill(failed_.begin(), failed_.end(), 0);
+
+  // Operating point at t = 0 (per-lane failures already handled there).
+  std::vector<double> x = solveOp();
+  {
+    const LaneContext ctx = contextFor(x, 0.0, 0.0, IntegrationMethod::None, options_.gmin);
+    const auto& devices = circuit_.devices();
+    for (size_t i = 0; i < devices.size(); ++i) {
+      if (devices[i]->supportsLanes()) devices[i]->startTransientLanes(ctx, state_ptrs_[i]);
+    }
+  }
+  time_.push_back(0.0);
+  data_.push_back(x);
+
+  // Breakpoints: shared across lanes (waveforms are lane-invariant;
+  // only device parameters vary per lane).
+  std::vector<double> breaks;
+  for (const auto& dev : circuit_.devices()) dev->collectBreakpoints(t_stop, breaks);
+  breaks.push_back(t_stop);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                           [](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+               breaks.end());
+
+  double t = 0.0;
+  double dt = dt_initial > 0.0 ? dt_initial : dt_max / 100.0;
+  dt = std::min(dt, dt_max);
+  std::vector<double> x_prev = x;
+  double dt_prev = 0.0;
+  double dt_lte_accepted = -1.0;
+  int steps_since_break = 0;
+  size_t next_break = 0;
+  while (next_break < breaks.size() && breaks[next_break] <= 1e-18) ++next_break;
+
+  std::vector<double> x_try(num_unknowns_ * K);
+  std::vector<uint8_t> conv(K, 0);
+  while (t < t_stop - 1e-18) {
+    bool hits_break = false;
+    double dt_eff = std::min(dt, dt_max);
+    if (next_break < breaks.size()) {
+      const double gap = breaks[next_break] - t;
+      if (dt_eff >= gap - 1e-18) {
+        dt_eff = gap;
+        hits_break = true;
+      } else if (dt_eff > 0.5 * gap) {
+        dt_eff = 0.5 * gap;  // avoid a tiny sliver step before the breakpoint
+      }
+    }
+
+    const IntegrationMethod method =
+        (options_.method == IntegrationMethod::BackwardEuler ||
+         steps_since_break < options_.be_steps_after_breakpoint)
+            ? IntegrationMethod::BackwardEuler
+            : IntegrationMethod::Trapezoidal;
+
+    x_try = x;
+    size_t iters = 0;
+    const bool all_converged = newtonLanes(t + dt_eff, dt_eff, method, 1.0, options_.gmin,
+                                           x_try, nullptr, conv.data(), &iters);
+    total_newton_iterations_ += iters;
+
+    if (!all_converged) {
+      // Lockstep reject: every lane retries the smaller step, so the
+      // shared time axis stays shared.
+      ++rejected_steps_;
+      dt = dt_eff * options_.dt_shrink;
+      if (dt < options_.dt_min) {
+        // Lanes that cannot advance even at dt_min drop out; survivors
+        // resume from a cautious restart scale.
+        for (size_t l = 0; l < K; ++l) {
+          if (failed_[l] == 0 && !conv[l]) failed_[l] = 1;
+        }
+        if (aliveLaneCount() == 0) {
+          throw ConvergenceError("EnsembleSimulator: timestep underflow at t = " +
+                                 std::to_string(t) + " on every lane");
+        }
+        dt = dt_max / 100.0;
+      }
+      continue;
+    }
+
+    // Predictor-based LTE, maxed over live lanes: the ensemble advances
+    // with the dt every live lane accepts.
+    double err = 0.0;
+    if (dt_prev > 0.0 && steps_since_break >= 1) {
+      for (size_t i = 0; i < num_unknowns_; ++i) {
+        for (size_t l = 0; l < K; ++l) {
+          if (failed_[l]) continue;
+          const size_t k = i * K + l;
+          const double slope = (x[k] - x_prev[k]) / dt_prev;
+          const double pred = x[k] + slope * dt_eff;
+          const double tol = options_.tran_vntol +
+                             options_.tran_reltol * std::max(std::fabs(x_try[k]), std::fabs(x[k]));
+          err = std::max(err, std::fabs(x_try[k] - pred) / tol);
+        }
+      }
+    }
+
+    if (err > 8.0 && dt_eff > 16.0 * options_.dt_min) {
+      ++rejected_steps_;
+      dt = dt_eff * options_.dt_shrink;
+      continue;
+    }
+
+    // Accept on every lane.
+    const double t_new = t + dt_eff;
+    {
+      const LaneContext ctx = contextFor(x_try, t_new, dt_eff, method, options_.gmin);
+      const auto& devices = circuit_.devices();
+      for (size_t i = 0; i < devices.size(); ++i) {
+        if (devices[i]->supportsLanes()) devices[i]->acceptStepLanes(ctx, state_ptrs_[i]);
+      }
+    }
+    x_prev = x;
+    dt_prev = dt_eff;
+    x = x_try;
+    t = t_new;
+    time_.push_back(t);
+    data_.push_back(x);
+
+    if (hits_break) {
+      ++next_break;
+      steps_since_break = 0;
+      // Same restart rule as the scalar engine: cautious dt_max / 100
+      // unless the LTE controller proved a larger scale safe pre-edge.
+      double dt_restart = std::min(dt_eff, dt_max / 100.0);
+      if (dt_lte_accepted > dt_restart) dt_restart = std::min(dt_lte_accepted, dt_max);
+      dt = dt_restart;
+      dt_lte_accepted = -1.0;
+    } else {
+      ++steps_since_break;
+      const double grow = err > 1e-9 ? std::min(options_.dt_grow_max, 0.9 / std::sqrt(err))
+                                     : options_.dt_grow_max;
+      dt_lte_accepted = grow < options_.dt_grow_max ? dt_eff : -1.0;
+      dt = dt_eff * std::max(0.5, grow);
+    }
+  }
+}
+
+std::vector<double> EnsembleSimulator::laneSolution(size_t step, size_t l) const {
+  const std::vector<double>& soa = data_[step];
+  std::vector<double> x(num_unknowns_);
+  for (size_t i = 0; i < num_unknowns_; ++i) x[i] = soa[i * lanes_ + l];
+  return x;
+}
+
+TransientResult EnsembleSimulator::laneResult(size_t l) const {
+  TransientResult result(circuit_.nodeNames(), num_unknowns_);
+  for (size_t step = 0; step < time_.size(); ++step) {
+    result.append(time_[step], laneSolution(step, l));
+  }
+  result.total_newton_iterations = total_newton_iterations_;
+  result.rejected_steps = rejected_steps_;
+  return result;
+}
+
+}  // namespace vls

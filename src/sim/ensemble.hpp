@@ -1,0 +1,128 @@
+// Lockstep ensemble simulator: K Monte-Carlo variants of one circuit
+// topology advance through the same adaptive-timestep transient with
+// structure-of-arrays state. One shared stamp tape and one shared
+// sparse-LU symbolic structure serve every lane; per-lane values live
+// in contiguous double[K] runs so device evaluation, assembly scatter
+// and the LU elimination all run as vectorizable lane loops.
+//
+// Control flow mirrors the scalar Simulator exactly:
+//  - Newton: per-lane damping, clamping and tolerance checks with the
+//    scalar formulas; converged lanes freeze (their unknowns stop
+//    moving) while the rest keep iterating.
+//  - Timestep: one ensemble dt, chosen as the step every live lane
+//    accepts (LTE err = max over live lanes). Breakpoints, the
+//    BE-after-breakpoint damping and the post-edge dt restart rule are
+//    shared verbatim with the scalar engine.
+//  - Failure is per-lane: a lane whose Newton or pivot fails drops out
+//    (laneFailed) without disturbing its siblings; the Monte-Carlo
+//    driver re-runs such samples through the scalar reference path.
+//
+// The scalar Simulator remains the reference implementation; this
+// engine is an opt-in throughput path whose per-lane results must
+// match it within transient-tolerance scale.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/ensemble_assembly.hpp"
+#include "numeric/lu_ensemble.hpp"
+#include "sim/options.hpp"
+#include "sim/result.hpp"
+
+namespace vls {
+
+class EnsembleSimulator {
+ public:
+  /// Throws InvalidInputError if lanes is 0 or exceeds kMaxLanes, or if
+  /// the circuit contains a device that neither supports lanes nor is
+  /// safe to run through the per-lane scalar fallback.
+  EnsembleSimulator(Circuit& circuit, size_t lanes, SimOptions options);
+
+  size_t lanes() const { return lanes_; }
+  size_t numUnknowns() const { return num_unknowns_; }
+
+  /// Per-lane state of one device (null for stateless devices). Cast to
+  /// the device's concrete state type to install per-lane parameters,
+  /// e.g. MosfetLaneState::setGeometry for Monte-Carlo perturbations.
+  DeviceLaneState* laneState(const Device& dev);
+
+  /// True once lane l has permanently dropped out (Newton, pivot or
+  /// timestep failure). Its waveforms are unusable from the failure
+  /// point on; re-run the sample through the scalar path.
+  bool laneFailed(size_t l) const { return failed_[l] != 0; }
+  size_t aliveLaneCount() const;
+
+  /// Lockstep operating point from zeros: direct Newton on every lane,
+  /// then a per-lane gmin ladder for the holdouts (source stepping is
+  /// left to the scalar fallback). Lanes that still fail are marked
+  /// failed. Returns the SoA solution (numUnknowns() * lanes doubles,
+  /// lane-major per unknown).
+  std::vector<double> solveOp();
+
+  /// Warm-started DC solve at `time` for every live lane (static
+  /// leakage probes). Lanes that fail are marked failed; their slots
+  /// keep the initial guess.
+  std::vector<double> solveOpAt(double time, std::vector<double> x0_soa);
+
+  /// Lockstep adaptive transient over [0, t_stop]. Throws
+  /// ConvergenceError only when every lane has failed; partial lane
+  /// failures are recorded and the run continues.
+  void transient(double t_stop, double dt_max, double dt_initial = 0.0);
+
+  // --- results of the last transient() -------------------------------
+  size_t steps() const { return time_.size(); }
+  const std::vector<double>& time() const { return time_; }
+  /// SoA solution snapshot at an accepted step.
+  const std::vector<double>& solutionSoA(size_t step) const { return data_[step]; }
+  /// Lane l's solution vector (AoS) at an accepted step.
+  std::vector<double> laneSolution(size_t step, size_t l) const;
+  /// Lane l's full run gathered into a scalar-compatible result.
+  TransientResult laneResult(size_t l) const;
+
+  size_t totalNewtonIterations() const { return total_newton_iterations_; }
+  size_t rejectedSteps() const { return rejected_steps_; }
+
+ private:
+  LaneContext contextFor(const std::vector<double>& x, double time, double dt,
+                         IntegrationMethod method, double gmin) const;
+  /// Lockstep Newton on the lanes selected by `live` (null = all lanes
+  /// not yet failed). Per-lane convergence flags go to `converged`;
+  /// returns true when every selected lane converged. Mirrors
+  /// Simulator::newtonSolve per lane: same damping, bound and tolerance
+  /// formulas, same `iter > 0` requirement.
+  bool newtonLanes(double time, double dt, IntegrationMethod method, double source_scale,
+                   double gmin, std::vector<double>& x, const uint8_t* live,
+                   uint8_t* converged, size_t* iterations);
+
+  Circuit& circuit_;
+  SimOptions options_;
+  size_t num_nodes_ = 0;
+  size_t num_unknowns_ = 0;
+  size_t lanes_ = 1;
+
+  EnsembleSystem sys_;
+  EnsembleAssembler assembler_;
+  EnsembleLu lu_;
+
+  std::vector<std::unique_ptr<DeviceLaneState>> states_;
+  std::vector<DeviceLaneState*> state_ptrs_;
+  std::unordered_map<const Device*, size_t> device_index_;
+  std::vector<double> zeros_;
+  std::vector<uint8_t> failed_;
+
+  // Newton workspaces.
+  std::vector<double> x_new_;
+  std::vector<uint8_t> pending_;
+  std::vector<uint8_t> lane_ok_;
+
+  // Last transient run (shared time axis, SoA snapshots).
+  std::vector<double> time_;
+  std::vector<std::vector<double>> data_;
+  size_t total_newton_iterations_ = 0;
+  size_t rejected_steps_ = 0;
+};
+
+}  // namespace vls

@@ -340,6 +340,9 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
   dt = std::min(dt, dt_max);
   std::vector<double> x_prev = x;       // solution one accepted step back
   double dt_prev = 0.0;
+  // Last accepted dt that the LTE controller was actively limiting
+  // (grow < dt_grow_max); -1 when the circuit was coasting at dt_max.
+  double dt_lte_accepted = -1.0;
   int steps_since_break = 0;
   size_t next_break = 0;
   while (next_break < breaks.size() && breaks[next_break] <= 1e-18) ++next_break;
@@ -420,11 +423,22 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
     if (hits_break) {
       ++next_break;
       steps_since_break = 0;
-      dt = std::min(dt_eff, dt_max / 100.0);  // restart cautiously after an edge
+      // Restart after an edge: cautious (dt_max / 100) by default. But
+      // when the LTE controller was actively limiting dt before the
+      // edge, its last accepted step is a proven-safe scale for this
+      // circuit's dynamics — resuming there avoids re-growing from the
+      // hard reset over dozens of accepted steps. The edge step itself
+      // (dt_eff, clamped to the breakpoint gap) can be an arbitrarily
+      // small sliver and says nothing about the circuit.
+      double dt_restart = std::min(dt_eff, dt_max / 100.0);
+      if (dt_lte_accepted > dt_restart) dt_restart = std::min(dt_lte_accepted, dt_max);
+      dt = dt_restart;
+      dt_lte_accepted = -1.0;
     } else {
       ++steps_since_break;
       const double grow = err > 1e-9 ? std::min(options_.dt_grow_max, 0.9 / std::sqrt(err))
                                      : options_.dt_grow_max;
+      dt_lte_accepted = grow < options_.dt_grow_max ? dt_eff : -1.0;
       dt = dt_eff * std::max(0.5, grow);
     }
   }

@@ -28,6 +28,75 @@ TEST(Measure, CrossTime) {
   EXPECT_FALSE(crossTime(s, 2.0, CrossDir::Rising).has_value());
 }
 
+TEST(Measure, CrossingExactlyOnSamplePoint) {
+  // A waveform that lands exactly on the threshold at a sample point:
+  // the crossing belongs to the *arriving* segment (y0 < level,
+  // y1 >= level) and is reported once, at that sample time — the
+  // departing segment starts at the level and must not double-report.
+  const Signal s{{0.0, 1.0, 2.0}, {0.0, 0.5, 1.0}};
+  const auto r = crossTime(s, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(r);
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+  EXPECT_EQ(crossTimes(s, 0.5, CrossDir::Rising).size(), 1u);
+
+  // Same contract on a falling edge through an exact sample.
+  const Signal f{{0.0, 1.0, 2.0}, {1.0, 0.5, 0.0}};
+  const auto rf = crossTime(f, 0.5, CrossDir::Falling);
+  ASSERT_TRUE(rf);
+  EXPECT_DOUBLE_EQ(*rf, 1.0);
+  EXPECT_EQ(crossTimes(f, 0.5, CrossDir::Falling).size(), 1u);
+
+  // `from` exactly at the crossing still finds it (>= semantics).
+  const auto at_from = crossTime(s, 0.5, CrossDir::Rising, 1.0);
+  ASSERT_TRUE(at_from);
+  EXPECT_DOUBLE_EQ(*at_from, 1.0);
+}
+
+TEST(Measure, NeverCrossingWaveform) {
+  // Strictly below the level: no crossing in any direction.
+  const Signal low{{0.0, 1.0, 2.0}, {0.0, 0.3, 0.1}};
+  EXPECT_FALSE(crossTime(low, 0.5, CrossDir::Rising).has_value());
+  EXPECT_FALSE(crossTime(low, 0.5, CrossDir::Falling).has_value());
+  EXPECT_TRUE(crossTimes(low, 0.5, CrossDir::Either).empty());
+
+  // Sitting exactly AT the level is not a crossing either: a rising
+  // crossing needs y0 strictly below, a falling one y0 strictly above.
+  const Signal flat{{0.0, 1.0, 2.0}, {0.5, 0.5, 0.5}};
+  EXPECT_FALSE(crossTime(flat, 0.5, CrossDir::Rising).has_value());
+  EXPECT_FALSE(crossTime(flat, 0.5, CrossDir::Falling).has_value());
+}
+
+TEST(Measure, NonMonotonicDoubleCrossing) {
+  // Up-down-up: two rising crossings, one falling. crossTime reports
+  // the FIRST crossing at/after `from`; crossTimes reports them all in
+  // time order.
+  const Signal s{{0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 0.0, 1.0}};
+  const auto first = crossTime(s, 0.5, CrossDir::Rising);
+  ASSERT_TRUE(first);
+  EXPECT_DOUBLE_EQ(*first, 0.5);
+
+  const std::vector<double> rises = crossTimes(s, 0.5, CrossDir::Rising);
+  ASSERT_EQ(rises.size(), 2u);
+  EXPECT_DOUBLE_EQ(rises[0], 0.5);
+  EXPECT_DOUBLE_EQ(rises[1], 2.5);
+
+  const std::vector<double> falls = crossTimes(s, 0.5, CrossDir::Falling);
+  ASSERT_EQ(falls.size(), 1u);
+  EXPECT_DOUBLE_EQ(falls[0], 1.5);
+
+  // `from` past the first crossing selects the second.
+  const auto second = crossTime(s, 0.5, CrossDir::Rising, 1.0);
+  ASSERT_TRUE(second);
+  EXPECT_DOUBLE_EQ(*second, 2.5);
+
+  // Either-direction view: rising, falling, rising in order.
+  const std::vector<double> all = crossTimes(s, 0.5, CrossDir::Either);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0], 0.5);
+  EXPECT_DOUBLE_EQ(all[1], 1.5);
+  EXPECT_DOUBLE_EQ(all[2], 2.5);
+}
+
 TEST(Measure, PropagationDelay) {
   const Signal in{{0.0, 1.0, 2.0}, {0.0, 1.0, 1.0}};
   const Signal out{{0.0, 1.0, 1.5, 2.0}, {1.0, 1.0, 0.0, 0.0}};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 
 namespace vls {
@@ -118,8 +119,12 @@ TEST(MonteCarlo, RecordsFailedSampleIndices) {
   h.vddo = 0.5;
   const MonteCarloResult r = runMonteCarlo(h, smallMc(4));
   EXPECT_EQ(r.functional_failures, 4);
+  EXPECT_EQ(r.simulation_errors, 0);
   ASSERT_EQ(r.failed_samples.size(), 4u);
-  for (int s = 0; s < 4; ++s) EXPECT_EQ(r.failed_samples[s], s);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(r.failed_samples[s].id, s);
+    EXPECT_EQ(r.failed_samples[s].kind, FailureKind::NonFunctional);
+  }
 }
 
 TEST(MonteCarlo, NoFailuresMeansEmptyFailedSamples) {
@@ -129,6 +134,76 @@ TEST(MonteCarlo, NoFailuresMeansEmptyFailedSamples) {
   EXPECT_TRUE(r.failed_samples.empty());
   // Metric vectors stay index-aligned with sample ids.
   EXPECT_EQ(r.delay_rise.size(), 5u);
+}
+
+TEST(MonteCarlo, EnsembleMatchesScalarSummaries) {
+  // Acceptance contract for the lockstep ensemble engine: with the same
+  // seed, ensemble-mode summary statistics (mean/sigma of delay, power
+  // and leakage) must match the scalar reference within 0.5% of the
+  // metric scale, and the failed-sample ids must be identical.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  // Compare at converged time resolution: the lockstep engine advances
+  // on the min-dt of its lanes, so at coarse settings the two modes
+  // carry different discretization error (both within tran tolerance,
+  // but not within 0.5% of each other). Tightening dt_max and the LTE
+  // tolerance makes both modes converge to the same waveforms.
+  h.dt_max = 10e-12;
+  h.sim.tran_reltol = 5e-4;
+  MonteCarloConfig scalar = smallMc(16);
+  scalar.threads = 1;
+  MonteCarloConfig ens = scalar;
+  ens.ensemble_width = 8;
+  const MonteCarloResult a = runMonteCarlo(h, scalar);
+  const MonteCarloResult b = runMonteCarlo(h, ens);
+
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  EXPECT_EQ(a.failedIds(), b.failedIds());
+  EXPECT_EQ(a.functional_failures, b.functional_failures);
+  EXPECT_EQ(a.simulation_errors, b.simulation_errors);
+  ASSERT_EQ(a.delay_rise.size(), b.delay_rise.size());
+
+  auto close = [](const char* what, Summary s, Summary e) {
+    const double scale = std::abs(s.mean);
+    EXPECT_NEAR(e.mean, s.mean, 0.005 * scale) << what << " mean";
+    EXPECT_NEAR(e.stddev, s.stddev, 0.005 * scale) << what << " sigma";
+  };
+  close("delay_rise", a.delayRise(), b.delayRise());
+  close("delay_fall", a.delayFall(), b.delayFall());
+  close("power_rise", a.powerRise(), b.powerRise());
+  close("power_fall", a.powerFall(), b.powerFall());
+  close("leakage_high", a.leakageHigh(), b.leakageHigh());
+  close("leakage_low", a.leakageLow(), b.leakageLow());
+}
+
+TEST(MonteCarlo, EnsembleWidthInvariantFailureIds) {
+  // A config where every sample is non-functional: the ensemble path
+  // must report exactly the same ids and kinds as the scalar path.
+  HarnessConfig h;
+  h.kind = ShifterKind::SsvsKhan;
+  h.vddi = 1.4;
+  h.vddo = 0.5;
+  MonteCarloConfig scalar = smallMc(6);
+  MonteCarloConfig ens = smallMc(6);
+  ens.ensemble_width = 4;
+  const MonteCarloResult a = runMonteCarlo(h, scalar);
+  const MonteCarloResult b = runMonteCarlo(h, ens);
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  EXPECT_EQ(b.functional_failures, 6);
+  EXPECT_EQ(b.simulation_errors, 0);
+}
+
+TEST(MonteCarlo, EnsembleWidthClampAndOddBatch) {
+  // Widths above kMaxLanes clamp instead of throwing, and a sample
+  // count that does not divide the width still yields every sample.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(5);
+  mc.ensemble_width = 1000;
+  const MonteCarloResult r = runMonteCarlo(h, mc);
+  EXPECT_EQ(r.samples, 5);
+  EXPECT_EQ(r.delay_rise.size(), 5u);
+  EXPECT_EQ(r.functional_failures, 0);
 }
 
 TEST(MonteCarlo, PaperSigmas) {

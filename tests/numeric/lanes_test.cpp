@@ -1,0 +1,104 @@
+#include "numeric/lanes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/lane_matrix.hpp"
+
+namespace vls {
+namespace {
+
+// Relative error bound for the Cephes-style kernels: a few ulp, so 1e-14
+// leaves generous slack while still catching any coefficient typo.
+constexpr double kRelTol = 1e-14;
+
+double relErr(double got, double want) {
+  if (want == 0.0) return std::abs(got);
+  return std::abs(got - want) / std::abs(want);
+}
+
+TEST(Lanes, FastExpMatchesStdExp) {
+  // Sweep the range the device models use (junction/softplus arguments
+  // land well inside +-700 after clamping).
+  for (double x = -690.0; x <= 690.0; x += 0.37) {
+    EXPECT_LT(relErr(fastExp(x), std::exp(x)), kRelTol) << "x=" << x;
+  }
+  // Dense sweep around 0 where softplus lives.
+  for (double x = -40.0; x <= 40.0; x += 0.0173) {
+    EXPECT_LT(relErr(fastExp(x), std::exp(x)), kRelTol) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(fastExp(0.0), 1.0);
+}
+
+TEST(Lanes, FastExpClampsExtremes) {
+  // Beyond +-700 the kernel clamps instead of overflowing to inf / NaN.
+  EXPECT_TRUE(std::isfinite(fastExp(1e6)));
+  EXPECT_TRUE(std::isfinite(fastExp(-1e6)));
+  EXPECT_NEAR(fastExp(-1e6), 0.0, 1e-300);
+}
+
+TEST(Lanes, FastLogMatchesStdLog) {
+  for (double x = 1e-12; x < 1e12; x *= 1.7) {
+    EXPECT_LT(relErr(fastLog(x), std::log(x)), kRelTol) << "x=" << x;
+  }
+  // Near 1, where log loses absolute magnitude: compare absolutely
+  // (a couple of ulp of the result magnitude).
+  for (double x = 0.5; x <= 2.0; x += 0.003) {
+    EXPECT_NEAR(fastLog(x), std::log(x), 1e-15) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(fastLog(1.0), 0.0);
+}
+
+TEST(Lanes, FastSoftplusMatchesReference) {
+  for (double x = -60.0; x <= 60.0; x += 0.11) {
+    const SoftplusVD got = fastSoftplus(x);
+    // Reference softplus with the same +-40 saturation the scalar
+    // device code applies.
+    const double xc = x > 40.0 ? 40.0 : (x < -40.0 ? -40.0 : x);
+    const double want_v = x > 40.0 ? x : (x < -40.0 ? std::exp(xc) : std::log1p(std::exp(xc)));
+    const double want_d =
+        x > 40.0 ? 1.0 : (x < -40.0 ? std::exp(xc) : 1.0 / (1.0 + std::exp(-xc)));
+    // Deep negative tails lose relative accuracy (the header documents
+    // this); absolute error stays physically negligible there.
+    EXPECT_NEAR(got.v, want_v, 1e-12 * want_v + 1e-15) << "x=" << x;
+    EXPECT_NEAR(got.d, want_d, 1e-12 * want_d + 1e-15) << "x=" << x;
+    // Sigmoid is the softplus derivative: monotone, in (0, 1].
+    EXPECT_GT(got.d, 0.0);
+    EXPECT_LE(got.d, 1.0);
+  }
+}
+
+TEST(Lanes, FastSigmoidAndTanh) {
+  for (double x = -30.0; x <= 30.0; x += 0.21) {
+    EXPECT_LT(relErr(fastSigmoid(x), 1.0 / (1.0 + std::exp(-x))), 1e-13) << "x=" << x;
+    EXPECT_LT(std::abs(fastTanh(x) - std::tanh(x)), 1e-13) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(fastTanh(0.0), 0.0);
+  EXPECT_NEAR(fastTanh(25.0), 1.0, 1e-15);
+  EXPECT_NEAR(fastSigmoid(45.0), 1.0, 1e-15);
+  EXPECT_NEAR(fastSigmoid(-45.0), 0.0, 1e-15);
+}
+
+TEST(Lanes, LaneMatrixHandleContract) {
+  // Same (row, col) always maps to the same handle; values are stored
+  // as contiguous double[lanes] runs.
+  LaneMatrix m(3, 4);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h01 = m.entryHandle(0, 1);
+  EXPECT_EQ(m.entryHandle(0, 0), h00);
+  EXPECT_NE(h00, h01);
+  EXPECT_EQ(m.nonZeros(), 2u);
+
+  double* v = m.laneValues(h01);
+  for (size_t l = 0; l < 4; ++l) v[l] = 1.0 + static_cast<double>(l);
+  for (size_t l = 0; l < 4; ++l) EXPECT_DOUBLE_EQ(m.value(h01, l), 1.0 + static_cast<double>(l));
+  for (size_t l = 0; l < 4; ++l) EXPECT_DOUBLE_EQ(m.value(h00, l), 0.0);
+
+  m.clearValues();
+  for (size_t l = 0; l < 4; ++l) EXPECT_DOUBLE_EQ(m.value(h01, l), 0.0);
+  EXPECT_EQ(m.nonZeros(), 2u);  // pattern survives clearValues
+}
+
+}  // namespace
+}  // namespace vls

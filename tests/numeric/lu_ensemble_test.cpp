@@ -1,0 +1,160 @@
+#include "numeric/lu_ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "numeric/lu_sparse.hpp"
+#include "numeric/rng.hpp"
+
+namespace vls {
+namespace {
+
+// Build a diagonally-weighted random sparse pattern shared by all lanes,
+// with independent per-lane values, plus a per-lane SparseMatrix copy
+// for the scalar reference.
+struct LaneProblem {
+  LaneMatrix lanes;
+  std::vector<SparseMatrix> scalar;
+
+  LaneProblem(size_t n, size_t k, Rng& rng) : lanes(n, k), scalar(k, SparseMatrix(n)) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const bool diag = i == j;
+        if (!diag && rng.uniform() > 0.3) continue;
+        const size_t h = lanes.entryHandle(i, j);
+        double* v = lanes.laneValues(h);
+        for (size_t l = 0; l < k; ++l) {
+          const double val = rng.uniform(-1.0, 1.0) + (diag ? 4.0 : 0.0);
+          v[l] = val;
+          scalar[l].add(i, j, val);
+        }
+      }
+    }
+  }
+};
+
+TEST(EnsembleLu, MatchesScalarSparseLuPerLane) {
+  Rng rng(42);
+  const size_t n = 12, k = 4;
+  LaneProblem p(n, k, rng);
+
+  EnsembleLu lu;
+  std::vector<uint8_t> ok(k, 0);
+  lu.analyze(p.lanes, 0, 1e-13, nullptr, ok.data());
+  for (size_t l = 0; l < k; ++l) ASSERT_EQ(ok[l], 1) << "lane " << l;
+
+  // One shared SoA rhs; each lane gets a distinct vector.
+  std::vector<double> b(n * k);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t l = 0; l < k; ++l) b[i * k + l] = rng.uniform(-2.0, 2.0);
+  std::vector<double> x = b;
+  lu.solveInPlace(x);
+
+  for (size_t l = 0; l < k; ++l) {
+    std::vector<double> bl(n);
+    for (size_t i = 0; i < n; ++i) bl[i] = b[i * k + l];
+    const std::vector<double> ref = SparseLu(p.scalar[l]).solve(bl);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i * k + l], ref[i], 1e-10) << "lane " << l << " row " << i;
+    }
+  }
+}
+
+TEST(EnsembleLu, RefactorReusesSymbolicStructure) {
+  Rng rng(7);
+  const size_t n = 10, k = 3;
+  LaneProblem p(n, k, rng);
+
+  EnsembleLu lu;
+  lu.analyze(p.lanes);
+  const size_t symbolic_after_analyze = lu.symbolicFactorizations();
+
+  // New values, same pattern: refactor must not re-run the symbolic
+  // phase, and solutions must track the new values.
+  for (size_t h = 0; h < p.lanes.nonZeros(); ++h) {
+    double* v = p.lanes.laneValues(h);
+    const auto& e = p.lanes.entries()[h];
+    for (size_t l = 0; l < k; ++l) {
+      v[l] = rng.uniform(-1.0, 1.0) + (e.row == e.col ? 5.0 : 0.0);
+      // Keep the scalar copies in sync for the reference solve.
+      p.scalar[l].setAt(p.scalar[l].entryHandle(e.row, e.col), v[l]);
+    }
+  }
+  std::vector<uint8_t> ok(k, 0);
+  lu.refactor(p.lanes, nullptr, ok.data());
+  for (size_t l = 0; l < k; ++l) ASSERT_EQ(ok[l], 1);
+  EXPECT_EQ(lu.symbolicFactorizations(), symbolic_after_analyze);
+
+  std::vector<double> b(n * k, 1.0);
+  std::vector<double> x = b;
+  lu.solveInPlace(x);
+  for (size_t l = 0; l < k; ++l) {
+    const std::vector<double> ref = SparseLu(p.scalar[l]).solve(std::vector<double>(n, 1.0));
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i * k + l], ref[i], 1e-10);
+  }
+}
+
+TEST(EnsembleLu, DeadLanesAreLeftUntouched) {
+  Rng rng(11);
+  const size_t n = 6, k = 3;
+  LaneProblem p(n, k, rng);
+
+  EnsembleLu lu;
+  lu.analyze(p.lanes);
+  std::vector<uint8_t> live = {1, 0, 1};  // lane 1 is dead
+  std::vector<uint8_t> ok(k, 0);
+  lu.refactor(p.lanes, live.data(), ok.data());
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[2], 1);
+
+  std::vector<double> b(n * k);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t l = 0; l < k; ++l) b[i * k + l] = static_cast<double>(i + 10 * l);
+  std::vector<double> x = b;
+  lu.solveInPlace(x, live.data());
+  // Dead lane's slots keep their input values verbatim.
+  for (size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x[i * k + 1], b[i * k + 1]);
+  // Live lanes actually solved (values moved and match the reference).
+  for (size_t l : {size_t{0}, size_t{2}}) {
+    std::vector<double> bl(n);
+    for (size_t i = 0; i < n; ++i) bl[i] = b[i * k + l];
+    const std::vector<double> ref = SparseLu(p.scalar[l]).solve(bl);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i * k + l], ref[i], 1e-10);
+  }
+}
+
+TEST(EnsembleLu, PerLanePivotFailureFlagsOnlyThatLane) {
+  // Lane 1's matrix is exactly singular (a zero row); the shared pivot
+  // order comes from lane 0. Lane 1 must be flagged, lane 0 must solve.
+  LaneMatrix m(2, 2);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h01 = m.entryHandle(0, 1);
+  const size_t h10 = m.entryHandle(1, 0);
+  const size_t h11 = m.entryHandle(1, 1);
+  auto set = [&](size_t h, double lane0, double lane1) {
+    m.laneValues(h)[0] = lane0;
+    m.laneValues(h)[1] = lane1;
+  };
+  set(h00, 2.0, 0.0);
+  set(h01, 1.0, 0.0);
+  set(h10, 1.0, 1.0);
+  set(h11, 3.0, 1.0);
+
+  EnsembleLu lu;
+  std::vector<uint8_t> ok(2, 0);
+  lu.analyze(m, 0, 1e-13, nullptr, ok.data());
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 0);
+
+  std::vector<double> b = {5.0, 0.0, 5.0, 0.0};  // SoA: rows {5,5} lane 0
+  std::vector<uint8_t> live = {1, 0};
+  lu.solveInPlace(b, live.data());
+  // Lane 0: [[2,1],[1,3]] x = [5,5] => x = [2,1].
+  EXPECT_NEAR(b[0 * 2 + 0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1 * 2 + 0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vls
