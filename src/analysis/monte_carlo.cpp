@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "base/logging.hpp"
 #include "base/parallel.hpp"
 #include "numeric/lanes.hpp"
 #include "numeric/rng.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace vls {
 
@@ -49,6 +51,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
 
   std::vector<ShifterMetrics> metrics(n);
   std::vector<uint8_t> threw(n, 0);
+  std::vector<SampleFailure> throw_info(n);
   std::atomic<int> done{0};
   auto report = [&](int count) {
     const int d = done += count;
@@ -56,16 +59,49 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
       VLS_LOG_INFO("Monte-Carlo: %d / %d samples", d, config.samples);
     }
   };
+  const bool fault_armed =
+      config.fault_sample >= 0 && static_cast<size_t>(config.fault_sample) < n;
+  // Per-sample harness config. Injectors are mutable single-run state
+  // (stage + firing count), so every simulation attempt gets a fresh
+  // instance: the targeted sample from config.fault, everyone else a
+  // copy of whatever spec the caller put on harness.sim (never the
+  // shared instance itself, whose fire budget would race across
+  // samples and diverge between the scalar and ensemble paths).
+  auto harness_for = [&](size_t s) {
+    HarnessConfig h = harness;
+    if (fault_armed && s == static_cast<size_t>(config.fault_sample)) {
+      FaultSpec spec = config.fault;
+      spec.lane = -1;  // scalar engine: the whole run is the target
+      h.sim.fault_injector = std::make_shared<FaultInjector>(spec);
+    } else if (h.sim.fault_injector) {
+      h.sim.fault_injector = std::make_shared<FaultInjector>(h.sim.fault_injector->spec());
+    }
+    return h;
+  };
+  auto record_throw = [&](size_t s, const Error& e) {
+    VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
+    threw[s] = 1;
+    SampleFailure& f = throw_info[s];
+    f.id = static_cast<int>(s);
+    f.kind = FailureKind::SimulationError;
+    f.message = e.what();
+    if (const auto* re = dynamic_cast<const RecoveryError*>(&e)) {
+      f.stage = re->diagnostics().lastStageName();
+      f.node = re->diagnostics().worstNode();
+    }
+  };
   // Scalar reference simulation of one sample with fixed perturbations.
+  // This path owns the failed_samples record: ensemble lanes that drop
+  // out are re-run here, so the attribution strings are produced by the
+  // same engine either way.
   auto run_scalar = [&](size_t s, const std::vector<MosGeometry>& geoms) {
-    ShifterTestbench tb(harness);
+    ShifterTestbench tb(harness_for(s));
     MosList& fets = tb.dutFets();
     for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(geoms[f]);
     try {
       metrics[s] = tb.measure();
     } catch (const Error& e) {
-      VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
-      threw[s] = 1;
+      record_throw(s, e);
     }
   };
 
@@ -77,7 +113,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
         n,
         [&](size_t s) {
           Rng rng = streams[s];
-          ShifterTestbench tb(harness);
+          ShifterTestbench tb(harness_for(s));
           const std::vector<MosGeometry> geoms =
               drawGeometries(rng, tb.dutFets(), config.variation);
           MosList& fets = tb.dutFets();
@@ -85,8 +121,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
           try {
             metrics[s] = tb.measure();
           } catch (const Error& e) {
-            VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
-            threw[s] = 1;
+            record_throw(s, e);
           }
           report(1);
         },
@@ -103,7 +138,21 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
         [&](size_t b) {
           const size_t s0 = b * width;
           const size_t count = std::min(width, n - s0);
-          ShifterTestbench tb(harness);
+          // The batch holding the fault target gets a lane-targeted
+          // copy of the spec: only that lane is poisoned, its siblings
+          // run clean. A fresh injector per batch keeps the firing
+          // budget independent of which batch runs first.
+          HarnessConfig batch_harness = harness;
+          if (fault_armed && static_cast<size_t>(config.fault_sample) >= s0 &&
+              static_cast<size_t>(config.fault_sample) < s0 + count) {
+            FaultSpec spec = config.fault;
+            spec.lane = config.fault_sample - static_cast<int>(s0);
+            batch_harness.sim.fault_injector = std::make_shared<FaultInjector>(spec);
+          } else if (batch_harness.sim.fault_injector) {
+            batch_harness.sim.fault_injector =
+                std::make_shared<FaultInjector>(batch_harness.sim.fault_injector->spec());
+          }
+          ShifterTestbench tb(batch_harness);
           std::vector<std::vector<MosGeometry>> lane_geoms(count);
           for (size_t l = 0; l < count; ++l) {
             Rng rng = streams[s0 + l];
@@ -121,6 +170,13 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
             if (batch[l].ok) {
               metrics[s0 + l] = batch[l].metrics;
             } else {
+              if (batch[l].failure.valid) {
+                VLS_LOG_WARN(
+                    "Monte-Carlo sample %zu dropped out of lane %zu (%s in %s, node '%s'); "
+                    "re-running scalar",
+                    s0 + l, l, newtonFailureReasonName(batch[l].failure.reason),
+                    recoveryStageName(batch[l].failure.stage), batch[l].failure.node.c_str());
+              }
               run_scalar(s0 + l, lane_geoms[l]);
             }
           }
@@ -132,7 +188,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
   // Serial gather in sample order: identical output for any thread count.
   for (size_t s = 0; s < n; ++s) {
     if (threw[s]) {
-      result.failed_samples.push_back({static_cast<int>(s), FailureKind::SimulationError});
+      result.failed_samples.push_back(throw_info[s]);
       ++result.simulation_errors;
       continue;
     }

@@ -10,6 +10,7 @@
 
 #include "analysis/shifter_harness.hpp"
 #include "numeric/statistics.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace vls {
 
@@ -35,6 +36,14 @@ struct MonteCarloConfig {
   /// kMaxLanes are clamped; composes with `threads` (each worker
   /// thread runs whole batches).
   int ensemble_width = 1;
+  /// Deterministic fault injection: when fault_sample >= 0, that
+  /// sample's simulation runs with a fresh FaultInjector built from
+  /// `fault`. In ensemble mode the batch containing the sample gets a
+  /// lane-targeted copy, and a failed lane's scalar re-run gets its own
+  /// fresh instance — fire budgets never leak between attempts, so the
+  /// scalar and ensemble paths produce identical failed_samples.
+  int fault_sample = -1;
+  FaultSpec fault{};
 };
 
 /// Why a sample is listed in MonteCarloResult::failed_samples.
@@ -46,6 +55,13 @@ enum class FailureKind : uint8_t {
 struct SampleFailure {
   int id = 0;
   FailureKind kind = FailureKind::SimulationError;
+  /// Recovery attribution (SimulationError only): the deepest ladder
+  /// stage that ran, the implicated unknown, and the thrown message.
+  /// Empty for NonFunctional records and for throws that carried no
+  /// ConvergenceDiagnostics.
+  std::string stage;
+  std::string node;
+  std::string message;
   friend bool operator==(const SampleFailure&, const SampleFailure&) = default;
 };
 

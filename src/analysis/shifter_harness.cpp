@@ -190,7 +190,10 @@ std::vector<EnsembleSample> ShifterTestbench::measureEnsemble(
 
   std::vector<EnsembleSample> out(lanes);
   for (size_t l = 0; l < lanes; ++l) {
-    if (sim.laneFailed(l)) continue;  // ok stays false: re-run scalar
+    if (sim.laneFailed(l)) {
+      out[l].failure = sim.laneFailure(l);  // ok stays false: re-run scalar
+      continue;
+    }
     const TransientResult run = sim.laneResult(l);
     auto gather = [&](const std::vector<double>& soa) {
       std::vector<double> x(sim.numUnknowns());

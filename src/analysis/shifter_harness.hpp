@@ -16,6 +16,7 @@
 #include "cells/sstvs.hpp"
 #include "circuit/circuit.hpp"
 #include "devices/sources.hpp"
+#include "sim/ensemble.hpp"
 #include "sim/options.hpp"
 #include "sim/result.hpp"
 
@@ -81,9 +82,12 @@ struct ShifterMetrics {
 /// One lane's outcome of an ensemble measurement. `ok` is false when
 /// the lane dropped out of the lockstep run (Newton / pivot / timestep
 /// failure); such samples must be re-run through the scalar path.
+/// `failure` carries the lane's drop-out attribution (stage, reason,
+/// implicated node) when one was recorded.
 struct EnsembleSample {
   ShifterMetrics metrics{};
   bool ok = false;
+  LaneFailure failure{};
 };
 
 /// Builds the full testbench circuit for one configuration. The

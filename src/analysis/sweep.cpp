@@ -6,6 +6,7 @@
 
 #include "base/error.hpp"
 #include "base/parallel.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace vls {
 
@@ -47,8 +48,13 @@ Sweep2dResult sweepSupplies(const HarnessConfig& base, const Sweep2dConfig& conf
         p.vddo = cfg.vddo;
         try {
           p.metrics = measureShifter(cfg);
-        } catch (const Error&) {
+        } catch (const Error& e) {
           p.metrics.functional = false;
+          p.error = e.what();
+          if (const auto* re = dynamic_cast<const RecoveryError*>(&e)) {
+            p.failure_stage = re->diagnostics().lastStageName();
+            p.failure_node = re->diagnostics().worstNode();
+          }
         }
         const size_t d = ++done;
         if (config.on_point) {

@@ -171,6 +171,7 @@ bool EnsembleLu::refactorNumeric(const LaneMatrix& a, const uint8_t* live) {
   // cannot contaminate its siblings.
   const size_t K = lanes_;
   lane_ok_.assign(K, 1);
+  lane_singular_col_.assign(K, -1);
   for (size_t k = 0; k < n_; ++k) {
     const size_t r = perm_[k];
     for (uint32_t idx = lo_start_[r]; idx < lo_start_[r + 1]; ++idx) {
@@ -203,7 +204,10 @@ bool EnsembleLu::refactorNumeric(const LaneMatrix& a, const uint8_t* live) {
     for (size_t l = 0; l < K; ++l) {
       const double pv = wk[l];
       const bool good = (std::fabs(pv) > pivot_threshold_) && std::isfinite(pv);
-      if (!good) lane_ok_[l] = 0;
+      if (!good) {
+        if (lane_ok_[l]) lane_singular_col_[l] = static_cast<int>(k);
+        lane_ok_[l] = 0;
+      }
       dk[l] = good ? 1.0 / pv : 0.0;
     }
     for (uint32_t idx = up_start_[k]; idx < up_start_[k + 1]; ++idx) {

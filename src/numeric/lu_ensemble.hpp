@@ -48,6 +48,15 @@ class EnsembleLu {
   size_t symbolicFactorizations() const { return symbolic_count_; }
   size_t numericRefactorizations() const { return numeric_count_; }
 
+  /// First elimination column whose pivot collapsed for lane l in the
+  /// most recent numeric pass (-1 when the lane factored cleanly). Row
+  /// pivoting preserves column order, so this is the original unknown
+  /// index — the ensemble engine maps it to the circuit node name for
+  /// per-lane failure diagnostics.
+  int laneSingularColumn(size_t l) const {
+    return l < lane_singular_col_.size() ? lane_singular_col_[l] : -1;
+  }
+
  private:
   bool patternMatches(const LaneMatrix& a) const;
   /// Replays the cached elimination for the selected lanes. Returns true
@@ -77,6 +86,7 @@ class EnsembleLu {
   std::vector<double> work_;  // dense scatter workspace, n * lanes_
   mutable std::vector<double> solve_scratch_;
   std::vector<uint8_t> lane_ok_;
+  std::vector<int> lane_singular_col_;  // first bad pivot column per lane, -1 = clean
 
   size_t symbolic_count_ = 0;
   size_t numeric_count_ = 0;

@@ -78,6 +78,7 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
       }
     }
     if (best_mag <= pivot_threshold || !std::isfinite(best_mag)) {
+      last_singular_col_ = static_cast<int>(k);
       throw NumericalError("SparseLu: singular matrix at column " + std::to_string(k));
     }
     std::swap(active[k], active[best_pos]);
@@ -127,6 +128,7 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
     }
   }
   valid_ = true;
+  last_singular_col_ = -1;
 }
 
 bool SparseLu::patternMatches(const SparseMatrix& a) const {
@@ -161,11 +163,15 @@ bool SparseLu::refactorNumeric(const SparseMatrix& a) {
       for (size_t i = 1; i < u.size(); ++i) work_[u[i].col] -= factor * u[i].val;
     }
     const double pivot = work_[k];
-    if (!(std::fabs(pivot) > pivot_threshold_) || !std::isfinite(pivot)) return false;
+    if (!(std::fabs(pivot) > pivot_threshold_) || !std::isfinite(pivot)) {
+      last_singular_col_ = static_cast<int>(k);
+      return false;
+    }
     for (Term& t : urow) t.val = work_[t.col];
     diag_inv_[k] = 1.0 / pivot;
   }
   ++numeric_count_;
+  last_singular_col_ = -1;
   return true;
 }
 

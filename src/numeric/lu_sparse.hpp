@@ -50,6 +50,12 @@ class SparseLu {
   size_t symbolicFactorizations() const { return symbolic_count_; }
   size_t numericRefactorizations() const { return numeric_count_; }
 
+  /// Elimination column of the most recent singular/non-finite pivot
+  /// (-1 after a successful factorization). Row pivoting preserves
+  /// column order, so this is directly the original unknown index —
+  /// callers map it to a circuit node name for diagnostics.
+  int lastSingularColumn() const { return last_singular_col_; }
+
  private:
   struct Term {
     size_t col;
@@ -86,6 +92,7 @@ class SparseLu {
   mutable std::vector<double> solve_scratch_;
   size_t symbolic_count_ = 0;
   size_t numeric_count_ = 0;
+  int last_singular_col_ = -1;
 };
 
 }  // namespace vls

@@ -1,0 +1,65 @@
+#include "sim/diagnostics.hpp"
+
+#include <sstream>
+
+namespace vls {
+
+const char* recoveryStageName(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::DirectNewton: return "direct-newton";
+    case RecoveryStage::GminStepping: return "gmin-stepping";
+    case RecoveryStage::SourceStepping: return "source-stepping";
+    case RecoveryStage::PseudoTransient: return "pseudo-transient";
+    case RecoveryStage::TransientStep: return "transient-step";
+  }
+  return "?";
+}
+
+const char* newtonFailureReasonName(NewtonFailureReason reason) {
+  switch (reason) {
+    case NewtonFailureReason::None: return "none";
+    case NewtonFailureReason::IterationLimit: return "iteration-limit";
+    case NewtonFailureReason::NonFinite: return "non-finite";
+    case NewtonFailureReason::SingularPivot: return "singular-pivot";
+    case NewtonFailureReason::InjectedFault: return "injected-fault";
+  }
+  return "?";
+}
+
+std::string ConvergenceDiagnostics::worstNode() const {
+  const StageAttempt* a = lastAttempt();
+  if (a == nullptr) return "";
+  if (!a->worst_node.empty()) return a->worst_node;
+  return a->singular_node;
+}
+
+std::string ConvergenceDiagnostics::lastStageName() const {
+  const StageAttempt* a = lastAttempt();
+  return a == nullptr ? "" : recoveryStageName(a->stage);
+}
+
+std::string ConvergenceDiagnostics::summary() const {
+  std::ostringstream os;
+  os << context << " at t=" << time;
+  if (last_dt > 0.0) os << " (last good dt=" << last_dt << ")";
+  os << (recovered ? ": recovered" : ": failed") << "\n";
+  for (const StageAttempt& a : stages) {
+    os << "  [" << recoveryStageName(a.stage) << "] "
+       << (a.converged ? "converged" : newtonFailureReasonName(a.failure));
+    if (a.rungs > 0) os << ", rungs=" << a.rungs;
+    os << ", newton_iters=" << a.newton_iterations;
+    if (!a.detail.empty()) os << ", " << a.detail;
+    if (a.worst_residual > 0.0) os << ", worst_residual=" << a.worst_residual;
+    if (!a.worst_node.empty()) os << ", worst_node='" << a.worst_node << "'";
+    if (!a.singular_node.empty()) os << ", singular_pivot_node='" << a.singular_node << "'";
+    if (!a.injected_fault.empty()) os << ", fault=" << a.injected_fault;
+    os << "\n";
+  }
+  return os.str();
+}
+
+RecoveryError::RecoveryError(const std::string& message, ConvergenceDiagnostics diagnostics)
+    : ConvergenceError(message + "\n" + diagnostics.summary()),
+      diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace vls

@@ -7,6 +7,8 @@
 
 #include "base/error.hpp"
 #include "numeric/lanes.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/recovery.hpp"
 
 namespace vls {
 
@@ -47,9 +49,26 @@ EnsembleSimulator::EnsembleSimulator(Circuit& circuit, size_t lanes, SimOptions 
   }
   zeros_.assign(lanes_, 0.0);
   failed_.assign(lanes_, 0);
+  lane_failures_.resize(lanes_);
   x_new_.resize(num_unknowns_ * lanes_);
   pending_.assign(lanes_, 0);
   lane_ok_.assign(lanes_, 1);
+  attempt_failure_.resize(lanes_);
+}
+
+std::string EnsembleSimulator::unknownName(size_t index) const {
+  if (index < num_nodes_) return circuit_.nodeName(static_cast<NodeId>(index));
+  return "branch#" + std::to_string(index - num_nodes_);
+}
+
+void EnsembleSimulator::recordLaneFailure(size_t l, RecoveryStage stage) {
+  LaneFailure& failure = lane_failures_[l];
+  failure = attempt_failure_[l];
+  failure.valid = true;
+  failure.stage = stage;
+  if (failure.reason == NewtonFailureReason::None) {
+    failure.reason = NewtonFailureReason::IterationLimit;
+  }
 }
 
 DeviceLaneState* EnsembleSimulator::laneState(const Device& dev) {
@@ -96,10 +115,13 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
   ctx.source_scale = source_scale;
   ctx.gmin = gmin;
 
+  FaultInjector* injector = options_.fault_injector.get();
+
   bool any_selected = false;
   for (size_t l = 0; l < K; ++l) {
     pending_[l] = live ? live[l] : static_cast<uint8_t>(failed_[l] == 0);
     converged[l] = 0;
+    if (pending_[l]) attempt_failure_[l] = LaneFailure{};
     any_selected = any_selected || pending_[l] != 0;
   }
   if (!any_selected) return true;
@@ -110,37 +132,104 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
     if (!any_pending) break;
     if (iterations) ++*iterations;
 
+    if (injector != nullptr && injector->shouldFailNewton(iter, time)) {
+      for (size_t l = 0; l < K; ++l) {
+        if (!pending_[l] || !injector->laneAffected(l)) continue;
+        pending_[l] = 0;
+        attempt_failure_[l].reason = NewtonFailureReason::InjectedFault;
+        attempt_failure_[l].message = injector->describeNewtonFault();
+      }
+      continue;
+    }
+
     ctx.x = std::span<const double>(x);
     assembler_.assemble(ctx, state_ptrs_);
+
+    // Post-assembly fault injection (applying faults inside device
+    // stamps would desync the shared lane tape).
+    std::string stamp_fault;
+    if (injector != nullptr) {
+      std::string what;
+      if (injector->applyLaneStampFault(sys_, circuit_, time, &what)) stamp_fault = what;
+      if (injector->applyLanePivotFault(sys_, circuit_, time, &what)) stamp_fault = what;
+    }
+
+    // Residual guard: a non-finite RHS row names the offending node
+    // before the solve smears it across the lane.
+    for (size_t l = 0; l < K; ++l) {
+      if (!pending_[l]) continue;
+      for (size_t i = 0; i < num_unknowns_; ++i) {
+        if (std::isfinite(sys_.rhs()[i * K + l])) continue;
+        pending_[l] = 0;
+        attempt_failure_[l].reason = NewtonFailureReason::NonFinite;
+        attempt_failure_[l].node = unknownName(i);
+        attempt_failure_[l].message = stamp_fault;
+        break;
+      }
+    }
 
     try {
       // Shared symbolic structure, per-lane numeric refactorization. A
       // lane whose pivot degrades under the shared order is deadened
       // (lane_ok_ = 0) without disturbing its siblings.
       lu_.refactor(sys_.matrix(), pending_.data(), lane_ok_.data());
-    } catch (const NumericalError&) {
-      for (size_t l = 0; l < K; ++l) pending_[l] = 0;
+    } catch (const NumericalError& e) {
+      // Every selected lane is singular (the re-analyze found no viable
+      // pivot source). The numeric pass that preceded it still recorded
+      // each lane's first collapsed column, so attribution survives.
+      for (size_t l = 0; l < K; ++l) {
+        if (!pending_[l]) continue;
+        pending_[l] = 0;
+        attempt_failure_[l].reason = NewtonFailureReason::SingularPivot;
+        const int col = lu_.laneSingularColumn(l);
+        if (col >= 0) attempt_failure_[l].node = unknownName(static_cast<size_t>(col));
+        if (attempt_failure_[l].message.empty()) attempt_failure_[l].message = e.what();
+        if (!stamp_fault.empty()) attempt_failure_[l].message = stamp_fault;
+      }
       break;
     }
     for (size_t l = 0; l < K; ++l) {
-      if (pending_[l] && !lane_ok_[l]) pending_[l] = 0;
+      if (pending_[l] && !lane_ok_[l]) {
+        pending_[l] = 0;
+        attempt_failure_[l].reason = NewtonFailureReason::SingularPivot;
+        const int col = lu_.laneSingularColumn(l);
+        if (col >= 0) attempt_failure_[l].node = unknownName(static_cast<size_t>(col));
+        if (!stamp_fault.empty()) attempt_failure_[l].message = stamp_fault;
+      }
     }
     x_new_ = sys_.rhs();
     lu_.solveInPlace(x_new_, pending_.data());
 
     // Per-lane damping, bounding and tolerance checks — the scalar
-    // newtonSolve formulas applied lane by lane. Converged lanes freeze:
+    // Newton formulas applied lane by lane. Converged lanes freeze:
     // their unknowns stop moving while siblings keep iterating.
     for (size_t l = 0; l < K; ++l) {
       if (!pending_[l]) continue;
+      // Solution guard: abort the lane on the first NaN/Inf unknown,
+      // naming it, instead of letting NaN comparisons fake convergence.
+      int bad = -1;
       double max_delta = 0.0;
+      int worst = -1;
       for (size_t i = 0; i < num_unknowns_; ++i) {
-        max_delta = std::max(max_delta, std::fabs(x_new_[i * K + l] - x[i * K + l]));
+        const double v = x_new_[i * K + l];
+        if (!std::isfinite(v)) {
+          bad = static_cast<int>(i);
+          break;
+        }
+        const double delta = std::fabs(v - x[i * K + l]);
+        if (delta > max_delta) {
+          max_delta = delta;
+          worst = static_cast<int>(i);
+        }
       }
-      if (!std::isfinite(max_delta)) {
+      if (bad >= 0) {
         pending_[l] = 0;
+        attempt_failure_[l].reason = NewtonFailureReason::NonFinite;
+        attempt_failure_[l].node = unknownName(static_cast<size_t>(bad));
+        if (!stamp_fault.empty()) attempt_failure_[l].message = stamp_fault;
         continue;
       }
+      if (worst >= 0) attempt_failure_[l].node = unknownName(static_cast<size_t>(worst));
       double scale = 1.0;
       if (max_delta > options_.max_step_voltage) scale = options_.max_step_voltage / max_delta;
 
@@ -170,16 +259,18 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
 
 std::vector<double> EnsembleSimulator::solveOp() {
   const size_t K = lanes_;
+  FaultInjector* injector = options_.fault_injector.get();
   std::vector<double> x(num_unknowns_ * K, 0.0);
   std::vector<uint8_t> conv(K, 0);
 
   // 1) Direct Newton on every live lane.
+  if (injector != nullptr) injector->setStage(RecoveryStage::DirectNewton);
   newtonLanes(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x, nullptr, conv.data(),
               nullptr);
 
-  // 2) Gmin ladder, in lockstep, for the holdouts. Lanes failing a rung
-  // drop out permanently (the scalar fallback path owns source
-  // stepping; a lane this stubborn is re-run there anyway).
+  // 2) Gmin ladder, in lockstep, for the holdouts — the same schedule
+  // the scalar RecoveryEngine runs. Lanes failing a rung fall through
+  // to source stepping.
   std::vector<uint8_t> retry(K, 0);
   bool any_retry = false;
   for (size_t l = 0; l < K; ++l) {
@@ -188,28 +279,65 @@ std::vector<double> EnsembleSimulator::solveOp() {
       any_retry = true;
     }
   }
+  std::vector<uint8_t> holdout(K, 0);
+  bool any_holdout = false;
   if (any_retry) {
+    if (injector != nullptr) injector->setStage(RecoveryStage::GminStepping);
     for (size_t i = 0; i < num_unknowns_; ++i) {
       for (size_t l = 0; l < K; ++l) {
         if (retry[l]) x[i * K + l] = 0.0;
       }
     }
-    double gmin = 1e-2;
-    for (int step = 0; step <= options_.gmin_steps; ++step) {
+    for (const double gmin : RecoveryEngine::gminSchedule(options_.recovery, options_.gmin)) {
       newtonLanes(0.0, 0.0, IntegrationMethod::None, 1.0, gmin, x, retry.data(), conv.data(),
                   nullptr);
       bool any_left = false;
       for (size_t l = 0; l < K; ++l) {
         if (retry[l] && !conv[l]) {
           retry[l] = 0;
-          failed_[l] = 1;
+          holdout[l] = 1;
+          any_holdout = true;
         }
         any_left = any_left || retry[l] != 0;
       }
-      if (!any_left || gmin <= options_.gmin) break;
-      gmin = std::max(gmin * 0.1, options_.gmin);
+      if (!any_left) break;
     }
   }
+
+  // 3) Source stepping, in lockstep, for lanes the gmin ladder lost.
+  // Lanes failing a rung drop out permanently with their failure
+  // record (the Monte-Carlo driver re-runs them through the scalar
+  // reference path, which additionally owns pseudo-transient).
+  if (any_holdout && options_.recovery.source_stepping) {
+    if (injector != nullptr) injector->setStage(RecoveryStage::SourceStepping);
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      for (size_t l = 0; l < K; ++l) {
+        if (holdout[l]) x[i * K + l] = 0.0;
+      }
+    }
+    for (const double scale : RecoveryEngine::sourceSchedule(options_.recovery)) {
+      newtonLanes(0.0, 0.0, IntegrationMethod::None, scale, options_.gmin, x, holdout.data(),
+                  conv.data(), nullptr);
+      bool any_left = false;
+      for (size_t l = 0; l < K; ++l) {
+        if (holdout[l] && !conv[l]) {
+          holdout[l] = 0;
+          failed_[l] = 1;
+          recordLaneFailure(l, RecoveryStage::SourceStepping);
+        }
+        any_left = any_left || holdout[l] != 0;
+      }
+      if (!any_left) break;
+    }
+  } else if (any_holdout) {
+    for (size_t l = 0; l < K; ++l) {
+      if (holdout[l]) {
+        failed_[l] = 1;
+        recordLaneFailure(l, RecoveryStage::GminStepping);
+      }
+    }
+  }
+  if (injector != nullptr) injector->setStage(RecoveryStage::DirectNewton);
 
   if (aliveLaneCount() == 0) {
     throw ConvergenceError("EnsembleSimulator: operating point failed on every lane");
@@ -218,12 +346,53 @@ std::vector<double> EnsembleSimulator::solveOp() {
 }
 
 std::vector<double> EnsembleSimulator::solveOpAt(double time, std::vector<double> x0_soa) {
-  x0_soa.resize(num_unknowns_ * lanes_, 0.0);
-  std::vector<uint8_t> conv(lanes_, 0);
+  const size_t K = lanes_;
+  FaultInjector* injector = options_.fault_injector.get();
+  x0_soa.resize(num_unknowns_ * K, 0.0);
+  const std::vector<double> x0 = x0_soa;  // pristine guess for ladder restarts
+  std::vector<uint8_t> conv(K, 0);
+  if (injector != nullptr) injector->setStage(RecoveryStage::DirectNewton);
   newtonLanes(time, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x0_soa, nullptr,
               conv.data(), nullptr);
-  for (size_t l = 0; l < lanes_; ++l) {
-    if (failed_[l] == 0 && !conv[l]) failed_[l] = 1;
+
+  // Gmin-ladder retry for the holdouts, from the pristine guess — the
+  // same escalation solveOpAt gets on the scalar path.
+  std::vector<uint8_t> retry(K, 0);
+  bool any_retry = false;
+  for (size_t l = 0; l < K; ++l) {
+    if (failed_[l] == 0 && !conv[l]) {
+      retry[l] = 1;
+      any_retry = true;
+    }
+  }
+  if (any_retry && options_.recovery.gmin_stepping) {
+    if (injector != nullptr) injector->setStage(RecoveryStage::GminStepping);
+    for (size_t i = 0; i < num_unknowns_ * K; ++i) {
+      const size_t l = i % K;
+      if (retry[l]) x0_soa[i] = x0[i];
+    }
+    for (const double gmin : RecoveryEngine::gminSchedule(options_.recovery, options_.gmin)) {
+      newtonLanes(time, 0.0, IntegrationMethod::None, 1.0, gmin, x0_soa, retry.data(),
+                  conv.data(), nullptr);
+      bool any_left = false;
+      for (size_t l = 0; l < K; ++l) {
+        if (retry[l] && !conv[l]) {
+          retry[l] = 0;
+          failed_[l] = 1;
+          recordLaneFailure(l, RecoveryStage::GminStepping);
+        }
+        any_left = any_left || retry[l] != 0;
+      }
+      if (!any_left) break;
+    }
+    if (injector != nullptr) injector->setStage(RecoveryStage::DirectNewton);
+  } else {
+    for (size_t l = 0; l < K; ++l) {
+      if (retry[l]) {
+        failed_[l] = 1;
+        recordLaneFailure(l, RecoveryStage::DirectNewton);
+      }
+    }
   }
   if (aliveLaneCount() == 0) {
     throw ConvergenceError("EnsembleSimulator: solveOpAt failed on every lane at t = " +
@@ -241,6 +410,7 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
   total_newton_iterations_ = 0;
   rejected_steps_ = 0;
   std::fill(failed_.begin(), failed_.end(), 0);
+  std::fill(lane_failures_.begin(), lane_failures_.end(), LaneFailure{});
 
   // Operating point at t = 0 (per-lane failures already handled there).
   std::vector<double> x = solveOp();
@@ -297,6 +467,9 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
 
     x_try = x;
     size_t iters = 0;
+    if (FaultInjector* injector = options_.fault_injector.get()) {
+      injector->setStage(RecoveryStage::TransientStep);
+    }
     const bool all_converged = newtonLanes(t + dt_eff, dt_eff, method, 1.0, options_.gmin,
                                            x_try, nullptr, conv.data(), &iters);
     total_newton_iterations_ += iters;
@@ -307,10 +480,14 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
       ++rejected_steps_;
       dt = dt_eff * options_.dt_shrink;
       if (dt < options_.dt_min) {
-        // Lanes that cannot advance even at dt_min drop out; survivors
-        // resume from a cautious restart scale.
+        // Lanes that cannot advance even at dt_min drop out (with their
+        // last attempt's failure record); survivors resume from a
+        // cautious restart scale.
         for (size_t l = 0; l < K; ++l) {
-          if (failed_[l] == 0 && !conv[l]) failed_[l] = 1;
+          if (failed_[l] == 0 && !conv[l]) {
+            failed_[l] = 1;
+            recordLaneFailure(l, RecoveryStage::TransientStep);
+          }
         }
         if (aliveLaneCount() == 0) {
           throw ConvergenceError("EnsembleSimulator: timestep underflow at t = " +

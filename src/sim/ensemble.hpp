@@ -29,10 +29,24 @@
 #include "circuit/circuit.hpp"
 #include "circuit/ensemble_assembly.hpp"
 #include "numeric/lu_ensemble.hpp"
+#include "sim/diagnostics.hpp"
 #include "sim/options.hpp"
 #include "sim/result.hpp"
 
 namespace vls {
+
+/// Why one ensemble lane permanently dropped out: which ladder stage it
+/// died in, why its last Newton attempt failed, and which unknown was
+/// implicated (worst-residual node, non-finite row, or collapsed
+/// pivot). The Monte-Carlo driver surfaces this next to the scalar
+/// re-run's own diagnostics.
+struct LaneFailure {
+  bool valid = false;  ///< true once the lane has actually failed
+  RecoveryStage stage = RecoveryStage::DirectNewton;
+  NewtonFailureReason reason = NewtonFailureReason::None;
+  std::string node;     ///< offending unknown, when attributable
+  std::string message;  ///< human-readable detail (fault description etc.)
+};
 
 class EnsembleSimulator {
  public:
@@ -55,16 +69,21 @@ class EnsembleSimulator {
   bool laneFailed(size_t l) const { return failed_[l] != 0; }
   size_t aliveLaneCount() const;
 
+  /// Structured record of why lane l dropped out (valid == false while
+  /// the lane is alive).
+  const LaneFailure& laneFailure(size_t l) const { return lane_failures_[l]; }
+
   /// Lockstep operating point from zeros: direct Newton on every lane,
-  /// then a per-lane gmin ladder for the holdouts (source stepping is
-  /// left to the scalar fallback). Lanes that still fail are marked
-  /// failed. Returns the SoA solution (numUnknowns() * lanes doubles,
-  /// lane-major per unknown).
+  /// then per-lane gmin and source-stepping ladders (shared schedules
+  /// with the scalar RecoveryEngine) for the holdouts. Lanes that still
+  /// fail are marked failed with a LaneFailure record. Returns the SoA
+  /// solution (numUnknowns() * lanes doubles, lane-major per unknown).
   std::vector<double> solveOp();
 
   /// Warm-started DC solve at `time` for every live lane (static
-  /// leakage probes). Lanes that fail are marked failed; their slots
-  /// keep the initial guess.
+  /// leakage probes), with a per-lane gmin-ladder retry for holdouts.
+  /// Lanes that fail are marked failed; their slots keep the initial
+  /// guess.
   std::vector<double> solveOpAt(double time, std::vector<double> x0_soa);
 
   /// Lockstep adaptive transient over [0, t_stop]. Throws
@@ -91,11 +110,18 @@ class EnsembleSimulator {
   /// Lockstep Newton on the lanes selected by `live` (null = all lanes
   /// not yet failed). Per-lane convergence flags go to `converged`;
   /// returns true when every selected lane converged. Mirrors
-  /// Simulator::newtonSolve per lane: same damping, bound and tolerance
-  /// formulas, same `iter > 0` requirement.
+  /// Simulator::newtonAttempt per lane: same damping, bound and
+  /// tolerance formulas, same `iter > 0` requirement, same non-finite
+  /// guards and fault-injection hooks. Per-lane failure details land in
+  /// attempt_failure_ (reason/node/message of the last attempt).
   bool newtonLanes(double time, double dt, IntegrationMethod method, double source_scale,
                    double gmin, std::vector<double>& x, const uint8_t* live,
                    uint8_t* converged, size_t* iterations);
+
+  std::string unknownName(size_t index) const;
+  /// Promote lane l's last attempt failure (attempt_failure_) into its
+  /// permanent LaneFailure record, tagged with the ladder stage.
+  void recordLaneFailure(size_t l, RecoveryStage stage);
 
   Circuit& circuit_;
   SimOptions options_;
@@ -112,11 +138,15 @@ class EnsembleSimulator {
   std::unordered_map<const Device*, size_t> device_index_;
   std::vector<double> zeros_;
   std::vector<uint8_t> failed_;
+  std::vector<LaneFailure> lane_failures_;
 
   // Newton workspaces.
   std::vector<double> x_new_;
   std::vector<uint8_t> pending_;
   std::vector<uint8_t> lane_ok_;
+  /// Last newtonLanes attempt: per-lane failure details (reason None
+  /// for lanes that converged or were not selected).
+  std::vector<LaneFailure> attempt_failure_;
 
   // Last transient run (shared time axis, SoA snapshots).
   std::vector<double> time_;

@@ -1,0 +1,131 @@
+#include "sim/fault_injection.hpp"
+
+#include <sstream>
+
+#include "circuit/circuit.hpp"
+#include "circuit/ensemble_assembly.hpp"
+#include "circuit/mna.hpp"
+
+namespace vls {
+
+namespace {
+
+std::string formatValue(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool FaultInjector::armed(double time) const {
+  if (time < spec_.arm_time) return false;
+  if ((spec_.stage_mask & recoveryStageBit(stage_)) == 0) return false;
+  if (spec_.max_fires >= 0 && fires_ >= static_cast<size_t>(spec_.max_fires)) return false;
+  return true;
+}
+
+bool FaultInjector::shouldFailNewton(int iteration, double time) {
+  if (spec_.fail_newton_at_iteration < 0 || iteration != spec_.fail_newton_at_iteration) {
+    return false;
+  }
+  if (!armed(time)) return false;
+  consumeFire();
+  return true;
+}
+
+std::string FaultInjector::describeNewtonFault() const {
+  if (spec_.fail_newton_at_iteration < 0) return "";
+  return "injected Newton failure at iteration " +
+         std::to_string(spec_.fail_newton_at_iteration);
+}
+
+size_t FaultInjector::stampRow(const Circuit& circuit) const {
+  const Device* dev = circuit.findDevice(spec_.nan_stamp_device);
+  if (dev == nullptr) {
+    throw InvalidInputError("FaultInjector: unknown device '" + spec_.nan_stamp_device + "'");
+  }
+  for (size_t t = 0; t < dev->terminalCount(); ++t) {
+    const NodeId n = dev->terminalNode(t);
+    if (!isGround(n)) return static_cast<size_t>(n);
+  }
+  throw InvalidInputError("FaultInjector: device '" + spec_.nan_stamp_device +
+                          "' has only ground terminals");
+}
+
+size_t FaultInjector::pivotColumn(const Circuit& circuit) const {
+  const auto id = circuit.findNode(spec_.zero_pivot_node);
+  if (!id || isGround(*id)) {
+    throw InvalidInputError("FaultInjector: unknown pivot node '" + spec_.zero_pivot_node + "'");
+  }
+  return static_cast<size_t>(*id);
+}
+
+bool FaultInjector::applyStampFault(MnaSystem& system, const Circuit& circuit, double time,
+                                    std::string* what) {
+  if (spec_.nan_stamp_device.empty() || !armed(time)) return false;
+  const size_t row = stampRow(circuit);
+  system.rhs()[row] += spec_.stamp_value;
+  consumeFire();
+  if (what != nullptr) {
+    *what = "injected " + formatValue(spec_.stamp_value) + " stamp from device '" +
+            spec_.nan_stamp_device + "' at node '" + circuit.nodeName(static_cast<NodeId>(row)) +
+            "'";
+  }
+  return true;
+}
+
+bool FaultInjector::applyPivotFault(MnaSystem& system, const Circuit& circuit, double time,
+                                    std::string* what) {
+  if (spec_.zero_pivot_node.empty() || !armed(time)) return false;
+  const size_t col = pivotColumn(circuit);
+  SparseMatrix& m = system.matrix();
+  const auto& entries = m.entries();
+  for (size_t h = 0; h < entries.size(); ++h) {
+    if (entries[h].col == col) m.setAt(h, 0.0);
+  }
+  consumeFire();
+  if (what != nullptr) {
+    *what = "injected zero pivot at node '" + spec_.zero_pivot_node + "'";
+  }
+  return true;
+}
+
+bool FaultInjector::applyLaneStampFault(EnsembleSystem& system, const Circuit& circuit,
+                                        double time, std::string* what) {
+  if (spec_.nan_stamp_device.empty() || !armed(time)) return false;
+  const size_t row = stampRow(circuit);
+  double* rhs = system.rhsLanes(row);
+  for (size_t l = 0; l < system.lanes(); ++l) {
+    if (laneAffected(l)) rhs[l] += spec_.stamp_value;
+  }
+  consumeFire();
+  if (what != nullptr) {
+    *what = "injected " + formatValue(spec_.stamp_value) + " stamp from device '" +
+            spec_.nan_stamp_device + "' at node '" + circuit.nodeName(static_cast<NodeId>(row)) +
+            "'";
+  }
+  return true;
+}
+
+bool FaultInjector::applyLanePivotFault(EnsembleSystem& system, const Circuit& circuit,
+                                        double time, std::string* what) {
+  if (spec_.zero_pivot_node.empty() || !armed(time)) return false;
+  const size_t col = pivotColumn(circuit);
+  LaneMatrix& m = system.matrix();
+  const auto& entries = m.entries();
+  for (size_t h = 0; h < entries.size(); ++h) {
+    if (entries[h].col != col) continue;
+    double* vals = m.laneValues(h);
+    for (size_t l = 0; l < system.lanes(); ++l) {
+      if (laneAffected(l)) vals[l] = 0.0;
+    }
+  }
+  consumeFire();
+  if (what != nullptr) {
+    *what = "injected zero pivot at node '" + spec_.zero_pivot_node + "'";
+  }
+  return true;
+}
+
+}  // namespace vls

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the convergence-recovery engine.
+// A FaultInjector, installed through SimOptions::fault_injector, can
+//   * poison a named device's stamp with NaN/Inf (the non-finite
+//     guards must abort the rung and name the node),
+//   * fail a Newton attempt at iteration N (forcing the ladder to
+//     escalate to the next rung),
+//   * zero a chosen node's matrix column (forcing a singular pivot the
+//     LU layer must attribute to that node).
+// Faults are armed by simulation time, by recovery stage (so a fault
+// can fire only inside, say, the gmin rung), and by a total firing
+// budget — which is what makes "recoverable" scenarios expressible: a
+// fault with max_fires=1 kills the direct-Newton rung once and the
+// gmin rung then succeeds cleanly. Every ladder rung and diagnostic
+// field is thereby testable instead of waiting for a pathological
+// circuit to exercise it in production.
+//
+// An injector is mutable, single-simulation state: install a fresh
+// instance per run (the Monte-Carlo driver does this per sample, and
+// gives the ensemble scalar-re-run fallback its own fresh copy so the
+// scalar and ensemble paths produce identical failure records).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "sim/diagnostics.hpp"
+
+namespace vls {
+
+class Circuit;
+class MnaSystem;
+class EnsembleSystem;
+
+struct FaultSpec {
+  // --- what to break (set one or more) -------------------------------
+  /// Poison this device's stamp: `stamp_value` is added to the RHS row
+  /// of the device's first non-ground terminal after assembly.
+  std::string nan_stamp_device;
+  /// Value forced by nan_stamp_device (defaults to quiet NaN; set to
+  /// +/-Inf to exercise the Inf guards).
+  double stamp_value = std::numeric_limits<double>::quiet_NaN();
+  /// Abort the Newton attempt at this (0-based) iteration; -1 disables.
+  int fail_newton_at_iteration = -1;
+  /// Zero this node's matrix column after assembly, forcing the LU
+  /// factorization into a singular pivot at that node.
+  std::string zero_pivot_node;
+
+  // --- when it is armed ----------------------------------------------
+  /// Fire only for solves at time >= arm_time (mid-transient faults).
+  double arm_time = 0.0;
+  /// Fire only in recovery stages whose recoveryStageBit() is set.
+  unsigned stage_mask = kAllRecoveryStages;
+  /// Total firings before the fault disarms; -1 = unlimited. A finite
+  /// budget makes the fault recoverable by a later ladder rung.
+  int max_fires = -1;
+  /// Ensemble runs: poison only this lane (-1 = every lane). The
+  /// scalar engine ignores this field.
+  int lane = -1;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {}
+
+  const FaultSpec& spec() const { return spec_; }
+  size_t fires() const { return fires_; }
+
+  /// The recovery engine (and the transient loop) report the active
+  /// ladder rung here; stage_mask gates firing on it.
+  void setStage(RecoveryStage stage) { stage_ = stage; }
+  RecoveryStage stage() const { return stage_; }
+
+  /// Newton-iteration fault: true when the current attempt must be
+  /// aborted at `iteration` (consumes one firing).
+  bool shouldFailNewton(int iteration, double time);
+  /// Human-readable description of the Newton fault ("" if disabled).
+  std::string describeNewtonFault() const;
+
+  /// Scalar stamp/pivot faults, applied to the assembled system.
+  /// Append a description to *what and return true when fired.
+  bool applyStampFault(MnaSystem& system, const Circuit& circuit, double time,
+                       std::string* what);
+  bool applyPivotFault(MnaSystem& system, const Circuit& circuit, double time,
+                       std::string* what);
+
+  /// Lane-aware variants for the ensemble engine: only lanes selected
+  /// by spec().lane are poisoned.
+  bool applyLaneStampFault(EnsembleSystem& system, const Circuit& circuit, double time,
+                           std::string* what);
+  bool applyLanePivotFault(EnsembleSystem& system, const Circuit& circuit, double time,
+                           std::string* what);
+
+  /// Whether lane l is a target of this injector (ensemble paths).
+  bool laneAffected(size_t l) const {
+    return spec_.lane < 0 || static_cast<size_t>(spec_.lane) == l;
+  }
+
+ private:
+  bool armed(double time) const;
+  void consumeFire() { ++fires_; }
+  /// Resolve the poisoned device's RHS row (first non-ground terminal).
+  size_t stampRow(const Circuit& circuit) const;
+  /// Resolve the zeroed pivot's unknown index.
+  size_t pivotColumn(const Circuit& circuit) const;
+
+  FaultSpec spec_;
+  RecoveryStage stage_ = RecoveryStage::DirectNewton;
+  size_t fires_ = 0;
+};
+
+}  // namespace vls

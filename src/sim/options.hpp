@@ -2,9 +2,47 @@
 // they exist).
 #pragma once
 
+#include <memory>
+
 #include "circuit/device.hpp"
 
 namespace vls {
+
+class FaultInjector;
+
+/// Controls the convergence-recovery escalation ladder shared by the
+/// scalar and ensemble engines (see sim/recovery.hpp). Stages run in
+/// order — direct Newton, gmin stepping, source stepping, pseudo-
+/// transient continuation — each only when the previous one failed.
+struct RecoveryPolicy {
+  bool gmin_stepping = true;
+  bool source_stepping = true;
+  bool pseudo_transient = true;
+
+  // Gmin stepping: start at gmin_start, relax by 10x per rung down to
+  // the operating gmin, at most gmin_steps rungs.
+  int gmin_steps = 10;
+  double gmin_start = 1e-2;
+
+  // Source stepping: ramp source_scale over source_steps equal steps.
+  int source_steps = 20;
+
+  // Pseudo-transient continuation: an artificial conductance g anchors
+  // every node to the last converged point; g relaxes by ptran_grow per
+  // converged pseudo-step (growing the pseudo-timestep) until below
+  // ptran_g_min, then a plain Newton polish finishes. A failed step
+  // tightens g by ptran_shrink; exceeding ptran_g_abort gives up.
+  int ptran_max_steps = 200;
+  double ptran_g_start = 1.0;     ///< initial anchor conductance [S]
+  double ptran_g_min = 1e-9;      ///< anchor below which ptran hands to Newton
+  double ptran_grow = 4.0;        ///< anchor relaxation per converged step
+  double ptran_shrink = 8.0;      ///< anchor tightening per failed step
+  double ptran_g_abort = 1e6;     ///< give up when g grows past this [S]
+
+  /// Newton residual-trace depth kept per stage attempt (most recent
+  /// iterations); 0 disables tracing.
+  int newton_trace_depth = 8;
+};
 
 struct SimOptions {
   // Newton iteration.
@@ -26,9 +64,16 @@ struct SimOptions {
   double bypass_tol = 1e-7;         ///< terminal-voltage move threshold [V]
   int bypass_settle_iterations = 2; ///< forced full evaluations per solve
 
-  // Homotopy fallbacks for the operating point.
-  int gmin_steps = 10;
-  int source_steps = 20;
+  // Convergence-recovery escalation ladder (gmin / source stepping,
+  // pseudo-transient continuation) shared by every solve entry point.
+  RecoveryPolicy recovery;
+
+  // Deterministic fault injection (tests): when set, the installed
+  // injector may poison stamps, abort Newton attempts, or zero pivots
+  // according to its FaultSpec. Null in production runs. Shared_ptr so
+  // SimOptions stays copyable; install a fresh injector per simulation
+  // (the injector carries mutable firing state).
+  std::shared_ptr<FaultInjector> fault_injector;
 
   // Transient control.
   IntegrationMethod method = IntegrationMethod::Trapezoidal;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "circuit/node.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace vls {
 
@@ -41,6 +42,10 @@ class TransientResult {
   /// Total Newton iterations and rejected steps (engine diagnostics).
   size_t total_newton_iterations = 0;
   size_t rejected_steps = 0;
+  /// Recovery-ladder interventions that rescued a timestep (or the
+  /// initial operating point): each entry records the stages run. Empty
+  /// on a clean run.
+  std::vector<ConvergenceDiagnostics> recovery_events;
 
  private:
   std::vector<std::string> node_names_;
@@ -59,6 +64,14 @@ struct DcSweepResult {
   /// defeat both warm-started and homotopy solves; such points repeat
   /// the previous solution and are flagged false.
   std::vector<bool> converged;
+  /// Structured record for each non-converged point (and each point the
+  /// cold homotopy had to rescue): which ladder stages ran and which
+  /// node was worst.
+  struct PointDiagnostics {
+    size_t point_index = 0;
+    ConvergenceDiagnostics diagnostics;
+  };
+  std::vector<PointDiagnostics> diagnostics;
 
   /// Voltage of `name` across the sweep.
   std::vector<double> node(const std::string& name) const;

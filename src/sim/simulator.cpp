@@ -7,6 +7,8 @@
 #include "base/logging.hpp"
 #include "devices/sources.hpp"
 #include "numeric/lu_sparse.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/recovery.hpp"
 
 namespace vls {
 
@@ -28,10 +30,16 @@ EvalContext Simulator::contextFor(const std::vector<double>& x, double time) con
   return ctx;
 }
 
-bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
-                            double source_scale, double gmin, std::vector<double>& x,
-                            size_t* iterations) {
+std::string Simulator::unknownName(size_t index) const {
+  if (index < num_nodes_) return circuit_.nodeName(static_cast<NodeId>(index));
+  return "branch#" + std::to_string(index - num_nodes_);
+}
+
+NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod method,
+                                       double source_scale, double gmin,
+                                       std::vector<double>& x, const PtranAnchor* anchor) {
   MnaSystem& system = system_;
+  FaultInjector* injector = options_.fault_injector.get();
 
   EvalContext ctx;
   ctx.time = time;
@@ -45,15 +53,52 @@ bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
   assembly_opts.enable_bypass = options_.enable_bypass;
   assembly_opts.bypass_tol = options_.bypass_tol;
 
+  NewtonOutcome out;
+  const int trace_depth = options_.recovery.newton_trace_depth;
   std::vector<double>& x_new = x_new_;
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
-    if (iterations) ++*iterations;
+    ++out.iterations;
+    if (injector != nullptr && injector->shouldFailNewton(iter, time)) {
+      out.failure = NewtonFailureReason::InjectedFault;
+      out.injected = injector->describeNewtonFault();
+      return out;
+    }
     ctx.x = std::span<const double>(x);
     // Bypass only after the settle iterations: every Newton solve
     // starts with full evaluations so fresh timesteps, committed
     // charge histories, and post-breakpoint states are re-linearized.
     assembly_opts.allow_bypass_now = iter >= options_.bypass_settle_iterations;
     assembler_.assemble(system, circuit_, ctx, assembly_opts);
+
+    // Pseudo-transient anchor: g on every node diagonal pulling toward
+    // the last converged pseudo-state. Node diagonals already exist
+    // (gmin stamps), so this never grows the pattern.
+    if (anchor != nullptr) {
+      SparseMatrix& m = system.matrix();
+      std::vector<double>& rhs = system.rhs();
+      for (size_t n = 0; n < num_nodes_; ++n) {
+        m.add(n, n, anchor->g);
+        rhs[n] += anchor->g * (*anchor->x_ref)[n];
+      }
+    }
+
+    // Fault injection happens on the assembled system — never inside
+    // device stamps, which would desync the record/replay tape.
+    if (injector != nullptr) {
+      std::string what;
+      if (injector->applyStampFault(system, circuit_, time, &what)) out.injected = what;
+      if (injector->applyPivotFault(system, circuit_, time, &what)) out.injected = what;
+    }
+
+    // Residual guard: a non-finite RHS entry names the offending row
+    // directly (before the solve smears it over every unknown).
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      if (!std::isfinite(system.rhs()[i])) {
+        out.failure = NewtonFailureReason::NonFinite;
+        out.worst_index = static_cast<int>(i);
+        return out;
+      }
+    }
 
     try {
       // Numeric-only refactorization on the fixed MNA pattern; the first
@@ -62,16 +107,41 @@ bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
       x_new = system.rhs();
       lu_.solveInPlace(x_new);
     } catch (const NumericalError&) {
-      return false;
+      out.failure = NewtonFailureReason::SingularPivot;
+      out.singular_index = lu_.lastSingularColumn();
+      return out;
+    }
+
+    // Solution guard: abort on the first NaN/Inf unknown instead of
+    // iterating to the limit (or silently "converging" on NaN, whose
+    // comparisons are all false).
+    for (size_t i = 0; i < num_unknowns_; ++i) {
+      if (!std::isfinite(x_new[i])) {
+        out.failure = NewtonFailureReason::NonFinite;
+        out.worst_index = static_cast<int>(i);
+        return out;
+      }
     }
 
     // Damping: scale the whole update if any component moves too far;
     // preserves the Newton direction.
     double max_delta = 0.0;
+    int worst = -1;
     for (size_t i = 0; i < num_unknowns_; ++i) {
-      max_delta = std::max(max_delta, std::fabs(x_new[i] - x[i]));
+      const double delta = std::fabs(x_new[i] - x[i]);
+      if (delta > max_delta) {
+        max_delta = delta;
+        worst = static_cast<int>(i);
+      }
     }
-    if (!std::isfinite(max_delta)) return false;
+    out.worst_delta = max_delta;
+    out.worst_index = worst;
+    if (trace_depth > 0) {
+      if (out.trace.size() >= static_cast<size_t>(trace_depth)) {
+        out.trace.erase(out.trace.begin());
+      }
+      out.trace.push_back({static_cast<size_t>(iter), max_delta});
+    }
     double scale = 1.0;
     if (max_delta > options_.max_step_voltage) scale = options_.max_step_voltage / max_delta;
 
@@ -84,57 +154,39 @@ bool Simulator::newtonSolve(double time, double dt, IntegrationMethod method,
       if (std::fabs(bounded - x[i]) > tol) converged = false;
       x[i] = bounded;
     }
-    if (converged && iter > 0) return true;
+    if (converged && iter > 0) {
+      out.converged = true;
+      return out;
+    }
   }
-  return false;
+  out.failure = NewtonFailureReason::IterationLimit;
+  return out;
 }
 
-std::vector<double> Simulator::solveOp() { return solveOpInternal(std::vector<double>(num_unknowns_, 0.0)); }
+std::vector<double> Simulator::solveOp() {
+  return solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "operatingPoint");
+}
 
 std::vector<double> Simulator::solveOp(std::vector<double> initial_guess) {
   initial_guess.resize(num_unknowns_, 0.0);
-  return solveOpInternal(std::move(initial_guess));
+  return solveOpInternal(std::move(initial_guess), "operatingPoint");
 }
 
 std::vector<double> Simulator::solveOpAt(double time, std::vector<double> initial_guess) {
   initial_guess.resize(num_unknowns_, 0.0);
-  if (!newtonSolve(time, 0.0, IntegrationMethod::None, 1.0, options_.gmin, initial_guess)) {
-    throw ConvergenceError("solveOpAt: Newton failed at t = " + std::to_string(time));
-  }
-  return initial_guess;
+  return solveOpInternal(std::move(initial_guess), "solveOpAt", time);
 }
 
-std::vector<double> Simulator::solveOpInternal(std::vector<double> x0) {
-  // 1) Direct Newton.
-  std::vector<double> x = x0;
-  if (newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x)) return x;
-
-  // 2) Gmin stepping: solve with a large gmin, then relax it.
-  VLS_LOG_DEBUG("OP: direct Newton failed, trying gmin stepping");
-  x = x0;
-  double gmin = 1e-2;
-  bool ok = true;
-  for (int step = 0; step <= options_.gmin_steps; ++step) {
-    if (!newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, gmin, x)) {
-      ok = false;
-      break;
-    }
-    if (gmin <= options_.gmin) break;
-    gmin = std::max(gmin * 0.1, options_.gmin);
-  }
-  if (ok && gmin <= options_.gmin) return x;
-
-  // 3) Source stepping: ramp all independent sources from zero.
-  VLS_LOG_DEBUG("OP: gmin stepping failed, trying source stepping");
-  x.assign(num_unknowns_, 0.0);
-  for (int step = 1; step <= options_.source_steps; ++step) {
-    const double scale = static_cast<double>(step) / options_.source_steps;
-    if (!newtonSolve(0.0, 0.0, IntegrationMethod::None, scale, options_.gmin, x)) {
-      throw ConvergenceError("Operating point failed to converge (source stepping at scale " +
-                             std::to_string(scale) + ")");
-    }
-  }
-  return x;
+std::vector<double> Simulator::solveOpInternal(std::vector<double> x0, const std::string& context,
+                                               double time, ConvergenceDiagnostics* diag) {
+  RecoveryEngine engine(
+      options_.recovery, options_.gmin,
+      [this, time](double scale, double gmin, std::vector<double>& x,
+                   const PtranAnchor* anchor) {
+        return newtonAttempt(time, 0.0, IntegrationMethod::None, scale, gmin, x, anchor);
+      },
+      [this](size_t i) { return unknownName(i); }, options_.fault_injector.get());
+  return engine.solve(x0, context, time, diag);
 }
 
 DcSweepResult Simulator::dcSweep(VoltageSource& source, double from, double to, double step) {
@@ -147,19 +199,27 @@ DcSweepResult Simulator::dcSweep(VoltageSource& source, double from, double to, 
   const double span = to - from;
   const int points = static_cast<int>(std::floor(std::fabs(span) / step + 0.5)) + 1;
   const double dir = span >= 0.0 ? 1.0 : -1.0;
+  FaultInjector* injector = options_.fault_injector.get();
   for (int k = 0; k < points; ++k) {
     const double v = from + dir * static_cast<double>(k) * step;
     source.setWaveform(Waveform::dc(v));
-    bool ok = newtonSolve(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x);
+    if (injector != nullptr) injector->setStage(RecoveryStage::DirectNewton);
+    bool ok = newtonAttempt(0.0, 0.0, IntegrationMethod::None, 1.0, options_.gmin, x).converged;
     if (!ok) {
-      // Fall back to a cold homotopy solve; a bistable cell caught
-      // mid-transition can defeat that too — keep the previous point's
-      // solution and flag it rather than aborting the sweep.
+      // Fall back to a cold homotopy solve through the full recovery
+      // ladder; a bistable cell caught mid-transition can defeat that
+      // too — keep the previous point's solution and flag it rather
+      // than aborting the sweep. Either way the stage record lands in
+      // result.diagnostics for this point.
+      const std::string context = "dcSweep v=" + std::to_string(v);
+      ConvergenceDiagnostics diag;
       try {
-        x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+        x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0), context, 0.0, &diag);
         ok = true;
-      } catch (const ConvergenceError&) {
+        result.diagnostics.push_back({static_cast<size_t>(k), std::move(diag)});
+      } catch (const RecoveryError& e) {
         ok = false;
+        result.diagnostics.push_back({static_cast<size_t>(k), e.diagnostics()});
       }
     }
     result.sweep.push_back(v);
@@ -175,7 +235,8 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
     throw InvalidInputError("ac: bad frequency arguments");
   }
   // Linearization point.
-  const std::vector<double> x_op = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  const std::vector<double> x_op =
+      solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "ac operating point");
   EvalContext ctx = contextFor(x_op, 0.0);
 
   // Conductance part: the assembled Newton Jacobian at the OP.
@@ -242,7 +303,8 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
   }
   const size_t out_idx = static_cast<size_t>(*out_id);
 
-  const std::vector<double> x_op = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  const std::vector<double> x_op =
+      solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "noise operating point");
   EvalContext ctx = contextFor(x_op, 0.0);
 
   MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
@@ -318,8 +380,11 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
 
   TransientResult result(circuit_.nodeNames(), num_unknowns_);
 
-  // Operating point at t = 0.
-  std::vector<double> x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0));
+  // Operating point at t = 0 (surface a rescued OP as a recovery event).
+  ConvergenceDiagnostics op_diag;
+  std::vector<double> x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0),
+                                          "transient operating point", 0.0, &op_diag);
+  if (op_diag.recovered) result.recovery_events.push_back(std::move(op_diag));
   {
     EvalContext ctx = contextFor(x, 0.0);
     for (const auto& dev : circuit_.devices()) dev->startTransient(ctx);
@@ -368,19 +433,71 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
             ? IntegrationMethod::BackwardEuler
             : IntegrationMethod::Trapezoidal;
 
+    FaultInjector* injector = options_.fault_injector.get();
+    const auto recordStep = [this](StageAttempt& attempt, const NewtonOutcome& o) {
+      attempt.newton_iterations += o.iterations;
+      attempt.converged = o.converged;
+      attempt.failure = o.failure;
+      attempt.worst_residual = o.worst_delta;
+      attempt.worst_node = o.worst_index >= 0 ? unknownName(o.worst_index) : "";
+      attempt.singular_node = o.singular_index >= 0 ? unknownName(o.singular_index) : "";
+      if (!o.injected.empty()) attempt.injected_fault = o.injected;
+      attempt.trace = o.trace;
+    };
+
     x_try = x;
-    size_t iters = 0;
-    const bool converged =
-        newtonSolve(t + dt_eff, dt_eff, method, 1.0, options_.gmin, x_try, &iters);
-    result.total_newton_iterations += iters;
+    if (injector != nullptr) injector->setStage(RecoveryStage::TransientStep);
+    const NewtonOutcome step_out =
+        newtonAttempt(t + dt_eff, dt_eff, method, 1.0, options_.gmin, x_try);
+    result.total_newton_iterations += step_out.iterations;
+    bool converged = step_out.converged;
 
     if (!converged) {
       ++result.rejected_steps;
-      dt = dt_eff * options_.dt_shrink;
-      if (dt < options_.dt_min) {
-        throw ConvergenceError("transient: timestep underflow at t = " + std::to_string(t));
+      const double dt_next = dt_eff * options_.dt_shrink;
+      if (dt_next >= options_.dt_min) {
+        dt = dt_next;
+        continue;
       }
-      continue;
+      // dt is exhausted: one last gmin-ladder rescue at this very step
+      // (the fixed-dt analogue of the OP ladder) before declaring
+      // underflow — with the full stage record either way.
+      ConvergenceDiagnostics diag;
+      diag.context = "transient";
+      diag.time = t;
+      diag.last_dt = dt_prev;
+      StageAttempt& step_attempt = diag.stages.emplace_back();
+      step_attempt.stage = RecoveryStage::TransientStep;
+      step_attempt.rungs = 1;
+      step_attempt.detail = "dt=" + std::to_string(dt_eff);
+      recordStep(step_attempt, step_out);
+      bool rescued = false;
+      if (options_.recovery.gmin_stepping) {
+        if (injector != nullptr) injector->setStage(RecoveryStage::GminStepping);
+        StageAttempt& gmin_attempt = diag.stages.emplace_back();
+        gmin_attempt.stage = RecoveryStage::GminStepping;
+        x_try = x;
+        rescued = true;
+        for (const double g : RecoveryEngine::gminSchedule(options_.recovery, options_.gmin)) {
+          ++gmin_attempt.rungs;
+          gmin_attempt.detail = "gmin=" + std::to_string(g);
+          const NewtonOutcome o = newtonAttempt(t + dt_eff, dt_eff, method, 1.0, g, x_try);
+          result.total_newton_iterations += o.iterations;
+          recordStep(gmin_attempt, o);
+          if (!o.converged) {
+            rescued = false;
+            break;
+          }
+        }
+        if (injector != nullptr) injector->setStage(RecoveryStage::TransientStep);
+      }
+      if (!rescued) {
+        throw RecoveryError("transient: timestep underflow at t = " + std::to_string(t),
+                            std::move(diag));
+      }
+      diag.recovered = true;
+      result.recovery_events.push_back(std::move(diag));
+      converged = true;
     }
 
     // Predictor-based local truncation error estimate.

@@ -14,6 +14,7 @@
 #include "sim/ac.hpp"
 #include "sim/noise.hpp"
 #include "sim/options.hpp"
+#include "sim/recovery.hpp"
 #include "sim/result.hpp"
 
 namespace vls {
@@ -35,8 +36,9 @@ class Simulator {
 
   /// Warm-started DC solve with sources evaluated at `time` (used to
   /// measure true steady-state leakage after a transient has brought
-  /// the circuit near the state of interest). Throws ConvergenceError
-  /// if Newton fails from the supplied guess.
+  /// the circuit near the state of interest). Runs the full recovery
+  /// ladder; throws RecoveryError (a ConvergenceError carrying the
+  /// stage record) if every rung fails.
   std::vector<double> solveOpAt(double time, std::vector<double> initial_guess);
 
   /// Sweep the DC value of a source, warm-starting each point.
@@ -64,14 +66,23 @@ class Simulator {
   /// given time (measurement helpers).
   EvalContext contextFor(const std::vector<double>& x, double time = 0.0) const;
 
- private:
-  /// One Newton solve at fixed (time, dt, method, scale, gmin).
-  /// Returns true on convergence; x holds the solution (or last iterate).
-  bool newtonSolve(double time, double dt, IntegrationMethod method, double source_scale,
-                   double gmin, std::vector<double>& x, size_t* iterations = nullptr);
+  /// Printable name of unknown `index` (node name or branch label) for
+  /// diagnostics.
+  std::string unknownName(size_t index) const;
 
-  /// OP with fallback homotopies. Throws ConvergenceError on failure.
-  std::vector<double> solveOpInternal(std::vector<double> x);
+ private:
+  /// One Newton solve at fixed (time, dt, method, scale, gmin), with
+  /// non-finite guards, fault-injection hooks, and (in the ptran stage)
+  /// the anchor stamp. x holds the solution (or last iterate).
+  NewtonOutcome newtonAttempt(double time, double dt, IntegrationMethod method,
+                              double source_scale, double gmin, std::vector<double>& x,
+                              const PtranAnchor* anchor = nullptr);
+
+  /// DC solve through the recovery escalation ladder. Throws
+  /// RecoveryError on failure; fills *diag (also on success) when given.
+  std::vector<double> solveOpInternal(std::vector<double> x, const std::string& context,
+                                      double time = 0.0,
+                                      ConvergenceDiagnostics* diag = nullptr);
 
   Circuit& circuit_;
   SimOptions options_;

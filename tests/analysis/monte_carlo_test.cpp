@@ -206,6 +206,79 @@ TEST(MonteCarlo, EnsembleWidthClampAndOddBatch) {
   EXPECT_EQ(r.functional_failures, 0);
 }
 
+TEST(MonteCarloFault, RecoveredFaultLeavesNoFailureRecord) {
+  // A single-fire Newton fault kills the direct rung of one sample's
+  // operating point; the gmin rung rescues it. The sample must produce
+  // metrics and no failure record — in both engine modes.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig scalar = smallMc(4);
+  scalar.fault_sample = 1;
+  scalar.fault.fail_newton_at_iteration = 0;
+  scalar.fault.stage_mask = recoveryStageBit(RecoveryStage::DirectNewton);
+  scalar.fault.max_fires = 1;
+  MonteCarloConfig ens = scalar;
+  ens.ensemble_width = 4;
+  const MonteCarloResult a = runMonteCarlo(h, scalar);
+  const MonteCarloResult b = runMonteCarlo(h, ens);
+  EXPECT_TRUE(a.failed_samples.empty());
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  EXPECT_EQ(a.simulation_errors, 0);
+  EXPECT_EQ(b.simulation_errors, 0);
+  EXPECT_EQ(a.delay_rise.size(), 4u);
+  EXPECT_EQ(b.delay_rise.size(), 4u);
+}
+
+TEST(MonteCarloFault, UnrecoverableFaultAttributedIdenticallyInBothModes) {
+  // An unlimited pivot fault defeats every ladder rung for one sample.
+  // Scalar and ensemble runs must record exactly the same failure:
+  // same id, same deepest stage, same implicated node.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig scalar = smallMc(4);
+  scalar.fault_sample = 2;
+  scalar.fault.zero_pivot_node = "out";
+  MonteCarloConfig ens = scalar;
+  ens.ensemble_width = 4;
+  const MonteCarloResult a = runMonteCarlo(h, scalar);
+  const MonteCarloResult b = runMonteCarlo(h, ens);
+
+  ASSERT_EQ(a.failed_samples.size(), 1u);
+  const SampleFailure& f = a.failed_samples[0];
+  EXPECT_EQ(f.id, 2);
+  EXPECT_EQ(f.kind, FailureKind::SimulationError);
+  EXPECT_EQ(f.stage, "pseudo-transient");  // deepest rung attempted
+  EXPECT_EQ(f.node, "out");
+  EXPECT_FALSE(f.message.empty());
+  EXPECT_EQ(a.simulation_errors, 1);
+  // The comparison is on full records: attribution strings included.
+  EXPECT_EQ(a.failed_samples, b.failed_samples);
+  // The healthy samples still produced metrics.
+  EXPECT_EQ(a.delay_rise.size(), 3u);
+  EXPECT_EQ(b.delay_rise.size(), 3u);
+}
+
+TEST(MonteCarloFault, EnsembleSmokeRecordsExactlyOneFailure) {
+  // CI smoke contract: a 32-sample width-8 ensemble run with one
+  // sabotaged sample yields exactly one failed_samples entry, fully
+  // attributed, and 31 clean metric entries.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(32);
+  mc.ensemble_width = 8;
+  mc.fault_sample = 13;
+  mc.fault.zero_pivot_node = "out";
+  const MonteCarloResult r = runMonteCarlo(h, mc);
+  ASSERT_EQ(r.failed_samples.size(), 1u);
+  EXPECT_EQ(r.failed_samples[0].id, 13);
+  EXPECT_EQ(r.failed_samples[0].kind, FailureKind::SimulationError);
+  EXPECT_FALSE(r.failed_samples[0].stage.empty());
+  EXPECT_EQ(r.failed_samples[0].node, "out");
+  EXPECT_EQ(r.simulation_errors, 1);
+  EXPECT_EQ(r.functional_failures, 0);
+  EXPECT_EQ(r.delay_rise.size(), 31u);
+}
+
 TEST(MonteCarlo, PaperSigmas) {
   const VariationSpec v{};
   EXPECT_NEAR(v.sigma_w, 0.0334 * 90e-9, 1e-12);

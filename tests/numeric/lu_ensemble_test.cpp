@@ -156,5 +156,31 @@ TEST(EnsembleLu, PerLanePivotFailureFlagsOnlyThatLane) {
   EXPECT_NEAR(b[1 * 2 + 0], 1.0, 1e-12);
 }
 
+TEST(EnsembleLu, LaneSingularColumnIdentifiesCollapsedPivot) {
+  // Lane 1's first column is all zeros; lane 0 is healthy. The per-lane
+  // report must name column 0 for lane 1 and stay clean for lane 0.
+  LaneMatrix m(2, 2);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h01 = m.entryHandle(0, 1);
+  const size_t h10 = m.entryHandle(1, 0);
+  const size_t h11 = m.entryHandle(1, 1);
+  auto set = [&](size_t h, double lane0, double lane1) {
+    m.laneValues(h)[0] = lane0;
+    m.laneValues(h)[1] = lane1;
+  };
+  set(h00, 2.0, 0.0);
+  set(h01, 1.0, 1.0);
+  set(h10, 0.0, 0.0);
+  set(h11, 3.0, 1.0);
+
+  EnsembleLu lu;
+  std::vector<uint8_t> ok(2, 0);
+  lu.analyze(m, 0, 1e-13, nullptr, ok.data());
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 0);
+  EXPECT_EQ(lu.laneSingularColumn(0), -1);
+  EXPECT_EQ(lu.laneSingularColumn(1), 0);
+}
+
 }  // namespace
 }  // namespace vls

@@ -203,6 +203,45 @@ TEST(SparseLu, DefaultConstructedRefactorFactorsFromScratch) {
   EXPECT_NEAR(x[1], 1.0, 1e-14);
 }
 
+TEST(SparseLu, SingularColumnIsReportedAndResetOnSuccess) {
+  // [[1 2],[0.5 1]]: column 0 pivots fine, column 1 collapses after
+  // elimination. Row pivoting preserves column order, so the reported
+  // index is the original unknown index.
+  SparseMatrix m(2);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h01 = m.entryHandle(0, 1);
+  const size_t h10 = m.entryHandle(1, 0);
+  const size_t h11 = m.entryHandle(1, 1);
+  m.setAt(h00, 1.0);
+  m.setAt(h01, 2.0);
+  m.setAt(h10, 0.5);
+  m.setAt(h11, 1.0);
+  SparseLu lu;
+  EXPECT_EQ(lu.lastSingularColumn(), -1);
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+  EXPECT_EQ(lu.lastSingularColumn(), 1);
+  // Fix the matrix: a clean factorization clears the report.
+  m.setAt(h11, 5.0);
+  lu.refactor(m);
+  EXPECT_EQ(lu.lastSingularColumn(), -1);
+}
+
+TEST(SparseLu, NumericRefactorSingularityAlsoReported) {
+  // Healthy factorization first, then the numeric-only refactor hits a
+  // zeroed diagonal: the failing column must be reported even though the
+  // fallback full factorization throws.
+  SparseMatrix m(2);
+  const size_t h00 = m.entryHandle(0, 0);
+  const size_t h11 = m.entryHandle(1, 1);
+  m.setAt(h00, 2.0);
+  m.setAt(h11, 4.0);
+  SparseLu lu(m);
+  EXPECT_EQ(lu.lastSingularColumn(), -1);
+  m.setAt(h11, 0.0);
+  EXPECT_THROW(lu.refactor(m), NumericalError);
+  EXPECT_EQ(lu.lastSingularColumn(), 1);
+}
+
 TEST(SparseLu, StructurallySymmetricCircuitLikeSystem) {
   // Resistor-ladder conductance matrix: tridiagonal SPD.
   const int n = 50;

@@ -1,0 +1,175 @@
+#include "sim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "base/error.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+// Linear divider used by the end-to-end injection tests: trivially
+// solvable, so any failure is the injector's doing.
+void buildDivider(Circuit& c) {
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 1.0);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Resistor>("r2", b, kGround, 1000.0);
+}
+
+TEST(FaultInjector, StageMaskGatesNewtonFault) {
+  FaultSpec spec;
+  spec.fail_newton_at_iteration = 0;
+  spec.stage_mask = recoveryStageBit(RecoveryStage::GminStepping);
+  FaultInjector inj(spec);
+  // Default stage is DirectNewton: masked out.
+  EXPECT_FALSE(inj.shouldFailNewton(0, 0.0));
+  EXPECT_EQ(inj.fires(), 0u);
+  inj.setStage(RecoveryStage::GminStepping);
+  EXPECT_FALSE(inj.shouldFailNewton(1, 0.0));  // wrong iteration
+  EXPECT_TRUE(inj.shouldFailNewton(0, 0.0));
+  EXPECT_EQ(inj.fires(), 1u);
+  inj.setStage(RecoveryStage::SourceStepping);
+  EXPECT_FALSE(inj.shouldFailNewton(0, 0.0));
+}
+
+TEST(FaultInjector, ArmTimeGatesFiring) {
+  FaultSpec spec;
+  spec.fail_newton_at_iteration = 2;
+  spec.arm_time = 1e-9;
+  FaultInjector inj(spec);
+  EXPECT_FALSE(inj.shouldFailNewton(2, 0.5e-9));
+  EXPECT_TRUE(inj.shouldFailNewton(2, 1.5e-9));
+}
+
+TEST(FaultInjector, FiringBudgetDisarms) {
+  FaultSpec spec;
+  spec.fail_newton_at_iteration = 0;
+  spec.max_fires = 2;
+  FaultInjector inj(spec);
+  EXPECT_TRUE(inj.shouldFailNewton(0, 0.0));
+  EXPECT_TRUE(inj.shouldFailNewton(0, 0.0));
+  EXPECT_FALSE(inj.shouldFailNewton(0, 0.0));  // budget exhausted
+  EXPECT_EQ(inj.fires(), 2u);
+  EXPECT_FALSE(inj.describeNewtonFault().empty());
+}
+
+TEST(FaultInjector, UnknownStampDeviceThrowsInvalidInput) {
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.nan_stamp_device = "no_such_device";
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  EXPECT_THROW(sim.solveOp(), InvalidInputError);
+}
+
+TEST(FaultInjector, UnknownPivotNodeThrowsInvalidInput) {
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.zero_pivot_node = "no_such_node";
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  EXPECT_THROW(sim.solveOp(), InvalidInputError);
+}
+
+TEST(FaultInjector, NanStampDefeatsEveryStageAndNamesNode) {
+  // Unlimited NaN stamps poison every ladder rung: the non-finite RHS
+  // guard must abort each one and the record must name the stamped row.
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.nan_stamp_device = "r2";  // first non-ground terminal: node b
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  try {
+    sim.solveOp();
+    FAIL() << "expected RecoveryError";
+  } catch (const RecoveryError& e) {
+    const ConvergenceDiagnostics& d = e.diagnostics();
+    ASSERT_FALSE(d.stages.empty());
+    for (const StageAttempt& a : d.stages) {
+      EXPECT_EQ(a.failure, NewtonFailureReason::NonFinite);
+      EXPECT_EQ(a.worst_node, "b");
+      EXPECT_FALSE(a.injected_fault.empty());
+    }
+    EXPECT_EQ(d.worstNode(), "b");
+    EXPECT_FALSE(d.recovered);
+  }
+}
+
+TEST(FaultInjector, InfStampAlsoCaughtByGuards) {
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.nan_stamp_device = "r2";
+  spec.stamp_value = std::numeric_limits<double>::infinity();
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  EXPECT_THROW(sim.solveOp(), RecoveryError);
+}
+
+TEST(FaultInjector, SingleFireStampIsRecoveredByLadder) {
+  // One NaN stamp kills the direct rung; the gmin rung then runs clean
+  // and the solve must land on the unpoisoned answer.
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.nan_stamp_device = "r2";
+  spec.max_fires = 1;
+  auto injector = std::make_shared<FaultInjector>(spec);
+  opts.fault_injector = injector;
+  Simulator sim(c, opts);
+  const auto x = sim.solveOp();
+  EXPECT_EQ(injector->fires(), 1u);
+  EXPECT_NEAR(x[c.node("b")], 0.5, 1e-9);
+}
+
+TEST(FaultInjector, ZeroPivotAttributesSingularNode) {
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.zero_pivot_node = "b";
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  try {
+    sim.solveOp();
+    FAIL() << "expected RecoveryError";
+  } catch (const RecoveryError& e) {
+    const StageAttempt* last = e.diagnostics().lastAttempt();
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->failure, NewtonFailureReason::SingularPivot);
+    EXPECT_EQ(last->singular_node, "b");
+    EXPECT_EQ(e.diagnostics().worstNode(), "b");
+  }
+}
+
+TEST(FaultInjector, ZeroPivotSingleFireRecovers) {
+  Circuit c;
+  buildDivider(c);
+  SimOptions opts;
+  FaultSpec spec;
+  spec.zero_pivot_node = "b";
+  spec.max_fires = 1;
+  opts.fault_injector = std::make_shared<FaultInjector>(spec);
+  Simulator sim(c, opts);
+  const auto x = sim.solveOp();
+  EXPECT_NEAR(x[c.node("b")], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace vls
