@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 
+#include "base/error.hpp"
 #include "base/logging.hpp"
 #include "base/parallel.hpp"
 #include "numeric/lanes.hpp"
@@ -15,47 +19,231 @@ namespace vls {
 
 namespace {
 
-/// One sample's perturbed DUT geometries, in dutFets() order. The draw
-/// order (per fet: delta_w, delta_l, delta_vt) is the determinism
-/// contract shared by the scalar and ensemble paths: both consume the
-/// sample's RNG stream identically, so switching ensemble_width never
-/// changes which perturbations a sample id receives.
-std::vector<MosGeometry> drawGeometries(Rng& rng, const MosList& fets,
-                                        const VariationSpec& variation) {
-  std::vector<MosGeometry> geoms;
-  geoms.reserve(fets.size());
-  for (const Mosfet* fet : fets) {
-    MosGeometry g = fet->geometry();
-    g.delta_w = rng.gaussian(0.0, variation.sigma_w);
-    g.delta_l = rng.gaussian(0.0, variation.sigma_l);
-    g.delta_vt = rng.gaussian(0.0, variation.sigma_vt_rel * fet->model().vt0);
-    geoms.push_back(g);
+/// Per-fet nominal state snapshotted from one testbench build, so
+/// sample derivation never needs a live circuit (the draw order and
+/// values are identical to perturbing a fresh testbench in place).
+struct FetNominal {
+  MosGeometry base;
+  double vt0 = 0.0;
+};
+
+/// Serially-derived per-sample perturbations. The draw order (per fet:
+/// delta_w, delta_l, delta_vt; then the optional temperature deviate)
+/// is the determinism contract shared by every execution path: a
+/// sample's perturbations depend only on (seed, sampling mode, sample
+/// index) — never on thread count, completion order, ensemble width or
+/// streaming mode. Pseudo mode consumes one pre-split xoshiro stream
+/// per sample; LHS/Sobol map index-addressable low-discrepancy points
+/// through the inverse normal CDF with the same dimension order.
+class SampleDrawer {
+ public:
+  SampleDrawer(const MonteCarloConfig& config, size_t n, const MosList& fets,
+               double nominal_temperature_c)
+      : mode_(config.sampling),
+        variation_(config.variation),
+        nominal_temperature_c_(nominal_temperature_c) {
+    nominals_.reserve(fets.size());
+    for (const Mosfet* fet : fets) nominals_.push_back({fet->geometry(), fet->model().vt0});
+    vary_temperature_ = variation_.sigma_temperature_c > 0.0;
+    dims_ = 3 * nominals_.size() + (vary_temperature_ ? 1 : 0);
+    switch (mode_) {
+      case SamplingMode::Pseudo: {
+        Rng root(config.seed);
+        streams_.reserve(n);
+        for (size_t s = 0; s < n; ++s) streams_.push_back(root.split());
+        break;
+      }
+      case SamplingMode::LatinHypercube:
+        lhs_ = std::make_unique<LatinHypercube>(static_cast<unsigned>(dims_),
+                                                n > 0 ? n : 1, config.seed);
+        break;
+      case SamplingMode::Sobol:
+        if (dims_ > SobolSequence::kMaxDims) {
+          throw InvalidInputError("runMonteCarlo: Sobol sampling supports at most " +
+                                  std::to_string(SobolSequence::kMaxDims) +
+                                  " dimensions; this DUT needs " + std::to_string(dims_));
+        }
+        sobol_ = std::make_unique<SobolSequence>(static_cast<unsigned>(dims_), config.seed);
+        break;
+    }
   }
-  return geoms;
-}
+
+  bool variesTemperature() const { return vary_temperature_; }
+
+  MonteCarloSample draw(size_t s) const {
+    MonteCarloSample out;
+    out.id = static_cast<int>(s);
+    out.temperature_c = nominal_temperature_c_;
+    out.geometries.reserve(nominals_.size());
+    if (mode_ == SamplingMode::Pseudo) {
+      Rng rng = streams_[s];
+      for (const FetNominal& fet : nominals_) {
+        MosGeometry g = fet.base;
+        g.delta_w = rng.gaussian(0.0, variation_.sigma_w);
+        g.delta_l = rng.gaussian(0.0, variation_.sigma_l);
+        g.delta_vt = rng.gaussian(0.0, variation_.sigma_vt_rel * fet.vt0);
+        out.geometries.push_back(g);
+      }
+      if (vary_temperature_) {
+        out.temperature_c += rng.gaussian(0.0, variation_.sigma_temperature_c);
+      }
+    } else {
+      std::vector<double> u(dims_);
+      if (lhs_) {
+        lhs_->point(s, u.data());
+      } else {
+        sobol_->point(s, u.data());
+      }
+      size_t d = 0;
+      for (const FetNominal& fet : nominals_) {
+        MosGeometry g = fet.base;
+        g.delta_w = variation_.sigma_w * inverseNormalCdf(u[d++]);
+        g.delta_l = variation_.sigma_l * inverseNormalCdf(u[d++]);
+        g.delta_vt = variation_.sigma_vt_rel * fet.vt0 * inverseNormalCdf(u[d++]);
+        out.geometries.push_back(g);
+      }
+      if (vary_temperature_) {
+        out.temperature_c += variation_.sigma_temperature_c * inverseNormalCdf(u[d++]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  SamplingMode mode_;
+  VariationSpec variation_;
+  double nominal_temperature_c_;
+  bool vary_temperature_ = false;
+  size_t dims_ = 0;
+  std::vector<FetNominal> nominals_;
+  std::vector<Rng> streams_;
+  std::unique_ptr<LatinHypercube> lhs_;
+  std::unique_ptr<SobolSequence> sobol_;
+};
+
+/// Shared result sink for the exact and streaming paths. Exact mode
+/// writes pre-sized per-sample slots (gathered serially in id order);
+/// streaming mode feeds O(1) accumulators under a mutex and keeps only
+/// the (rare) failure records, sorted by id at gather time — the
+/// record *contents* depend only on the sample, so failed_samples is
+/// bit-identical to the exact path for any thread count.
+class ResultSink {
+ public:
+  ResultSink(bool streaming, size_t n) : streaming_(streaming), n_(n) {
+    if (!streaming_) {
+      metrics_.resize(n);
+      threw_.assign(n, 0);
+      throw_info_.resize(n);
+    }
+  }
+
+  void addMetrics(size_t s, const ShifterMetrics& m) {
+    if (!streaming_) {
+      metrics_[s] = m;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    delay_rise_.add(m.delay_rise);
+    delay_fall_.add(m.delay_fall);
+    power_rise_.add(m.power_rise);
+    power_fall_.add(m.power_fall);
+    leakage_high_.add(m.leakage_high);
+    leakage_low_.add(m.leakage_low);
+    if (!m.functional) {
+      failures_.push_back({static_cast<int>(s), FailureKind::NonFunctional, {}, {}, {}});
+      ++functional_failures_;
+    }
+  }
+
+  void addThrow(size_t s, SampleFailure failure) {
+    if (!streaming_) {
+      threw_[s] = 1;
+      throw_info_[s] = std::move(failure);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures_.push_back(std::move(failure));
+    ++simulation_errors_;
+  }
+
+  void gather(MonteCarloResult& result) {
+    if (streaming_) {
+      std::sort(failures_.begin(), failures_.end(),
+                [](const SampleFailure& a, const SampleFailure& b) { return a.id < b.id; });
+      result.failed_samples = std::move(failures_);
+      result.functional_failures = functional_failures_;
+      result.simulation_errors = simulation_errors_;
+      result.stream.delay_rise = delay_rise_.summary();
+      result.stream.delay_fall = delay_fall_.summary();
+      result.stream.power_rise = power_rise_.summary();
+      result.stream.power_fall = power_fall_.summary();
+      result.stream.leakage_high = leakage_high_.summary();
+      result.stream.leakage_low = leakage_low_.summary();
+      return;
+    }
+    // Serial gather in sample order: identical output for any thread
+    // count and ensemble width.
+    for (size_t s = 0; s < n_; ++s) {
+      if (threw_[s]) {
+        result.failed_samples.push_back(throw_info_[s]);
+        ++result.simulation_errors;
+        continue;
+      }
+      const ShifterMetrics& m = metrics_[s];
+      if (!m.functional) {
+        result.failed_samples.push_back({static_cast<int>(s), FailureKind::NonFunctional});
+        ++result.functional_failures;
+      }
+      result.delay_rise.push_back(m.delay_rise);
+      result.delay_fall.push_back(m.delay_fall);
+      result.power_rise.push_back(m.power_rise);
+      result.power_fall.push_back(m.power_fall);
+      result.leakage_high.push_back(m.leakage_high);
+      result.leakage_low.push_back(m.leakage_low);
+    }
+  }
+
+ private:
+  bool streaming_;
+  size_t n_;
+  // Exact mode: pre-sized per-sample slots.
+  std::vector<ShifterMetrics> metrics_;
+  std::vector<uint8_t> threw_;
+  std::vector<SampleFailure> throw_info_;
+  // Streaming mode: O(1) accumulators + failure records only.
+  std::mutex mutex_;
+  StreamingSummary delay_rise_, delay_fall_;
+  StreamingSummary power_rise_, power_fall_;
+  StreamingSummary leakage_high_, leakage_low_;
+  std::vector<SampleFailure> failures_;
+  int functional_failures_ = 0;
+  int simulation_errors_ = 0;
+};
 
 }  // namespace
 
 MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config) {
   MonteCarloResult result;
   result.samples = config.samples;
+  result.streaming = config.streaming;
   const size_t n = config.samples > 0 ? static_cast<size_t>(config.samples) : 0;
 
-  // Derive one independent RNG stream per sample up front (serially), so
-  // the perturbations depend only on (seed, sample index) — never on the
-  // thread count, completion order, or ensemble width.
-  Rng root(config.seed);
-  std::vector<Rng> streams;
-  streams.reserve(n);
-  for (size_t s = 0; s < n; ++s) streams.push_back(root.split());
+  // Derive every sample's perturbations from a one-off nominal
+  // snapshot, serially up front (Pseudo) or index-addressably
+  // (LHS/Sobol) — see SampleDrawer for the determinism contract.
+  std::unique_ptr<SampleDrawer> drawer;
+  {
+    ShifterTestbench nominal_tb(harness);
+    drawer = std::make_unique<SampleDrawer>(config, n, nominal_tb.dutFets(),
+                                            harness.temperature_c);
+  }
 
-  std::vector<ShifterMetrics> metrics(n);
-  std::vector<uint8_t> threw(n, 0);
-  std::vector<SampleFailure> throw_info(n);
+  ResultSink sink(config.streaming, n);
   std::atomic<int> done{0};
+  const int log_step = std::max(100, config.samples / 10);
   auto report = [&](int count) {
     const int d = done += count;
-    if (d / 100 != (d - count) / 100) {
+    if (d / log_step != (d - count) / log_step) {
       VLS_LOG_INFO("Monte-Carlo: %d / %d samples", d, config.samples);
     }
   };
@@ -67,8 +255,9 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
   // copy of whatever spec the caller put on harness.sim (never the
   // shared instance itself, whose fire budget would race across
   // samples and diverge between the scalar and ensemble paths).
-  auto harness_for = [&](size_t s) {
+  auto harness_for = [&](size_t s, double temperature_c) {
     HarnessConfig h = harness;
+    h.temperature_c = temperature_c;
     if (fault_armed && s == static_cast<size_t>(config.fault_sample)) {
       FaultSpec spec = config.fault;
       spec.lane = -1;  // scalar engine: the whole run is the target
@@ -80,8 +269,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
   };
   auto record_throw = [&](size_t s, const Error& e) {
     VLS_LOG_WARN("Monte-Carlo sample %zu failed: %s", s, e.what());
-    threw[s] = 1;
-    SampleFailure& f = throw_info[s];
+    SampleFailure f;
     f.id = static_cast<int>(s);
     f.kind = FailureKind::SimulationError;
     f.message = e.what();
@@ -89,51 +277,70 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
       f.stage = re->diagnostics().lastStageName();
       f.node = re->diagnostics().worstNode();
     }
+    sink.addThrow(s, std::move(f));
   };
   // Scalar reference simulation of one sample with fixed perturbations.
   // This path owns the failed_samples record: ensemble lanes that drop
   // out are re-run here, so the attribution strings are produced by the
   // same engine either way.
-  auto run_scalar = [&](size_t s, const std::vector<MosGeometry>& geoms) {
-    ShifterTestbench tb(harness_for(s));
+  auto run_scalar = [&](const MonteCarloSample& sample) {
+    const size_t s = static_cast<size_t>(sample.id);
+    ShifterTestbench tb(harness_for(s, sample.temperature_c));
     MosList& fets = tb.dutFets();
-    for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(geoms[f]);
+    for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(sample.geometries[f]);
     try {
-      metrics[s] = tb.measure();
+      sink.addMetrics(s, tb.measure());
     } catch (const Error& e) {
       record_throw(s, e);
     }
   };
 
-  const size_t width = static_cast<size_t>(
+  size_t width = static_cast<size_t>(
       std::clamp<int>(config.ensemble_width, 1, static_cast<int>(kMaxLanes)));
-  if (width <= 1) {
-    // Scalar path: one Simulator per sample.
-    parallelFor(
+  if (width > 1 && drawer->variesTemperature()) {
+    // Lockstep lanes share one thermal context; per-sample temperature
+    // runs through the scalar engine (results stay width-invariant by
+    // construction — the width is simply not exercised).
+    VLS_LOG_INFO("Monte-Carlo: temperature variation enabled; ensemble width %zu runs scalar",
+                 width);
+    width = 1;
+  }
+
+  const ParallelOptions pool{config.threads, 0};
+  if (config.evaluator) {
+    // Evaluator path (surrogate models): no circuits, no fault
+    // injection — pure sample derivation + metric evaluation, used to
+    // exercise scheduling/statistics at 10^6+ samples.
+    parallelForChunked(
         n,
         [&](size_t s) {
-          Rng rng = streams[s];
-          ShifterTestbench tb(harness_for(s));
-          const std::vector<MosGeometry> geoms =
-              drawGeometries(rng, tb.dutFets(), config.variation);
-          MosList& fets = tb.dutFets();
-          for (size_t f = 0; f < fets.size(); ++f) fets[f]->setGeometry(geoms[f]);
+          const MonteCarloSample sample = drawer->draw(s);
           try {
-            metrics[s] = tb.measure();
+            sink.addMetrics(s, config.evaluator(sample));
           } catch (const Error& e) {
             record_throw(s, e);
           }
           report(1);
         },
-        config.threads);
+        pool);
+  } else if (width <= 1) {
+    // Scalar path: one Simulator per sample.
+    parallelForChunked(
+        n,
+        [&](size_t s) {
+          run_scalar(drawer->draw(s));
+          report(1);
+        },
+        pool);
   } else {
     // Ensemble path: `width` consecutive samples per lockstep batch,
-    // batches distributed across worker threads. Lanes that drop out of
-    // a batch (and whole batches that fail outright) fall back to the
-    // scalar path with the very same perturbations, so failed_samples
-    // semantics are unchanged.
+    // whole batches (chunks of batches, under work stealing) per
+    // worker thread — threads x width composes multiplicatively.
+    // Lanes that drop out of a batch (and whole batches that fail
+    // outright) fall back to the scalar path with the very same
+    // perturbations, so failed_samples semantics are unchanged.
     const size_t num_batches = (n + width - 1) / width;
-    parallelFor(
+    parallelForChunked(
         num_batches,
         [&](size_t b) {
           const size_t s0 = b * width;
@@ -153,10 +360,12 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
                 std::make_shared<FaultInjector>(batch_harness.sim.fault_injector->spec());
           }
           ShifterTestbench tb(batch_harness);
+          std::vector<MonteCarloSample> samples;
+          samples.reserve(count);
           std::vector<std::vector<MosGeometry>> lane_geoms(count);
           for (size_t l = 0; l < count; ++l) {
-            Rng rng = streams[s0 + l];
-            lane_geoms[l] = drawGeometries(rng, tb.dutFets(), config.variation);
+            samples.push_back(drawer->draw(s0 + l));
+            lane_geoms[l] = samples.back().geometries;
           }
           std::vector<EnsembleSample> batch;
           try {
@@ -168,7 +377,7 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
           }
           for (size_t l = 0; l < count; ++l) {
             if (batch[l].ok) {
-              metrics[s0 + l] = batch[l].metrics;
+              sink.addMetrics(s0 + l, batch[l].metrics);
             } else {
               if (batch[l].failure.valid) {
                 VLS_LOG_WARN(
@@ -177,34 +386,55 @@ MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloCon
                     s0 + l, l, newtonFailureReasonName(batch[l].failure.reason),
                     recoveryStageName(batch[l].failure.stage), batch[l].failure.node.c_str());
               }
-              run_scalar(s0 + l, lane_geoms[l]);
+              run_scalar(samples[l]);
             }
           }
           report(static_cast<int>(count));
         },
-        config.threads);
+        pool);
   }
 
-  // Serial gather in sample order: identical output for any thread count.
-  for (size_t s = 0; s < n; ++s) {
-    if (threw[s]) {
-      result.failed_samples.push_back(throw_info[s]);
-      ++result.simulation_errors;
-      continue;
-    }
-    const ShifterMetrics& m = metrics[s];
-    if (!m.functional) {
-      result.failed_samples.push_back({static_cast<int>(s), FailureKind::NonFunctional});
-      ++result.functional_failures;
-    }
-    result.delay_rise.push_back(m.delay_rise);
-    result.delay_fall.push_back(m.delay_fall);
-    result.power_rise.push_back(m.power_rise);
-    result.power_fall.push_back(m.power_fall);
-    result.leakage_high.push_back(m.leakage_high);
-    result.leakage_low.push_back(m.leakage_low);
-  }
+  sink.gather(result);
   return result;
+}
+
+std::function<ShifterMetrics(const MonteCarloSample&)> makeSurrogateEvaluator(
+    const HarnessConfig& harness) {
+  // Metric scales loosely calibrated to the SS-TVS testbench at
+  // 0.8 V -> 1.2 V, 27 C (the BENCH_perf.json newton_workload run),
+  // with first-order supply scaling so surrogate sweeps still react to
+  // harness settings. Sensitivities: delays grow with VT and L, shrink
+  // with W; switching power moves the other way; leakage is
+  // exponentially VT- and temperature-sensitive (subthreshold).
+  const double supply = harness.vddo > 0.0 ? harness.vddo / 1.2 : 1.0;
+  const double t0 = harness.temperature_c;
+  return [supply, t0](const MonteCarloSample& sample) {
+    double a_vt = 0.0, a_w = 0.0, a_l = 0.0, worst_vt = 0.0;
+    for (const MosGeometry& g : sample.geometries) {
+      a_vt += g.delta_vt;
+      a_w += g.delta_w / g.w;
+      a_l += g.delta_l / g.l;
+      worst_vt = std::max(worst_vt, std::fabs(g.delta_vt));
+    }
+    const double nf = sample.geometries.empty() ? 1.0 : double(sample.geometries.size());
+    a_vt /= nf * 0.39;  // normalize to the nominal NMOS VT
+    a_w /= nf;
+    a_l /= nf;
+    const double dT = sample.temperature_c - t0;
+    ShifterMetrics m;
+    m.delay_rise = 155e-12 / supply * std::exp(1.8 * a_vt + 0.9 * a_l - 0.7 * a_w + 0.0022 * dT);
+    m.delay_fall = 118e-12 / supply * std::exp(1.5 * a_vt + 0.8 * a_l - 0.6 * a_w + 0.0019 * dT);
+    m.power_rise =
+        2.3e-6 * supply * supply * std::exp(-0.6 * a_vt + 0.8 * a_w - 0.3 * a_l + 0.0008 * dT);
+    m.power_fall =
+        1.9e-6 * supply * supply * std::exp(-0.5 * a_vt + 0.7 * a_w - 0.3 * a_l + 0.0008 * dT);
+    m.leakage_high = 1.4e-9 * supply * std::exp(-9.0 * a_vt + 0.9 * a_w + 0.035 * dT);
+    m.leakage_low = 0.9e-9 * supply * std::exp(-8.0 * a_vt + 0.8 * a_w + 0.035 * dT);
+    // Deterministic rare-tail failure region: a single deep-VT outlier
+    // device (~3.9 sigma at the paper's sigmas) breaks the cell.
+    m.functional = worst_vt < 0.050;
+    return m;
+  };
 }
 
 }  // namespace vls

@@ -3,12 +3,22 @@
 // independently per device; temperature applied globally. Sigmas follow
 // the paper: sigma(W) = sigma(L) = 3.34% of the 90 nm feature size,
 // sigma(VT) = 3.34% of each device's nominal VT (3 sigma = 10%).
+//
+// The engine scales from the paper's 1000-sample tables to 10^6+
+// samples: work items are whole ensemble batches on the work-stealing
+// pool (threads x ensemble_width composes multiplicatively), a
+// streaming mode summarizes through O(1) accumulators instead of
+// materializing six per-sample vectors, and Latin-hypercube / Sobol
+// sampling modes converge variability statistics with far fewer
+// samples than plain pseudo-random draws.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "analysis/shifter_harness.hpp"
+#include "numeric/qmc.hpp"
 #include "numeric/statistics.hpp"
 #include "sim/fault_injection.hpp"
 
@@ -18,6 +28,22 @@ struct VariationSpec {
   double sigma_w = 0.0334 * 90e-9;   ///< absolute width sigma [m]
   double sigma_l = 0.0334 * 90e-9;   ///< absolute length sigma [m]
   double sigma_vt_rel = 0.0334;      ///< VT sigma as a fraction of nominal
+  /// Global temperature sigma [degC]; 0 (the default) disables the
+  /// temperature dimension entirely, preserving the historical draw
+  /// order. When enabled, each sample draws one extra deviate after
+  /// its per-device geometry draws. Per-sample temperature is applied
+  /// through the scalar engine: ensemble lanes share one thermal
+  /// context, so runMonteCarlo forces ensemble_width = 1.
+  double sigma_temperature_c = 0.0;
+};
+
+/// One sample's fully-derived perturbations: what the evaluator (real
+/// testbench or surrogate) receives. Depends only on (config, id).
+struct MonteCarloSample {
+  int id = 0;
+  /// Perturbed DUT geometries, in dutFets() order.
+  std::vector<MosGeometry> geometries;
+  double temperature_c = 27.0;
 };
 
 struct MonteCarloConfig {
@@ -30,12 +56,35 @@ struct MonteCarloConfig {
   /// Lanes per lockstep ensemble batch: 1 (default) runs every sample
   /// through the scalar reference Simulator; K > 1 batches K
   /// consecutive samples into one EnsembleSimulator run (SoA lanes,
-  /// shared LU structure). Per-sample RNG draws are identical in both
+  /// shared LU structure). Per-sample draws are identical in both
   /// modes, and lanes that drop out of a lockstep run are transparently
   /// re-run scalar, so failure semantics do not change. Values above
   /// kMaxLanes are clamped; composes with `threads` (each worker
-  /// thread runs whole batches).
+  /// thread runs whole batches, chunks of batches under the
+  /// work-stealing scheduler).
   int ensemble_width = 1;
+  /// How per-sample perturbations are drawn. All modes satisfy the
+  /// serial-derivation contract (sample s sees identical draws for any
+  /// thread count, width, and streaming setting): Pseudo derives one
+  /// xoshiro stream per sample, LatinHypercube/Sobol map index-
+  /// addressable low-discrepancy points through the inverse normal
+  /// CDF. Sobol requires 3*|dutFets|(+1 with temperature variation)
+  /// <= SobolSequence::kMaxDims.
+  SamplingMode sampling = SamplingMode::Pseudo;
+  /// Streaming-statistics mode: per-sample metric vectors are never
+  /// materialized; summaries come from O(1) Welford + P-squared
+  /// accumulators (MonteCarloResult::stream). failed_samples,
+  /// functional_failures and simulation_errors stay bit-identical to
+  /// the exact path; quantile summaries agree within estimator
+  /// accuracy. Off by default: the exact path remains the reference.
+  bool streaming = false;
+  /// Optional sample evaluator replacing the transient testbench:
+  /// given the fully-derived sample, return its metrics (throwing
+  /// vls::Error marks the sample as SimulationError). Used by
+  /// benchmarks and tests to exercise the scheduler/statistics layers
+  /// at 10^6+ samples where full transients are infeasible — see
+  /// makeSurrogateEvaluator. Fault injection is ignored on this path.
+  std::function<ShifterMetrics(const MonteCarloSample&)> evaluator;
   /// Deterministic fault injection: when fault_sample >= 0, that
   /// sample's simulation runs with a fresh FaultInjector built from
   /// `fault`. In ensemble mode the batch containing the sample gets a
@@ -65,14 +114,24 @@ struct SampleFailure {
   friend bool operator==(const SampleFailure&, const SampleFailure&) = default;
 };
 
-/// Raw per-sample metric vectors plus their summaries.
+/// Streaming-mode summaries (one per reported metric), precomputed at
+/// gather time from the O(1) accumulators.
+struct StreamingSummaries {
+  Summary delay_rise, delay_fall;
+  Summary power_rise, power_fall;
+  Summary leakage_high, leakage_low;
+};
+
+/// Per-sample metric vectors (exact mode) or streaming summaries, plus
+/// the failure records.
 ///
-/// Determinism: each sample draws from its own RNG stream derived
-/// serially from the seed, and results are gathered in sample order, so
-/// every vector here is bit-identical for any thread count. Samples
-/// whose simulation threw contribute no metric entries; their ids are
-/// in failed_samples, so metric index i maps to the i-th sample id not
-/// listed there as thrown.
+/// Determinism: each sample's draws depend only on (seed, sampling
+/// mode, sample index) and results are gathered in sample order, so in
+/// exact mode every vector here is bit-identical for any thread count
+/// and ensemble width — and failed_samples is bit-identical across
+/// streaming on/off as well. Samples whose simulation threw contribute
+/// no metric entries; their ids are in failed_samples, so metric index
+/// i maps to the i-th sample id not listed there as thrown.
 struct MonteCarloResult {
   std::vector<double> delay_rise, delay_fall;
   std::vector<double> power_rise, power_fall;
@@ -86,6 +145,10 @@ struct MonteCarloResult {
   /// Samples whose simulation threw (kind == SimulationError).
   int simulation_errors = 0;
   int samples = 0;
+  /// True when the run used MonteCarloConfig::streaming: the metric
+  /// vectors above are empty and `stream` holds the summaries.
+  bool streaming = false;
+  StreamingSummaries stream{};
 
   /// Ids of all failed samples, both kinds, ascending.
   std::vector<int> failedIds() const {
@@ -95,16 +158,29 @@ struct MonteCarloResult {
     return ids;
   }
 
-  Summary delayRise() const { return summarize(delay_rise); }
-  Summary delayFall() const { return summarize(delay_fall); }
-  Summary powerRise() const { return summarize(power_rise); }
-  Summary powerFall() const { return summarize(power_fall); }
-  Summary leakageHigh() const { return summarize(leakage_high); }
-  Summary leakageLow() const { return summarize(leakage_low); }
+  Summary delayRise() const { return streaming ? stream.delay_rise : summarize(delay_rise); }
+  Summary delayFall() const { return streaming ? stream.delay_fall : summarize(delay_fall); }
+  Summary powerRise() const { return streaming ? stream.power_rise : summarize(power_rise); }
+  Summary powerFall() const { return streaming ? stream.power_fall : summarize(power_fall); }
+  Summary leakageHigh() const {
+    return streaming ? stream.leakage_high : summarize(leakage_high);
+  }
+  Summary leakageLow() const { return streaming ? stream.leakage_low : summarize(leakage_low); }
 };
 
 /// Run the harness `config.samples` times with fresh random device
 /// perturbations each time (DUT devices only, as in the paper).
 MonteCarloResult runMonteCarlo(const HarnessConfig& harness, const MonteCarloConfig& config);
+
+/// Closed-form response-surface stand-in for the transient testbench:
+/// metric scales and W/L/VT/temperature sensitivities representative of
+/// the SS-TVS cell, plus a deterministic rare non-functional region in
+/// the deep VT tail (~0.1% of samples at paper sigmas). Microseconds
+/// per sample instead of tens of milliseconds, so benchmarks and tests
+/// can exercise scheduling, streaming statistics and QMC convergence at
+/// 10^5..10^7 samples. Not a circuit model — characterization results
+/// must come from the real harness.
+std::function<ShifterMetrics(const MonteCarloSample&)> makeSurrogateEvaluator(
+    const HarnessConfig& harness);
 
 }  // namespace vls

@@ -2,13 +2,118 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <vector>
 
 namespace vls {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/// One worker's remaining index range over the current super-block,
+/// packed {begin:32, end:32} so pop-front (owner) and steal-back
+/// (thief) are each a single CAS. Padded to a cache line so deques of
+/// adjacent workers never false-share.
+struct alignas(64) WorkerRange {
+  std::atomic<uint64_t> range{0};
+};
+
+constexpr uint64_t packRange(uint32_t begin, uint32_t end) {
+  return (static_cast<uint64_t>(begin) << 32) | end;
+}
+constexpr uint32_t rangeBegin(uint64_t r) { return static_cast<uint32_t>(r >> 32); }
+constexpr uint32_t rangeEnd(uint64_t r) { return static_cast<uint32_t>(r); }
+
+struct RegionGuard {
+  RegionGuard() { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = false; }
+};
+
+/// Schedule one super-block of at most 2^31 indices (the packed-range
+/// words hold 32-bit offsets; parallelForRanges slices bigger counts
+/// into sequential super-blocks).
+void runBlock(size_t base, uint32_t n, uint32_t chunk, size_t workers,
+              void (*range)(void*, size_t, size_t), void* ctx) {
+  std::vector<WorkerRange> deques(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const uint32_t begin = static_cast<uint32_t>(static_cast<uint64_t>(n) * w / workers);
+    const uint32_t end = static_cast<uint32_t>(static_cast<uint64_t>(n) * (w + 1) / workers);
+    deques[w].range.store(packRange(begin, end), std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&](size_t self) {
+    RegionGuard guard;
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      // Pop a chunk from the front of our own range.
+      uint32_t begin = 0, end = 0;
+      bool got = false;
+      uint64_t cur = deques[self].range.load(std::memory_order_acquire);
+      while (rangeBegin(cur) < rangeEnd(cur)) {
+        const uint32_t b = rangeBegin(cur);
+        const uint32_t e = rangeEnd(cur);
+        const uint32_t take = std::min(chunk, e - b);
+        if (deques[self].range.compare_exchange_weak(cur, packRange(b + take, e),
+                                                     std::memory_order_acq_rel)) {
+          begin = b;
+          end = b + take;
+          got = true;
+          break;
+        }
+      }
+      if (!got) {
+        // Own range drained: steal the back half of the first victim
+        // that still has work, install it as our own range, and go pop
+        // from it normally (so others can steal from us in turn).
+        // Ranges only ever shrink or move, so one full scan finding
+        // everyone empty means the block is done.
+        bool stole = false;
+        for (size_t k = 1; k < workers && !stole; ++k) {
+          const size_t victim = (self + k) % workers;
+          uint64_t vc = deques[victim].range.load(std::memory_order_acquire);
+          while (rangeBegin(vc) < rangeEnd(vc)) {
+            const uint32_t b = rangeBegin(vc);
+            const uint32_t e = rangeEnd(vc);
+            const uint32_t take = (e - b + 1) / 2;
+            if (deques[victim].range.compare_exchange_weak(vc, packRange(b, e - take),
+                                                           std::memory_order_acq_rel)) {
+              deques[self].range.store(packRange(e - take, e), std::memory_order_release);
+              stole = true;
+              break;
+            }
+          }
+        }
+        if (!stole) return;
+        continue;
+      }
+      try {
+        range(ctx, base + begin, base + end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(work, t);
+  work(0);
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
 
 int parallelThreadCount() {
   if (const char* env = std::getenv("VLS_THREADS")) {
@@ -19,40 +124,47 @@ int parallelThreadCount() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-void parallelFor(size_t count, const std::function<void(size_t)>& body, int num_threads) {
+const char* parallelSchedulerName() { return "chunked-work-stealing"; }
+
+size_t parallelAutoChunk(size_t count, size_t workers) {
+  if (workers == 0) workers = 1;
+  return std::clamp<size_t>(count / (workers * 8), 1, 2048);
+}
+
+bool inParallelRegion() { return tl_in_parallel_region; }
+
+namespace detail {
+
+void parallelForRanges(size_t count, size_t chunk, int num_threads,
+                       void (*range)(void*, size_t, size_t), void* ctx) {
   if (count == 0) return;
   size_t workers = num_threads > 0 ? static_cast<size_t>(num_threads)
                                    : static_cast<size_t>(parallelThreadCount());
   workers = std::min(workers, count);
-  if (workers <= 1) {
-    for (size_t i = 0; i < count; ++i) body(i);
+  if (workers <= 1 || tl_in_parallel_region) {
+    // Single worker, or a nested call from inside a worker: run inline
+    // on the calling thread (the nested guard against oversubscription).
+    range(ctx, 0, count);
     return;
   }
+  if (chunk == 0) chunk = parallelAutoChunk(count, workers);
+  chunk = std::min<size_t>(chunk, uint32_t{1} << 30);
 
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto run = [&]() {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
+  // The packed ranges address 32-bit offsets; larger counts run as
+  // sequential super-blocks, each fully parallel.
+  constexpr size_t kSuperBlock = size_t{1} << 31;
+  for (size_t base = 0; base < count; base += kSuperBlock) {
+    const uint32_t n = static_cast<uint32_t>(std::min(kSuperBlock, count - base));
+    runBlock(base, n, static_cast<uint32_t>(chunk), std::min(workers, static_cast<size_t>(n)),
+             range, ctx);
+  }
+}
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 1; t < workers; ++t) threads.emplace_back(run);
-  run();
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+}  // namespace detail
+
+void parallelFor(size_t count, const std::function<void(size_t)>& body, int num_threads) {
+  parallelForChunked(count, [&body](size_t i) { body(i); },
+                     ParallelOptions{num_threads, 0});
 }
 
 }  // namespace vls

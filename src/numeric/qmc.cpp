@@ -1,0 +1,228 @@
+#include "numeric/qmc.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+namespace {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Standard-normal CDF via erfc (accurate in both tails).
+double normalCdf(double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); }
+
+/// True iff `poly` (monic, degree d, constant term 1, bits d..0) is
+/// primitive over GF(2): x must have multiplicative order 2^d - 1 in
+/// GF(2)[x]/(poly). The order of any unit is at most 2^d - 1, and it
+/// equals 2^d - 1 only when the quotient is the field GF(2^d) and x
+/// generates it, so checking that no smaller power of x is 1 suffices.
+bool isPrimitivePoly(uint32_t poly, int d) {
+  const uint32_t period = (1u << d) - 1;
+  uint32_t r = 2;  // the element x
+  for (uint32_t k = 1; k < period; ++k) {
+    if (r == 1) return false;  // order k < period
+    r <<= 1;
+    if (r & (1u << d)) r ^= poly;
+  }
+  return r == 1;
+}
+
+/// Parity of the population count (GF(2) dot product helper).
+uint32_t parity32(uint32_t x) {
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return x & 1u;
+}
+
+}  // namespace
+
+const char* samplingModeName(SamplingMode mode) {
+  switch (mode) {
+    case SamplingMode::Pseudo: return "pseudo";
+    case SamplingMode::LatinHypercube: return "lhs";
+    case SamplingMode::Sobol: return "sobol";
+  }
+  return "?";
+}
+
+double inverseNormalCdf(double p) {
+  if (!(p > 0.0)) return -HUGE_VAL;
+  if (!(p < 1.0)) return HUGE_VAL;
+  if (p == 0.5) return 0.0;
+
+  // Work in the lower tail (x <= 0) where 0.5*erfc(-x/sqrt2) keeps
+  // full relative accuracy, and mirror at the end.
+  const bool upper = p > 0.5;
+  const double pl = upper ? 1.0 - p : p;
+
+  // Abramowitz & Stegun 26.2.23 rational approximation (|error| <
+  // 4.5e-4 over the whole tail), then Newton: each step roughly
+  // squares the error, so four steps reach machine precision even at
+  // p ~ 1e-300.
+  const double t = std::sqrt(-2.0 * std::log(pl));
+  double x = -(t - (2.515517 + t * (0.802853 + t * 0.010328)) /
+                       (1.0 + t * (1.432788 + t * (0.189269 + t * 0.001308))));
+  for (int i = 0; i < 4; ++i) {
+    const double density = std::exp(-0.5 * x * x) * 0.3989422804014327;  // 1/sqrt(2 pi)
+    if (density <= 0.0) break;  // |x| > ~38: beyond double's tail resolution
+    const double step = (normalCdf(x) - pl) / density;
+    x -= step;
+    if (std::fabs(step) < 1e-15 * std::fabs(x)) break;
+  }
+  return upper ? -x : x;
+}
+
+SobolSequence::SobolSequence(unsigned dims, uint64_t scramble_seed, bool scramble)
+    : dims_(dims) {
+  if (dims == 0 || dims > kMaxDims) {
+    throw InvalidInputError("SobolSequence: dims must be in [1, 64]");
+  }
+  directions_.resize(dims);
+  shift_.assign(dims, 0);
+
+  // Dimension 0: van der Corput (v_k = 2^-k as a binary fraction).
+  for (int k = 0; k < 32; ++k) directions_[0][k] = 1u << (31 - k);
+
+  // Dimensions 1..: one primitive polynomial each, assigned in
+  // increasing numeric (hence degree) order. Initial direction values
+  // m_1..m_d are odd, m_j < 2^j, derived deterministically from the
+  // (dimension, j) pair with a fixed internal constant so the base
+  // construction never depends on the scramble seed.
+  unsigned dim = 1;
+  for (int degree = 1; degree <= 10 && dim < dims; ++degree) {
+    const uint32_t lo = (1u << degree) | 1u;
+    const uint32_t hi = 1u << (degree + 1);
+    for (uint32_t poly = lo; poly < hi && dim < dims; poly += 2) {
+      if (!isPrimitivePoly(poly, degree)) continue;
+      uint32_t m[33];
+      for (int j = 1; j <= degree; ++j) {
+        const uint64_t h = splitmix64(0x53624F4C00000000ull ^ (uint64_t(dim) << 16) ^ uint64_t(j));
+        m[j] = (static_cast<uint32_t>(h) & ((1u << j) - 1u)) | 1u;
+      }
+      for (int k = degree + 1; k <= 32; ++k) {
+        uint32_t v = m[k - degree] ^ (m[k - degree] << degree);
+        for (int i = 1; i < degree; ++i) {
+          if ((poly >> (degree - i)) & 1u) v ^= m[k - i] << i;
+        }
+        m[k] = v;
+      }
+      for (int k = 1; k <= 32; ++k) directions_[dim][k - 1] = m[k] << (32 - k);
+      ++dim;
+    }
+  }
+  if (dim < dims_ && dims_ > 1) {
+    throw NumericalError("SobolSequence: primitive polynomial search exhausted");
+  }
+
+  if (!scramble) return;
+
+  // Matousek linear scramble: left-multiply every direction number by
+  // a random unit-lower-triangular bit matrix L (per dimension), then
+  // add a random digital shift. Row i of L (digit i, MSB first) may
+  // mix in any earlier digit j < i; the unit diagonal keeps L
+  // invertible, so the scrambled sequence remains a digital net.
+  for (unsigned d = 0; d < dims_; ++d) {
+    uint32_t rows[32];
+    for (int i = 0; i < 32; ++i) {
+      const uint64_t h =
+          splitmix64(scramble_seed ^ 0x4C4D530000000000ull ^ (uint64_t(d) << 8) ^ uint64_t(i));
+      // Digit i lives in bit (31 - i); allowed mix bits are the strictly
+      // higher bits (earlier digits) plus the diagonal.
+      const uint32_t diag = 1u << (31 - i);
+      const uint32_t earlier = i == 0 ? 0u : ~((diag << 1) - 1u);
+      rows[i] = (static_cast<uint32_t>(h) & earlier) | diag;
+    }
+    for (int k = 0; k < 32; ++k) {
+      const uint32_t v = directions_[d][k];
+      uint32_t sv = 0;
+      for (int i = 0; i < 32; ++i) sv |= parity32(rows[i] & v) << (31 - i);
+      directions_[d][k] = sv;
+    }
+    shift_[d] = static_cast<uint32_t>(
+        splitmix64(scramble_seed ^ 0x5348494654000000ull ^ uint64_t(d)));
+  }
+}
+
+void SobolSequence::point(uint64_t index, double* out) const {
+  if (index >> 32) throw InvalidInputError("SobolSequence: index beyond 2^32 period");
+  // Gray-code construction evaluated directly at `index` so points are
+  // index-addressable (no sequential state).
+  const uint32_t gray = static_cast<uint32_t>(index) ^ static_cast<uint32_t>(index >> 1);
+  for (unsigned d = 0; d < dims_; ++d) {
+    uint32_t x = shift_[d];
+    uint32_t g = gray;
+    int k = 0;
+    while (g) {
+      if (g & 1u) x ^= directions_[d][k];
+      g >>= 1;
+      ++k;
+    }
+    out[d] = (static_cast<double>(x) + 0.5) * 0x1.0p-32;
+  }
+}
+
+std::vector<double> SobolSequence::point(uint64_t index) const {
+  std::vector<double> out(dims_);
+  point(index, out.data());
+  return out;
+}
+
+LatinHypercube::LatinHypercube(unsigned dims, uint64_t samples, uint64_t seed)
+    : dims_(dims), n_(samples), seed_(seed) {
+  if (dims == 0) throw InvalidInputError("LatinHypercube: dims must be positive");
+  if (samples == 0) throw InvalidInputError("LatinHypercube: samples must be positive");
+  unsigned bits = 1;
+  while ((uint64_t{1} << bits) < n_ && bits < 62) ++bits;
+  half_bits_ = (bits + 1) / 2;
+}
+
+uint64_t LatinHypercube::permute(unsigned dim, uint64_t index) const {
+  // 4-round Feistel network over [0, 2^(2*half_bits)), cycle-walked
+  // until the value lands back in [0, n): a seeded bijection on the
+  // strata with O(1) evaluation and no permutation tables.
+  const uint64_t mask = (uint64_t{1} << half_bits_) - 1u;
+  uint64_t x = index;
+  do {
+    uint64_t lo = x & mask;
+    uint64_t hi = x >> half_bits_;
+    for (int round = 0; round < 4; ++round) {
+      const uint64_t f =
+          splitmix64(seed_ ^ (uint64_t(dim) << 32) ^ (uint64_t(round) << 24) ^ lo) & mask;
+      const uint64_t next_lo = hi ^ f;
+      hi = lo;
+      lo = next_lo;
+    }
+    x = (hi << half_bits_) | lo;
+  } while (x >= n_);
+  return x;
+}
+
+void LatinHypercube::point(uint64_t index, double* out) const {
+  if (index >= n_) throw InvalidInputError("LatinHypercube: index beyond sample count");
+  for (unsigned d = 0; d < dims_; ++d) {
+    const uint64_t stratum = permute(d, index);
+    // Centered 53-bit jitter keeps the coordinate strictly inside the
+    // stratum and away from 0/1 (the normal inverse must stay finite).
+    const uint64_t h = splitmix64(seed_ ^ 0x4C48530000000000ull ^ (uint64_t(d) << 40) ^ index);
+    const double jitter = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+    out[d] = (static_cast<double>(stratum) + jitter) / static_cast<double>(n_);
+  }
+}
+
+std::vector<double> LatinHypercube::point(uint64_t index) const {
+  std::vector<double> out(dims_);
+  point(index, out.data());
+  return out;
+}
+
+}  // namespace vls

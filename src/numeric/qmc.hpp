@@ -1,0 +1,98 @@
+// Quasi-Monte-Carlo sample generators for variance-reduced process
+// variation analysis: scrambled Sobol digital sequences and Latin
+// hypercube sampling, plus the inverse normal CDF that maps their
+// uniform coordinates onto the Gaussian W/L/VT/temperature draws.
+//
+// Determinism contract (shared with the pseudo-random path): point(s)
+// depends only on (construction parameters, index s) — never on call
+// order, thread count, or how many points were generated before — so
+// Monte-Carlo sample s receives identical perturbations for every
+// {threads, ensemble_width, streaming} combination. Both generators
+// are O(1) memory per point and safe to call concurrently on a const
+// instance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vls {
+
+/// How Monte-Carlo perturbations are drawn.
+enum class SamplingMode {
+  Pseudo,          ///< independent xoshiro streams per sample (the default)
+  LatinHypercube,  ///< one stratum per sample and dimension
+  Sobol,           ///< scrambled Sobol digital (t,s)-sequence
+};
+
+const char* samplingModeName(SamplingMode mode);
+
+/// Inverse standard-normal CDF. Monotone, accurate to ~1 ulp of the
+/// erfc-based forward CDF (Abramowitz–Stegun 26.2.23 initial guess
+/// refined by Newton on 0.5*erfc(-x/sqrt 2)). Returns +/-infinity for
+/// p outside (0, 1); QMC callers keep coordinates strictly inside by
+/// construction.
+double inverseNormalCdf(double p);
+
+/// Scrambled Sobol sequence, up to kMaxDims dimensions and 2^32
+/// points. Direction numbers come from primitive polynomials over
+/// GF(2) found by exhaustive search at construction (deterministic:
+/// polynomials are assigned to dimensions in increasing numeric
+/// order) with deterministically derived odd initial values;
+/// dimension 0 is the van der Corput sequence in base 2. Scrambling is
+/// Matousek-style: a random unit-lower-triangular linear scramble of
+/// the direction numbers plus a random digital shift, both derived
+/// from `scramble_seed` — distinct seeds give independent randomized
+/// QMC replicates (the standard RQMC variance estimate), seed-equal
+/// instances are identical.
+class SobolSequence {
+ public:
+  static constexpr unsigned kMaxDims = 64;
+
+  /// scramble = false gives the raw (unscrambled) sequence, whose
+  /// first dimension is exactly van der Corput — used by tests.
+  explicit SobolSequence(unsigned dims, uint64_t scramble_seed = 0, bool scramble = true);
+
+  unsigned dims() const { return dims_; }
+
+  /// Writes the index-th point into out[0..dims). Coordinates are
+  /// centered digital values ((x + 0.5) * 2^-32), strictly inside
+  /// (0, 1). Throws InvalidInputError for index >= 2^32.
+  void point(uint64_t index, double* out) const;
+  std::vector<double> point(uint64_t index) const;
+
+ private:
+  unsigned dims_;
+  /// 32 direction numbers per dimension, scrambled at construction.
+  std::vector<std::array<uint32_t, 32>> directions_;
+  std::vector<uint32_t> shift_;
+};
+
+/// Latin hypercube sampler over a fixed number of samples: in every
+/// dimension, each of the n strata [j/n, (j+1)/n) is hit by exactly
+/// one sample. The stratum permutation is a seeded 4-round Feistel
+/// cipher (cycle-walked onto [0, n)), so point(s) is O(1) time and
+/// memory — no materialized permutation tables, which matters at 10^6
+/// samples x dozens of dimensions. Within-stratum jitter is a
+/// per-(dimension, sample) hash.
+class LatinHypercube {
+ public:
+  LatinHypercube(unsigned dims, uint64_t samples, uint64_t seed);
+
+  unsigned dims() const { return dims_; }
+  uint64_t samples() const { return n_; }
+
+  /// Writes the index-th point into out[0..dims); index < samples().
+  void point(uint64_t index, double* out) const;
+  std::vector<double> point(uint64_t index) const;
+
+ private:
+  uint64_t permute(unsigned dim, uint64_t index) const;
+
+  unsigned dims_;
+  uint64_t n_;
+  uint64_t seed_;
+  unsigned half_bits_;  ///< Feistel half-width; domain is 2^(2*half_bits)
+};
+
+}  // namespace vls

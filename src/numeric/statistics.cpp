@@ -27,6 +27,95 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  increment_[0] = 0.0;
+  increment_[1] = q_ / 2.0;
+  increment_[2] = q_;
+  increment_[3] = (1.0 + q_) / 2.0;
+  increment_[4] = 1.0;
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = i + 1;
+        desired_[i] = 1.0 + 4.0 * increment_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x, updating the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++count_;
+
+  // Nudge the three interior markers toward their desired positions:
+  // piecewise-parabolic (P²) prediction, linear fallback when the
+  // parabola would leave the bracketing heights non-monotone.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double parabolic =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const std::vector<double> v(sorted, sorted + count_);
+    return percentileSorted(v, q_);
+  }
+  return heights_[2];
+}
+
+Summary StreamingSummary::summary() const {
+  Summary s;
+  if (moments_.count() == 0) return s;
+  s.count = moments_.count();
+  s.mean = moments_.mean();
+  s.stddev = moments_.stddev();
+  s.min = moments_.min();
+  s.max = moments_.max();
+  s.median = median_.value();
+  s.p05 = p05_.value();
+  s.p95 = p95_.value();
+  return s;
+}
+
 double percentileSorted(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) throw InvalidInputError("percentileSorted: empty sample");
   if (q <= 0.0) return sorted.front();

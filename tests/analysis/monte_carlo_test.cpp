@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 namespace vls {
 namespace {
@@ -285,6 +287,197 @@ TEST(MonteCarlo, PaperSigmas) {
   EXPECT_NEAR(v.sigma_l, 0.0334 * 90e-9, 1e-12);
   // 3 sigma = 10% of nominal VT.
   EXPECT_NEAR(3.0 * v.sigma_vt_rel, 0.1, 2e-3);
+}
+
+/// Relative closeness of a streaming summary to the exact one on the
+/// statistics the P2/Welford accumulators estimate.
+void expectSummariesClose(const char* what, const Summary& exact, const Summary& stream,
+                          double rel_tol) {
+  EXPECT_EQ(exact.count, stream.count) << what;
+  auto near = [&](const char* stat, double e, double s) {
+    const double scale = std::max(std::abs(e), std::abs(s));
+    EXPECT_NEAR(s, e, rel_tol * scale + 1e-30) << what << " " << stat;
+  };
+  near("mean", exact.mean, stream.mean);
+  near("stddev", exact.stddev, stream.stddev);
+  near("p05", exact.p05, stream.p05);
+  near("median", exact.median, stream.median);
+  near("p95", exact.p95, stream.p95);
+  // Welford tracks extremes exactly.
+  EXPECT_DOUBLE_EQ(exact.min, stream.min) << what;
+  EXPECT_DOUBLE_EQ(exact.max, stream.max) << what;
+}
+
+TEST(MonteCarloStreaming, MatchesExactOnRealHarness) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(12);
+  const MonteCarloResult exact = runMonteCarlo(h, mc);
+  mc.streaming = true;
+  const MonteCarloResult stream = runMonteCarlo(h, mc);
+  EXPECT_FALSE(exact.streaming);
+  EXPECT_TRUE(stream.streaming);
+  EXPECT_TRUE(stream.delay_rise.empty());  // never materialized
+  EXPECT_EQ(stream.failed_samples, exact.failed_samples);
+  EXPECT_EQ(stream.functional_failures, exact.functional_failures);
+  EXPECT_EQ(stream.simulation_errors, exact.simulation_errors);
+  // 12 observations is deep P2-estimator territory: mean/extremes are
+  // exact, quantiles are marker estimates.
+  EXPECT_DOUBLE_EQ(stream.delayRise().mean, exact.delayRise().mean);
+  EXPECT_DOUBLE_EQ(stream.delayRise().min, exact.delayRise().min);
+  EXPECT_DOUBLE_EQ(stream.delayRise().max, exact.delayRise().max);
+  expectSummariesClose("delay_rise", exact.delayRise(), stream.delayRise(), 0.05);
+}
+
+// The 10^5-sample acceptance smoke on the surrogate evaluator:
+// streaming summaries agree with the exact path within 1%, and
+// failed_samples is bit-identical across {threads, streaming}.
+TEST(MonteCarloStreaming, SurrogateStreamingMatchesExactAt100k) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 100000;
+  mc.seed = 20080310;
+  mc.evaluator = makeSurrogateEvaluator(h);
+
+  mc.threads = 1;
+  const MonteCarloResult exact = runMonteCarlo(h, mc);
+  mc.streaming = true;
+  const MonteCarloResult stream1 = runMonteCarlo(h, mc);
+  mc.threads = 4;
+  const MonteCarloResult stream4 = runMonteCarlo(h, mc);
+
+  // The surrogate's deep-VT-tail failure region fires at ~0.4%: enough
+  // to make the bit-identity assertion meaningful.
+  EXPECT_GT(exact.functional_failures, 100);
+  EXPECT_LT(exact.functional_failures, 2000);
+  EXPECT_EQ(stream1.failed_samples, exact.failed_samples);
+  EXPECT_EQ(stream4.failed_samples, exact.failed_samples);
+  EXPECT_EQ(stream4.functional_failures, exact.functional_failures);
+
+  expectSummariesClose("delay_rise", exact.delayRise(), stream4.delayRise(), 0.01);
+  expectSummariesClose("delay_fall", exact.delayFall(), stream4.delayFall(), 0.01);
+  expectSummariesClose("power_rise", exact.powerRise(), stream4.powerRise(), 0.01);
+  expectSummariesClose("power_fall", exact.powerFall(), stream4.powerFall(), 0.01);
+  expectSummariesClose("leakage_high", exact.leakageHigh(), stream4.leakageHigh(), 0.01);
+  expectSummariesClose("leakage_low", exact.leakageLow(), stream4.leakageLow(), 0.01);
+}
+
+TEST(MonteCarlo, FailedSamplesInvariantAcrossThreadsWidthStreaming) {
+  // Every sample non-functional on this config; the failure records
+  // must be bit-identical for every {threads} x {width} x {streaming}
+  // combination.
+  HarnessConfig h;
+  h.kind = ShifterKind::SsvsKhan;
+  h.vddi = 1.4;
+  h.vddo = 0.5;
+  MonteCarloConfig ref_mc = smallMc(6);
+  ref_mc.threads = 1;
+  const MonteCarloResult ref = runMonteCarlo(h, ref_mc);
+  ASSERT_EQ(ref.failed_samples.size(), 6u);
+  for (const int threads : {1, 4}) {
+    for (const int width : {1, 4}) {
+      for (const bool streaming : {false, true}) {
+        MonteCarloConfig mc = smallMc(6);
+        mc.threads = threads;
+        mc.ensemble_width = width;
+        mc.streaming = streaming;
+        const MonteCarloResult r = runMonteCarlo(h, mc);
+        EXPECT_EQ(r.failed_samples, ref.failed_samples)
+            << "threads " << threads << " width " << width << " streaming " << streaming;
+        EXPECT_EQ(r.functional_failures, 6);
+      }
+    }
+  }
+}
+
+TEST(MonteCarloQmc, ModesAreDeterministicAndDistinct) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 1000;
+  mc.seed = 42;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  std::vector<MonteCarloResult> results;
+  for (const SamplingMode mode :
+       {SamplingMode::Pseudo, SamplingMode::LatinHypercube, SamplingMode::Sobol}) {
+    mc.sampling = mode;
+    const MonteCarloResult a = runMonteCarlo(h, mc);
+    const MonteCarloResult b = runMonteCarlo(h, mc);
+    expectBitIdentical(a, b);  // deterministic per mode
+    results.push_back(a);
+  }
+  // Distinct modes draw distinct perturbations.
+  EXPECT_NE(results[0].delay_rise, results[1].delay_rise);
+  EXPECT_NE(results[0].delay_rise, results[2].delay_rise);
+  EXPECT_NE(results[1].delay_rise, results[2].delay_rise);
+  // But they estimate the same distribution.
+  const double ref_mean = results[0].delayRise().mean;
+  EXPECT_NEAR(results[1].delayRise().mean, ref_mean, 0.01 * ref_mean);
+  EXPECT_NEAR(results[2].delayRise().mean, ref_mean, 0.01 * ref_mean);
+}
+
+TEST(MonteCarloQmc, LowDiscrepancyModesRunOnRealHarness) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  for (const SamplingMode mode : {SamplingMode::LatinHypercube, SamplingMode::Sobol}) {
+    MonteCarloConfig mc = smallMc(4);
+    mc.sampling = mode;
+    const MonteCarloResult r = runMonteCarlo(h, mc);
+    EXPECT_EQ(r.delay_rise.size(), 4u) << samplingModeName(mode);
+    EXPECT_EQ(r.functional_failures, 0) << samplingModeName(mode);
+    EXPECT_GT(r.delayRise().stddev, 0.0) << samplingModeName(mode);
+  }
+}
+
+TEST(MonteCarloQmc, ThreadAndWidthInvariantPerMode) {
+  // The serial-derivation contract holds for the QMC modes too: with
+  // the surrogate, metric vectors are bit-identical across threads.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 2000;
+  mc.seed = 9;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  for (const SamplingMode mode :
+       {SamplingMode::Pseudo, SamplingMode::LatinHypercube, SamplingMode::Sobol}) {
+    mc.sampling = mode;
+    mc.threads = 1;
+    const MonteCarloResult serial = runMonteCarlo(h, mc);
+    mc.threads = 4;
+    const MonteCarloResult parallel = runMonteCarlo(h, mc);
+    expectBitIdentical(serial, parallel);
+  }
+}
+
+TEST(MonteCarloTemperature, SpreadsMetricsAndForcesScalar) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 4000;
+  mc.seed = 5;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  const MonteCarloResult fixed_t = runMonteCarlo(h, mc);
+  mc.variation.sigma_temperature_c = 15.0;
+  const MonteCarloResult varied_t = runMonteCarlo(h, mc);
+  // The surrogate's leakage is exponentially temperature-sensitive:
+  // a 15 C sigma should widen its spread far beyond process-only.
+  EXPECT_GT(varied_t.leakageHigh().stddev, 2.0 * fixed_t.leakageHigh().stddev);
+
+  // On the real harness, temperature variation runs through the scalar
+  // engine even when a width is requested, and still yields every
+  // sample deterministically.
+  MonteCarloConfig real_mc = smallMc(4);
+  real_mc.variation.sigma_temperature_c = 25.0;
+  real_mc.ensemble_width = 8;
+  const MonteCarloResult a = runMonteCarlo(h, real_mc);
+  const MonteCarloResult b = runMonteCarlo(h, real_mc);
+  EXPECT_EQ(a.delay_rise.size(), 4u);
+  expectBitIdentical(a, b);
+  // Same seed, different temperatures: the draws differ from the
+  // temperature-free run.
+  const MonteCarloResult cold = runMonteCarlo(h, smallMc(4));
+  EXPECT_NE(a.delay_rise, cold.delay_rise);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+#include "numeric/qmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/error.hpp"
+#include "numeric/rng.hpp"
+#include "numeric/statistics.hpp"
+
+namespace vls {
+namespace {
+
+TEST(InverseNormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(inverseNormalCdf(0.5), 0.0);
+  // Quantiles every table lists: symmetric and accurate to ~1e-9.
+  EXPECT_NEAR(inverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(inverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(inverseNormalCdf(0.841344746), 1.0, 1e-6);
+  EXPECT_NEAR(inverseNormalCdf(0.998650102), 3.0, 1e-5);
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughForwardCdf) {
+  auto cdf = [](double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); };
+  for (double p = 1e-12; p < 1.0; p = p < 0.01 ? p * 10 : p + 0.01) {
+    const double x = inverseNormalCdf(p);
+    EXPECT_NEAR(cdf(x), p, 1e-12 + 1e-9 * p) << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdf, MonotoneAndSymmetric) {
+  double prev = -HUGE_VAL;
+  for (double p = 0.001; p < 1.0; p += 0.001) {
+    const double x = inverseNormalCdf(p);
+    EXPECT_GT(x, prev);
+    EXPECT_NEAR(x, -inverseNormalCdf(1.0 - p), 1e-9);
+    prev = x;
+  }
+  EXPECT_EQ(inverseNormalCdf(0.0), -HUGE_VAL);
+  EXPECT_EQ(inverseNormalCdf(1.0), HUGE_VAL);
+}
+
+TEST(Sobol, UnscrambledFirstDimensionIsVanDerCorput) {
+  const SobolSequence seq(2, 0, /*scramble=*/false);
+  // The Gray-code construction emits the van der Corput set permuted:
+  // point(i) is the base-2 radical inverse of gray(i) = i ^ (i >> 1),
+  // plus the 2^-33 digital centering offset.
+  const double c = 0x1.0p-33;
+  for (uint64_t i = 0; i < 64; ++i) {
+    uint64_t g = i ^ (i >> 1);
+    double expected = 0.0;
+    for (int bit = 0; g != 0; ++bit, g >>= 1) {
+      if (g & 1u) expected += std::ldexp(1.0, -(bit + 1));
+    }
+    EXPECT_NEAR(seq.point(i)[0], expected + c, 1e-15) << "index " << i;
+  }
+}
+
+TEST(Sobol, FirstBlockIsStratified) {
+  // Any power-of-two prefix of a Sobol sequence puts exactly one point
+  // in each of the 2^k equal slices of every dimension (the digital-net
+  // property, preserved by linear scrambling).
+  const unsigned dims = 12;
+  const SobolSequence seq(dims, 12345);
+  const uint64_t n = 256;
+  for (unsigned d = 0; d < dims; ++d) {
+    std::vector<int> slice(n, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      const double x = seq.point(i)[d];
+      ASSERT_GT(x, 0.0);
+      ASSERT_LT(x, 1.0);
+      ++slice[static_cast<size_t>(x * static_cast<double>(n))];
+    }
+    for (uint64_t s = 0; s < n; ++s) {
+      ASSERT_EQ(slice[s], 1) << "dim " << d << " slice " << s;
+    }
+  }
+}
+
+TEST(Sobol, DeterministicAndSeedSensitive) {
+  const SobolSequence a(8, 99), b(8, 99), c(8, 100);
+  bool any_differ = false;
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.point(i), b.point(i));
+    if (a.point(i) != c.point(i)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ) << "scramble seed had no effect";
+}
+
+TEST(Sobol, RejectsBadDimsAndIndex) {
+  EXPECT_THROW(SobolSequence(0), InvalidInputError);
+  EXPECT_THROW(SobolSequence(SobolSequence::kMaxDims + 1), InvalidInputError);
+  const SobolSequence seq(2);
+  EXPECT_THROW(seq.point(uint64_t{1} << 32), InvalidInputError);
+}
+
+TEST(LatinHypercube, EveryStratumHitExactlyOnce) {
+  for (const uint64_t n : {uint64_t{1}, uint64_t{13}, uint64_t{64}, uint64_t{1000}}) {
+    const LatinHypercube lhs(5, n, 4242);
+    for (unsigned d = 0; d < 5; ++d) {
+      std::vector<int> hits(n, 0);
+      for (uint64_t i = 0; i < n; ++i) {
+        const double x = lhs.point(i)[d];
+        ASSERT_GT(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        ++hits[static_cast<size_t>(x * static_cast<double>(n))];
+      }
+      for (uint64_t s = 0; s < n; ++s) ASSERT_EQ(hits[s], 1) << "n " << n << " dim " << d;
+    }
+  }
+}
+
+TEST(LatinHypercube, IndexAddressableAndSeedSensitive) {
+  const LatinHypercube a(3, 100, 7), b(3, 100, 7), c(3, 100, 8);
+  bool any_differ = false;
+  for (uint64_t i : {uint64_t{0}, uint64_t{42}, uint64_t{99}}) {
+    EXPECT_EQ(a.point(i), b.point(i));
+    if (a.point(i) != c.point(i)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+  EXPECT_THROW(a.point(100), InvalidInputError);
+  EXPECT_THROW(LatinHypercube(0, 10, 1), InvalidInputError);
+  EXPECT_THROW(LatinHypercube(3, 0, 1), InvalidInputError);
+}
+
+// The point of QMC: estimating a smooth expectation converges with far
+// smaller replicate-to-replicate variance than pseudo-random sampling.
+TEST(Qmc, VarianceReductionOnSmoothIntegrand) {
+  const unsigned dims = 6;
+  const uint64_t n = 1024;
+  const int reps = 8;
+  // E[f] over N(0,1)^6 draws mapped from the unit cube; f is a smooth
+  // product, the kind of response surface Monte-Carlo metrics follow.
+  auto f = [&](const std::vector<double>& u) {
+    double v = 1.0;
+    for (const double ui : u) v *= 1.0 + 0.1 * inverseNormalCdf(ui);
+    return v;
+  };
+  OnlineStats pseudo, lhs, sobol;
+  for (int r = 0; r < reps; ++r) {
+    const uint64_t seed = 1000 + 17u * static_cast<uint64_t>(r);
+    Rng rng(seed);
+    double acc = 0.0;
+    std::vector<double> u(dims);
+    for (uint64_t i = 0; i < n; ++i) {
+      for (auto& ui : u) ui = std::clamp(rng.uniform(), 1e-12, 1.0 - 1e-12);
+      acc += f(u);
+    }
+    pseudo.add(acc / static_cast<double>(n));
+
+    const LatinHypercube gen_lhs(dims, n, seed);
+    acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) acc += f(gen_lhs.point(i));
+    lhs.add(acc / static_cast<double>(n));
+
+    const SobolSequence gen_sobol(dims, seed);
+    acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) acc += f(gen_sobol.point(i));
+    sobol.add(acc / static_cast<double>(n));
+  }
+  // All three estimate E[f] = 1; low-discrepancy replicate variance
+  // should be at least an order of magnitude below pseudo-random.
+  EXPECT_NEAR(pseudo.mean(), 1.0, 0.05);
+  EXPECT_NEAR(lhs.mean(), 1.0, 0.01);
+  EXPECT_NEAR(sobol.mean(), 1.0, 0.01);
+  EXPECT_LT(lhs.variance(), pseudo.variance() / 10.0);
+  EXPECT_LT(sobol.variance(), pseudo.variance() / 10.0);
+}
+
+}  // namespace
+}  // namespace vls

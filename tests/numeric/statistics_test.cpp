@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "base/error.hpp"
+#include "numeric/rng.hpp"
 
 namespace vls {
 namespace {
@@ -61,6 +64,86 @@ TEST(Summary, EmptyIsZeros) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(P2Quantile, ExactBelowFiveObservations) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.value(), 0.0);
+  median.add(7.0);
+  EXPECT_DOUBLE_EQ(median.value(), 7.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 4.0);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.value(), percentileSorted({1.0, 3.0, 7.0, 9.0}, 0.5));
+}
+
+/// Streaming quantile vs the exact (sorted-vector) percentile on a
+/// distribution shape the P-squared markers must track.
+void expectP2TracksExact(const std::vector<double>& data, double q, double rel_tol) {
+  P2Quantile est(q);
+  for (double x : data) est.add(x);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = percentileSorted(sorted, q);
+  const double spread = sorted.back() - sorted.front();
+  EXPECT_NEAR(est.value(), exact, rel_tol * spread)
+      << "q=" << q << " n=" << data.size();
+}
+
+TEST(P2Quantile, TracksUniformSamples) {
+  Rng rng(11);
+  std::vector<double> data(20000);
+  for (auto& x : data) x = rng.uniform();
+  for (const double q : {0.05, 0.5, 0.95}) expectP2TracksExact(data, q, 0.01);
+}
+
+TEST(P2Quantile, TracksNormalSamples) {
+  Rng rng(12);
+  std::vector<double> data(20000);
+  for (auto& x : data) x = rng.gaussian(5.0, 2.0);
+  for (const double q : {0.05, 0.5, 0.95}) expectP2TracksExact(data, q, 0.01);
+}
+
+TEST(P2Quantile, TracksBimodalSamples) {
+  // Two well-separated modes: the hardest shape for marker-based
+  // estimators (the median sits in a low-density valley).
+  Rng rng(13);
+  std::vector<double> data(20000);
+  for (auto& x : data) {
+    x = rng.below(2) == 0 ? rng.gaussian(-4.0, 0.5) : rng.gaussian(4.0, 0.5);
+  }
+  for (const double q : {0.05, 0.95}) expectP2TracksExact(data, q, 0.01);
+  expectP2TracksExact(data, 0.5, 0.08);  // valley median is genuinely hard
+}
+
+TEST(StreamingSummary, MatchesExactSummarize) {
+  Rng rng(14);
+  std::vector<double> data(50000);
+  for (auto& x : data) x = std::exp(rng.gaussian(0.0, 0.3));  // lognormal, skewed
+  StreamingSummary stream;
+  for (double x : data) stream.add(x);
+  const Summary exact = summarize(data);
+  const Summary s = stream.summary();
+  EXPECT_EQ(s.count, exact.count);
+  EXPECT_NEAR(s.mean, exact.mean, 1e-12 * exact.mean);  // Welford: exact-grade
+  EXPECT_NEAR(s.stddev, exact.stddev, 1e-9 * exact.stddev);
+  EXPECT_DOUBLE_EQ(s.min, exact.min);
+  EXPECT_DOUBLE_EQ(s.max, exact.max);
+  EXPECT_NEAR(s.p05, exact.p05, 0.01 * exact.p05);
+  EXPECT_NEAR(s.median, exact.median, 0.01 * exact.median);
+  EXPECT_NEAR(s.p95, exact.p95, 0.01 * exact.p95);
+}
+
+TEST(StreamingSummary, SmallCountsAreExact) {
+  StreamingSummary stream;
+  for (double x : {3.0, 1.0, 2.0, 5.0, 4.0}) stream.add(x);
+  const Summary exact = summarize({3.0, 1.0, 2.0, 5.0, 4.0});
+  const Summary s = stream.summary();
+  EXPECT_DOUBLE_EQ(s.mean, exact.mean);
+  EXPECT_DOUBLE_EQ(s.median, exact.median);
+  EXPECT_NEAR(s.stddev, exact.stddev, 1e-12);
 }
 
 }  // namespace
