@@ -19,14 +19,17 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/fabric_bootstrap.hpp"
 #include "analysis/monte_carlo.hpp"
 #include "analysis/shifter_harness.hpp"
 #include "base/parallel.hpp"
+#include "cells/fabric.hpp"
 #include "cells/sstvs.hpp"
 #include "devices/model_library.hpp"
 #include "devices/passive.hpp"
 #include "devices/sources.hpp"
 #include "io/json_writer.hpp"
+#include "numeric/lu_bbd.hpp"
 #include "numeric/lu_sparse.hpp"
 #include "numeric/rng.hpp"
 #include "sim/simulator.hpp"
@@ -644,6 +647,161 @@ JsonValue measureEnsembleMonteCarlo(int samples) {
   return JsonValue(std::move(o));
 }
 
+/// One fabric size: a voltage-island chain at the default (paper-sized)
+/// island spec. Measures the floorplan-scale solver levers on the same
+/// netlist:
+///   - fill-reducing ordering in isolation: natural vs minimum-degree
+///     factor / refactor / solve on the converged DC Jacobian (the
+///     Newton hot path, so ordered_vs_natural_speedup is
+///     refactor-based);
+///   - the full fabric solve stack (bordered-block-diagonal partition,
+///     device bypass, per-block latency) vs the pre-ordering default
+///     flat solve (natural order) on a pulse-edge transient
+///     (bbd_vs_flat_speedup), plus the MinDegree flat transient
+///     alongside (bbd_vs_flat_mindeg_speedup) so the ordering and
+///     partitioning contributions stay separable. On a single-core
+///     host the latter hovers near 1.0 — the partition's remaining
+///     edge is parallel block factorization (threads is recorded) and
+///     latency skips on bypass-quiet islands; the fill story is what
+///     carries the serial win.
+/// The DC bootstrap (prototype growth + tiling, see
+/// src/analysis/fabric_bootstrap) is timed separately, and the timed
+/// transients warm-start from the converged operating point so they
+/// measure transient throughput, not operating-point recovery.
+JsonValue measureFabricSize(int islands, double t_stop, double dt_max, int reps) {
+  FabricSpec spec;
+  spec.islands = islands;
+  // Pull the input edge close to t=0: the perf window is the edge
+  // propagating through the boundary shifters, not the quiet preamble.
+  spec.input_pulse.delay = 0.2e-9;
+
+  Circuit c;
+  const FabricHandles fab = buildFabric(c, spec);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto nodeset = std::make_shared<const std::vector<double>>(fabricDcGuess(c, spec));
+  const double bootstrap_sec = secondsSince(t0);
+
+  SimOptions base;
+  base.nodeset = nodeset;
+  // Deep shifter cascades need a patient pseudo-transient rung when the
+  // tiled guess lands outside Newton's basin (it does at this scale).
+  base.recovery.ptran_max_steps = 2000;
+  base.recovery.ptran_grow = 2.0;
+
+  SimOptions amd = base;
+  amd.lu_ordering = LuOrdering::MinDegree;
+  Simulator op_sim(c, amd);
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<double> x = op_sim.solveOp();
+  const double op_sec = secondsSince(t0);
+
+  JsonValue::Object o;
+  o["islands"] = islands;
+  o["devices"] = c.devices().size();
+  o["unknowns"] = x.size();
+  o["bootstrap_sec"] = bootstrap_sec;
+  o["op_sec"] = op_sec;
+
+  // --- Ordering comparison on the converged DC Jacobian --------------
+  const size_t branches = c.assignBranchIndices();
+  const EvalContext ctx = op_sim.contextFor(x, 0.0);
+  MnaSystem sys(c.nodeCount(), branches);
+  assembleDirect(sys, c, ctx);
+  const SparseMatrix& jac = sys.matrix();
+  const std::vector<double>& rhs = sys.rhs();
+
+  double factor_sec[2] = {0.0, 0.0};
+  double refactor_sec[2] = {0.0, 0.0};
+  double solve_sec[2] = {0.0, 0.0};
+  size_t fill[2] = {0, 0};
+  const LuOrdering orderings[2] = {LuOrdering::Natural, LuOrdering::MinDegree};
+  for (int i = 0; i < 2; ++i) {
+    SparseLu lu;
+    lu.setOrdering(orderings[i]);
+    t0 = std::chrono::steady_clock::now();
+    lu.factor(jac);
+    factor_sec[i] = secondsSince(t0);
+    fill[i] = lu.fillCount();
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) lu.refactor(jac);
+    refactor_sec[i] = secondsSince(t0) / reps;
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(lu.solve(rhs));
+    solve_sec[i] = secondsSince(t0) / reps;
+  }
+  o["fill_natural"] = fill[0];
+  o["fill_mindeg"] = fill[1];
+  o["fill_ratio"] = fill[0] > 0 ? static_cast<double>(fill[1]) / fill[0] : 0.0;
+  o["factor_natural_ms"] = 1e3 * factor_sec[0];
+  o["factor_mindeg_ms"] = 1e3 * factor_sec[1];
+  o["refactor_natural_ms"] = 1e3 * refactor_sec[0];
+  o["refactor_mindeg_ms"] = 1e3 * refactor_sec[1];
+  o["solve_natural_ms"] = 1e3 * solve_sec[0];
+  o["solve_mindeg_ms"] = 1e3 * solve_sec[1];
+  o["ordered_vs_natural_speedup"] =
+      refactor_sec[1] > 0.0 ? refactor_sec[0] / refactor_sec[1] : 0.0;
+
+  // --- Transient: default flat vs ordered flat vs partitioned --------
+  // All three runs warm-start from the converged operating point (so
+  // the internal transient OP converges in a couple of iterations) and
+  // enable the device bypass: identical assembly cost on every side,
+  // so the comparison isolates the linear-solve strategy. Bypass also
+  // makes quiet islands' stamps bit-identical, which is what arms the
+  // BBD per-block latency.
+  SimOptions warm = base;
+  warm.nodeset = std::make_shared<const std::vector<double>>(x);
+  warm.enable_bypass = true;
+
+  Simulator flat_nat(c, warm);
+  t0 = std::chrono::steady_clock::now();
+  const TransientResult tr_nat = flat_nat.transient(t_stop, dt_max);
+  const double tran_flat_sec = secondsSince(t0);
+
+  SimOptions warm_amd = warm;
+  warm_amd.lu_ordering = LuOrdering::MinDegree;
+  Simulator flat_amd(c, warm_amd);
+  t0 = std::chrono::steady_clock::now();
+  const TransientResult tr_amd = flat_amd.transient(t_stop, dt_max);
+  const double tran_mindeg_sec = secondsSince(t0);
+
+  SimOptions part = warm_amd;
+  part.partition = makePartitionSpec(fab);
+  Simulator bbd(c, part);
+  t0 = std::chrono::steady_clock::now();
+  const TransientResult tr_bbd = bbd.transient(t_stop, dt_max);
+  const double tran_bbd_sec = secondsSince(t0);
+
+  o["t_stop"] = t_stop;
+  o["bypass"] = true;
+  o["tran_steps"] = tr_bbd.steps();
+  o["tran_newton_flat"] = tr_nat.total_newton_iterations;
+  o["tran_newton_mindeg"] = tr_amd.total_newton_iterations;
+  o["tran_newton_bbd"] = tr_bbd.total_newton_iterations;
+  o["tran_flat_natural_sec"] = tran_flat_sec;
+  o["tran_flat_mindeg_sec"] = tran_mindeg_sec;
+  o["tran_bbd_sec"] = tran_bbd_sec;
+  o["bbd_vs_flat_speedup"] = tran_bbd_sec > 0.0 ? tran_flat_sec / tran_bbd_sec : 0.0;
+  o["bbd_vs_flat_mindeg_speedup"] =
+      tran_bbd_sec > 0.0 ? tran_mindeg_sec / tran_bbd_sec : 0.0;
+  o["bbd_blocks"] = bbd.bbdSolver()->blockCount();
+  o["bbd_border"] = bbd.bbdSolver()->borderSize();
+  o["bbd_block_refactors"] = bbd.bbdSolver()->blockRefactors();
+  o["bbd_block_refactors_skipped"] = bbd.bbdSolver()->blockRefactorsSkipped();
+  return JsonValue(std::move(o));
+}
+
+/// Floorplan-scale fabric section: 10 / 50 / 200 islands; the largest
+/// size is the >= 10k-device transient the ordering + BBD work targets.
+JsonValue measureFabric() {
+  JsonValue::Object o;
+  o["threads"] = parallelThreadCount();
+  o["i10"] = measureFabricSize(10, 0.7e-9, 10e-12, 20);
+  o["i50"] = measureFabricSize(50, 0.7e-9, 10e-12, 10);
+  o["i200"] = measureFabricSize(200, 0.7e-9, 10e-12, 5);
+  return JsonValue(std::move(o));
+}
+
 void writeBenchPerfJson() {
   JsonValue::Object root;
   root["lu_reuse_small"] = measureLuReuse(64, 400);
@@ -657,6 +815,7 @@ void writeBenchPerfJson() {
   root["ensemble"] = measureEnsembleMonteCarlo(16);
   root["streaming_mc"] = measureStreamingMillion(100000, 1000000);
   root["qmc"] = measureQmcVariance(4096, 8);
+  root["fabric"] = measureFabric();
   const JsonValue doc{std::move(root)};
   writeJsonFile("BENCH_perf.json", doc);
   std::cout << "BENCH_perf.json:\n" << doc.dump() << "\n";

@@ -1,0 +1,115 @@
+#include "analysis/fabric_bootstrap.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+
+namespace vls {
+
+namespace {
+
+// Parses "<prefix><index><rest>" (e.g. "isl17.logic.b0" -> 17,
+// ".logic.b0"). Returns -1 when `name` does not start with `prefix`
+// followed by a digit.
+int parseIndexed(const std::string& name, const char* prefix, std::string* rest) {
+  const size_t plen = std::char_traits<char>::length(prefix);
+  if (name.compare(0, plen, prefix) != 0) return -1;
+  size_t pos = plen;
+  if (pos >= name.size() || !std::isdigit(static_cast<unsigned char>(name[pos]))) return -1;
+  int index = 0;
+  while (pos < name.size() && std::isdigit(static_cast<unsigned char>(name[pos]))) {
+    index = index * 10 + (name[pos] - '0');
+    ++pos;
+  }
+  *rest = name.substr(pos);
+  return index;
+}
+
+}  // namespace
+
+std::vector<double> fabricDcGuess(const Circuit& c, const FabricSpec& spec) {
+  // Prototype: two full supply cycles past island 0, so its second
+  // cycle (islands P+1 .. 2P) sits in the bulk periodic state — far
+  // enough from both the driven head and the unloaded tail that its
+  // node voltages are the infinite-chain fixed point. Interior islands
+  // of the full fabric tile from that band; a one-cycle prototype is
+  // NOT sufficient (its islands still carry head/tail boundary effects,
+  // and the accumulated error across a long latch cascade pushes the
+  // tiled guess out of Newton's basin).
+  const int p = static_cast<int>(spec.supplies.size());
+  const int proto_islands = std::min(spec.islands, 2 * p + 2);
+
+  // Even the prototype defeats a cold start once it chains a few
+  // shifters, so grow it one island at a time: a size-m prototype
+  // reuses the size-(m-1) solution by name (islands 0..m-2 are
+  // literally the same subcircuit), leaving only the newly appended
+  // island cold — one cold island at the end of a settled chain is
+  // always within Newton's reach.
+  std::unordered_map<std::string, double> proto_v;
+  for (int m = 1; m <= proto_islands; ++m) {
+    FabricSpec proto_spec = spec;
+    proto_spec.islands = m;
+    Circuit proto;
+    buildFabric(proto, proto_spec);
+    SimOptions opts;
+    // The appended island can sit on a down-shift boundary that a cold
+    // start cannot climb; a patient pseudo-transient closes the gap.
+    opts.recovery.ptran_max_steps = 2000;
+    opts.recovery.ptran_grow = 2.0;
+    if (!proto_v.empty()) {
+      auto warm = std::make_shared<std::vector<double>>(proto.nodeCount(), 0.0);
+      std::string rest;
+      for (size_t i = 0; i < proto.nodeCount(); ++i) {
+        const std::string& name = proto.nodeName(static_cast<NodeId>(i));
+        auto it = proto_v.find(name);
+        if (it == proto_v.end()) {
+          // New island m-1: borrow island m-2's DC state (same
+          // structure, input low either way; only the rail differs) and
+          // pin its rail at the programmed supply.
+          const int k = parseIndexed(name, "isl", &rest);
+          if (k == m - 1) {
+            if (rest == ".vdd") {
+              (*warm)[i] = spec.supplies[static_cast<size_t>(k) % spec.supplies.size()];
+              continue;
+            }
+            it = proto_v.find("isl" + std::to_string(k - 1) + rest);
+          }
+        }
+        if (it != proto_v.end()) (*warm)[i] = it->second;
+      }
+      opts.nodeset = std::move(warm);
+    }
+    Simulator sim(proto, opts);
+    const std::vector<double> px = sim.solveOp();
+    proto_v.clear();
+    proto_v.reserve(proto.nodeCount());
+    for (size_t i = 0; i < proto.nodeCount(); ++i) {
+      proto_v.emplace(proto.nodeName(static_cast<NodeId>(i)), px[i]);
+    }
+  }
+
+  // Head islands (0 .. P) map to themselves; everything deeper maps to
+  // the bulk band at matching supply phase. Boundary nets follow their
+  // driving island's index.
+  const auto protoIndex = [&](int k) { return k <= p ? k : p + 1 + (k - (p + 1)) % p; };
+  std::vector<double> guess(c.nodeCount(), 0.0);
+  std::string rest;
+  for (size_t i = 0; i < c.nodeCount(); ++i) {
+    const std::string& name = c.nodeName(static_cast<NodeId>(i));
+    std::string proto_name = name;
+    int k = parseIndexed(name, "isl", &rest);
+    if (k >= 0) {
+      proto_name = "isl" + std::to_string(protoIndex(k)) + rest;
+    } else if ((k = parseIndexed(name, "bnd", &rest)) >= 0) {
+      proto_name = "bnd" + std::to_string(protoIndex(k)) + rest;
+    }
+    const auto it = proto_v.find(proto_name);
+    if (it != proto_v.end()) guess[i] = it->second;
+  }
+  return guess;
+}
+
+}  // namespace vls

@@ -1,0 +1,23 @@
+// DC bootstrap for voltage-island fabrics. A cold zero start defeats
+// the recovery ladder once a fabric chains more than a handful of
+// SSTVS stages (the shifter's internal latch multiplies the number of
+// wrong basins with every island). The fabric is spatially periodic
+// with the supply cycle, so the fix is cheap: solve a prototype of
+// supplies.size() + 1 islands flat — always small, always converges —
+// and tile its node voltages across the full fabric by name. The
+// result goes into SimOptions::nodeset.
+#pragma once
+
+#include <vector>
+
+#include "cells/fabric.hpp"
+#include "circuit/circuit.hpp"
+
+namespace vls {
+
+/// Per-node DC guess for a circuit built by buildFabric(c, spec).
+/// Indexed by NodeId; pad with zeros for branch unknowns (or install
+/// as SimOptions::nodeset, which pads automatically).
+std::vector<double> fabricDcGuess(const Circuit& c, const FabricSpec& spec);
+
+}  // namespace vls

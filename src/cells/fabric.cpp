@@ -1,0 +1,86 @@
+#include "cells/fabric.hpp"
+
+#include "base/error.hpp"
+#include "cells/gates.hpp"
+#include "cells/related_work.hpp"
+#include "devices/passive.hpp"
+
+namespace vls {
+
+FabricHandles buildFabric(Circuit& c, const FabricSpec& spec) {
+  if (spec.islands < 1) throw InvalidInputError("buildFabric: need at least one island");
+  if (spec.logic_stages < 1) throw InvalidInputError("buildFabric: need at least one logic stage");
+  if (spec.supplies.empty()) throw InvalidInputError("buildFabric: need at least one supply");
+  if (!c.devices().empty()) {
+    throw InvalidInputError("buildFabric: circuit must be empty (device_island covers all devices)");
+  }
+
+  FabricHandles fab;
+  const int n = spec.islands;
+
+  // Tags every device added since the last call with its island.
+  const auto mark = [&](int32_t island) { fab.device_island.resize(c.devices().size(), island); };
+
+  // Global nets first: primary input, every rail, every boundary net.
+  fab.primary_in = c.node("pi");
+  std::vector<NodeId> rails(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) rails[k] = c.node("isl" + std::to_string(k) + ".vdd");
+  std::vector<NodeId> bnodes(n > 1 ? static_cast<size_t>(n - 1) : 0);
+  for (int k = 0; k + 1 < n; ++k) bnodes[k] = c.node("bnd" + std::to_string(k));
+
+  fab.islands.resize(static_cast<size_t>(n));
+  NodeId next_in = fab.primary_in;
+  for (int k = 0; k < n; ++k) {
+    const std::string pfx = "isl" + std::to_string(k);
+    FabricIsland& isl = fab.islands[k];
+    isl.rail = rails[k];
+    isl.supply = spec.supplies[static_cast<size_t>(k) % spec.supplies.size()];
+    isl.in = next_in;
+
+    c.add<VoltageSource>(pfx + ".vsup", isl.rail, kGround, Waveform::dc(isl.supply));
+    if (k == 0) {
+      PulseSpec pulse = spec.input_pulse;
+      if (pulse.v2 == 0.0) pulse.v2 = isl.supply;
+      fab.input = &c.add<VoltageSource>("vin", fab.primary_in, kGround, Waveform::pulse(pulse));
+    }
+    const GateHandles logic = buildBufferChain(c, pfx + ".logic", isl.in, isl.rail,
+                                               spec.logic_stages);
+    isl.out = logic.out;
+    c.add<Capacitor>(pfx + ".cl", isl.out, kGround, spec.load_cap);
+    mark(k);
+
+    if (k + 1 < n) {
+      // Boundary k -> k+1: the wire belongs to the driver island, the
+      // shifters to the receiver; they meet only at the boundary net.
+      FabricBoundary bnd;
+      bnd.node = bnodes[k];
+      bnd.from_island = k;
+      bnd.to_island = k + 1;
+      buildWire(c, pfx + ".wire", isl.out, bnd.node, spec.wire);
+      mark(k);
+
+      const std::string rpfx = "isl" + std::to_string(k + 1);
+      const NodeId shifted = c.node(rpfx + ".in");
+      bnd.shifter = buildSstvs(c, rpfx + ".shift", bnd.node, shifted, rails[k + 1]);
+      if (spec.related_work_shifters) {
+        buildSsvsPuri(c, rpfx + ".puri", bnd.node, c.node(rpfx + ".puri_out"), rails[k + 1]);
+        buildBootstrapShifter(c, rpfx + ".boot", bnd.node, c.node(rpfx + ".boot_out"),
+                              rails[k + 1]);
+      }
+      mark(k + 1);
+      fab.boundaries.push_back(std::move(bnd));
+      next_in = shifted;
+    }
+  }
+  fab.final_out = fab.islands.back().out;
+  return fab;
+}
+
+std::shared_ptr<const PartitionSpec> makePartitionSpec(const FabricHandles& fabric) {
+  auto spec = std::make_shared<PartitionSpec>();
+  spec->device_block = fabric.device_island;
+  spec->num_blocks = static_cast<int32_t>(fabric.islands.size());
+  return spec;
+}
+
+}  // namespace vls

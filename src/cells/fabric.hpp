@@ -1,0 +1,88 @@
+// Floorplan-scale voltage-island fabric generator. The paper's shifter
+// is deployed by the thousands on voltage-island boundaries (the
+// Yu/Dong/Goto floorplanning papers in PAPERS.md); this builder
+// produces that workload from the existing cell library: a chain of N
+// islands, each with its own supply rail and local logic, joined by
+// RC interconnect (src/cells/interconnect) and an SS-TVS level shifter
+// (plus optional related-work comparison shifters) at every boundary.
+//
+// The returned handle exposes the structure the solver exploits:
+// per-island membership of every device (device_island) and the
+// boundary nets between islands, so makePartitionSpec() can hand the
+// simulator a bordered-block-diagonal partition where each island is a
+// diagonal block and only the boundary nets couple them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cells/interconnect.hpp"
+#include "cells/sstvs.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/sources.hpp"
+#include "devices/waveform.hpp"
+#include "sim/options.hpp"
+
+namespace vls {
+
+struct FabricSpec {
+  int islands = 3;        ///< voltage islands in the chain (>= 1)
+  int logic_stages = 4;   ///< inverters in each island's buffer chain
+  /// Island k's rail voltage is supplies[k % supplies.size()], so
+  /// adjacent islands genuinely differ and every boundary shifts level.
+  /// Ascending within the cycle: up-shift boundaries are the paper's
+  /// use case, and the related-work bootstrap shifter has no stable,
+  /// Newton-reachable DC point on a shallow down-shift boundary (its
+  /// boosted internal node limit-cycles), which a {1.0, 0.8, 1.2}-style
+  /// cycle would create at every third boundary.
+  std::vector<double> supplies = {0.8, 1.0, 1.2};
+  WireSpec wire{};        ///< boundary interconnect (pi-ladder RC)
+  double load_cap = 2e-15;  ///< logic-output load per island [F]
+  /// Also hang the related-work comparison shifters (Puri-style and
+  /// bootstrapped) off every boundary net, as the floorplanning papers'
+  /// mixed-cell assignments do.
+  bool related_work_shifters = true;
+  /// Primary input pulse at island 0. v2 == 0 means "island 0's rail".
+  PulseSpec input_pulse{0.0, 0.0, 1e-9, 50e-12, 50e-12, 4e-9, 8e-9};
+};
+
+struct FabricIsland {
+  NodeId rail = kGround;
+  NodeId in = kGround;   ///< logic input (shifter output for islands > 0)
+  NodeId out = kGround;  ///< logic output (drives the boundary wire)
+  double supply = 0.0;
+};
+
+struct FabricBoundary {
+  NodeId node = kGround;  ///< border net: wire end (driver side) = shifter input
+  int from_island = 0;
+  int to_island = 0;
+  SstvsHandles shifter;   ///< the SS-TVS carrying the signal across
+};
+
+struct FabricHandles {
+  std::vector<FabricIsland> islands;
+  std::vector<FabricBoundary> boundaries;
+  NodeId primary_in = kGround;
+  NodeId final_out = kGround;      ///< last island's logic output
+  VoltageSource* input = nullptr;  ///< primary input source
+  /// Island of every device, aligned with Circuit::devices(). Boundary
+  /// wires belong to the driving island, boundary shifters to the
+  /// receiving one — the boundary net itself is the only coupling.
+  std::vector<int32_t> device_island;
+};
+
+/// Build a fabric into an empty circuit (throws InvalidInputError
+/// otherwise — device_island must cover the whole device list). Global
+/// nets (primary input, rails, boundary nets) are created before any
+/// island internals, the flattening order of a hierarchical netlist:
+/// natural column order then carries genuine long-range fill, which is
+/// exactly what LuOrdering::MinDegree exists to remove.
+FabricHandles buildFabric(Circuit& c, const FabricSpec& spec = {});
+
+/// Partition for SimOptions: one diagonal block per island.
+std::shared_ptr<const PartitionSpec> makePartitionSpec(const FabricHandles& fabric);
+
+}  // namespace vls

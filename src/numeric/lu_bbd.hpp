@@ -1,0 +1,141 @@
+// Bordered-block-diagonal LU for partitioned circuits. A voltage-island
+// fabric couples island-interior unknowns only through a thin set of
+// boundary nets, so with unknowns labelled by island the MNA matrix is
+//
+//   [ A_0          F_0 ]
+//   [      ...     ... ]      A_i : island-interior block
+//   [          A_B F_B ]      E_i/F_i : island<->border coupling
+//   [ E_0  ... E_B  D  ]      D   : border-border entries
+//
+// Each diagonal block is factored independently (parallelForChunked)
+// and coupled through the sparse Schur complement
+// S = D - sum_i E_i A_i^{-1} F_i over the border unknowns. Solves do
+// two block-triangular sweeps: y_i = A_i^{-1} b_i, solve S x_B = b_B -
+// sum E_i y_i, then x_i = A_i^{-1}(b_i - F_i x_B).
+//
+// Per-partition latency: a block whose matrix values (interior + E/F
+// coupling) are bit-identical to the previous refactor keeps its factor
+// and cached Schur contribution — quiescent islands whose devices ride
+// the assembly bypass tape cost nothing per Newton iteration. The
+// compare runs on post-assembly values, so gmin rungs, source scaling
+// and pseudo-transient anchors are all seen (NaN compares unequal, so a
+// poisoned block is always re-examined).
+//
+// lastSingularColumn() reports the original (global) unknown index for
+// both block and Schur pivot failures, matching SparseLu semantics so
+// ConvergenceDiagnostics node attribution works unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/lu_sparse.hpp"
+#include "numeric/ordering.hpp"
+#include "numeric/sparse_matrix.hpp"
+
+namespace vls {
+
+class BbdLu {
+ public:
+  /// partition[u] = diagonal block of unknown u, or -1 for the border.
+  /// Throws InvalidInputError on out-of-range labels. The matrix handed
+  /// to factor()/refactor() must have no direct block-to-block entries
+  /// (every cross-block path goes through the border) — factor()
+  /// validates and throws otherwise.
+  BbdLu(std::vector<int32_t> partition, int32_t num_blocks,
+        LuOrdering ordering = LuOrdering::MinDegree, bool latency = true);
+
+  /// Full symbolic + numeric factorization.
+  void factor(const SparseMatrix& a);
+
+  /// Numeric re-factorization reusing the partition/symbolic analysis;
+  /// transparently falls back to factor() on a pattern change. Blocks
+  /// with unchanged values are skipped when latency is enabled.
+  void refactor(const SparseMatrix& a);
+
+  std::vector<double> solve(const std::vector<double>& b) const;
+  void solveInPlace(std::vector<double>& b) const;
+
+  size_t size() const { return n_; }
+  size_t blockCount() const { return blocks_.size(); }
+  size_t borderSize() const { return border_.size(); }
+  size_t factorNonZeros() const;
+  size_t fillCount() const;
+
+  /// Lifetime counters: numeric block factorizations actually performed
+  /// vs skipped by the value-identity latency check.
+  size_t blockRefactors() const { return block_refactors_; }
+  size_t blockRefactorsSkipped() const { return block_skips_; }
+
+  /// Original (global) column of the most recent singular pivot, -1
+  /// after success. Block-local and Schur columns are mapped back.
+  int lastSingularColumn() const { return last_singular_col_; }
+
+ private:
+  struct FTerm {
+    size_t local_row;   // block-local row
+    size_t border_col;  // border-local column
+    size_t handle;      // source-matrix value handle
+  };
+  struct ETerm {
+    size_t border_row;  // border-local row
+    size_t local_col;   // block-local column
+    size_t row_pos;     // index into e_rows (contrib row)
+    size_t handle;
+  };
+  struct CopyPair {
+    size_t local_handle;
+    size_t global_handle;
+  };
+
+  struct Block {
+    std::vector<size_t> unknowns;  // global ids, ascending
+    SparseMatrix a;                // interior block values
+    SparseLu lu;
+    bool lu_valid = false;
+    std::vector<CopyPair> copies;       // global -> local value routing
+    std::vector<FTerm> f;               // sorted by border_col
+    std::vector<size_t> f_col_start;    // per distinct f column, offsets into f
+    std::vector<ETerm> e;
+    std::vector<size_t> f_cols;         // distinct border-local F columns
+    std::vector<size_t> e_rows;         // distinct border-local E rows
+    std::vector<double> seen_vals;      // last copied values (interior, F, E)
+    std::vector<double> f_vals;         // cached coupling values for solves
+    std::vector<double> e_vals;
+    std::vector<double> contrib;        // dense E_i A_i^{-1} F_i, e_rows x f_cols
+    std::vector<size_t> contrib_handles;  // matching Schur entry handles
+    mutable std::vector<double> y;      // solve scratch (A_i^{-1} b_i)
+    mutable std::vector<double> rhs;    // solve/back-substitution scratch
+  };
+
+  void refactorImpl(const SparseMatrix& a, bool force_all);
+  /// Copies current values into the block; returns false when they are
+  /// bit-identical to the previous refactor (latency skip candidate).
+  bool loadBlockValues(Block& blk, const SparseMatrix& a) const;
+  void computeContrib(Block& blk, const SparseMatrix& a);
+  bool patternMatches(const SparseMatrix& a) const;
+
+  size_t n_ = 0;
+  bool valid_ = false;
+  std::vector<int32_t> partition_;
+  int32_t num_blocks_;
+  LuOrdering ordering_;
+  bool latency_;
+
+  std::vector<Block> blocks_;
+  std::vector<size_t> border_;       // global ids of border unknowns, ascending
+  std::vector<size_t> local_index_;  // per unknown: index within its block/border
+  SparseMatrix schur_;
+  SparseLu schur_lu_;
+  bool schur_valid_ = false;
+  std::vector<CopyPair> d_copies_;   // D entries: global -> Schur routing
+  std::vector<double> d_seen_;       // last D values (Schur latency check)
+  std::vector<SparseMatrix::Entry> pattern_;  // source-pattern snapshot
+  mutable std::vector<double> border_scratch_;
+
+  size_t block_refactors_ = 0;
+  size_t block_skips_ = 0;
+  int last_singular_col_ = -1;
+};
+
+}  // namespace vls

@@ -15,10 +15,30 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
   pivot_threshold_ = pivot_threshold;
   ++symbolic_count_;
 
+  const auto& coords = a.entries();
+
+  // Column pre-ordering: every column index below lives in "step space"
+  // (step k eliminates original column col_at_step_[k]), so the whole
+  // elimination, refactor replay, and forward/backward substitution run
+  // unchanged; only the solve output scatter and singular-column
+  // reporting map back to original ids. Natural order skips the
+  // indirection entirely.
+  permuted_ = (ordering_ == LuOrdering::MinDegree) && n_ > 0;
+  if (permuted_) {
+    col_at_step_ = minimumDegreeOrder(n_, coords);
+    step_of_col_.resize(n_);
+    for (size_t k = 0; k < n_; ++k) step_of_col_[col_at_step_[k]] = static_cast<uint32_t>(k);
+  } else {
+    col_at_step_.clear();
+    step_of_col_.clear();
+  }
+  const auto map_col = [this](size_t col) -> size_t {
+    return permuted_ ? step_of_col_[col] : col;
+  };
+
   // Cache the source pattern grouped by row: refactor() scatters new
   // values through these handles, and patternMatches() compares against
-  // the snapshot.
-  const auto& coords = a.entries();
+  // the snapshot. row_entry_ columns are pre-mapped to step space.
   pattern_.assign(coords.begin(), coords.end());
   row_start_.assign(n_ + 1, 0);
   for (const auto& e : coords) ++row_start_[e.row + 1];
@@ -27,7 +47,7 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
   {
     std::vector<size_t> fill(row_start_.begin(), row_start_.end() - 1);
     for (size_t h = 0; h < coords.size(); ++h) {
-      row_entry_[fill[coords[h].row]++] = {coords[h].col, h};
+      row_entry_[fill[coords[h].row]++] = {map_col(coords[h].col), h};
     }
   }
 
@@ -36,7 +56,7 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
   {
     for (size_t r = 0; r < n_; ++r) work[r].reserve(row_start_[r + 1] - row_start_[r]);
     for (size_t k = 0; k < coords.size(); ++k) {
-      work[coords[k].row].push_back({coords[k].col, a.value(k)});
+      work[coords[k].row].push_back({map_col(coords[k].col), a.value(k)});
     }
     for (auto& row : work) {
       std::sort(row.begin(), row.end(), [](const Term& x, const Term& y) { return x.col < y.col; });
@@ -51,6 +71,8 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
       }
       row.resize(w);
     }
+    source_nnz_ = 0;
+    for (const auto& row : work) source_nnz_ += row.size();
   }
 
   lower_.assign(n_, {});
@@ -78,8 +100,9 @@ void SparseLu::factor(const SparseMatrix& a, double pivot_threshold) {
       }
     }
     if (best_mag <= pivot_threshold || !std::isfinite(best_mag)) {
-      last_singular_col_ = static_cast<int>(k);
-      throw NumericalError("SparseLu: singular matrix at column " + std::to_string(k));
+      last_singular_col_ = static_cast<int>(colAtStep(k));
+      throw NumericalError("SparseLu: singular matrix at column " +
+                           std::to_string(last_singular_col_));
     }
     std::swap(active[k], active[best_pos]);
     const size_t prow = active[k];
@@ -164,7 +187,7 @@ bool SparseLu::refactorNumeric(const SparseMatrix& a) {
     }
     const double pivot = work_[k];
     if (!(std::fabs(pivot) > pivot_threshold_) || !std::isfinite(pivot)) {
-      last_singular_col_ = static_cast<int>(k);
+      last_singular_col_ = static_cast<int>(colAtStep(k));
       return false;
     }
     for (Term& t : urow) t.val = work_[t.col];
@@ -173,6 +196,12 @@ bool SparseLu::refactorNumeric(const SparseMatrix& a) {
   ++numeric_count_;
   last_singular_col_ = -1;
   return true;
+}
+
+void SparseLu::setOrdering(LuOrdering ordering) {
+  if (ordering == ordering_) return;
+  ordering_ = ordering;
+  valid_ = false;  // forces a fresh symbolic phase on the next (re)factor
 }
 
 void SparseLu::refactor(const SparseMatrix& a) {
@@ -190,6 +219,11 @@ size_t SparseLu::factorNonZeros() const {
   for (const auto& r : lower_) nnz += r.size();
   for (const auto& r : upper_) nnz += r.size();
   return nnz;
+}
+
+size_t SparseLu::fillCount() const {
+  const size_t nnz = factorNonZeros();
+  return nnz > source_nnz_ ? nnz - source_nnz_ : 0;
 }
 
 std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
@@ -210,14 +244,19 @@ void SparseLu::solveInPlace(std::vector<double>& b) const {
     for (const Term& t : lower_[perm_[k]]) acc -= t.val * y[t.col];
     y[k] = acc;
   }
-  // Backward: U x = y.
+  // Backward: U x = y (still in step space: y[k] is the solution of the
+  // column eliminated at step k).
   for (size_t kk = n_; kk-- > 0;) {
     double acc = y[kk];
     const Row& row = upper_[kk];
     for (size_t i = 1; i < row.size(); ++i) acc -= row[i].val * y[row[i].col];
     y[kk] = acc * diag_inv_[kk];
   }
-  std::swap(b, y);
+  if (permuted_) {
+    for (size_t k = 0; k < n_; ++k) b[col_at_step_[k]] = y[k];
+  } else {
+    std::swap(b, y);
+  }
 }
 
 }  // namespace vls

@@ -1,8 +1,19 @@
-// Sparse LU with partial pivoting over row-list storage. Circuit
-// matrices are nearly structurally symmetric and diagonally dominant
-// after gmin insertion, so fill-in stays modest without a fancy
-// ordering; rows are kept as sorted (column, value) vectors and merged
-// during elimination.
+// Sparse LU with partial pivoting over row-list storage: rows are kept
+// as sorted (column, value) vectors and merged during elimination.
+//
+// Elimination order matters. Cell-sized circuits (tens of unknowns)
+// factor fine in natural column order, but at fabric scale (thousands
+// of unknowns spanning voltage islands) natural order lets fill-in
+// explode quadratically. setOrdering(LuOrdering::MinDegree) enables an
+// approximate-minimum-degree column pre-ordering (src/numeric/ordering)
+// computed once in the symbolic phase and reused by every refactor().
+// Invariants with ordering enabled:
+//   - solutions match natural order to within LU pivot-tolerance
+//     semantics (same matrix, different elimination order);
+//   - lastSingularColumn() always reports the *original* column id, so
+//     singular-pivot node attribution is ordering-independent;
+//   - fillCount() (factor entries beyond the source pattern) is the
+//     regression metric for ordering quality.
 //
 // The factorization is split into a symbolic phase (pivot order, L/U
 // fill pattern, and a row-grouped index of the source matrix, computed
@@ -14,6 +25,7 @@
 
 #include <vector>
 
+#include "numeric/ordering.hpp"
 #include "numeric/sparse_matrix.hpp"
 
 namespace vls {
@@ -42,18 +54,28 @@ class SparseLu {
   std::vector<double> solve(const std::vector<double>& b) const;
   void solveInPlace(std::vector<double>& b) const;
 
+  /// Select the column pre-ordering for subsequent factorizations.
+  /// Takes effect at the next factor(); changing it invalidates the
+  /// cached symbolic analysis so the next refactor() re-runs it.
+  void setOrdering(LuOrdering ordering);
+  LuOrdering ordering() const { return ordering_; }
+
   size_t size() const { return n_; }
   /// Total stored L+U entries (fill-in diagnostics).
   size_t factorNonZeros() const;
+  /// Factor entries beyond the (deduplicated) source pattern — the
+  /// fill-in produced by the current elimination order.
+  size_t fillCount() const;
 
   /// Lifetime counters (tests and perf diagnostics).
   size_t symbolicFactorizations() const { return symbolic_count_; }
   size_t numericRefactorizations() const { return numeric_count_; }
 
-  /// Elimination column of the most recent singular/non-finite pivot
-  /// (-1 after a successful factorization). Row pivoting preserves
-  /// column order, so this is directly the original unknown index —
-  /// callers map it to a circuit node name for diagnostics.
+  /// Original column of the most recent singular/non-finite pivot
+  /// (-1 after a successful factorization). The elimination step is
+  /// mapped back through the column pre-ordering, so this is always
+  /// the original unknown index regardless of LuOrdering — callers map
+  /// it to a circuit node name for diagnostics.
   int lastSingularColumn() const { return last_singular_col_; }
 
  private:
@@ -69,10 +91,17 @@ class SparseLu {
   bool refactorNumeric(const SparseMatrix& a);
   bool patternMatches(const SparseMatrix& a) const;
 
+  /// Original column eliminated at step k (k itself in natural order).
+  size_t colAtStep(size_t k) const { return permuted_ ? col_at_step_[k] : k; }
+
   size_t n_ = 0;
   bool valid_ = false;  // false until a factorization completes; a throwing
                         // factor() leaves partially overwritten caches behind
   double pivot_threshold_ = 1e-13;
+  LuOrdering ordering_ = LuOrdering::Natural;
+  bool permuted_ = false;               // column permutation in effect
+  std::vector<uint32_t> col_at_step_;   // step -> original column
+  std::vector<uint32_t> step_of_col_;   // original column -> step
   std::vector<Row> lower_;          // strictly lower triangle, unit diagonal implied
   std::vector<Row> upper_;          // upper triangle including diagonal
   std::vector<double> diag_inv_;    // 1 / U(k,k)
@@ -89,6 +118,7 @@ class SparseLu {
   std::vector<size_t> row_start_;       // per original row, offsets into row_entry_
   std::vector<SourceRef> row_entry_;
   std::vector<double> work_;            // dense scatter workspace, size n
+  size_t source_nnz_ = 0;               // deduplicated source entries
   mutable std::vector<double> solve_scratch_;
   size_t symbolic_count_ = 0;
   size_t numeric_count_ = 0;

@@ -1,0 +1,128 @@
+#include "numeric/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace vls {
+
+const char* luOrderingName(LuOrdering ordering) {
+  switch (ordering) {
+    case LuOrdering::Natural:
+      return "natural";
+    case LuOrdering::MinDegree:
+      return "mindeg";
+  }
+  return "unknown";
+}
+
+// Quotient-graph minimum degree. Eliminating pivot p replaces p and
+// every element (prior pivot clique) touching p with one new element
+// whose variables are p's combined neighborhood; absorbed elements die,
+// so the graph never grows beyond the original adjacency plus one live
+// clique per elimination. Degrees are the AMD-style upper bound
+// |A_i| + sum_e (|L_e| - 1), kept in a lazy heap: stale entries (degree
+// changed since push) are skipped on pop instead of being re-keyed.
+std::vector<uint32_t> minimumDegreeOrder(size_t n,
+                                         const std::vector<SparseMatrix::Entry>& entries) {
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  if (n <= 2) return order;
+
+  // Symmetrized off-diagonal adjacency, sorted and deduplicated.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& e : entries) {
+    if (e.row == e.col || e.row >= n || e.col >= n) continue;
+    adj[e.row].push_back(static_cast<uint32_t>(e.col));
+    adj[e.col].push_back(static_cast<uint32_t>(e.row));
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  std::vector<std::vector<uint32_t>> elem_vars;     // element -> live variables
+  std::vector<std::vector<uint32_t>> var_elems(n);  // variable -> elements containing it
+  std::vector<char> elem_dead;
+  std::vector<uint32_t> degree(n);
+  std::vector<char> eliminated(n, 0);
+  std::vector<uint32_t> mark(n, 0);
+  uint32_t stamp = 0;
+
+  // Min-heap of (degree, variable); ties break toward the lower index,
+  // which keeps the order deterministic for a given pattern.
+  using HeapItem = std::pair<uint32_t, uint32_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>> heap;
+  for (size_t i = 0; i < n; ++i) {
+    degree[i] = static_cast<uint32_t>(adj[i].size());
+    heap.push({degree[i], static_cast<uint32_t>(i)});
+  }
+
+  size_t count = 0;
+  std::vector<uint32_t> lp;  // neighborhood of the pivot being eliminated
+  while (count < n) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    const uint32_t p = top.second;
+    if (eliminated[p] || top.first != degree[p]) continue;  // stale heap entry
+
+    // L_p = (A_p U union of p's elements) \ {p, eliminated}.
+    ++stamp;
+    mark[p] = stamp;
+    lp.clear();
+    for (uint32_t v : adj[p]) {
+      if (!eliminated[v] && mark[v] != stamp) {
+        mark[v] = stamp;
+        lp.push_back(v);
+      }
+    }
+    for (uint32_t e : var_elems[p]) {
+      if (elem_dead[e]) continue;
+      for (uint32_t v : elem_vars[e]) {
+        if (mark[v] != stamp) {
+          mark[v] = stamp;
+          lp.push_back(v);
+        }
+      }
+      elem_dead[e] = 1;  // absorbed into the new element
+    }
+    std::sort(lp.begin(), lp.end());
+    eliminated[p] = 1;
+    order[count++] = p;
+    adj[p].clear();
+    var_elems[p].clear();
+    if (lp.empty()) continue;
+
+    const uint32_t enew = static_cast<uint32_t>(elem_vars.size());
+    elem_vars.push_back(lp);
+    elem_dead.push_back(0);
+
+    for (uint32_t i : lp) {
+      // Variables covered by the new element leave A_i (still marked
+      // with this stamp); eliminating symmetric neighbors keeps A
+      // symmetric because every j with p in A_j is in L_p.
+      auto& ai = adj[i];
+      size_t w = 0;
+      for (uint32_t v : ai) {
+        if (!eliminated[v] && mark[v] != stamp) ai[w++] = v;
+      }
+      ai.resize(w);
+
+      auto& ei = var_elems[i];
+      w = 0;
+      for (uint32_t e : ei) {
+        if (!elem_dead[e]) ei[w++] = e;
+      }
+      ei.resize(w);
+      ei.push_back(enew);
+
+      uint64_t deg = ai.size();
+      for (uint32_t e : ei) deg += elem_vars[e].size() - 1;
+      degree[i] = static_cast<uint32_t>(std::min<uint64_t>(deg, n - 1));
+      heap.push({degree[i], i});
+    }
+  }
+  return order;
+}
+
+}  // namespace vls

@@ -1,0 +1,35 @@
+// Fill-reducing column orderings for sparse LU. Circuit matrices are
+// cheap to factor in natural order only while they stay tiny; at
+// floorplan scale (thousands of unknowns across voltage islands) the
+// elimination order dominates fill-in and factor time, so SparseLu can
+// pre-order its columns with a quotient-graph minimum-degree heuristic
+// (the approximate-minimum-degree family: external degree is bounded by
+// |adjacent variables| + sum of element boundary sizes instead of being
+// recomputed exactly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/sparse_matrix.hpp"
+
+namespace vls {
+
+/// Column pre-ordering applied by SparseLu::factor's symbolic phase.
+enum class LuOrdering : uint8_t {
+  Natural = 0,    ///< eliminate columns in index order (the historical default)
+  MinDegree = 1,  ///< approximate-minimum-degree on the symmetrized pattern
+};
+
+const char* luOrderingName(LuOrdering ordering);
+
+/// Approximate-minimum-degree elimination order for the symmetrized
+/// pattern of an n x n matrix: order[k] is the original column
+/// eliminated at step k. Deterministic (ties break toward the lower
+/// column index), ignores numerical values, tolerates duplicate and
+/// unsymmetric entries. Returns the identity for n <= 2, where no
+/// reordering can change fill.
+std::vector<uint32_t> minimumDegreeOrder(size_t n,
+                                         const std::vector<SparseMatrix::Entry>& entries);
+
+}  // namespace vls

@@ -2,13 +2,29 @@
 // they exist).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "circuit/device.hpp"
+#include "numeric/ordering.hpp"
 
 namespace vls {
 
 class FaultInjector;
+
+/// Partition for the bordered-block-diagonal solve: device_block[d]
+/// names the diagonal block of device d (index into
+/// Circuit::devices()), or -1 to pin the device's unknowns to the
+/// border. The simulator derives the per-unknown partition from this:
+/// a node interior to a block iff every device touching it is in that
+/// block, border otherwise; branch unknowns follow their device. Cell
+/// generators that know the island structure (src/cells/fabric) emit
+/// this directly.
+struct PartitionSpec {
+  std::vector<int32_t> device_block;
+  int32_t num_blocks = 0;
+};
 
 /// Controls the convergence-recovery escalation ladder shared by the
 /// scalar and ensemble engines (see sim/recovery.hpp). Stages run in
@@ -63,6 +79,30 @@ struct SimOptions {
   bool enable_bypass = false;
   double bypass_tol = 1e-7;         ///< terminal-voltage move threshold [V]
   int bypass_settle_iterations = 2; ///< forced full evaluations per solve
+
+  // Sparse-LU column pre-ordering. Natural keeps the historical
+  // elimination order; MinDegree enables the fill-reducing ordering
+  // (src/numeric/ordering) — solutions agree to within pivot-tolerance
+  // semantics, and singular-pivot diagnostics stay in original unknown
+  // ids either way. Essential at fabric scale, harmless on cells.
+  LuOrdering lu_ordering = LuOrdering::Natural;
+
+  // Partitioned bordered-block-diagonal solve (src/numeric/lu_bbd).
+  // When set, Newton systems factor per-block in parallel coupled by a
+  // Schur complement over the border unknowns; null solves flat.
+  std::shared_ptr<const PartitionSpec> partition;
+  // Per-block latency for the BBD path: blocks whose matrix values are
+  // unchanged since the previous refactor keep their factors (quiet
+  // islands on the bypass tape cost nothing).
+  bool bbd_latency = true;
+
+  // SPICE-style .nodeset: initial guess for every cold operating-point
+  // solve (solveOp, the transient/ac/noise OP, dcSweep homotopy
+  // restarts), indexed by unknown. Shorter vectors are zero-padded, so
+  // a node-only nodeset (branch currents start at 0) is fine. Deeply
+  // cascaded fabrics (src/analysis/fabric_bootstrap) need this: a cold
+  // zero start defeats the whole recovery ladder past ~10 islands.
+  std::shared_ptr<const std::vector<double>> nodeset;
 
   // Convergence-recovery escalation ladder (gmin / source stepping,
   // pseudo-transient continuation) shared by every solve entry point.

@@ -17,6 +17,47 @@ Simulator::Simulator(Circuit& circuit, SimOptions options)
   const size_t branches = circuit_.assignBranchIndices();
   num_unknowns_ = num_nodes_ + branches;
   system_ = MnaSystem(num_nodes_, branches);
+  lu_.setOrdering(options_.lu_ordering);
+  if (options_.partition != nullptr) {
+    bbd_ = std::make_unique<BbdLu>(deriveUnknownPartition(), options_.partition->num_blocks,
+                                   options_.lu_ordering, options_.bbd_latency);
+  }
+}
+
+std::vector<int32_t> Simulator::deriveUnknownPartition() const {
+  const PartitionSpec& spec = *options_.partition;
+  const auto& devices = circuit_.devices();
+  if (spec.device_block.size() != devices.size()) {
+    throw InvalidInputError("PartitionSpec labels " + std::to_string(spec.device_block.size()) +
+                            " devices, circuit has " + std::to_string(devices.size()));
+  }
+  // -2 = not yet touched by any device. A node interior to block b iff
+  // every touching device is labelled b; any disagreement (including an
+  // explicit -1 label) demotes it to the border. Branch unknowns follow
+  // their device (assignBranchIndices hands them out in device order
+  // starting at nodeCount()).
+  std::vector<int32_t> part(num_unknowns_, -2);
+  size_t next_branch = num_nodes_;
+  for (size_t d = 0; d < devices.size(); ++d) {
+    const int32_t blk = spec.device_block[d];
+    const Device& dev = *devices[d];
+    for (size_t t = 0; t < dev.terminalCount(); ++t) {
+      const NodeId node = dev.terminalNode(t);
+      if (isGround(node)) continue;
+      int32_t& p = part[static_cast<size_t>(node)];
+      if (p == -2) {
+        p = blk;
+      } else if (p != blk) {
+        p = -1;
+      }
+    }
+    for (size_t b = 0; b < dev.branchCount(); ++b) part[next_branch++] = blk;
+  }
+  // Unknowns no device touches (floating nodes) go to the border.
+  for (int32_t& p : part) {
+    if (p == -2) p = -1;
+  }
+  return part;
 }
 
 EvalContext Simulator::contextFor(const std::vector<double>& x, double time) const {
@@ -103,12 +144,18 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
     try {
       // Numeric-only refactorization on the fixed MNA pattern; the first
       // call (and any pivot degradation) runs the full symbolic pass.
-      lu_.refactor(system.matrix());
-      x_new = system.rhs();
-      lu_.solveInPlace(x_new);
+      if (bbd_ != nullptr) {
+        bbd_->refactor(system.matrix());
+        x_new = system.rhs();
+        bbd_->solveInPlace(x_new);
+      } else {
+        lu_.refactor(system.matrix());
+        x_new = system.rhs();
+        lu_.solveInPlace(x_new);
+      }
     } catch (const NumericalError&) {
       out.failure = NewtonFailureReason::SingularPivot;
-      out.singular_index = lu_.lastSingularColumn();
+      out.singular_index = bbd_ != nullptr ? bbd_->lastSingularColumn() : lu_.lastSingularColumn();
       return out;
     }
 
@@ -163,8 +210,18 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
   return out;
 }
 
+std::vector<double> Simulator::coldStart() const {
+  std::vector<double> x(num_unknowns_, 0.0);
+  if (options_.nodeset != nullptr) {
+    const std::vector<double>& ns = *options_.nodeset;
+    const size_t n = std::min(ns.size(), num_unknowns_);
+    std::copy(ns.begin(), ns.begin() + static_cast<ptrdiff_t>(n), x.begin());
+  }
+  return x;
+}
+
 std::vector<double> Simulator::solveOp() {
-  return solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "operatingPoint");
+  return solveOpInternal(coldStart(), "operatingPoint");
 }
 
 std::vector<double> Simulator::solveOp(std::vector<double> initial_guess) {
@@ -214,7 +271,7 @@ DcSweepResult Simulator::dcSweep(VoltageSource& source, double from, double to, 
       const std::string context = "dcSweep v=" + std::to_string(v);
       ConvergenceDiagnostics diag;
       try {
-        x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0), context, 0.0, &diag);
+        x = solveOpInternal(coldStart(), context, 0.0, &diag);
         ok = true;
         result.diagnostics.push_back({static_cast<size_t>(k), std::move(diag)});
       } catch (const RecoveryError& e) {
@@ -236,7 +293,7 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
   }
   // Linearization point.
   const std::vector<double> x_op =
-      solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "ac operating point");
+      solveOpInternal(coldStart(), "ac operating point");
   EvalContext ctx = contextFor(x_op, 0.0);
 
   // Conductance part: the assembled Newton Jacobian at the OP.
@@ -261,6 +318,7 @@ AcResult Simulator::ac(double f_start, double f_stop, int points_per_decade) {
   // build it once and refactor numerically per point.
   SparseMatrix big(2 * n);
   SparseLu lu;
+  lu.setOrdering(options_.lu_ordering);
   for (int k = 0; k < total; ++k) {
     const double f =
         total == 1 ? f_start
@@ -304,7 +362,7 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
   const size_t out_idx = static_cast<size_t>(*out_id);
 
   const std::vector<double> x_op =
-      solveOpInternal(std::vector<double>(num_unknowns_, 0.0), "noise operating point");
+      solveOpInternal(coldStart(), "noise operating point");
   EvalContext ctx = contextFor(x_op, 0.0);
 
   MnaSystem g_sys(num_nodes_, num_unknowns_ - num_nodes_);
@@ -329,6 +387,7 @@ NoiseResult Simulator::noise(const std::string& output_node, double f_start, dou
   double prev_f = 0.0;
   SparseMatrix big(2 * n);
   SparseLu lu;
+  lu.setOrdering(options_.lu_ordering);
   for (int k = 0; k < total; ++k) {
     const double f =
         total == 1 ? f_start
@@ -382,8 +441,7 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
 
   // Operating point at t = 0 (surface a rescued OP as a recovery event).
   ConvergenceDiagnostics op_diag;
-  std::vector<double> x = solveOpInternal(std::vector<double>(num_unknowns_, 0.0),
-                                          "transient operating point", 0.0, &op_diag);
+  std::vector<double> x = solveOpInternal(coldStart(), "transient operating point", 0.0, &op_diag);
   if (op_diag.recovered) result.recovery_events.push_back(std::move(op_diag));
   {
     EvalContext ctx = contextFor(x, 0.0);

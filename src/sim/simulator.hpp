@@ -7,9 +7,12 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "circuit/assembly.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
+#include "numeric/lu_bbd.hpp"
 #include "numeric/lu_sparse.hpp"
 #include "sim/ac.hpp"
 #include "sim/noise.hpp"
@@ -62,6 +65,12 @@ class Simulator {
   const SimOptions& options() const { return options_; }
   SimOptions& options() { return options_; }
 
+  /// Flat sparse LU used when no partition is installed (fill/ordering
+  /// diagnostics for tests and benches).
+  const SparseLu& flatLu() const { return lu_; }
+  /// Partitioned BBD solver; null when solving flat.
+  const BbdLu* bbdSolver() const { return bbd_.get(); }
+
   /// Evaluation context for post-processing a solution vector at a
   /// given time (measurement helpers).
   EvalContext contextFor(const std::vector<double>& x, double time = 0.0) const;
@@ -84,6 +93,14 @@ class Simulator {
                                       double time = 0.0,
                                       ConvergenceDiagnostics* diag = nullptr);
 
+  /// Expand options_.partition's per-device labels into the per-unknown
+  /// labels BbdLu consumes (shared nodes demote to the border).
+  std::vector<int32_t> deriveUnknownPartition() const;
+
+  /// Starting vector for cold OP solves: options_.nodeset (zero-padded
+  /// to the unknown count) when installed, zeros otherwise.
+  std::vector<double> coldStart() const;
+
   Circuit& circuit_;
   SimOptions options_;
   size_t num_unknowns_;
@@ -99,7 +116,11 @@ class Simulator {
   /// Persistent factorization: the symbolic phase (pivot order + fill
   /// pattern) runs once per sparsity pattern; every later Newton
   /// iteration and transient step only refreshes the numeric values.
+  /// Unused when bbd_ is active.
   SparseLu lu_;
+  /// Partitioned bordered-block-diagonal solver, constructed when
+  /// options_.partition is set; replaces lu_ in the Newton loop.
+  std::unique_ptr<BbdLu> bbd_;
   /// Per-iteration Newton scratch, allocated once per simulator.
   std::vector<double> x_new_;
 };

@@ -1,0 +1,191 @@
+#include "numeric/lu_bbd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.hpp"
+#include "numeric/lu_sparse.hpp"
+#include "numeric/rng.hpp"
+
+namespace vls {
+namespace {
+
+// Block-chain system: `blocks` diagonal blocks of `bs` unknowns each,
+// coupled through one border unknown between consecutive blocks. Block
+// interiors are random diagonally dominant; couplings tie the last
+// unknown of block k and the first of block k+1 to border k.
+struct ChainSystem {
+  SparseMatrix a{0};
+  std::vector<int32_t> partition;
+  int32_t num_blocks = 0;
+  size_t n = 0;
+};
+
+ChainSystem makeChain(int blocks, int bs, uint64_t seed) {
+  ChainSystem sys;
+  sys.num_blocks = blocks;
+  const int border = blocks - 1;
+  sys.n = static_cast<size_t>(blocks * bs + border);
+  sys.a = SparseMatrix(sys.n);
+  sys.partition.assign(sys.n, -1);
+  Rng rng(seed);
+  const auto blockBase = [bs](int b) { return static_cast<size_t>(b * bs); };
+  const size_t border_base = static_cast<size_t>(blocks * bs);
+  for (int b = 0; b < blocks; ++b) {
+    for (int i = 0; i < bs; ++i) {
+      const size_t u = blockBase(b) + i;
+      sys.partition[u] = b;
+      sys.a.add(u, u, 4.0 + rng.uniform());
+      if (i > 0) {
+        sys.a.add(u, u - 1, rng.uniform(-1, 1));
+        sys.a.add(u - 1, u, rng.uniform(-1, 1));
+      }
+    }
+  }
+  for (int k = 0; k < border; ++k) {
+    const size_t w = border_base + k;
+    sys.a.add(w, w, 4.0 + rng.uniform());
+    const size_t left = blockBase(k) + bs - 1;    // last unknown of block k
+    const size_t right = blockBase(k + 1);        // first unknown of block k+1
+    sys.a.add(w, left, rng.uniform(-1, 1));
+    sys.a.add(left, w, rng.uniform(-1, 1));
+    sys.a.add(w, right, rng.uniform(-1, 1));
+    sys.a.add(right, w, rng.uniform(-1, 1));
+  }
+  return sys;
+}
+
+TEST(BbdLu, MatchesFlatSolve) {
+  ChainSystem sys = makeChain(4, 6, 11);
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  bbd.factor(sys.a);
+  EXPECT_EQ(bbd.blockCount(), 4u);
+  EXPECT_EQ(bbd.borderSize(), 3u);
+
+  Rng rng(12);
+  std::vector<double> b(sys.n);
+  for (double& v : b) v = rng.uniform(-2, 2);
+  const auto x_bbd = bbd.solve(b);
+  const auto x_flat = SparseLu(sys.a).solve(b);
+  for (size_t i = 0; i < sys.n; ++i) EXPECT_NEAR(x_bbd[i], x_flat[i], 1e-10);
+}
+
+TEST(BbdLu, RefactorTracksNewValues) {
+  ChainSystem sys = makeChain(3, 5, 21);
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  bbd.factor(sys.a);
+  Rng rng(22);
+  for (int round = 0; round < 3; ++round) {
+    for (size_t h = 0; h < sys.a.entries().size(); ++h) {
+      const bool diag = sys.a.entries()[h].row == sys.a.entries()[h].col;
+      sys.a.setAt(h, rng.uniform(-1, 1) + (diag ? 4.0 : 0.0));
+    }
+    bbd.refactor(sys.a);
+    std::vector<double> b(sys.n);
+    for (double& v : b) v = rng.uniform(-2, 2);
+    const auto x_bbd = bbd.solve(b);
+    const auto x_flat = SparseLu(sys.a).solve(b);
+    for (size_t i = 0; i < sys.n; ++i) EXPECT_NEAR(x_bbd[i], x_flat[i], 1e-10);
+  }
+}
+
+TEST(BbdLu, LatencySkipsUnchangedBlocks) {
+  ChainSystem sys = makeChain(4, 6, 31);
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  bbd.factor(sys.a);
+  const size_t after_factor = bbd.blockRefactors();
+  EXPECT_EQ(after_factor, 4u);  // every block factored once
+
+  // Touch only block 2's interior: the other three must skip.
+  for (size_t h = 0; h < sys.a.entries().size(); ++h) {
+    const auto& e = sys.a.entries()[h];
+    if (e.row == e.col && sys.partition[e.row] == 2) sys.a.setAt(h, sys.a.value(h) + 0.5);
+  }
+  bbd.refactor(sys.a);
+  EXPECT_EQ(bbd.blockRefactors(), after_factor + 1);
+  EXPECT_EQ(bbd.blockRefactorsSkipped(), 3u);
+  // Unchanged values everywhere: all four skip.
+  bbd.refactor(sys.a);
+  EXPECT_EQ(bbd.blockRefactors(), after_factor + 1);
+  EXPECT_EQ(bbd.blockRefactorsSkipped(), 7u);
+  // Solutions stay exact after skips.
+  std::vector<double> b(sys.n, 1.0);
+  const auto x_bbd = bbd.solve(b);
+  const auto x_flat = SparseLu(sys.a).solve(b);
+  for (size_t i = 0; i < sys.n; ++i) EXPECT_NEAR(x_bbd[i], x_flat[i], 1e-10);
+}
+
+TEST(BbdLu, LatencyDisabledAlwaysRefactors) {
+  ChainSystem sys = makeChain(3, 4, 41);
+  BbdLu bbd(sys.partition, sys.num_blocks, LuOrdering::MinDegree, /*latency=*/false);
+  bbd.factor(sys.a);
+  bbd.refactor(sys.a);
+  EXPECT_EQ(bbd.blockRefactors(), 6u);
+  EXPECT_EQ(bbd.blockRefactorsSkipped(), 0u);
+}
+
+TEST(BbdLu, SingularBlockReportsGlobalColumn) {
+  ChainSystem sys = makeChain(3, 4, 51);
+  // Zero every entry in global column 6 (block 1's interior).
+  for (size_t h = 0; h < sys.a.entries().size(); ++h) {
+    if (sys.a.entries()[h].col == 6) sys.a.setAt(h, 0.0);
+  }
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  EXPECT_THROW(bbd.factor(sys.a), NumericalError);
+  EXPECT_EQ(bbd.lastSingularColumn(), 6);
+}
+
+TEST(BbdLu, SingularBorderReportsGlobalColumn) {
+  ChainSystem sys = makeChain(3, 4, 61);
+  const size_t border0 = static_cast<size_t>(3 * 4);  // first border unknown
+  for (size_t h = 0; h < sys.a.entries().size(); ++h) {
+    if (sys.a.entries()[h].col == border0) sys.a.setAt(h, 0.0);
+  }
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  EXPECT_THROW(bbd.factor(sys.a), NumericalError);
+  EXPECT_EQ(bbd.lastSingularColumn(), static_cast<int>(border0));
+}
+
+TEST(BbdLu, RejectsDirectBlockToBlockCoupling) {
+  ChainSystem sys = makeChain(2, 3, 71);
+  sys.a.add(0, 3, 1.0);  // block 0 interior -> block 1 interior
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  EXPECT_THROW(bbd.factor(sys.a), InvalidInputError);
+}
+
+TEST(BbdLu, RejectsBadPartitionLabels) {
+  EXPECT_THROW(BbdLu({0, 1, 7}, 2), InvalidInputError);
+  EXPECT_THROW(BbdLu({0, -2}, 1), InvalidInputError);
+  ChainSystem sys = makeChain(2, 3, 81);
+  BbdLu wrong_size(std::vector<int32_t>(3, 0), 1);
+  EXPECT_THROW(wrong_size.factor(sys.a), InvalidInputError);
+}
+
+TEST(BbdLu, PatternChangeRefactorsFromScratch) {
+  ChainSystem sys = makeChain(2, 3, 91);
+  BbdLu bbd(sys.partition, sys.num_blocks);
+  bbd.factor(sys.a);
+  sys.a.add(1, 2, 0.25);  // new interior entry: pattern change
+  bbd.refactor(sys.a);
+  std::vector<double> b(sys.n, 1.0);
+  const auto x_bbd = bbd.solve(b);
+  const auto x_flat = SparseLu(sys.a).solve(b);
+  for (size_t i = 0; i < sys.n; ++i) EXPECT_NEAR(x_bbd[i], x_flat[i], 1e-10);
+}
+
+TEST(BbdLu, AllBorderDegeneratesToFlat) {
+  // Everything on the border: the Schur complement IS the matrix.
+  ChainSystem sys = makeChain(2, 3, 101);
+  std::vector<int32_t> all_border(sys.n, -1);
+  BbdLu bbd(all_border, 1);
+  bbd.factor(sys.a);
+  EXPECT_EQ(bbd.borderSize(), sys.n);
+  std::vector<double> b(sys.n, 1.0);
+  const auto x_bbd = bbd.solve(b);
+  const auto x_flat = SparseLu(sys.a).solve(b);
+  for (size_t i = 0; i < sys.n; ++i) EXPECT_NEAR(x_bbd[i], x_flat[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace vls

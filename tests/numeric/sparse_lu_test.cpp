@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "base/error.hpp"
 #include "numeric/lu_dense.hpp"
 #include "numeric/rng.hpp"
@@ -261,6 +264,142 @@ TEST(SparseLu, StructurallySymmetricCircuitLikeSystem) {
   for (int i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
   // Fill-in should stay tiny for a tridiagonal system.
   EXPECT_LE(SparseLu(m).factorNonZeros(), static_cast<size_t>(3 * n));
+}
+
+// Arrowhead matrix: dense hub row/column 0 plus the diagonal. Natural
+// order eliminates the hub first and densifies everything downstream;
+// minimum degree leaves the hub for last and produces zero fill.
+SparseMatrix makeArrowhead(int n) {
+  SparseMatrix m(n);
+  m.add(0, 0, 4.0);
+  for (int i = 1; i < n; ++i) {
+    m.add(i, i, 4.0);
+    m.add(0, i, 1.0);
+    m.add(i, 0, 1.0);
+  }
+  return m;
+}
+
+TEST(MinimumDegreeOrder, IsADeterministicPermutation) {
+  const auto m = makeArrowhead(12);
+  const auto order = minimumDegreeOrder(12, m.entries());
+  ASSERT_EQ(order.size(), 12u);
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 12; ++i) EXPECT_EQ(sorted[i], i);  // a permutation
+  EXPECT_EQ(order, minimumDegreeOrder(12, m.entries()));      // deterministic
+  // The hub starts at maximal degree, so it outlives the spokes until
+  // its degree decays to a tie (the lower index wins ties): it must be
+  // one of the last two eliminations.
+  const auto hub = std::find(order.begin(), order.end(), 0u);
+  EXPECT_GE(static_cast<size_t>(hub - order.begin()), order.size() - 2);
+}
+
+TEST(SparseLuOrdering, MinDegreeMatchesDenseSolver) {
+  for (const auto& [n, density] : {std::pair{10, 0.3}, std::pair{40, 0.1}, std::pair{120, 0.04}}) {
+    Rng rng(7700 + n);
+    SparseMatrix sp(n);
+    DenseMatrix dn(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (r == c || rng.uniform() < density) {
+          const double v = rng.uniform(-1, 1) + (r == c ? 3.0 : 0.0);
+          sp.add(r, c, v);
+          dn(r, c) += v;
+        }
+      }
+    }
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.uniform(-2, 2);
+    SparseLu lu;
+    lu.setOrdering(LuOrdering::MinDegree);
+    lu.factor(sp);
+    const auto xs = lu.solve(b);
+    const auto xd = DenseLu(dn).solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SparseLuOrdering, MinDegreeRemovesArrowheadFill) {
+  const int n = 40;
+  const auto m = makeArrowhead(n);
+  SparseLu natural(m);
+  SparseLu mindeg;
+  mindeg.setOrdering(LuOrdering::MinDegree);
+  mindeg.factor(m);
+  // Natural order densifies the trailing block; min degree fills nothing.
+  EXPECT_EQ(mindeg.fillCount(), 0u);
+  EXPECT_GE(natural.fillCount(), static_cast<size_t>((n - 1) * (n - 2) / 2));
+  // Both still solve the same system.
+  std::vector<double> b(n, 1.0);
+  const auto xn = natural.solve(b);
+  const auto xm = mindeg.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(xm[i], xn[i], 1e-12);
+}
+
+TEST(SparseLuOrdering, RefactorReusesOrderedSymbolicAnalysis) {
+  const int n = 40;
+  Rng rng(321);
+  SparseMatrix m(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r == c || rng.uniform() < 0.12) m.add(r, c, rng.uniform(-1, 1) + (r == c ? 3.0 : 0.0));
+    }
+  }
+  SparseLu lu;
+  lu.setOrdering(LuOrdering::MinDegree);
+  lu.factor(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+  const size_t fill = lu.fillCount();
+  for (int round = 0; round < 3; ++round) {
+    for (size_t h = 0; h < m.entries().size(); ++h) {
+      const bool diag = m.entries()[h].row == m.entries()[h].col;
+      m.setAt(h, rng.uniform(-1, 1) + (diag ? 3.0 : 0.0));
+    }
+    lu.refactor(m);
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.uniform(-2, 2);
+    const auto x_reused = lu.solve(b);
+    SparseLu fresh;
+    fresh.setOrdering(LuOrdering::MinDegree);
+    fresh.factor(m);
+    const auto x_fresh = fresh.solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x_reused[i], x_fresh[i], 1e-12);
+  }
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);  // numeric path only
+  EXPECT_EQ(lu.numericRefactorizations(), 3u);
+  EXPECT_EQ(lu.fillCount(), fill);  // ordering survives the refactors
+}
+
+TEST(SparseLuOrdering, SetOrderingInvalidatesCachedAnalysis) {
+  SparseMatrix m(3);
+  m.add(0, 0, 2.0);
+  m.add(1, 1, 3.0);
+  m.add(2, 2, 4.0);
+  SparseLu lu(m);
+  EXPECT_EQ(lu.symbolicFactorizations(), 1u);
+  lu.setOrdering(LuOrdering::MinDegree);
+  lu.refactor(m);  // must re-run the symbolic phase under the new order
+  EXPECT_EQ(lu.symbolicFactorizations(), 2u);
+  const auto x = lu.solve({2.0, 3.0, 4.0});
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], 1.0, 1e-14);
+}
+
+TEST(SparseLuOrdering, SingularColumnReportsOriginalIndex) {
+  // Zero out the hub column of an arrowhead. Min degree eliminates the
+  // hub at the *last* step, but the report must still name original
+  // column 0 — identically to natural order.
+  const int n = 8;
+  for (const LuOrdering ord : {LuOrdering::Natural, LuOrdering::MinDegree}) {
+    SparseMatrix m = makeArrowhead(n);
+    for (size_t h = 0; h < m.entries().size(); ++h) {
+      if (m.entries()[h].col == 0) m.setAt(h, 0.0);
+    }
+    SparseLu lu;
+    lu.setOrdering(ord);
+    EXPECT_THROW(lu.factor(m), NumericalError) << luOrderingName(ord);
+    EXPECT_EQ(lu.lastSingularColumn(), 0) << luOrderingName(ord);
+  }
 }
 
 }  // namespace

@@ -365,5 +365,31 @@ TEST(EnsembleRecovery, MidTransientLaneDropRecordsTransientStage) {
   EXPECT_NEAR(lane0.node("b").value.back(), 1.0, 1e-3);
 }
 
+TEST(Recovery, SingularPivotAttributionSurvivesReordering) {
+  // A zeroed column must be blamed on the same node whether or not the
+  // LU runs behind a fill-reducing column permutation: singular-column
+  // reports are always in original (un-permuted) coordinates.
+  for (const LuOrdering ordering : {LuOrdering::Natural, LuOrdering::MinDegree}) {
+    Circuit c;
+    buildInverterOp(c);
+    FaultSpec spec;
+    spec.zero_pivot_node = "out";
+    SimOptions opts = withFault(spec);
+    opts.lu_ordering = ordering;
+    Simulator sim(c, opts);
+    try {
+      sim.solveOp();
+      FAIL() << "expected RecoveryError with ordering " << luOrderingName(ordering);
+    } catch (const RecoveryError& e) {
+      const ConvergenceDiagnostics& d = e.diagnostics();
+      ASSERT_FALSE(d.stages.empty());
+      for (const StageAttempt& a : d.stages) {
+        EXPECT_EQ(a.failure, NewtonFailureReason::SingularPivot) << luOrderingName(ordering);
+        EXPECT_EQ(a.singular_node, "out") << luOrderingName(ordering);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vls
