@@ -10,10 +10,12 @@
 // trajectory).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -29,6 +31,7 @@
 #include "devices/passive.hpp"
 #include "devices/sources.hpp"
 #include "io/json_writer.hpp"
+#include "numeric/interpolation.hpp"
 #include "numeric/lu_bbd.hpp"
 #include "numeric/lu_sparse.hpp"
 #include "numeric/rng.hpp"
@@ -767,6 +770,14 @@ JsonValue measureFabricSize(int islands, double t_stop, double dt_max, int reps)
 
   SimOptions part = warm_amd;
   part.partition = makePartitionSpec(fab);
+  // This comparison wants the BBD stack on every size; record what the
+  // Auto heuristic would have picked alongside.
+  part.partition_use = PartitionUse::ForceBbd;
+  {
+    SimOptions auto_opt = part;
+    auto_opt.partition_use = PartitionUse::Auto;
+    o["partition_auto_decision"] = Simulator(c, auto_opt).partitionDecision();
+  }
   Simulator bbd(c, part);
   t0 = std::chrono::steady_clock::now();
   const TransientResult tr_bbd = bbd.transient(t_stop, dt_max);
@@ -788,6 +799,155 @@ JsonValue measureFabricSize(int islands, double t_stop, double dt_max, int reps)
   o["bbd_border"] = bbd.bbdSolver()->borderSize();
   o["bbd_block_refactors"] = bbd.bbdSolver()->blockRefactors();
   o["bbd_block_refactors_skipped"] = bbd.bbdSolver()->blockRefactorsSkipped();
+
+  // Phase attribution of the BBD transient: where the Newton wall time
+  // actually goes (fractions of tran_bbd_sec; the remainder is LTE
+  // control, device acceptStep, and result storage).
+  {
+    const SimPhaseTimes ph = bbd.phaseTimes();
+    JsonValue::Object phases;
+    phases["assembly_frac"] = tran_bbd_sec > 0.0 ? ph.assembly_sec / tran_bbd_sec : 0.0;
+    phases["model_eval_frac"] = tran_bbd_sec > 0.0 ? ph.model_eval_sec / tran_bbd_sec : 0.0;
+    phases["factor_frac"] = tran_bbd_sec > 0.0 ? ph.factor_sec / tran_bbd_sec : 0.0;
+    phases["solve_frac"] = tran_bbd_sec > 0.0 ? ph.solve_sec / tran_bbd_sec : 0.0;
+    o["phases"] = JsonValue(std::move(phases));
+  }
+  return JsonValue(std::move(o));
+}
+
+/// Everything the determinism contract promises, checked bitwise.
+bool identicalTransients(const TransientResult& a, const TransientResult& b) {
+  if (a.steps() != b.steps() || a.total_newton_iterations != b.total_newton_iterations ||
+      a.rejected_steps != b.rejected_steps ||
+      a.recovery_events.size() != b.recovery_events.size()) {
+    return false;
+  }
+  for (size_t s = 0; s < a.steps(); ++s) {
+    if (a.time()[s] != b.time()[s] || a.solution(s) != b.solution(s)) return false;
+  }
+  return true;
+}
+
+/// Parallel sharded assembly at fabric scale: the threads x
+/// device-batch matrix on one 200-island pulse-edge transient, against
+/// the serial-assembly baseline (same netlist, same BBD + bypass +
+/// min-degree stack). Determinism flags are computed bitwise over every
+/// accepted step and engine counter; the serial-vs-sharded waveform
+/// delta is reported honestly (lane-kernel vs scalar model evaluation,
+/// ~1e-7 relative, visibly nonzero).
+JsonValue measureFabricAssembly(int islands, double t_stop, double dt_max) {
+  FabricSpec spec;
+  spec.islands = islands;
+  spec.input_pulse.delay = 0.2e-9;
+
+  Circuit c;
+  const FabricHandles fab = buildFabric(c, spec);
+  auto nodeset = std::make_shared<const std::vector<double>>(fabricDcGuess(c, spec));
+
+  SimOptions base;
+  base.nodeset = nodeset;
+  base.recovery.ptran_max_steps = 2000;
+  base.recovery.ptran_grow = 2.0;
+  base.lu_ordering = LuOrdering::MinDegree;
+  Simulator op_sim(c, base);
+  const std::vector<double> x = op_sim.solveOp();
+
+  SimOptions warm = base;
+  warm.nodeset = std::make_shared<const std::vector<double>>(x);
+  warm.enable_bypass = true;
+  warm.partition = makePartitionSpec(fab);
+
+  JsonValue::Object o;
+  o["islands"] = islands;
+  o["devices"] = c.devices().size();
+  o["t_stop"] = t_stop;
+
+  // Serial-assembly baseline (the PR 7 configuration).
+  auto t0 = std::chrono::steady_clock::now();
+  Simulator serial(c, warm);
+  const TransientResult tr_serial = serial.transient(t_stop, dt_max);
+  const double serial_sec = secondsSince(t0);
+  {
+    const SimPhaseTimes ph = serial.phaseTimes();
+    JsonValue::Object cell;
+    cell["sec"] = serial_sec;
+    cell["newton"] = tr_serial.total_newton_iterations;
+    cell["steps"] = tr_serial.steps();
+    cell["assembly_frac"] = serial_sec > 0.0 ? ph.assembly_sec / serial_sec : 0.0;
+    o["serial"] = JsonValue(std::move(cell));
+    o["serial_assembly_frac"] = serial_sec > 0.0 ? ph.assembly_sec / serial_sec : 0.0;
+  }
+
+  // Threads x device-batch matrix. Threads are pinned explicitly so
+  // the matrix is meaningful under any VLS_THREADS; "off" runs the
+  // batched groups at width 1 (same lane kernels, scalar chunks).
+  struct Cell {
+    const char* key;
+    int threads;
+    int width;
+  };
+  const Cell cells[] = {{"t1_on", 1, 8}, {"t1_off", 1, 1}, {"t2_on", 2, 8},
+                        {"t2_off", 2, 1}, {"t4_on", 4, 8}, {"t4_off", 4, 1}};
+
+  // Keep one full reference result; every other cell is compared
+  // bitwise against it immediately and then dropped (a 200-island
+  // result holds ~30 MB of solution vectors).
+  std::unique_ptr<TransientResult> reference;
+  double t1_on_sec = 0.0;
+  double t4_on_sec = 0.0;
+  bool threads_identical = true;
+  bool batch_identical = true;
+  for (const Cell& cell : cells) {
+    SimOptions opt = warm;
+    opt.parallel_assembly = true;
+    opt.assembly_threads = cell.threads;
+    opt.device_batch_width = cell.width;
+    t0 = std::chrono::steady_clock::now();
+    Simulator sim(c, opt);
+    TransientResult tr = sim.transient(t_stop, dt_max);
+    const double sec = secondsSince(t0);
+
+    const SimPhaseTimes ph = sim.phaseTimes();
+    JsonValue::Object jcell;
+    jcell["sec"] = sec;
+    jcell["newton"] = tr.total_newton_iterations;
+    jcell["steps"] = tr.steps();
+    jcell["assembly_frac"] = sec > 0.0 ? ph.assembly_sec / sec : 0.0;
+    jcell["model_eval_frac"] = sec > 0.0 ? ph.model_eval_sec / sec : 0.0;
+    o[cell.key] = JsonValue(std::move(jcell));
+
+    if (reference == nullptr) {
+      reference = std::make_unique<TransientResult>(std::move(tr));
+      t1_on_sec = sec;
+      continue;
+    }
+    const bool same = identicalTransients(*reference, tr);
+    if (cell.width == 8) {
+      threads_identical = threads_identical && same;
+    } else {
+      batch_identical = batch_identical && same;
+    }
+    if (std::string_view(cell.key) == "t4_on") t4_on_sec = sec;
+  }
+  o["bit_identical_across_threads"] = threads_identical;
+  o["bit_identical_batch"] = batch_identical;
+  o["speedup_t1_on_vs_serial"] = t1_on_sec > 0.0 ? serial_sec / t1_on_sec : 0.0;
+  o["speedup_t4_on_vs_serial"] = t4_on_sec > 0.0 ? serial_sec / t4_on_sec : 0.0;
+
+  // Serial vs sharded waveform agreement at the fabric output.
+  {
+    const std::string out = c.nodeName(fab.final_out);
+    const Signal s_serial = tr_serial.node(out);
+    const Signal s_sharded = reference->node(out);
+    double max_dv = 0.0;
+    for (int i = 0; i <= 100; ++i) {
+      const double t = t_stop * i / 100.0;
+      const double dv = std::fabs(interpLinear(s_serial.time, s_serial.value, t) -
+                                  interpLinear(s_sharded.time, s_sharded.value, t));
+      max_dv = std::max(max_dv, dv);
+    }
+    o["serial_vs_sharded_max_dv"] = max_dv;
+  }
   return JsonValue(std::move(o));
 }
 
@@ -799,6 +959,7 @@ JsonValue measureFabric() {
   o["i10"] = measureFabricSize(10, 0.7e-9, 10e-12, 20);
   o["i50"] = measureFabricSize(50, 0.7e-9, 10e-12, 10);
   o["i200"] = measureFabricSize(200, 0.7e-9, 10e-12, 5);
+  o["assembly"] = measureFabricAssembly(200, 0.7e-9, 10e-12);
   return JsonValue(std::move(o));
 }
 

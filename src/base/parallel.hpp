@@ -16,7 +16,11 @@
 // Determinism contract: callers derive any randomness serially up front
 // (one RNG stream per index) and write results into pre-sized slot i,
 // so the work product is bit-identical for every thread count,
-// including 1.
+// including 1. Callers that must *accumulate* across indices (the
+// sharded assembler's border stamps) follow the same discipline one
+// level up: workers write into per-index scratch (per shard, never per
+// worker — worker identity is scheduling-dependent), and the caller
+// reduces the scratch serially in fixed index order after the join.
 //
 // Exception semantics: the first exception thrown by any chunk wins —
 // it cancels the dispatch of further chunks (chunks already running,

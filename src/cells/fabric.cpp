@@ -83,4 +83,11 @@ std::shared_ptr<const PartitionSpec> makePartitionSpec(const FabricHandles& fabr
   return spec;
 }
 
+void applyFabricSolverOptions(SimOptions& opt, const FabricHandles& fabric) {
+  opt.partition = makePartitionSpec(fabric);
+  opt.lu_ordering = LuOrdering::MinDegree;
+  opt.enable_bypass = true;
+  opt.parallel_assembly = true;
+}
+
 }  // namespace vls

@@ -85,4 +85,10 @@ FabricHandles buildFabric(Circuit& c, const FabricSpec& spec = {});
 /// Partition for SimOptions: one diagonal block per island.
 std::shared_ptr<const PartitionSpec> makePartitionSpec(const FabricHandles& fabric);
 
+/// Install the full fabric solve stack on `opt`: the island partition
+/// (flat-vs-BBD routing stays with opt.partition_use), min-degree
+/// ordering, device bypass, and parallel sharded assembly over the
+/// island labels. Individual knobs can be overridden afterwards.
+void applyFabricSolverOptions(SimOptions& opt, const FabricHandles& fabric);
+
 }  // namespace vls

@@ -1,10 +1,51 @@
 #include "circuit/assembly.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <unordered_map>
 
 #include "base/error.hpp"
+#include "base/parallel.hpp"
+#include "circuit/device.hpp"
+#include "numeric/lanes.hpp"
 
 namespace vls {
+namespace {
+
+/// Records the whole circuit into `tape` (write-through), shared by the
+/// serial and sharded assemblers so their record semantics cannot drift.
+void recordTape(AssemblyTape& tape, Stamper& stamper, MnaSystem& system, const Circuit& circuit,
+                const EvalContext& ctx) {
+  tape.beginRecording(&system, circuit.revision());
+  stamper.startRecording(tape);
+  for (const auto& dev : circuit.devices()) {
+    tape.beginDevice();
+    dev->stamp(stamper, ctx);
+    for (size_t t = 0; t < dev->terminalCount(); ++t) {
+      tape.recordTerminalVoltage(ctx.v(dev->terminalNode(t)));
+    }
+    tape.endDevice();
+  }
+  tape.finishRecording(system.matrix(), system.numNodes());
+}
+
+/// True when every terminal voltage of device i moved by at most `tol`
+/// since its last linearization — the bypass qualification test.
+bool terminalsQuiet(const Device& dev, const AssemblyTape& tape, const AssemblyTape::Span& sp,
+                    const EvalContext& ctx, double tol) {
+  for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
+    if (std::fabs(ctx.v(dev.terminalNode(t)) - tape.vLast(k)) > tol) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void staleSequence(const Device& dev) {
+  throw Error("Assembler: device '" + dev.name() +
+              "' changed its stamp sequence without a topology revision bump");
+}
+
+}  // namespace
 
 void Assembler::invalidate() {
   tape_dc_.reset();
@@ -21,17 +62,7 @@ void Assembler::assemble(MnaSystem& system, const Circuit& circuit, const EvalCo
   if (!tape.matches(&system, circuit.revision(), devices.size())) {
     // Record: resolve every handle once for this topology + mode.
     ++recordings_;
-    tape.beginRecording(&system, circuit.revision());
-    stamper.startRecording(tape);
-    for (const auto& dev : devices) {
-      tape.beginDevice();
-      dev->stamp(stamper, ctx);
-      for (size_t t = 0; t < dev->terminalCount(); ++t) {
-        tape.recordTerminalVoltage(ctx.v(dev->terminalNode(t)));
-      }
-      tape.endDevice();
-    }
-    tape.finishRecording(system.matrix(), system.numNodes());
+    recordTape(tape, stamper, system, circuit, ctx);
   } else {
     ++replays_;
     stamper.startReplay(tape);
@@ -44,26 +75,15 @@ void Assembler::assemble(MnaSystem& system, const Circuit& circuit, const EvalCo
     for (size_t i = 0; i < devices.size(); ++i) {
       Device& dev = *devices[i];
       const AssemblyTape::Span& sp = tape.span(i);
-      if (bypass_active && dev.supportsBypass()) {
-        bool unchanged = true;
-        for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
-          if (std::fabs(ctx.v(dev.terminalNode(t)) - tape.vLast(k)) > options.bypass_tol) {
-            unchanged = false;
-            break;
-          }
-        }
-        if (unchanged) {
-          ++bypassed_;
-          tape.replayStored(i, system.matrix(), system.rhs());
-          continue;
-        }
+      if (bypass_active && dev.supportsBypass() &&
+          terminalsQuiet(dev, tape, sp, ctx, options.bypass_tol)) {
+        ++bypassed_;
+        tape.replayStored(i, system.matrix(), system.rhs());
+        continue;
       }
       stamper.seek(sp.op_begin);
       dev.stamp(stamper, ctx);
-      if (stamper.cursor() != sp.op_end) {
-        throw Error("Assembler: device '" + dev.name() +
-                    "' changed its stamp sequence without a topology revision bump");
-      }
+      if (stamper.cursor() != sp.op_end) staleSequence(dev);
       if (track_voltages) {
         for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
           tape.setVLast(k, ctx.v(dev.terminalNode(t)));
@@ -86,6 +106,348 @@ void assembleDirect(MnaSystem& system, const Circuit& circuit, const EvalContext
   for (size_t n = 0; n < system.numNodes(); ++n) {
     system.matrix().add(n, n, ctx.gmin);
   }
+}
+
+namespace {
+
+/// One flattened scalar write of a TapeOp: value = coeff (unit entries
+/// of a voltage branch) or coeff * the op's captured scalar. `target`
+/// is a matrix value handle / absolute RHS index in the direct list, a
+/// per-shard scratch slot in the border list.
+struct TapeWrite {
+  uint32_t op = 0;
+  uint32_t target = 0;
+  double coeff = 1.0;
+  uint8_t is_matrix = 0;
+  uint8_t is_const = 0;
+};
+
+/// Enumerates the writes of one op in exactly applyTapeOp's order, so
+/// the flattened apply accumulates bit-identically to serial replay.
+/// fn(is_matrix, target, coeff, is_const).
+template <typename Fn>
+void forEachTapeWrite(const TapeOp& op, Fn&& fn) {
+  constexpr uint32_t kNone = TapeOp::kNone;
+  switch (op.kind) {
+    case TapeOp::Kind::Conductance:
+      if (op.m[0] != kNone) fn(true, op.m[0], 1.0, false);
+      if (op.m[1] != kNone) fn(true, op.m[1], 1.0, false);
+      if (op.m[2] != kNone) {
+        fn(true, op.m[2], -1.0, false);
+        fn(true, op.m[3], -1.0, false);
+      }
+      break;
+    case TapeOp::Kind::CurrentSource:
+      if (op.r[0] != kNone) fn(false, op.r[0], -1.0, false);
+      if (op.r[1] != kNone) fn(false, op.r[1], 1.0, false);
+      break;
+    case TapeOp::Kind::Transconductance:
+      if (op.m[0] != kNone) fn(true, op.m[0], 1.0, false);
+      if (op.m[1] != kNone) fn(true, op.m[1], -1.0, false);
+      if (op.m[2] != kNone) fn(true, op.m[2], -1.0, false);
+      if (op.m[3] != kNone) fn(true, op.m[3], 1.0, false);
+      break;
+    case TapeOp::Kind::VoltageBranch:
+      if (op.m[0] != kNone) fn(true, op.m[0], 1.0, true);
+      if (op.m[1] != kNone) fn(true, op.m[1], -1.0, true);
+      if (op.m[2] != kNone) fn(true, op.m[2], 1.0, true);
+      if (op.m[3] != kNone) fn(true, op.m[3], -1.0, true);
+      fn(false, op.r[0], 1.0, false);  // the branch row always exists
+      break;
+    case TapeOp::Kind::Matrix:
+      if (op.m[0] != kNone) fn(true, op.m[0], 1.0, false);
+      break;
+    case TapeOp::Kind::Rhs:
+      if (op.r[0] != kNone) fn(false, op.r[0], 1.0, false);
+      break;
+  }
+}
+
+}  // namespace
+
+struct ShardedAssembler::Shard {
+  /// One evaluation-schedule entry: a run of same-batch-key devices
+  /// (batched) or of key-less devices stamped one by one (scalar).
+  struct Group {
+    std::vector<uint32_t> devices;  ///< circuit device indices, ascending
+    bool batched = false;
+  };
+  /// Target of one scratch slot, flushed during the serial reduction.
+  struct Slot {
+    uint32_t target = 0;
+    uint8_t is_matrix = 0;
+  };
+
+  std::vector<Group> groups;
+  std::vector<TapeWrite> direct;  ///< targets owned by this shard alone
+  std::vector<TapeWrite> border;  ///< contested targets, via slots
+  std::vector<Slot> slots;
+  std::vector<double> slot_values;
+  size_t bypassed = 0;
+  size_t batched = 0;
+};
+
+struct ShardedAssembler::Plan {
+  std::vector<Shard> shards;
+};
+
+ShardedAssembler::ShardedAssembler(ShardedAssemblyConfig config) : config_(std::move(config)) {}
+
+ShardedAssembler::~ShardedAssembler() = default;
+
+ShardedAssembler::Plan& ShardedAssembler::planFor(IntegrationMethod method) {
+  std::unique_ptr<Plan>& plan = method == IntegrationMethod::None ? plan_dc_ : plan_tran_;
+  if (plan == nullptr) plan = std::make_unique<Plan>();
+  return *plan;
+}
+
+void ShardedAssembler::invalidate() {
+  tape_dc_.reset();
+  tape_tran_.reset();
+  plan_dc_.reset();
+  plan_tran_.reset();
+}
+
+void ShardedAssembler::buildPlan(Plan& plan, const AssemblyTape& tape, const MnaSystem& system,
+                                 const Circuit& circuit) const {
+  const auto& devices = circuit.devices();
+  const size_t n_dev = devices.size();
+
+  // Shard assignment from the labels (negative labels hash-distribute),
+  // round-robin without them. Never depends on the thread count.
+  const std::vector<int32_t>* labels = config_.device_shard.get();
+  int num_shards = config_.num_shards;
+  if (labels != nullptr) {
+    if (labels->size() != n_dev) {
+      throw InvalidInputError("ShardedAssembler: device_shard has " +
+                              std::to_string(labels->size()) + " labels for " +
+                              std::to_string(n_dev) + " devices");
+    }
+    int32_t max_label = -1;
+    for (const int32_t l : *labels) max_label = std::max(max_label, l);
+    if (num_shards <= 0) num_shards = static_cast<int>(max_label) + 1;
+    if (max_label >= num_shards) {
+      throw InvalidInputError("ShardedAssembler: shard label " + std::to_string(max_label) +
+                              " out of range for " + std::to_string(num_shards) + " shards");
+    }
+  }
+  if (num_shards <= 0) {
+    num_shards = static_cast<int>(std::clamp<size_t>(n_dev / 64, size_t{1}, size_t{64}));
+  }
+
+  std::vector<uint32_t> shard_of(n_dev);
+  for (size_t d = 0; d < n_dev; ++d) {
+    const int32_t label = labels != nullptr ? (*labels)[d] : -1;
+    shard_of[d] = label >= 0 ? static_cast<uint32_t>(label)
+                             : static_cast<uint32_t>(d % static_cast<size_t>(num_shards));
+  }
+
+  plan.shards.assign(static_cast<size_t>(num_shards), Shard{});
+
+  // Evaluation schedule: same-key devices of a shard share one batched
+  // group (first-appearance order); key-less devices coalesce into
+  // scalar runs. Device order within every group stays ascending.
+  std::vector<std::unordered_map<const void*, size_t>> group_of(plan.shards.size());
+  for (size_t d = 0; d < n_dev; ++d) {
+    Shard& shard = plan.shards[shard_of[d]];
+    const void* key = devices[d]->deviceBatchKey();
+    if (key == nullptr) {
+      if (shard.groups.empty() || shard.groups.back().batched) {
+        shard.groups.push_back({{}, false});
+      }
+      shard.groups.back().devices.push_back(static_cast<uint32_t>(d));
+      continue;
+    }
+    auto [it, inserted] = group_of[shard_of[d]].try_emplace(key, shard.groups.size());
+    if (inserted) shard.groups.push_back({{}, true});
+    shard.groups[it->second].devices.push_back(static_cast<uint32_t>(d));
+  }
+
+  // Ownership claim: a matrix entry / RHS row written by exactly one
+  // shard is written directly in the parallel apply pass; anything
+  // contested goes through per-shard scratch slots.
+  constexpr uint32_t kUnclaimed = 0xffffffffu;
+  constexpr uint32_t kContested = 0xfffffffeu;
+  std::vector<uint32_t> matrix_owner(system.matrix().nonZeros(), kUnclaimed);
+  std::vector<uint32_t> rhs_owner(system.size(), kUnclaimed);
+  for (size_t d = 0; d < n_dev; ++d) {
+    const AssemblyTape::Span& sp = tape.span(d);
+    for (uint32_t i = sp.op_begin; i < sp.op_end; ++i) {
+      forEachTapeWrite(tape.op(i), [&](bool is_matrix, uint32_t target, double, bool) {
+        uint32_t& owner = is_matrix ? matrix_owner[target] : rhs_owner[target];
+        if (owner == kUnclaimed) {
+          owner = shard_of[d];
+        } else if (owner != shard_of[d]) {
+          owner = kContested;
+        }
+      });
+    }
+  }
+
+  std::vector<std::unordered_map<uint64_t, uint32_t>> slot_of(plan.shards.size());
+  for (size_t d = 0; d < n_dev; ++d) {
+    const uint32_t s = shard_of[d];
+    Shard& shard = plan.shards[s];
+    const AssemblyTape::Span& sp = tape.span(d);
+    for (uint32_t i = sp.op_begin; i < sp.op_end; ++i) {
+      forEachTapeWrite(tape.op(i), [&](bool is_matrix, uint32_t target, double coeff,
+                                       bool is_const) {
+        TapeWrite w;
+        w.op = i;
+        w.target = target;
+        w.coeff = coeff;
+        w.is_matrix = is_matrix ? 1 : 0;
+        w.is_const = is_const ? 1 : 0;
+        if ((is_matrix ? matrix_owner[target] : rhs_owner[target]) == s) {
+          shard.direct.push_back(w);
+          return;
+        }
+        const uint64_t slot_key = (uint64_t{is_matrix} << 32) | target;
+        auto [it, inserted] = slot_of[s].try_emplace(slot_key,
+                                                     static_cast<uint32_t>(shard.slots.size()));
+        if (inserted) shard.slots.push_back({target, w.is_matrix});
+        w.target = it->second;
+        shard.border.push_back(w);
+      });
+    }
+  }
+  for (Shard& shard : plan.shards) shard.slot_values.assign(shard.slots.size(), 0.0);
+}
+
+void ShardedAssembler::evalShard(Shard& shard, AssemblyTape& tape, MnaSystem& system,
+                                 const Circuit& circuit, const EvalContext& ctx,
+                                 const AssemblyOptions& options, int width) const {
+  shard.bypassed = 0;
+  shard.batched = 0;
+  const bool bypass_active = options.enable_bypass && options.allow_bypass_now;
+  const bool track_voltages = options.enable_bypass;
+  const auto& devices = circuit.devices();
+
+  // Capture mode: scalars land in the tape's per-device op spans —
+  // disjoint across shards, so concurrent evaluation is race-free.
+  Stamper stamper(system);
+  stamper.startCapture(tape);
+
+  Device* batch[kMaxLanes];
+  uint32_t op_begin[kMaxLanes];
+  uint32_t op_end[kMaxLanes];
+  size_t pending = 0;
+  const auto flush = [&]() {
+    if (pending == 0) return;
+    batch[0]->stampDeviceBatch({batch, pending}, {op_begin, pending}, {op_end, pending}, stamper,
+                               ctx);
+    shard.batched += pending;
+    pending = 0;
+  };
+
+  for (const Shard::Group& group : shard.groups) {
+    for (const uint32_t di : group.devices) {
+      Device& dev = *devices[di];
+      const AssemblyTape::Span& sp = tape.span(di);
+      if (bypass_active && dev.supportsBypass() &&
+          terminalsQuiet(dev, tape, sp, ctx, options.bypass_tol)) {
+        // The apply pass re-applies the stored op values — exactly the
+        // serial replayStored semantics, voltage snapshot untouched.
+        ++shard.bypassed;
+        continue;
+      }
+      if (track_voltages) {
+        for (uint32_t t = 0, k = sp.volt_begin; k < sp.volt_end; ++t, ++k) {
+          tape.setVLast(k, ctx.v(dev.terminalNode(t)));
+        }
+      }
+      if (!group.batched) {
+        stamper.seek(sp.op_begin);
+        dev.stamp(stamper, ctx);
+        if (stamper.cursor() != sp.op_end) staleSequence(dev);
+        continue;
+      }
+      batch[pending] = &dev;
+      op_begin[pending] = sp.op_begin;
+      op_end[pending] = sp.op_end;
+      if (++pending == static_cast<size_t>(width)) flush();
+    }
+    flush();  // scalar tail of a batched group; no-op after scalar runs
+  }
+}
+
+void ShardedAssembler::applyShard(Shard& shard, const AssemblyTape& tape, MnaSystem& system) {
+  SparseMatrix& matrix = system.matrix();
+  std::vector<double>& rhs = system.rhs();
+  for (const TapeWrite& w : shard.direct) {
+    const double v = w.is_const ? w.coeff : w.coeff * tape.opValue(w.op);
+    if (w.is_matrix) {
+      matrix.addAt(w.target, v);
+    } else {
+      rhs[w.target] += v;
+    }
+  }
+  std::fill(shard.slot_values.begin(), shard.slot_values.end(), 0.0);
+  for (const TapeWrite& w : shard.border) {
+    shard.slot_values[w.target] += w.is_const ? w.coeff : w.coeff * tape.opValue(w.op);
+  }
+}
+
+void ShardedAssembler::assemble(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx,
+                                const AssemblyOptions& options) {
+  system.clear();
+  AssemblyTape& tape = tapeFor(ctx.method);
+  const auto& devices = circuit.devices();
+  SparseMatrix& matrix = system.matrix();
+
+  if (!tape.matches(&system, circuit.revision(), devices.size())) {
+    // Record serially (write-through, like the serial Assembler), then
+    // derive the shard plan for every later replay.
+    ++recordings_;
+    Stamper stamper(system);
+    recordTape(tape, stamper, system, circuit, ctx);
+    Plan& plan = planFor(ctx.method);
+    buildPlan(plan, tape, system, circuit);
+    last_shard_count_ = plan.shards.size();
+    for (const size_t h : tape.gminHandles()) matrix.addAt(h, ctx.gmin);
+    return;
+  }
+
+  ++replays_;
+  Plan& plan = planFor(ctx.method);
+  const int width = std::clamp(config_.device_batch_width, 1, static_cast<int>(kMaxLanes));
+  ParallelOptions popt;
+  popt.num_threads = config_.num_threads;
+  popt.chunk = 1;  // one shard per work item; shards are coarse already
+
+  // Phase 1 — model evaluation (the expensive region, timed for the
+  // bench's phase attribution): capture every non-bypassed device's
+  // scalars into the tape, batched groups K devices per lane-kernel
+  // pass.
+  const auto t0 = std::chrono::steady_clock::now();
+  parallelForChunked(
+      plan.shards.size(),
+      [&](size_t s) { evalShard(plan.shards[s], tape, system, circuit, ctx, options, width); },
+      popt);
+  model_eval_sec_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Phase 2 — parallel apply: shard-owned targets are written
+  // concurrently (disjoint by construction), contested border targets
+  // accumulate into per-shard scratch.
+  parallelForChunked(
+      plan.shards.size(), [&](size_t s) { applyShard(plan.shards[s], tape, system); }, popt);
+
+  // Phase 3 — serial reduction in fixed shard order, so contested
+  // targets accumulate bit-identically for every thread count.
+  std::vector<double>& rhs = system.rhs();
+  for (Shard& shard : plan.shards) {
+    for (size_t k = 0; k < shard.slots.size(); ++k) {
+      if (shard.slots[k].is_matrix) {
+        matrix.addAt(shard.slots[k].target, shard.slot_values[k]);
+      } else {
+        rhs[shard.slots[k].target] += shard.slot_values[k];
+      }
+    }
+    bypassed_ += shard.bypassed;
+    batched_ += shard.batched;
+  }
+  for (const size_t h : tape.gminHandles()) matrix.addAt(h, ctx.gmin);
 }
 
 }  // namespace vls

@@ -6,7 +6,21 @@
 // — when bypass is enabled — devices whose terminal voltages are
 // unchanged since their last linearization replay their stored values
 // without re-evaluating the model at all.
+//
+// The ShardedAssembler parallelizes the replay path: the tape is split
+// into per-shard device sets (island partition labels when available,
+// hash fallback otherwise), each shard's devices are linearized on
+// parallelForChunked workers in Stamper Capture mode (values land in
+// the tape, nothing touches the shared matrix), and the captured
+// values are applied through pre-flattened write lists — targets owned
+// by exactly one shard are written concurrently, contested border
+// targets accumulate into per-shard scratch reduced serially in shard
+// order. Results are bit-identical across every thread count.
 #pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
@@ -58,5 +72,86 @@ class Assembler {
 /// tested against bit-for-bit, and the right tool for systems assembled
 /// once (AC/noise linearization).
 void assembleDirect(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx);
+
+/// Configuration of the parallel sharded assembler.
+struct ShardedAssemblyConfig {
+  /// Per-device shard labels (e.g. fabric island tags). Devices with a
+  /// negative label, and all devices when the vector is null, are
+  /// hash-distributed round-robin across the shards. Length must match
+  /// the circuit's device count when set.
+  std::shared_ptr<const std::vector<int32_t>> device_shard;
+  /// Shard count. With labels, 0 means max(label)+1; without labels,
+  /// 0 derives one shard per ~64 devices (clamped to [1, 64]). Shard
+  /// composition never depends on the thread count.
+  int num_shards = 0;
+  /// Worker threads for the evaluate/apply regions; 0 = the
+  /// VLS_THREADS pool width (parallelThreadCount()).
+  int num_threads = 0;
+  /// Devices per batched model evaluation, clamped to [1, kMaxLanes].
+  /// Width 1 still runs every batchable device through the same
+  /// elementwise lane kernels one at a time, so assembled values are
+  /// bit-identical for every width.
+  int device_batch_width = 8;
+};
+
+/// Parallel replacement for Assembler::assemble with identical
+/// observable semantics on the tape protocol (recording, revision
+/// invalidation, divergence detection, gmin handles, bypass) — see the
+/// file header for the evaluate/apply/reduce structure. Model
+/// evaluation of grouped same-key devices (Device::deviceBatchKey) goes
+/// K-wide through Device::stampDeviceBatch.
+class ShardedAssembler {
+ public:
+  explicit ShardedAssembler(ShardedAssemblyConfig config = {});
+  ~ShardedAssembler();
+
+  /// Parallel analogue of Assembler::assemble. Records serially (and
+  /// builds the shard plan) when the topology revision, target system,
+  /// or analysis mode changed; replays sharded otherwise.
+  void assemble(MnaSystem& system, const Circuit& circuit, const EvalContext& ctx,
+                const AssemblyOptions& options = {});
+
+  /// Drop all recorded tapes and plans (next assemble re-records).
+  void invalidate();
+
+  // Introspection for tests and benchmarks.
+  size_t recordings() const { return recordings_; }
+  size_t replays() const { return replays_; }
+  size_t bypassedEvaluations() const { return bypassed_; }
+  /// Devices evaluated through stampDeviceBatch (any batch width).
+  size_t batchedEvaluations() const { return batched_; }
+  /// Shards of the most recently built plan.
+  size_t shardCount() const { return last_shard_count_; }
+  /// Cumulative wall time of the model-evaluation region across all
+  /// replays — the phase-attribution number the bench reports.
+  double modelEvalSeconds() const { return model_eval_sec_; }
+
+ private:
+  struct Shard;
+  struct Plan;
+
+  AssemblyTape& tapeFor(IntegrationMethod method) {
+    return method == IntegrationMethod::None ? tape_dc_ : tape_tran_;
+  }
+  Plan& planFor(IntegrationMethod method);
+
+  void buildPlan(Plan& plan, const AssemblyTape& tape, const MnaSystem& system,
+                 const Circuit& circuit) const;
+  void evalShard(Shard& shard, AssemblyTape& tape, MnaSystem& system, const Circuit& circuit,
+                 const EvalContext& ctx, const AssemblyOptions& options, int width) const;
+  static void applyShard(Shard& shard, const AssemblyTape& tape, MnaSystem& system);
+
+  ShardedAssemblyConfig config_;
+  AssemblyTape tape_dc_;
+  AssemblyTape tape_tran_;
+  std::unique_ptr<Plan> plan_dc_;
+  std::unique_ptr<Plan> plan_tran_;
+  size_t recordings_ = 0;
+  size_t replays_ = 0;
+  size_t bypassed_ = 0;
+  size_t batched_ = 0;
+  size_t last_shard_count_ = 0;
+  double model_eval_sec_ = 0.0;
+};
 
 }  // namespace vls

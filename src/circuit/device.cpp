@@ -1,8 +1,22 @@
 #include "circuit/device.hpp"
 
 #include "base/error.hpp"
+#include "circuit/mna.hpp"
 
 namespace vls {
+
+void Device::stampDeviceBatch(std::span<Device* const> devs, std::span<const uint32_t> op_begin,
+                              std::span<const uint32_t> op_end, Stamper& stamper,
+                              const EvalContext& ctx) {
+  for (size_t i = 0; i < devs.size(); ++i) {
+    stamper.seek(op_begin[i]);
+    devs[i]->stamp(stamper, ctx);
+    if (stamper.cursor() != op_end[i]) {
+      throw Error("Device " + devs[i]->name() +
+                  " changed its stamp sequence without a topology revision bump");
+    }
+  }
+}
 
 ChargeCompanion integrateCharge(IntegrationMethod method, double dt, double q, double c,
                                 const ChargeHistory& history) {

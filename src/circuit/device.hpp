@@ -128,6 +128,27 @@ class Device {
   /// externally tunable elements must return false.
   virtual bool supportsBypass() const { return false; }
 
+  // --- device-batched evaluation (parallel sharded assembly) ---------
+  /// Devices returning the same non-null key (e.g. the shared model
+  /// card) may be linearized together, K at a time, through
+  /// stampDeviceBatch — the sharded assembler groups same-key devices
+  /// within a shard. Null (the default) means scalar stamp() only.
+  virtual const void* deviceBatchKey() const { return nullptr; }
+
+  /// Evaluate a batch of same-key devices (`this` is devs.front()) at
+  /// ctx and emit every device's stamp sequence through `stamper`,
+  /// which is consuming a recorded tape: implementations must
+  /// stamper.seek(op_begin[i]) before device i's stamps and leave the
+  /// cursor exactly at op_end[i] — a mismatch means the stamp sequence
+  /// changed without a topology revision bump and must throw. The base
+  /// implementation evaluates each device through scalar stamp();
+  /// devices with SoA lane kernels override it to evaluate the whole
+  /// batch per model-card pass. Must produce identical values for
+  /// every batch width (elementwise math only).
+  virtual void stampDeviceBatch(std::span<Device* const> devs, std::span<const uint32_t> op_begin,
+                                std::span<const uint32_t> op_end, Stamper& stamper,
+                                const EvalContext& ctx);
+
   /// Initialize integration state from a converged DC solution (called
   /// once when a transient starts).
   virtual void startTransient(const EvalContext& ctx) { (void)ctx; }

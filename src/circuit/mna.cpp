@@ -111,6 +111,12 @@ void Stamper::startReplay(AssemblyTape& tape) {
   cursor_ = 0;
 }
 
+void Stamper::startCapture(AssemblyTape& tape) {
+  tape_ = &tape;
+  mode_ = Mode::Capture;
+  cursor_ = 0;
+}
+
 void Stamper::recordOp(const TapeOp& op, double value) {
   tape_->pushOp(op, value);
   applyTapeOp(op, value, sys_.matrix(), sys_.rhs());
@@ -129,11 +135,12 @@ void Stamper::replayOp(TapeOp::Kind kind, double value) {
   if (op.kind != kind) tapeDivergence();
   tape_->setOpValue(cursor_, value);
   ++cursor_;
+  if (mode_ == Mode::Capture) return;  // values applied by a later pass
   applyTapeOp(op, value, sys_.matrix(), sys_.rhs());
 }
 
 void Stamper::conductance(NodeId a, NodeId b, double g) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::Conductance, g);
     return;
   }
@@ -161,7 +168,7 @@ void Stamper::conductance(NodeId a, NodeId b, double g) {
 }
 
 void Stamper::currentSource(NodeId a, NodeId b, double i) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::CurrentSource, i);
     return;
   }
@@ -180,7 +187,7 @@ void Stamper::currentSource(NodeId a, NodeId b, double i) {
 }
 
 void Stamper::transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::Transconductance, gm);
     return;
   }
@@ -206,7 +213,7 @@ void Stamper::transconductance(NodeId a, NodeId b, NodeId c, NodeId d, double gm
 }
 
 void Stamper::voltageBranch(size_t branch_index, NodeId plus, NodeId minus, double v_value) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::VoltageBranch, v_value);
     return;
   }
@@ -235,7 +242,7 @@ void Stamper::voltageBranch(size_t branch_index, NodeId plus, NodeId minus, doub
 }
 
 void Stamper::addMatrix(int row, int col, double value) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::Matrix, value);
     return;
   }
@@ -254,7 +261,7 @@ void Stamper::addMatrix(int row, int col, double value) {
 }
 
 void Stamper::addRhs(int row, double value) {
-  if (mode_ == Mode::Replay) {
+  if (consumingTape()) {
     replayOp(TapeOp::Kind::Rhs, value);
     return;
   }

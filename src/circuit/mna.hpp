@@ -2,12 +2,18 @@
 // through. Unknown ordering: node voltages [0, numNodes) followed by
 // branch currents [numNodes, numNodes + numBranches).
 //
-// The Stamper has three modes. Direct (default) resolves every write
+// The Stamper has four modes. Direct (default) resolves every write
 // by coordinates through the matrix's hash index. Record additionally
 // captures each high-level call as a TapeOp — the resolved entry
 // handles and RHS slots — into an AssemblyTape. Replay consumes the
 // tape instead of resolving: the steady-state Newton inner loop then
 // contains zero hash lookups, zero ground checks, and zero allocation.
+// Capture consumes the tape like Replay (same cursor protocol, same
+// divergence checks) but only stores each call's scalar into the tape
+// without touching the matrix/RHS — the parallel sharded assembler
+// evaluates devices concurrently in Capture mode (disjoint per-device
+// op spans, so no data races) and applies the captured values in a
+// separate deterministic pass.
 #pragma once
 
 #include <array>
@@ -168,11 +174,17 @@ class Stamper {
   /// Switch to replay mode: calls consume ops from `tape` at the
   /// cursor instead of resolving coordinates.
   void startReplay(AssemblyTape& tape);
+  /// Switch to capture mode: calls consume ops from `tape` like replay
+  /// but only update the stored op scalars — nothing is written to the
+  /// matrix or RHS. Safe to run concurrently on disjoint device spans.
+  void startCapture(AssemblyTape& tape);
   size_t cursor() const { return cursor_; }
   void seek(size_t op_cursor) { cursor_ = op_cursor; }
 
  private:
-  enum class Mode : uint8_t { Direct, Record, Replay };
+  enum class Mode : uint8_t { Direct, Record, Replay, Capture };
+
+  bool consumingTape() const { return mode_ == Mode::Replay || mode_ == Mode::Capture; }
 
   void recordOp(const TapeOp& op, double value);
   void replayOp(TapeOp::Kind kind, double value);

@@ -228,6 +228,171 @@ void Mosfet::stamp(Stamper& stamper, const EvalContext& ctx) {
   }
 }
 
+void Mosfet::stampDeviceBatch(std::span<Device* const> devs, std::span<const uint32_t> op_begin,
+                              std::span<const uint32_t> op_end, Stamper& stamper,
+                              const EvalContext& ctx) {
+  const size_t K = devs.size();
+  // Every batch member shares card_ (the batch key), so polarity and
+  // all card parameters are common; vt/beta/geometry vary per device.
+  // The math below is strictly elementwise — assembled values are
+  // bit-identical for every batch width.
+  const double s = card_->sign();
+  const double ut = thermalVoltage(ctx.temperature);
+  const double n = card_->n_slope;
+  const bool tran = ctx.method != IntegrationMethod::None;
+
+  // --- gather device SoA (AoS state -> lanes across devices) ----------
+  Mosfet* mos[kMaxLanes];
+  double vt[kMaxLanes] = {}, beta[kMaxLanes] = {};
+  double w_eff[kMaxLanes] = {}, l_eff[kMaxLanes] = {}, l_gate[kMaxLanes] = {};
+  double vd0[kMaxLanes] = {}, vg0[kMaxLanes] = {}, vs0[kMaxLanes] = {}, vb0[kMaxLanes] = {};
+  double vgn[kMaxLanes] = {}, vdn[kMaxLanes] = {}, vsn[kMaxLanes] = {};
+  for (size_t l = 0; l < K; ++l) {
+    mos[l] = static_cast<Mosfet*>(devs[l]);
+    const MosOperating& op = mos[l]->operating(ctx.temperature);
+    vt[l] = op.vt;
+    beta[l] = op.beta;
+    w_eff[l] = mos[l]->geometry_.effW();
+    l_eff[l] = mos[l]->geometry_.l + mos[l]->geometry_.delta_l - 2.0 * card_->dl;
+    l_gate[l] = mos[l]->geometry_.l;
+    vd0[l] = ctx.v(mos[l]->nodes_[kD]);
+    vg0[l] = ctx.v(mos[l]->nodes_[kG]);
+    vs0[l] = ctx.v(mos[l]->nodes_[kS]);
+    vb0[l] = ctx.v(mos[l]->nodes_[kB]);
+    vgn[l] = s * (vg0[l] - vb0[l]);
+    vdn[l] = s * (vd0[l] - vb0[l]);
+    vsn[l] = s * (vs0[l] - vb0[l]);
+  }
+
+  // --- DC channel current (SoA core + hand-derived Jacobian) ----------
+  double ids[kMaxLanes] = {}, gg[kMaxLanes] = {}, gd[kMaxLanes] = {}, gs[kMaxLanes] = {},
+      gb[kMaxLanes] = {};
+  mosCoreCurrentLanes(*card_, K, ut, n, vt, beta, vgn, vdn, vsn, ids, gg, gd, gs);
+  double i_const[kMaxLanes] = {};
+#pragma omp simd
+  for (size_t l = 0; l < K; ++l) {
+    ids[l] *= s;
+    gb[l] = -(gg[l] + gd[l] + gs[l]);
+    i_const[l] =
+        ids[l] - gg[l] * vg0[l] - gd[l] * vd0[l] - gs[l] * vs0[l] - gb[l] * vb0[l];
+  }
+
+  // --- Junction diodes (bulk-drain, bulk-source) ----------------------
+  double gj[2][kMaxLanes] = {}, j_rhs[2][kMaxLanes] = {};
+  {
+    double i_sat[kMaxLanes] = {}, v_ac[kMaxLanes] = {}, ij[kMaxLanes] = {};
+    for (int which = 0; which < 2; ++which) {
+      const double* vdiff = which == 0 ? vd0 : vs0;
+      for (size_t l = 0; l < K; ++l) {
+        i_sat[l] = card_->js * mos[l]->junctionArea(which == 0);
+        v_ac[l] = s * (vb0[l] - vdiff[l]);
+      }
+      junctionCurrentLanes(K, i_sat, card_->n_j, ut, v_ac, ij, gj[which]);
+      for (size_t l = 0; l < K; ++l) {
+        j_rhs[which][l] = s * ij[l] - gj[which][l] * (vb0[l] - vdiff[l]);
+      }
+    }
+  }
+
+  // --- Gate leakage (optional; card-wide switch) ----------------------
+  double g_gl[kMaxLanes] = {}, i_gl_rhs[kMaxLanes] = {};
+  if (card_->jg > 0.0) {
+    const double j_scale = card_->jg / std::sinh(2.0);
+#pragma omp simd
+    for (size_t l = 0; l < K; ++l) {
+      const double scale = j_scale * w_eff[l] * l_gate[l];
+      const double vgb = vg0[l] - vb0[l];
+      const double e = fastExp(2.0 * vgb);
+      const double ei = 1.0 / e;
+      g_gl[l] = scale * (e + ei);
+      i_gl_rhs[l] = scale * 0.5 * (e - ei) - g_gl[l] * vgb;
+    }
+  }
+
+  // --- Capacitances (Meyer partition + junction depletion) ------------
+  double cgs[kMaxLanes] = {}, cgd[kMaxLanes] = {}, cgb[kMaxLanes] = {};
+  double cbd[kMaxLanes] = {}, cbs[kMaxLanes] = {};
+  if (tran) {
+    const MosModelCard& m = *card_;
+    const double cox = m.cox();
+    const double k_soft = 2.0 * n * ut;
+    const double inv_k = 1.0 / k_soft;
+    const double inv_2ut = 1.0 / (2.0 * ut);
+#pragma omp simd
+    for (size_t l = 0; l < K; ++l) {
+      const double cox_area = cox * w_eff[l] * l_eff[l];
+      const double v_min =
+          -k_soft * fastLog(fastExp(-vdn[l] * inv_k) + fastExp(-vsn[l] * inv_k));
+      const double vp = (vgn[l] - vt[l]) / n;
+      const double x_inv = fastSigmoid((vp - v_min) * inv_2ut);
+      const double vgt = std::max(n * (vp - v_min), 0.0);
+      const double vdsat = std::max(vgt / n, 4.0 * ut);
+      const double sp = 0.5 * (1.0 + fastTanh((vdn[l] - vsn[l]) / vdsat));
+      const double sp_m = 1.0 - sp;
+      const double meyer_s = (-2.0 / 3.0) * sp * sp + (4.0 / 3.0) * sp;
+      const double meyer_d = (-2.0 / 3.0) * sp_m * sp_m + (4.0 / 3.0) * sp_m;
+      cgs[l] = cox_area * x_inv * meyer_s + m.cgso * w_eff[l];
+      cgd[l] = cox_area * x_inv * meyer_d + m.cgdo * w_eff[l];
+      cgb[l] = cox_area * (1.0 - x_inv) * 0.7 + m.cgbo * l_eff[l];
+    }
+    double vj[kMaxLanes] = {}, jc0[kMaxLanes] = {};
+    for (size_t l = 0; l < K; ++l) {
+      vj[l] = s * (vb0[l] - vd0[l]);
+      jc0[l] = mos[l]->junctionC0(true);
+    }
+    junctionCapLanes(K, vj, jc0, cbd);
+    for (size_t l = 0; l < K; ++l) {
+      vj[l] = s * (vb0[l] - vs0[l]);
+      jc0[l] = mos[l]->junctionC0(false);
+    }
+    junctionCapLanes(K, vj, jc0, cbs);
+  }
+
+  // --- per-device emission, mirroring stamp()'s exact call order ------
+  for (size_t l = 0; l < K; ++l) {
+    Mosfet& dev = *mos[l];
+    stamper.seek(op_begin[l]);
+    const NodeId d = dev.nodes_[kD];
+    const NodeId g = dev.nodes_[kG];
+    const NodeId s_node = dev.nodes_[kS];
+    const NodeId b = dev.nodes_[kB];
+    const int id = stamper.nodeIndex(d);
+    const int ig = stamper.nodeIndex(g);
+    const int is = stamper.nodeIndex(s_node);
+    const int ib = stamper.nodeIndex(b);
+    const auto stamp_row = [&](int row, double sign) {
+      if (row < 0) return;
+      if (ig >= 0) stamper.addMatrix(row, ig, sign * gg[l]);
+      if (id >= 0) stamper.addMatrix(row, id, sign * gd[l]);
+      if (is >= 0) stamper.addMatrix(row, is, sign * gs[l]);
+      if (ib >= 0) stamper.addMatrix(row, ib, sign * gb[l]);
+    };
+    stamp_row(id, 1.0);
+    stamp_row(is, -1.0);
+    stamper.currentSource(d, s_node, i_const[l]);
+    for (int which = 0; which < 2; ++which) {
+      const NodeId diff = which == 0 ? d : s_node;
+      stamper.conductance(b, diff, gj[which][l]);
+      stamper.currentSource(b, diff, j_rhs[which][l]);
+    }
+    if (card_->jg > 0.0) {
+      stamper.conductance(g, b, g_gl[l]);
+      stamper.currentSource(g, b, i_gl_rhs[l]);
+    }
+    if (tran) {
+      dev.stampCap(stamper, ctx, g, s_node, cgs[l], dev.cap_gs_);
+      dev.stampCap(stamper, ctx, g, d, cgd[l], dev.cap_gd_);
+      dev.stampCap(stamper, ctx, g, b, cgb[l], dev.cap_gb_);
+      dev.stampCap(stamper, ctx, b, d, cbd[l], dev.cap_bd_);
+      dev.stampCap(stamper, ctx, b, s_node, cbs[l], dev.cap_bs_);
+    }
+    if (stamper.cursor() != op_end[l]) {
+      throw Error("Mosfet '" + dev.name() +
+                  "' changed its stamp sequence without a topology revision bump");
+    }
+  }
+}
+
 void Mosfet::stampReactive(ReactiveStamper& stamper, const EvalContext& ctx) {
   const MeyerCaps caps = meyerCaps(ctx);
   const double sgn = card_->sign();

@@ -52,6 +52,12 @@ class Mosfet : public Device {
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   bool supportsBypass() const override { return true; }
+  /// Same-card MOSFETs batch together: the card fixes polarity and all
+  /// model parameters, so one SoA lane-kernel pass covers the batch.
+  const void* deviceBatchKey() const override { return card_.get(); }
+  void stampDeviceBatch(std::span<Device* const> devs, std::span<const uint32_t> op_begin,
+                        std::span<const uint32_t> op_end, Stamper& stamper,
+                        const EvalContext& ctx) override;
   void startTransient(const EvalContext& ctx) override;
   void acceptStep(const EvalContext& ctx) override;
   bool supportsLanes() const override { return true; }

@@ -26,6 +26,14 @@ struct PartitionSpec {
   int32_t num_blocks = 0;
 };
 
+/// How SimOptions::partition routes the Newton linear solve. Auto picks
+/// flat ordered LU vs the bordered-block-diagonal solver from the block
+/// count (recommendPartitionedSolve in numeric/lu_bbd.hpp): small
+/// fabrics solve faster flat, the BBD Schur overhead only pays off once
+/// there are enough blocks to amortize and parallelize. The partition
+/// itself stays available to the sharded assembler in every mode.
+enum class PartitionUse : uint8_t { Auto, ForceBbd, ForceFlat };
+
 /// Controls the convergence-recovery escalation ladder shared by the
 /// scalar and ensemble engines (see sim/recovery.hpp). Stages run in
 /// order — direct Newton, gmin stepping, source stepping, pseudo-
@@ -95,6 +103,21 @@ struct SimOptions {
   // unchanged since the previous refactor keep their factors (quiet
   // islands on the bypass tape cost nothing).
   bool bbd_latency = true;
+  // Flat-vs-BBD routing of the partition (see PartitionUse).
+  PartitionUse partition_use = PartitionUse::Auto;
+
+  // Parallel sharded assembly (circuit/assembly ShardedAssembler):
+  // devices are sharded by the partition's island labels (hash fallback
+  // without one), linearized on parallelForChunked workers with
+  // same-model MOSFETs batched through the SoA lane kernels, and
+  // applied with a deterministic border reduction — results are
+  // bit-identical across every VLS_THREADS / assembly_threads /
+  // device_batch_width setting, but differ from serial assembly at the
+  // ~1e-7 relative level (lane kernels vs scalar exp). Off by default.
+  bool parallel_assembly = false;
+  int assembly_threads = 0;     ///< workers; 0 = the VLS_THREADS pool width
+  int device_batch_width = 8;   ///< MOSFETs per lane-kernel pass [1, kMaxLanes]
+  int assembly_shards = 0;      ///< hash-fallback shard count; 0 = auto
 
   // SPICE-style .nodeset: initial guess for every cold operating-point
   // solve (solveOp, the transient/ac/noise OP, dcSweep homotopy

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "base/error.hpp"
@@ -18,10 +19,54 @@ Simulator::Simulator(Circuit& circuit, SimOptions options)
   num_unknowns_ = num_nodes_ + branches;
   system_ = MnaSystem(num_nodes_, branches);
   lu_.setOrdering(options_.lu_ordering);
-  if (options_.partition != nullptr) {
-    bbd_ = std::make_unique<BbdLu>(deriveUnknownPartition(), options_.partition->num_blocks,
-                                   options_.lu_ordering, options_.bbd_latency);
+  // Flat-vs-BBD routing: forcing wins, Auto consults the block-count
+  // heuristic. Either way the partition stays available to the sharded
+  // assembler below.
+  if (options_.partition == nullptr) {
+    partition_decision_ = "flat (no partition)";
+  } else {
+    const int32_t blocks = options_.partition->num_blocks;
+    bool use_bbd = false;
+    switch (options_.partition_use) {
+      case PartitionUse::ForceBbd:
+        use_bbd = true;
+        partition_decision_ = "bbd (forced)";
+        break;
+      case PartitionUse::ForceFlat:
+        partition_decision_ = "flat (forced)";
+        break;
+      case PartitionUse::Auto:
+        use_bbd = recommendPartitionedSolve(blocks);
+        partition_decision_ = std::string(use_bbd ? "bbd" : "flat") + " (auto: " +
+                              std::to_string(blocks) + (use_bbd ? " >= " : " < ") +
+                              std::to_string(kBbdAutoMinBlocks) + " blocks)";
+        break;
+    }
+    if (use_bbd) {
+      bbd_ = std::make_unique<BbdLu>(deriveUnknownPartition(), blocks, options_.lu_ordering,
+                                     options_.bbd_latency);
+    }
   }
+  if (options_.parallel_assembly) {
+    ShardedAssemblyConfig cfg;
+    if (options_.partition != nullptr) {
+      // Alias the partition's device labels without copying.
+      cfg.device_shard = std::shared_ptr<const std::vector<int32_t>>(
+          options_.partition, &options_.partition->device_block);
+      cfg.num_shards = options_.partition->num_blocks;
+    } else {
+      cfg.num_shards = options_.assembly_shards;
+    }
+    cfg.num_threads = options_.assembly_threads;
+    cfg.device_batch_width = options_.device_batch_width;
+    sharded_ = std::make_unique<ShardedAssembler>(std::move(cfg));
+  }
+}
+
+SimPhaseTimes Simulator::phaseTimes() const {
+  SimPhaseTimes t = phases_;
+  if (sharded_ != nullptr) t.model_eval_sec = sharded_->modelEvalSeconds();
+  return t;
 }
 
 std::vector<int32_t> Simulator::deriveUnknownPartition() const {
@@ -97,6 +142,10 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
   NewtonOutcome out;
   const int trace_depth = options_.recovery.newton_trace_depth;
   std::vector<double>& x_new = x_new_;
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
     ++out.iterations;
     if (injector != nullptr && injector->shouldFailNewton(iter, time)) {
@@ -109,7 +158,15 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
     // starts with full evaluations so fresh timesteps, committed
     // charge histories, and post-breakpoint states are re-linearized.
     assembly_opts.allow_bypass_now = iter >= options_.bypass_settle_iterations;
-    assembler_.assemble(system, circuit_, ctx, assembly_opts);
+    {
+      const auto t0 = Clock::now();
+      if (sharded_ != nullptr) {
+        sharded_->assemble(system, circuit_, ctx, assembly_opts);
+      } else {
+        assembler_.assemble(system, circuit_, ctx, assembly_opts);
+      }
+      phases_.assembly_sec += seconds_since(t0);
+    }
 
     // Pseudo-transient anchor: g on every node diagonal pulling toward
     // the last converged pseudo-state. Node diagonals already exist
@@ -144,14 +201,21 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
     try {
       // Numeric-only refactorization on the fixed MNA pattern; the first
       // call (and any pivot degradation) runs the full symbolic pass.
+      const auto t_factor = Clock::now();
       if (bbd_ != nullptr) {
         bbd_->refactor(system.matrix());
+        phases_.factor_sec += seconds_since(t_factor);
+        const auto t_solve = Clock::now();
         x_new = system.rhs();
         bbd_->solveInPlace(x_new);
+        phases_.solve_sec += seconds_since(t_solve);
       } else {
         lu_.refactor(system.matrix());
+        phases_.factor_sec += seconds_since(t_factor);
+        const auto t_solve = Clock::now();
         x_new = system.rhs();
         lu_.solveInPlace(x_new);
+        phases_.solve_sec += seconds_since(t_solve);
       }
     } catch (const NumericalError&) {
       out.failure = NewtonFailureReason::SingularPivot;

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <functional>
-#include <vector>
-
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "circuit/assembly.hpp"
 #include "circuit/circuit.hpp"
@@ -23,6 +23,19 @@
 namespace vls {
 
 class VoltageSource;
+
+/// Cumulative wall-time attribution of the Newton loop's phases across
+/// every solve this simulator has run (transient + OP + recovery rungs).
+/// model_eval_sec is the portion of assembly_sec spent linearizing
+/// device models — only separable under parallel assembly, where the
+/// evaluate region is timed apart from the apply/reduce; it reads 0
+/// with the serial assembler.
+struct SimPhaseTimes {
+  double assembly_sec = 0.0;
+  double model_eval_sec = 0.0;
+  double factor_sec = 0.0;
+  double solve_sec = 0.0;
+};
 
 class Simulator {
  public:
@@ -70,6 +83,13 @@ class Simulator {
   const SparseLu& flatLu() const { return lu_; }
   /// Partitioned BBD solver; null when solving flat.
   const BbdLu* bbdSolver() const { return bbd_.get(); }
+  /// Parallel sharded assembler; null unless options.parallel_assembly.
+  const ShardedAssembler* shardedAssembler() const { return sharded_.get(); }
+  /// How the constructor routed the linear solve ("bbd (auto: 200 >= 24
+  /// blocks)", "flat (forced)", "flat (no partition)", ...).
+  const std::string& partitionDecision() const { return partition_decision_; }
+  /// Phase wall-time attribution (see SimPhaseTimes).
+  SimPhaseTimes phaseTimes() const;
 
   /// Evaluation context for post-processing a solution vector at a
   /// given time (measurement helpers).
@@ -113,14 +133,23 @@ class Simulator {
   /// iteration replays with zero hash lookups (and, with
   /// options_.enable_bypass, skips unchanged-device model evaluation).
   Assembler assembler_;
+  /// Parallel sharded assembly engine, constructed when
+  /// options_.parallel_assembly; replaces assembler_ in the Newton loop.
+  std::unique_ptr<ShardedAssembler> sharded_;
   /// Persistent factorization: the symbolic phase (pivot order + fill
   /// pattern) runs once per sparsity pattern; every later Newton
   /// iteration and transient step only refreshes the numeric values.
   /// Unused when bbd_ is active.
   SparseLu lu_;
   /// Partitioned bordered-block-diagonal solver, constructed when
-  /// options_.partition is set; replaces lu_ in the Newton loop.
+  /// options_.partition is set and options_.partition_use routes to it
+  /// (Auto consults recommendPartitionedSolve); replaces lu_ in the
+  /// Newton loop.
   std::unique_ptr<BbdLu> bbd_;
+  /// Constructor's flat-vs-BBD routing rationale (partitionDecision()).
+  std::string partition_decision_;
+  /// Cumulative phase wall times (phaseTimes()).
+  SimPhaseTimes phases_;
   /// Per-iteration Newton scratch, allocated once per simulator.
   std::vector<double> x_new_;
 };

@@ -11,6 +11,7 @@
 #include "circuit/circuit.hpp"
 #include "devices/passive.hpp"
 #include "numeric/interpolation.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/simulator.hpp"
 
 namespace vls {
@@ -93,8 +94,11 @@ TEST(Fabric, DcOpFlatMatchesBbd) {
   SimOptions opt = fabricOptions(bbd_c, smallSpec());
   opt.lu_ordering = LuOrdering::MinDegree;
   opt.partition = makePartitionSpec(bbd_fab);
+  // 3 islands is below the Auto threshold — this test wants BBD.
+  opt.partition_use = PartitionUse::ForceBbd;
   Simulator bbd(bbd_c, opt);
   ASSERT_NE(bbd.bbdSolver(), nullptr);
+  EXPECT_EQ(bbd.partitionDecision(), "bbd (forced)");
   const auto x_bbd = bbd.solveOp();
 
   ASSERT_EQ(x_flat.size(), x_bbd.size());
@@ -121,6 +125,7 @@ TEST(Fabric, TransientFlatMatchesBbd) {
   SimOptions opt = fabricOptions(bbd_c, smallSpec());
   opt.lu_ordering = LuOrdering::MinDegree;
   opt.partition = makePartitionSpec(bbd_fab);
+  opt.partition_use = PartitionUse::ForceBbd;
   Simulator bbd(bbd_c, opt);
   const TransientResult tr_bbd = bbd.transient(t_stop, 0.1e-9);
 
@@ -137,6 +142,87 @@ TEST(Fabric, TransientFlatMatchesBbd) {
     const double vb = interpLinear(s_bbd.time, s_bbd.value, t);
     EXPECT_NEAR(vf, vb, 5e-3) << "t=" << t;
   }
+}
+
+// One fabric transient under parallel sharded assembly with the given
+// worker count / batch width (0 threads = the VLS_THREADS pool width).
+TransientResult runParallelFabricTransient(int threads, int batch_width,
+                                           std::shared_ptr<FaultInjector> injector = nullptr) {
+  Circuit c;
+  const FabricHandles fab = buildFabric(c, smallSpec());
+  SimOptions opt = fabricOptions(c, smallSpec());
+  applyFabricSolverOptions(opt, fab);
+  opt.assembly_threads = threads;
+  opt.device_batch_width = batch_width;
+  opt.fault_injector = std::move(injector);
+  Simulator sim(c, opt);
+  return sim.transient(3e-9, 0.1e-9);
+}
+
+// Every accepted step, every unknown, and every engine diagnostic must
+// be bitwise identical: the sharded assembler's determinism contract.
+void expectBitIdentical(const TransientResult& a, const TransientResult& b) {
+  ASSERT_EQ(a.steps(), b.steps());
+  for (size_t s = 0; s < a.steps(); ++s) {
+    ASSERT_EQ(a.time()[s], b.time()[s]) << "step " << s;
+    ASSERT_EQ(a.solution(s), b.solution(s)) << "step " << s;
+  }
+  EXPECT_EQ(a.total_newton_iterations, b.total_newton_iterations);
+  EXPECT_EQ(a.rejected_steps, b.rejected_steps);
+  ASSERT_EQ(a.recovery_events.size(), b.recovery_events.size());
+  for (size_t e = 0; e < a.recovery_events.size(); ++e) {
+    EXPECT_EQ(a.recovery_events[e].context, b.recovery_events[e].context);
+    EXPECT_EQ(a.recovery_events[e].stages.size(), b.recovery_events[e].stages.size());
+  }
+}
+
+TEST(Fabric, ParallelAssemblyInvariance) {
+  const TransientResult t1 = runParallelFabricTransient(1, 8);
+  const TransientResult t4 = runParallelFabricTransient(4, 8);
+  const TransientResult t1_scalar = runParallelFabricTransient(1, 1);
+  expectBitIdentical(t1, t4);
+  expectBitIdentical(t1, t1_scalar);
+}
+
+TEST(Fabric, ParallelAssemblyMatchesSerial) {
+  const double t_stop = 3e-9;
+  Circuit serial_c;
+  const FabricHandles serial_fab = buildFabric(serial_c, smallSpec());
+  SimOptions opt = fabricOptions(serial_c, smallSpec());
+  opt.lu_ordering = LuOrdering::MinDegree;
+  Simulator serial(serial_c, opt);
+  const TransientResult tr_serial = serial.transient(t_stop, 0.1e-9);
+
+  const TransientResult tr_par = runParallelFabricTransient(4, 8);
+  EXPECT_EQ(tr_serial.recovery_events.size(), tr_par.recovery_events.size());
+
+  // Lane-kernel vs scalar model evaluation differs at the ~1e-7 level,
+  // so waveforms agree within LTE tolerance, not bitwise.
+  const std::string out = serial_c.nodeName(serial_fab.final_out);
+  const Signal s_serial = tr_serial.node(out);
+  const Signal s_par = tr_par.node(out);
+  for (int i = 0; i <= 100; ++i) {
+    const double t = t_stop * i / 100.0;
+    const double vs = interpLinear(s_serial.time, s_serial.value, t);
+    const double vp = interpLinear(s_par.time, s_par.value, t);
+    EXPECT_NEAR(vs, vp, 5e-3) << "t=" << t;
+  }
+}
+
+TEST(Fabric, ParallelAssemblyFaultInjectionInvariant) {
+  // A budgeted mid-transient Newton abort forces rejected steps and a
+  // retry; the whole recovery trajectory must not depend on the worker
+  // count.
+  FaultSpec spec;
+  spec.fail_newton_at_iteration = 1;
+  spec.arm_time = 1e-9;
+  spec.max_fires = 2;
+  const TransientResult t1 =
+      runParallelFabricTransient(1, 8, std::make_shared<FaultInjector>(spec));
+  const TransientResult t4 =
+      runParallelFabricTransient(4, 8, std::make_shared<FaultInjector>(spec));
+  EXPECT_GE(t1.rejected_steps, 1u);
+  expectBitIdentical(t1, t4);
 }
 
 TEST(Fabric, MinDegreeOrderingCutsFillAndReusesAnalysis) {
