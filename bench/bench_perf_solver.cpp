@@ -388,6 +388,65 @@ JsonValue measureAssembly(int reps) {
   return JsonValue(std::move(o));
 }
 
+/// The same hashed-vs-tape comparison at fabric scale (thousands of
+/// devices). On the tiny characterization netlist above, fixed
+/// per-dispatch overhead can eat the replay win (tape_speedup hovers
+/// near 1); here the zero-hash inner loop amortizes and the crossover
+/// is decisively past. Also isolates the cost of storing replayed
+/// scalars back into the tape — paid only when bypass is enabled.
+JsonValue measureAssemblyLarge(int islands, int reps) {
+  FabricSpec spec;
+  spec.islands = islands;
+  spec.input_pulse.delay = 0.2e-9;
+  Circuit c;
+  buildFabric(c, spec);
+
+  SimOptions base;
+  base.nodeset = std::make_shared<const std::vector<double>>(fabricDcGuess(c, spec));
+  base.recovery.ptran_max_steps = 2000;
+  base.recovery.ptran_grow = 2.0;
+  base.lu_ordering = LuOrdering::MinDegree;
+  Simulator sim(c, base);
+  const std::vector<double> x = sim.solveOp();
+  const size_t branches = c.assignBranchIndices();
+  EvalContext ctx = sim.contextFor(x, 0.1e-9);
+  ctx.method = IntegrationMethod::Trapezoidal;
+  ctx.dt = 1e-12;
+  for (const auto& dev : c.devices()) dev->startTransient(ctx);
+
+  MnaSystem sys(c.nodeCount(), branches);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) assembleDirect(sys, c, ctx);
+  const double hashed_sec = secondsSince(t0);
+
+  Assembler assembler;
+  assembler.assemble(sys, c, ctx);  // recording pass (not timed)
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) assembler.assemble(sys, c, ctx);
+  const double tape_sec = secondsSince(t0);
+
+  // Replay with value stores on: what a bypass-enabled solve pays on
+  // its forced full evaluations (allow_bypass_now stays false, so every
+  // device evaluates and every replayed scalar is written back).
+  AssemblyOptions store;
+  store.enable_bypass = true;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) assembler.assemble(sys, c, ctx, store);
+  const double tape_store_sec = secondsSince(t0);
+
+  JsonValue::Object o;
+  o["islands"] = islands;
+  o["unknowns"] = sys.size();
+  o["devices"] = c.devices().size();
+  o["reps"] = reps;
+  o["hashed_us_per_iter"] = 1e6 * hashed_sec / reps;
+  o["tape_us_per_iter"] = 1e6 * tape_sec / reps;
+  o["tape_store_us_per_iter"] = 1e6 * tape_store_sec / reps;
+  o["tape_speedup"] = tape_sec > 0.0 ? hashed_sec / tape_sec : 0.0;
+  o["store_skip_speedup"] = tape_sec > 0.0 ? tape_store_sec / tape_sec : 0.0;
+  return JsonValue(std::move(o));
+}
+
 bool metricsBitIdentical(const MonteCarloResult& a, const MonteCarloResult& b) {
   return a.delay_rise == b.delay_rise && a.delay_fall == b.delay_fall &&
          a.power_rise == b.power_rise && a.power_fall == b.power_fall &&
@@ -861,6 +920,9 @@ JsonValue measureFabricAssembly(int islands, double t_stop, double dt_max) {
   o["islands"] = islands;
   o["devices"] = c.devices().size();
   o["t_stop"] = t_stop;
+  // Scaling numbers are only meaningful relative to the cores actually
+  // present — CI gates its speedup asserts on this field.
+  o["hardware_concurrency"] = static_cast<size_t>(std::thread::hardware_concurrency());
 
   // Serial-assembly baseline (the PR 7 configuration).
   auto t0 = std::chrono::steady_clock::now();
@@ -968,6 +1030,7 @@ void writeBenchPerfJson() {
   root["lu_reuse_small"] = measureLuReuse(64, 400);
   root["lu_reuse"] = measureLuReuse(256, 100);
   root["assembly"] = measureAssembly(2000);
+  root["assembly_large"] = measureAssemblyLarge(20, 200);
   root["newton_workload"] = measureNewtonWorkload();
   // 32 samples = 4 width-8 batches: at threads=4 x k=8 every worker
   // owns a whole lockstep batch, so the matrix exercises the

@@ -1,0 +1,307 @@
+#include "analysis/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "analysis/area.hpp"
+#include "analysis/measure.hpp"
+#include "base/error.hpp"
+#include "base/logging.hpp"
+#include "base/parallel.hpp"
+#include "devices/mosfet.hpp"
+#include "numeric/lanes.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+
+namespace {
+
+/// A linear 0-100% PWL ramp whose 10-90% portion equals `slew`.
+double rampFor(double slew) { return slew / 0.8; }
+
+void applyProcessSkew(ShifterTestbench& tb, const CornerSpec& corner) {
+  for (Mosfet* fet : tb.dutFets()) {
+    MosGeometry g = fet->geometry();
+    const bool is_nmos = fet->model().type == MosType::Nmos;
+    g.delta_vt = is_nmos ? corner.nmos_dvt : corner.pmos_dvt;
+    g.delta_w = g.w * corner.dw_frac;
+    g.delta_l = g.l * corner.dl_frac;
+    fet->setGeometry(g);
+  }
+}
+
+/// Metric extraction of one grid point from one transient run. The
+/// stimulus is bits {1, 0, 1}: the input falls at t = period and rises
+/// at t = 2*period, so each run carries exactly one output rise and one
+/// output fall (in DUT-polarity-dependent order).
+CharPoint measurePoint(const TransientResult& run, const HarnessConfig& cfg, bool inverting,
+                       const VoltageSource& vddo_src, double slew, double load) {
+  CharPoint p;
+  p.slew = slew;
+  p.load = load;
+
+  const Signal in_sig = run.node("in");
+  const Signal out_sig = run.node("out");
+  const double vmi = 0.5 * cfg.vddi;
+  const double vmo = 0.5 * cfg.vddo;
+  const double period = cfg.bit_period;
+
+  // Cubic-refined crossings: the lane and scalar engines integrate the
+  // same waveform on different adaptive time grids, and the linear
+  // interpolant's O(dt^2) crossing error is the dominant disagreement
+  // between them at these tolerances.
+  const auto t_in_fall = crossTimeCubic(in_sig, vmi, CrossDir::Falling, 0.5 * period);
+  const auto t_in_rise = crossTimeCubic(in_sig, vmi, CrossDir::Rising, 1.5 * period);
+  if (!t_in_fall || !t_in_rise) return p;  // ok stays false
+
+  // Inverting DUTs: falling input -> rising output (slot 1), rising
+  // input -> falling output (slot 2). Non-inverting: the reverse map.
+  const double t_rise_in = inverting ? *t_in_fall : *t_in_rise;
+  const double t_fall_in = inverting ? *t_in_rise : *t_in_fall;
+  const double rise_slot = inverting ? period : 2.0 * period;
+  const double fall_slot = inverting ? 2.0 * period : period;
+
+  const auto t_out_rise = crossTimeCubic(out_sig, vmo, CrossDir::Rising, t_rise_in);
+  const auto t_out_fall = crossTimeCubic(out_sig, vmo, CrossDir::Falling, t_fall_in);
+  const auto tr = transitionTimeCubic(out_sig, 0.1 * cfg.vddo, 0.9 * cfg.vddo, CrossDir::Rising,
+                                      rise_slot);
+  const auto tf = transitionTimeCubic(out_sig, 0.1 * cfg.vddo, 0.9 * cfg.vddo, CrossDir::Falling,
+                                      fall_slot);
+  if (!t_out_rise || !t_out_fall || !tr || !tf) return p;
+  p.delay_rise = *t_out_rise - t_rise_in;
+  p.delay_fall = *t_out_fall - t_fall_in;
+  p.trans_rise = *tr;
+  p.trans_fall = *tf;
+
+  // Output-domain supply energy of each transition's bit slot. The slot
+  // is long relative to the edge, so this is the NLDM switching energy
+  // plus one slot of leakage (negligible at these periods).
+  p.energy_rise = averageSupplyPower(run, vddo_src, rise_slot, rise_slot + period) * period;
+  p.energy_fall = averageSupplyPower(run, vddo_src, fall_slot, fall_slot + period) * period;
+
+  // Functional gate: the output must settle within 10% of the correct
+  // rail at the end of every bit slot.
+  const double tol = 0.1 * cfg.vddo;
+  bool ok = true;
+  for (size_t k = 0; k < cfg.bits.size(); ++k) {
+    const double t1 = static_cast<double>(k + 1) * period;
+    const bool high = inverting ? cfg.bits[k] == 0 : cfg.bits[k] != 0;
+    const double target = high ? cfg.vddo : 0.0;
+    if (std::fabs(averageValue(out_sig, t1 - 0.15 * period, t1) - target) > tol) ok = false;
+  }
+  p.ok = ok;
+  return p;
+}
+
+/// Evaluation order of the flattened grid: the configured permutation
+/// when it is one, row-major otherwise.
+std::vector<size_t> gridOrder(const CharGrid& grid) {
+  const size_t n = grid.slews.size() * grid.loads.size();
+  if (grid.point_order.size() == n) {
+    std::vector<size_t> seen(n, 0);
+    for (size_t idx : grid.point_order) {
+      if (idx >= n || seen[idx]++) {
+        throw InvalidInputError("CharGrid::point_order is not a permutation of the grid");
+      }
+    }
+    return grid.point_order;
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+/// One scalar reference point: fresh Simulator over the (re-stimulated)
+/// shared testbench, warm-started from `nodeset` when given. Returns
+/// the converged t=0 operating point through `op_out` for chaining.
+CharPoint runScalarPoint(ShifterTestbench& tb, const CharGrid& grid, double slew, double load,
+                         const std::shared_ptr<const std::vector<double>>& nodeset,
+                         std::shared_ptr<const std::vector<double>>* op_out) {
+  const HarnessConfig& cfg = tb.config();
+  const double ramp = rampFor(slew);
+  tb.vinSource()->setWaveform(tb.stimulusWaveform(ramp));
+  tb.loadCapacitor()->setCapacitance(load);
+
+  SimOptions opts = cfg.sim;
+  opts.temperature_c = cfg.temperature_c;
+  opts.tran_reltol = grid.tran_reltol;
+  if (grid.warm_start) opts.nodeset = nodeset;
+  Simulator sim(tb.circuit(), opts);
+  const TransientResult run = sim.transient(tb.tStop(), grid.dt_max, ramp / 4.0);
+  if (op_out != nullptr && grid.warm_start) {
+    *op_out = std::make_shared<const std::vector<double>>(run.solution(0));
+  }
+  return measurePoint(run, cfg, tb.inverting(), *tb.vddoSource(), slew, load);
+}
+
+}  // namespace
+
+std::vector<CharCorner> standardCharCorners() {
+  std::vector<CharCorner> out;
+  {
+    CharCorner c;
+    c.name = "tt_0p80v_1p20v_25c";
+    out.push_back(c);
+  }
+  {
+    // Slow-hot sign-off corner: slow devices, derated supplies, 85 C.
+    CharCorner c;
+    c.name = "ss_0p72v_1p08v_85c";
+    c.vddi = 0.72;
+    c.vddo = 1.08;
+    c.temperature_c = 85.0;
+    c.process = {"SS", +0.039, +0.039, -0.05, +0.05, 85.0, 1.0};
+    out.push_back(c);
+  }
+  return out;
+}
+
+CharTable characterizeCell(ShifterKind kind, const CharCorner& corner, const CharGrid& grid,
+                           const HarnessConfig& base) {
+  if (grid.slews.empty() || grid.loads.empty()) {
+    throw InvalidInputError("characterizeCell: empty slew or load axis");
+  }
+  for (double s : grid.slews) {
+    if (rampFor(s) >= grid.bit_period) {
+      throw InvalidInputError("characterizeCell: input ramp exceeds the bit period");
+    }
+  }
+
+  HarnessConfig cfg = base;
+  cfg.kind = kind;
+  cfg.direct_drive = true;
+  cfg.vddi = corner.vddi;
+  cfg.vddo = corner.vddo;
+  cfg.temperature_c = corner.temperature_c;
+  cfg.bits = {1, 0, 1};  // one falling and one rising input edge
+  cfg.bit_period = grid.bit_period;
+  cfg.leak_settle = grid.settle;
+  cfg.edge_time = rampFor(grid.slews.front());
+  cfg.load_cap = grid.loads.front();
+  cfg.dt_max = grid.dt_max;
+  cfg.sim.tran_reltol = grid.tran_reltol;
+
+  CharTable table;
+  table.kind = kind;
+  table.corner = corner;
+  table.slews = grid.slews;
+  table.loads = grid.loads;
+  table.inverting = shifterKindInverting(kind);
+  table.points.resize(grid.slews.size() * grid.loads.size());
+
+  ShifterTestbench tb(cfg);
+  applyProcessSkew(tb, corner.process);
+  table.area_m2 = estimateCellArea(tb.dutFets());
+
+  const std::vector<size_t> order = gridOrder(grid);
+  const size_t n_loads = grid.loads.size();
+
+  if (!grid.use_lanes) {
+    std::shared_ptr<const std::vector<double>> op;
+    for (size_t idx : order) {
+      table.points[idx] = runScalarPoint(tb, grid, grid.slews[idx / n_loads],
+                                         grid.loads[idx % n_loads], op, &op);
+    }
+  } else {
+    const size_t K = std::clamp<size_t>(grid.lane_width, 1, kMaxLanes);
+    SimOptions opts = cfg.sim;
+    opts.temperature_c = cfg.temperature_c;
+    // Lane-engine tuning: SPICE device bypass. Iteration 0 of every
+    // solve still fully re-linearizes, so stored values replayed for
+    // quiet devices always come from the same timestep; the scalar
+    // reference loop keeps bypass off (accuracy is checked against it
+    // within grid.lane_rel_tol).
+    opts.enable_bypass = true;
+    opts.bypass_settle_iterations = 1;
+    // 1e-4 V quiet threshold: devices are only bypassed while their
+    // terminals sit still (supply rails, settled internal nodes), far
+    // from the measured 10/50/90% crossings; the residual error this
+    // admits is well inside lane_rel_tol and is covered by the
+    // lane-vs-scalar checks in tests and the bench.
+    opts.bypass_tol = 1e-4;
+    EnsembleSimulator sim(tb.circuit(), K, opts);
+    auto* src_state = static_cast<SourceLaneState*>(sim.laneState(*tb.vinSource()));
+    auto* cap_state = static_cast<CapacitorLaneState*>(sim.laneState(*tb.loadCapacitor()));
+
+    std::shared_ptr<const std::vector<double>> op;
+    std::vector<size_t> retry;  // lane-failed points, re-run scalar below
+    for (size_t b = 0; b < order.size(); b += K) {
+      double min_ramp = rampFor(grid.slews.back());
+      for (size_t l = 0; l < K; ++l) {
+        // Short batches pad by repeating the last point: padded lanes
+        // converge trivially and their results are simply discarded.
+        const size_t idx = order[std::min(b + l, order.size() - 1)];
+        const double ramp = rampFor(grid.slews[idx / n_loads]);
+        src_state->setWaveform(l, tb.stimulusWaveform(ramp));
+        cap_state->setCapacitance(l, grid.loads[idx % n_loads]);
+        min_ramp = std::min(min_ramp, ramp);
+      }
+      if (grid.warm_start) sim.setNodeset(op);
+      sim.transient(tb.tStop(), grid.dt_max, min_ramp / 4.0);
+      if (grid.warm_start) {
+        // Seed the next batch from this batch's converged t=0 state
+        // (lane 0 by convention; all lanes share the same DC state).
+        op = std::make_shared<const std::vector<double>>(sim.laneSolution(0, 0));
+      }
+      for (size_t l = 0; l < K && b + l < order.size(); ++l) {
+        const size_t idx = order[b + l];
+        if (sim.laneFailed(l)) {
+          retry.push_back(idx);
+          continue;
+        }
+        table.points[idx] = measurePoint(sim.laneResult(l), cfg, table.inverting,
+                                         *tb.vddoSource(), grid.slews[idx / n_loads],
+                                         grid.loads[idx % n_loads]);
+      }
+    }
+    // Lane dropouts re-run through the scalar reference path.
+    table.scalar_fallbacks = retry.size();
+    for (size_t idx : retry) {
+      VLS_LOG_WARN("characterize %s/%s: lane dropout at point %zu, scalar re-run",
+                   shifterKindName(kind), corner.name.c_str(), idx);
+      table.points[idx] = runScalarPoint(tb, grid, grid.slews[idx / n_loads],
+                                         grid.loads[idx % n_loads], op, nullptr);
+    }
+  }
+
+  // Static .lib data (leakage, functionality) from the paper's own
+  // driver-loaded harness at this corner.
+  if (grid.static_metrics) {
+    HarnessConfig mcfg = base;
+    mcfg.kind = kind;
+    mcfg.vddi = corner.vddi;
+    mcfg.vddo = corner.vddo;
+    mcfg.temperature_c = corner.temperature_c;
+    ShifterTestbench mtb(mcfg);
+    applyProcessSkew(mtb, corner.process);
+    try {
+      table.static_metrics = mtb.measure();
+    } catch (const Error& e) {
+      VLS_LOG_WARN("characterize %s/%s: static harness failed: %s", shifterKindName(kind),
+                   corner.name.c_str(), e.what());
+      table.static_metrics.functional = false;
+    }
+  }
+  return table;
+}
+
+std::vector<CharTable> characterizeCells(const CharRequest& request) {
+  const std::vector<CharCorner> corners =
+      request.corners.empty() ? standardCharCorners() : request.corners;
+  const size_t n_tasks = request.kinds.size() * corners.size();
+  std::vector<CharTable> tables(n_tasks);
+  // (cell, corner) tasks are independent; the grid inside each one
+  // runs lane-batched, so the farm fills both axes of the machine.
+  parallelForChunked(
+      n_tasks,
+      [&](size_t t) {
+        const ShifterKind kind = request.kinds[t / corners.size()];
+        const CharCorner& corner = corners[t % corners.size()];
+        tables[t] = characterizeCell(kind, corner, request.grid, request.base);
+      },
+      ParallelOptions{0, 1});
+  return tables;
+}
+
+}  // namespace vls

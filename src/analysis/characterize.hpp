@@ -1,0 +1,135 @@
+// Lane-batched Liberty NLDM characterization farm. Every cell kind is
+// swept over an input-slew x output-load grid at several (VDDI, VDDO,
+// temperature, process) corners, producing the delay / transition /
+// switching-energy tables a .lib NLDM group needs.
+//
+// Perf core: grid points of one (cell, corner) share the testbench
+// topology and differ only in the PWL input edge time and the load
+// capacitance — *parameter* lanes. K grid points at a time are mapped
+// onto the SoA ensemble engine (SourceLaneState waveform overrides +
+// CapacitorLaneState load overrides), so one stamp tape and one
+// symbolic LU factorization serve the whole table while the (cell,
+// corner) tasks fan out across the VLS_THREADS worker pool. Each batch
+// warm-starts its operating point from the previous batch's converged
+// t=0 solution (SPICE .nodeset) — grid neighbors sit at the same DC
+// state, so the Newton ladder collapses to a couple of iterations.
+//
+// The scalar per-point loop (use_lanes = false) is the reference
+// implementation; the lane path must reproduce its tables within
+// CharGrid::lane_rel_tol (enforced by tests and the perf-smoke CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/corners.hpp"
+#include "analysis/shifter_harness.hpp"
+
+namespace vls {
+
+/// One library characterization corner: supplies, die temperature and
+/// a process skew applied to the DUT transistors.
+struct CharCorner {
+  std::string name = "tt_0p80v_1p20v_25c";
+  double vddi = 0.8;
+  double vddo = 1.2;
+  double temperature_c = 25.0;
+  CornerSpec process{};  ///< DUT device skew (dvt / dw / dl); supplies above win
+};
+
+/// The default library corner set: typical and slow-hot (the sign-off
+/// pair a timing library ships at minimum).
+std::vector<CharCorner> standardCharCorners();
+
+/// Characterization grid and engine knobs.
+struct CharGrid {
+  /// index_1: input transition times, 10-90% [s].
+  std::vector<double> slews = {10e-12, 30e-12, 60e-12, 120e-12, 240e-12};
+  /// index_2: output load capacitances [F].
+  std::vector<double> loads = {0.5e-15, 1e-15, 2e-15, 4e-15, 8e-15};
+
+  /// Lane-batched engine (false = scalar per-point reference loop).
+  bool use_lanes = true;
+  /// Grid points per ensemble batch, clamped to [1, kMaxLanes].
+  size_t lane_width = 8;
+  /// Warm-start each batch / point from its predecessor's operating point.
+  bool warm_start = true;
+  /// Run the driver-loaded static harness (leakage / functional) per
+  /// cell. Perf benches turn it off to time the grid alone.
+  bool static_metrics = true;
+  /// Optional evaluation order of the flattened grid (size slews*loads;
+  /// empty = row-major). The grid-shuffle test uses this to show the
+  /// warm-start chain does not change converged results.
+  std::vector<size_t> point_order;
+
+  /// Documented agreement bound between the lane and scalar paths:
+  /// full-scale relative error per metric family — for each of the
+  /// four timing tables, max |lane - scalar| over the grid divided by
+  /// the scalar table's peak magnitude; the two power tables share one
+  /// full scale, the cell's peak switching energy. Full-scale is the
+  /// NLDM-meaningful contract: per-entry relative error would divide
+  /// femtosecond-level solver reproducibility noise by near-zero
+  /// entries (a sub-picosecond inverter delay, the near-cancelling
+  /// quiet-slot energy integral) and report unbounded disagreement
+  /// where the tables are in fact bit-for-bit usable.
+  double lane_rel_tol = 1e-3;
+
+  double bit_period = 1e-9;     ///< slot length per stimulus bit
+  double settle = 0.05e-9;      ///< appended static-state hold (stimulus tail)
+  double dt_max = 5e-12;        ///< transient step ceiling (accuracy floor)
+  double tran_reltol = 1e-4;    ///< tightened LTE tolerance for table accuracy
+};
+
+/// One grid point's measured metrics (all SI units).
+struct CharPoint {
+  double slew = 0.0;        ///< input transition (10-90%) [s]
+  double load = 0.0;        ///< output load [F]
+  double delay_rise = 0.0;  ///< 50% input -> 50% rising output [s]
+  double delay_fall = 0.0;  ///< 50% input -> 50% falling output [s]
+  double trans_rise = 0.0;  ///< 10-90% rising output transition [s]
+  double trans_fall = 0.0;  ///< 90-10% falling output transition [s]
+  double energy_rise = 0.0; ///< supply energy of the rising-output slot [J]
+  double energy_fall = 0.0; ///< supply energy of the falling-output slot [J]
+  bool ok = false;          ///< converged and output reached both rails
+};
+
+/// The full table set of one (cell, corner): points in row-major
+/// slews-major order (point index = si * loads.size() + li).
+struct CharTable {
+  ShifterKind kind = ShifterKind::Sstvs;
+  CharCorner corner{};
+  std::vector<double> slews;
+  std::vector<double> loads;
+  std::vector<CharPoint> points;
+  ShifterMetrics static_metrics{};  ///< leakage / functional (scalar harness)
+  double area_m2 = 0.0;
+  bool inverting = true;
+
+  /// Points that dropped out of a lane batch and were re-run through
+  /// the scalar reference path.
+  size_t scalar_fallbacks = 0;
+
+  const CharPoint& at(size_t si, size_t li) const { return points[si * loads.size() + li]; }
+};
+
+struct CharRequest {
+  std::vector<ShifterKind> kinds = {ShifterKind::Sstvs, ShifterKind::CombinedVs,
+                                    ShifterKind::InverterOnly, ShifterKind::SsvsPuri};
+  std::vector<CharCorner> corners;  ///< empty = standardCharCorners()
+  CharGrid grid{};
+  HarnessConfig base{};  ///< sizing / sim-option seed (supplies overridden per corner)
+};
+
+/// Characterize every (kind, corner) pair; tasks fan out across the
+/// VLS_THREADS pool, each running its grid through the lane-batched
+/// ensemble engine (or the scalar loop when grid.use_lanes is false).
+/// Results are ordered kinds-major: result[k * corners + c].
+std::vector<CharTable> characterizeCells(const CharRequest& request);
+
+/// One (kind, corner) grid — the unit of work characterizeCells
+/// parallelizes over; exposed for tests and benches.
+CharTable characterizeCell(ShifterKind kind, const CharCorner& corner, const CharGrid& grid,
+                           const HarnessConfig& base);
+
+}  // namespace vls

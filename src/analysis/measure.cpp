@@ -14,6 +14,28 @@ std::vector<double> crossTimes(const Signal& s, double level, CrossDir dir, doub
   return allCrossings(s.time, s.value, level, dir, from);
 }
 
+std::optional<double> crossTimeCubic(const Signal& s, double level, CrossDir dir, double from) {
+  return firstCrossingCubic(s.time, s.value, level, dir, from);
+}
+
+std::optional<double> transitionTimeCubic(const Signal& s, double v_low, double v_high,
+                                          CrossDir dir, double from) {
+  const double lo = v_low + 0.1 * (v_high - v_low);
+  const double hi = v_low + 0.9 * (v_high - v_low);
+  if (dir == CrossDir::Rising) {
+    const auto t_lo = crossTimeCubic(s, lo, CrossDir::Rising, from);
+    if (!t_lo) return std::nullopt;
+    const auto t_hi = crossTimeCubic(s, hi, CrossDir::Rising, *t_lo);
+    if (!t_hi) return std::nullopt;
+    return *t_hi - *t_lo;
+  }
+  const auto t_hi = crossTimeCubic(s, hi, CrossDir::Falling, from);
+  if (!t_hi) return std::nullopt;
+  const auto t_lo = crossTimeCubic(s, lo, CrossDir::Falling, *t_hi);
+  if (!t_lo) return std::nullopt;
+  return *t_lo - *t_hi;
+}
+
 std::optional<double> propagationDelay(const Signal& input, const Signal& output, double in_level,
                                        CrossDir in_dir, double out_level, CrossDir out_dir,
                                        double from) {

@@ -19,6 +19,17 @@ std::optional<double> crossTime(const Signal& s, double level, CrossDir dir, dou
 /// All crossings after `from`.
 std::vector<double> crossTimes(const Signal& s, double level, CrossDir dir, double from = 0.0);
 
+/// crossTime with Hermite-cubic refinement of the crossing abscissa
+/// (firstCrossingCubic): time-grid-robust, so measurements taken from
+/// two different adaptive-step runs of the same waveform agree to
+/// O(dt^3). The characterization farm uses this for every table metric.
+std::optional<double> crossTimeCubic(const Signal& s, double level, CrossDir dir,
+                                     double from = 0.0);
+
+/// transitionTime measured on cubic-refined crossings.
+std::optional<double> transitionTimeCubic(const Signal& s, double v_low, double v_high,
+                                          CrossDir dir, double from = 0.0);
+
 /// 50%-to-50% propagation delay: input crosses `in_level` (direction
 /// in_dir) at/after `from`, output then crosses `out_level` (out_dir).
 /// nullopt if either edge is missing.

@@ -33,56 +33,69 @@ ShifterTestbench::ShifterTestbench(HarnessConfig config) : config_(std::move(con
   build();
 }
 
-void ShifterTestbench::build() {
-  Circuit& c = circuit_;
-  const NodeId vddo = c.node("vddo");
-  const NodeId vddi = c.node("vddi");
-  const NodeId in = c.node("in");
-  const NodeId out = c.node("out");
-  const NodeId drv = c.node("drv");
-
-  vddo_src_ = &c.add<VoltageSource>("v_vddo", vddo, kGround, config_.vddo);
-  vddi_src_ = &c.add<VoltageSource>("v_vddi", vddi, kGround, config_.vddi);
-
-  // Input stimulus: PWL of the *complement* of the bit sequence (the
-  // driver inverter restores polarity), followed by the two static
-  // leakage states: in=0 (output high), then in=1 (output low).
-  const double period = config_.bit_period;
-  const double edge = config_.edge_time;
+Waveform ShifterTestbench::stimulusWaveform(double edge_time) const {
+  // PWL over the bit slots plus the two static leakage states: in=0
+  // (output high for inverting DUTs), then in=1. Through the driver
+  // inverter the PWL carries the *complement* of the bit sequence (the
+  // driver restores polarity); direct drive carries the bits verbatim.
   std::vector<int> levels = config_.bits;
-  t_bits_end_ = static_cast<double>(levels.size()) * period;
-  t_leak_high_start_ = t_bits_end_;
   levels.push_back(0);
-  t_leak_low_start_ = t_bits_end_ + config_.leak_settle;
   levels.push_back(1);
-  t_stop_ = t_bits_end_ + 2.0 * config_.leak_settle;
 
   std::vector<double> ts;
   std::vector<double> vs;
   auto slot_duration = [&](size_t k) {
-    return k < config_.bits.size() ? period : config_.leak_settle;
+    return k < config_.bits.size() ? config_.bit_period : config_.leak_settle;
   };
   double t = 0.0;
   for (size_t k = 0; k < levels.size(); ++k) {
-    const double v = config_.vddi * (levels[k] ? 0.0 : 1.0);  // complement for the driver
+    const bool high = config_.direct_drive ? levels[k] != 0 : levels[k] == 0;
+    const double v = high ? config_.vddi : 0.0;
     if (k == 0) {
       ts.push_back(0.0);
       vs.push_back(v);
     } else {
-      ts.push_back(t + edge);
+      // The edge must land inside its slot — slow characterization
+      // ramps can exceed the short static-state slots appended after
+      // the bits, where only the settled level matters.
+      ts.push_back(t + std::min(edge_time, 0.9 * slot_duration(k)));
       vs.push_back(v);
     }
     t += slot_duration(k);
     ts.push_back(t);
     vs.push_back(v);
   }
-  vin_src_ = &c.add<VoltageSource>("v_in", drv, kGround, Waveform::pwl(ts, vs));
+  return Waveform::pwl(ts, vs);
+}
 
-  // Same-sized driver inverter in the VDDI domain.
-  buildInverter(c, "xdrv", drv, in, vddi, config_.inverter);
+void ShifterTestbench::build() {
+  Circuit& c = circuit_;
+  const NodeId vddo = c.node("vddo");
+  const NodeId vddi = c.node("vddi");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+
+  vddo_src_ = &c.add<VoltageSource>("v_vddo", vddo, kGround, config_.vddo);
+  vddi_src_ = &c.add<VoltageSource>("v_vddi", vddi, kGround, config_.vddi);
+
+  t_bits_end_ = static_cast<double>(config_.bits.size()) * config_.bit_period;
+  t_leak_high_start_ = t_bits_end_;
+  t_leak_low_start_ = t_bits_end_ + config_.leak_settle;
+  t_stop_ = t_bits_end_ + 2.0 * config_.leak_settle;
+
+  if (config_.direct_drive) {
+    // The PWL drives the DUT input directly: the input slew is exactly
+    // the PWL edge time (characterization farm).
+    vin_src_ = &c.add<VoltageSource>("v_in", in, kGround, stimulusWaveform(config_.edge_time));
+  } else {
+    const NodeId drv = c.node("drv");
+    vin_src_ = &c.add<VoltageSource>("v_in", drv, kGround, stimulusWaveform(config_.edge_time));
+    // Same-sized driver inverter in the VDDI domain.
+    buildInverter(c, "xdrv", drv, in, vddi, config_.inverter);
+  }
 
   // Fixed output load (the paper: 1 fF).
-  c.add<Capacitor>("c_load", out, kGround, config_.load_cap);
+  load_cap_ = &c.add<Capacitor>("c_load", out, kGround, config_.load_cap);
 
   probe_nodes_ = {"in", "out"};
 

@@ -15,6 +15,7 @@
 #include "cells/related_work.hpp"
 #include "cells/sstvs.hpp"
 #include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
 #include "devices/sources.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/options.hpp"
@@ -42,6 +43,12 @@ struct HarnessConfig {
   double vddo = 1.2;
   double temperature_c = 27.0;
   double load_cap = 1e-15;
+
+  /// Drive the DUT input node directly from the PWL source instead of
+  /// through the restoring driver inverter. The characterization farm
+  /// uses this so the input slew of a grid point is exactly the PWL
+  /// edge time, not the driver's (load-dependent) output slope.
+  bool direct_drive = false;
 
   /// Input stimulus: logic levels of the DUT input node per bit slot.
   /// Sequences start with 1 so the t=0 operating point is the unique,
@@ -124,6 +131,21 @@ class ShifterTestbench {
   /// Names of the DUT-internal probe nodes (for the Fig. 5 bench).
   std::vector<std::string> probeNodes() const;
 
+  // --- characterization-farm hooks -----------------------------------
+  /// The configured input stimulus rebuilt with a different edge time:
+  /// same bit sequence, periods and leak phases, only the ramps change.
+  /// The farm installs one of these per lane (SourceLaneState) to sweep
+  /// input slew across an ensemble.
+  Waveform stimulusWaveform(double edge_time) const;
+
+  VoltageSource* vinSource() { return vin_src_; }
+  VoltageSource* vddoSource() { return vddo_src_; }
+  VoltageSource* vddiSource() { return vddi_src_; }
+  Capacitor* loadCapacitor() { return load_cap_; }
+  double tBitsEnd() const { return t_bits_end_; }
+  double tStop() const { return t_stop_; }
+  bool inverting() const { return inverting_; }
+
  private:
   void build();
 
@@ -142,6 +164,7 @@ class ShifterTestbench {
   VoltageSource* vddo_src_ = nullptr;
   VoltageSource* vddi_src_ = nullptr;
   VoltageSource* vin_src_ = nullptr;
+  Capacitor* load_cap_ = nullptr;
   std::vector<std::string> probe_nodes_;
   bool inverting_ = true;
   std::unique_ptr<TransientResult> last_run_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -35,83 +36,180 @@ struct RegionGuard {
   ~RegionGuard() { tl_in_parallel_region = false; }
 };
 
-/// Schedule one super-block of at most 2^31 indices (the packed-range
-/// words hold 32-bit offsets; parallelForRanges slices bigger counts
-/// into sequential super-blocks).
-void runBlock(size_t base, uint32_t n, uint32_t chunk, size_t workers,
-              void (*range)(void*, size_t, size_t), void* ctx) {
-  std::vector<WorkerRange> deques(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    const uint32_t begin = static_cast<uint32_t>(static_cast<uint64_t>(n) * w / workers);
-    const uint32_t end = static_cast<uint32_t>(static_cast<uint64_t>(n) * (w + 1) / workers);
-    deques[w].range.store(packRange(begin, end), std::memory_order_relaxed);
-  }
-
+/// One dispatched super-block, living on the submitting thread's stack
+/// for the duration of the dispatch. Workers claim a lane id, drain the
+/// deques, and report back through `active`.
+struct Job {
+  WorkerRange* deques = nullptr;
+  void (*range)(void*, size_t, size_t) = nullptr;
+  void* ctx = nullptr;
+  size_t base = 0;
+  uint32_t chunk = 1;
+  size_t workers = 1;
   std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  size_t claims_remaining = 0;  ///< worker ids left to hand out (guarded by pool mutex)
+  size_t active = 0;            ///< pool workers currently inside the job (pool mutex)
+};
 
-  auto work = [&](size_t self) {
-    RegionGuard guard;
-    while (!cancelled.load(std::memory_order_relaxed)) {
-      // Pop a chunk from the front of our own range.
-      uint32_t begin = 0, end = 0;
-      bool got = false;
-      uint64_t cur = deques[self].range.load(std::memory_order_acquire);
-      while (rangeBegin(cur) < rangeEnd(cur)) {
-        const uint32_t b = rangeBegin(cur);
-        const uint32_t e = rangeEnd(cur);
-        const uint32_t take = std::min(chunk, e - b);
-        if (deques[self].range.compare_exchange_weak(cur, packRange(b + take, e),
-                                                     std::memory_order_acq_rel)) {
-          begin = b;
-          end = b + take;
-          got = true;
-          break;
-        }
-      }
-      if (!got) {
-        // Own range drained: steal the back half of the first victim
-        // that still has work, install it as our own range, and go pop
-        // from it normally (so others can steal from us in turn).
-        // Ranges only ever shrink or move, so one full scan finding
-        // everyone empty means the block is done.
-        bool stole = false;
-        for (size_t k = 1; k < workers && !stole; ++k) {
-          const size_t victim = (self + k) % workers;
-          uint64_t vc = deques[victim].range.load(std::memory_order_acquire);
-          while (rangeBegin(vc) < rangeEnd(vc)) {
-            const uint32_t b = rangeBegin(vc);
-            const uint32_t e = rangeEnd(vc);
-            const uint32_t take = (e - b + 1) / 2;
-            if (deques[victim].range.compare_exchange_weak(vc, packRange(b, e - take),
-                                                           std::memory_order_acq_rel)) {
-              deques[self].range.store(packRange(e - take, e), std::memory_order_release);
-              stole = true;
-              break;
-            }
-          }
-        }
-        if (!stole) return;
-        continue;
-      }
-      try {
-        range(ctx, base + begin, base + end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        cancelled.store(true, std::memory_order_relaxed);
+/// The work loop one participant (caller or pool worker) runs over a
+/// job: pop chunks from its own deque, steal the back half of a victim
+/// when drained, stop when one full scan finds every deque empty.
+void drainJob(Job& job, size_t self) {
+  RegionGuard guard;
+  WorkerRange* deques = job.deques;
+  const size_t workers = job.workers;
+  const uint32_t chunk = job.chunk;
+  while (!job.cancelled.load(std::memory_order_relaxed)) {
+    uint32_t begin = 0, end = 0;
+    bool got = false;
+    uint64_t cur = deques[self].range.load(std::memory_order_acquire);
+    while (rangeBegin(cur) < rangeEnd(cur)) {
+      const uint32_t b = rangeBegin(cur);
+      const uint32_t e = rangeEnd(cur);
+      const uint32_t take = std::min(chunk, e - b);
+      if (deques[self].range.compare_exchange_weak(cur, packRange(b + take, e),
+                                                   std::memory_order_acq_rel)) {
+        begin = b;
+        end = b + take;
+        got = true;
+        break;
       }
     }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 1; t < workers; ++t) threads.emplace_back(work, t);
-  work(0);
-  for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+    if (!got) {
+      // Own range drained: steal the back half of the first victim
+      // that still has work, install it as our own range, and go pop
+      // from it normally (so others can steal from us in turn).
+      // Ranges only ever shrink or move, so one full scan finding
+      // everyone empty means the block is done.
+      bool stole = false;
+      for (size_t k = 1; k < workers && !stole; ++k) {
+        const size_t victim = (self + k) % workers;
+        uint64_t vc = deques[victim].range.load(std::memory_order_acquire);
+        while (rangeBegin(vc) < rangeEnd(vc)) {
+          const uint32_t b = rangeBegin(vc);
+          const uint32_t e = rangeEnd(vc);
+          const uint32_t take = (e - b + 1) / 2;
+          if (deques[victim].range.compare_exchange_weak(vc, packRange(b, e - take),
+                                                         std::memory_order_acq_rel)) {
+            deques[self].range.store(packRange(e - take, e), std::memory_order_release);
+            stole = true;
+            break;
+          }
+        }
+      }
+      if (!stole) return;
+      continue;
+    }
+    try {
+      job.range(job.ctx, job.base + begin, job.base + end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.first_error) job.first_error = std::current_exception();
+      job.cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
 }
+
+/// Persistent parked-worker pool. Spawning and joining fresh
+/// std::threads per dispatch costs ~1 ms — ruinous for callers that
+/// dispatch per Newton iteration (the sharded assembler). Workers are
+/// created lazily up to the largest width ever requested, park on a
+/// condition variable between jobs, and claim lane ids from the current
+/// job when woken. Concurrent top-level dispatches from different
+/// threads serialize on submit_mutex_ (nested dispatches from inside a
+/// worker never reach the pool — they run inline via the region guard).
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void run(size_t base, uint32_t n, uint32_t chunk, size_t workers,
+           void (*range)(void*, size_t, size_t), void* ctx) {
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+
+    std::vector<WorkerRange> deques(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      const uint32_t begin = static_cast<uint32_t>(static_cast<uint64_t>(n) * w / workers);
+      const uint32_t end = static_cast<uint32_t>(static_cast<uint64_t>(n) * (w + 1) / workers);
+      deques[w].range.store(packRange(begin, end), std::memory_order_relaxed);
+    }
+
+    Job job;
+    job.deques = deques.data();
+    job.range = range;
+    job.ctx = ctx;
+    job.base = base;
+    job.chunk = chunk;
+    job.workers = workers;
+    job.claims_remaining = workers - 1;
+
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      while (threads_.size() < workers - 1) {
+        threads_.emplace_back([this] { workerLoop(); });
+      }
+      job_ = &job;
+      cv_.notify_all();
+    }
+
+    // The caller is participant 0.
+    drainJob(job, 0);
+
+    // Close the job to further claims, then wait out workers still
+    // inside it (they exit promptly once the deques are dry).
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      job_ = nullptr;
+      done_cv_.wait(lock, [&] { return job.active == 0; });
+    }
+    if (job.first_error) std::rethrow_exception(job.first_error);
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      shutdown_ = true;
+      cv_.notify_all();
+    }
+    for (auto& th : threads_) th.join();
+  }
+
+ private:
+  void workerLoop() {
+    while (true) {
+      Job* job = nullptr;
+      size_t self = 0;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && job_->claims_remaining > 0);
+        });
+        if (shutdown_) return;
+        job = job_;
+        self = job->workers - job->claims_remaining;  // lane ids 1..workers-1
+        --job->claims_remaining;
+        ++job->active;
+      }
+      drainJob(*job, self);
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        if (--job->active == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;  ///< serializes top-level dispatches
+  std::mutex m_;             ///< guards job_ / claims / active / threads_
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace
 
@@ -124,7 +222,7 @@ int parallelThreadCount() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-const char* parallelSchedulerName() { return "chunked-work-stealing"; }
+const char* parallelSchedulerName() { return "chunked-work-stealing-pooled"; }
 
 size_t parallelAutoChunk(size_t count, size_t workers) {
   if (workers == 0) workers = 1;
@@ -155,8 +253,8 @@ void parallelForRanges(size_t count, size_t chunk, int num_threads,
   constexpr size_t kSuperBlock = size_t{1} << 31;
   for (size_t base = 0; base < count; base += kSuperBlock) {
     const uint32_t n = static_cast<uint32_t>(std::min(kSuperBlock, count - base));
-    runBlock(base, n, static_cast<uint32_t>(chunk), std::min(workers, static_cast<size_t>(n)),
-             range, ctx);
+    WorkerPool::instance().run(base, n, static_cast<uint32_t>(chunk),
+                               std::min(workers, static_cast<size_t>(n)), range, ctx);
   }
 }
 

@@ -65,7 +65,9 @@ void Assembler::assemble(MnaSystem& system, const Circuit& circuit, const EvalCo
     recordTape(tape, stamper, system, circuit, ctx);
   } else {
     ++replays_;
-    stamper.startReplay(tape);
+    // Stored op values only feed replayStored (bypass); with bypass off
+    // the replay loop stays read-only over the tape.
+    stamper.startReplay(tape, /*store_values=*/options.enable_bypass);
     const bool bypass_active = options.enable_bypass && options.allow_bypass_now;
     // Terminal-voltage tracking is bypass bookkeeping. While bypass is
     // disabled the snapshots are left stale — harmless, because the

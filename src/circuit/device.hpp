@@ -199,6 +199,16 @@ class Device {
     (void)state;
   }
 
+  /// Lane-aware breakpoint collection: devices whose lane state carries
+  /// per-lane waveforms (parameter lanes) append the union of every
+  /// lane's corner times, so the lockstep transient never steps over
+  /// any lane's input edge. Defaults to the scalar breakpoints.
+  virtual void collectLaneBreakpoints(double t_stop, const DeviceLaneState* state,
+                                      std::vector<double>& times) const {
+    (void)state;
+    collectBreakpoints(t_stop, times);
+  }
+
   /// Terminals (for netlist export and current probes).
   virtual size_t terminalCount() const = 0;
   virtual NodeId terminalNode(size_t t) const = 0;

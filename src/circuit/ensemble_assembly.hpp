@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "circuit/assembly.hpp"
 #include "circuit/circuit.hpp"
 #include "circuit/device.hpp"
 #include "circuit/mna.hpp"
@@ -57,20 +58,37 @@ class EnsembleSystem {
 };
 
 /// Recorded lane-stamp sequence for one (system, topology revision,
-/// analysis mode). Stores resolved TapeOps only — values always come
-/// from the device at replay time (the ensemble engine has no bypass).
+/// analysis mode). Besides the resolved TapeOps it keeps the bypass
+/// bookkeeping of the scalar AssemblyTape, widened to lane stride:
+/// per-device op/terminal spans, each op's last fully-evaluated
+/// double[lanes] value run, and per-terminal double[lanes] voltage
+/// snapshots — enough to re-apply a quiet device's contribution
+/// without re-evaluating its model in any lane.
 class LaneTape {
  public:
+  /// Per-device slice of the tape (indexed by circuit device order).
+  struct Span {
+    uint32_t op_begin = 0;
+    uint32_t op_end = 0;
+    uint32_t volt_begin = 0;
+    uint32_t volt_end = 0;
+  };
+
   bool matches(const void* system_key, uint64_t revision, size_t device_count) const {
     return recorded_ && system_key_ == system_key && revision_ == revision &&
            device_count_ == device_count;
   }
-  void beginRecording(const void* system_key, uint64_t revision, size_t device_count) {
+  void beginRecording(const void* system_key, uint64_t revision, size_t device_count,
+                      size_t lanes) {
     ops_.clear();
+    op_values_.clear();
+    spans_.clear();
+    v_last_.clear();
     gmin_handles_.clear();
     system_key_ = system_key;
     revision_ = revision;
     device_count_ = device_count;
+    lanes_ = lanes;
     recorded_ = false;
   }
   void finishRecording(LaneMatrix& matrix, size_t num_nodes) {
@@ -78,17 +96,44 @@ class LaneTape {
     for (size_t n = 0; n < num_nodes; ++n) gmin_handles_[n] = matrix.entryHandle(n, n);
     recorded_ = true;
   }
-  void pushOp(const TapeOp& op) { ops_.push_back(op); }
+  void beginDevice() {
+    current_.op_begin = static_cast<uint32_t>(ops_.size());
+    current_.volt_begin = static_cast<uint32_t>(v_last_.size() / lanes_);
+  }
+  void endDevice() {
+    current_.op_end = static_cast<uint32_t>(ops_.size());
+    current_.volt_end = static_cast<uint32_t>(v_last_.size() / lanes_);
+    spans_.push_back(current_);
+  }
+  /// Snapshot one terminal's double[lanes] voltage run.
+  void recordTerminalVoltages(const double* v) { v_last_.insert(v_last_.end(), v, v + lanes_); }
+  void pushOp(const TapeOp& op) {
+    ops_.push_back(op);
+    op_values_.resize(op_values_.size() + lanes_, 0.0);
+  }
   size_t opCount() const { return ops_.size(); }
+  size_t lanes() const { return lanes_; }
   const TapeOp& op(size_t i) const { return ops_[i]; }
+  const Span& span(size_t device) const { return spans_[device]; }
+  /// Op i's effective per-lane values as of the last full evaluation.
+  double* opLanes(size_t i) { return op_values_.data() + i * lanes_; }
+  const double* opLanes(size_t i) const { return op_values_.data() + i * lanes_; }
+  /// Terminal snapshot k's double[lanes] run (k in a device's volt span).
+  double* vLast(size_t k) { return v_last_.data() + k * lanes_; }
+  const double* vLast(size_t k) const { return v_last_.data() + k * lanes_; }
   const std::vector<size_t>& gminHandles() const { return gmin_handles_; }
 
  private:
   std::vector<TapeOp> ops_;
+  std::vector<double> op_values_;  ///< opCount * lanes effective values
+  std::vector<Span> spans_;        ///< one per device, circuit order
+  std::vector<double> v_last_;     ///< terminal snapshots * lanes
+  Span current_{};
   std::vector<size_t> gmin_handles_;
   const void* system_key_ = nullptr;
   uint64_t revision_ = 0;
   size_t device_count_ = 0;
+  size_t lanes_ = 1;
   bool recorded_ = false;
 };
 
@@ -105,6 +150,7 @@ class LaneStamper {
   void conductanceUniform(NodeId a, NodeId b, double g);
   void currentSource(NodeId a, NodeId b, const double* i);
   void currentSourceUniform(NodeId a, NodeId b, double i);
+  void voltageBranch(size_t branch_index, NodeId plus, NodeId minus, const double* v_values);
   void voltageBranchUniform(size_t branch_index, NodeId plus, NodeId minus, double v_value);
   /// Raw entry accumulation: value[l] * scale into (row, col) lane l.
   void addMatrix(int row, int col, const double* value, double scale = 1.0);
@@ -118,7 +164,15 @@ class LaneStamper {
 
   // --- tape protocol (driven by the EnsembleAssembler) ---------------
   void startRecording(LaneTape& tape);
-  void startReplay(LaneTape& tape);
+  /// store_values mirrors the per-lane effective value of every replayed
+  /// op into the tape — required whenever replayStored may later re-apply
+  /// them (bypass), pure overhead otherwise.
+  void startReplay(LaneTape& tape, bool store_values = false);
+  /// Jump the replay cursor to an absolute op index (bypass skips).
+  void seek(size_t op_index) { cursor_ = op_index; }
+  /// Re-apply ops [op_begin, op_end) from their stored per-lane values
+  /// (no device evaluation) and leave the cursor at op_end.
+  void replayStored(size_t op_begin, size_t op_end);
   size_t cursor() const { return cursor_; }
 
  private:
@@ -127,14 +181,20 @@ class LaneStamper {
   /// m[0..1] += v, m[2..3] -= v (per lane; scale applied).
   void applyConductance(const TapeOp& op, const double* g, double uniform, double scale);
   void applyCurrentSource(const TapeOp& op, const double* i, double uniform, double scale);
-  void applyVoltageBranch(const TapeOp& op, double v_value);
+  void applyVoltageBranch(const TapeOp& op, const double* v, double uniform);
   void applyMatrix(const TapeOp& op, const double* v, double uniform, double scale);
   void applyRhs(const TapeOp& op, const double* v, double uniform, double scale);
   const TapeOp& nextOp(TapeOp::Kind kind);
+  /// Write op_index's effective per-lane values (scale * v[l], or the
+  /// broadcast scale * uniform) into the tape and return the slot.
+  const double* fillSlot(size_t op_index, const double* v, double uniform, double scale);
+  /// True when this stamp call must mirror values into the tape.
+  bool storing() const { return mode_ == Mode::Record || store_values_; }
 
   EnsembleSystem& sys_;
   LaneTape* tape_ = nullptr;
   Mode mode_ = Mode::Direct;
+  bool store_values_ = false;
   size_t cursor_ = 0;
 };
 
@@ -142,13 +202,24 @@ class LaneStamper {
 /// lane context: lane-capable devices through the LaneStamper (with
 /// per-mode record/replay tapes), the rest through the per-lane scalar
 /// fallback. Adds ctx.gmin on every node diagonal (all lanes).
+///
+/// With AssemblyOptions bypass enabled, a replay skips the model
+/// evaluation of any bypass-capable device whose terminal voltages
+/// moved at most bypass_tol in EVERY lane since its last full
+/// linearization, re-applying its stored per-lane op values instead —
+/// the scalar Assembler's bypass fast path, lane-widened.
 class EnsembleAssembler {
  public:
   EnsembleAssembler(const Circuit& circuit, EnsembleSystem& system);
 
   /// states[i] belongs to circuit.devices()[i] (null for devices
   /// without lane support).
-  void assemble(const LaneContext& ctx, const std::vector<DeviceLaneState*>& states);
+  void assemble(const LaneContext& ctx, const std::vector<DeviceLaneState*>& states,
+                const AssemblyOptions& options = {});
+
+  /// Devices whose model evaluation was skipped by bypass (all lanes
+  /// quiet), summed over every replay.
+  size_t bypassedEvaluations() const { return bypassed_; }
 
  private:
   void assembleGeneric(Device& dev, const LaneContext& ctx);
@@ -160,6 +231,7 @@ class EnsembleAssembler {
   MnaSystem scratch_;               // per-lane scalar fallback target
   std::vector<size_t> scratch_map_;  // scratch matrix handle -> ensemble handle
   std::vector<double> x_lane_;       // gathered AoS unknowns of one lane
+  size_t bypassed_ = 0;
 };
 
 }  // namespace vls

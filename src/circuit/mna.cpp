@@ -105,9 +105,10 @@ void Stamper::startRecording(AssemblyTape& tape) {
   cursor_ = 0;
 }
 
-void Stamper::startReplay(AssemblyTape& tape) {
+void Stamper::startReplay(AssemblyTape& tape, bool store_values) {
   tape_ = &tape;
   mode_ = Mode::Replay;
+  store_values_ = store_values;
   cursor_ = 0;
 }
 
@@ -133,7 +134,11 @@ void Stamper::replayOp(TapeOp::Kind kind, double value) {
   if (cursor_ >= tape_->opCount()) tapeDivergence();
   const TapeOp& op = tape_->op(cursor_);
   if (op.kind != kind) tapeDivergence();
-  tape_->setOpValue(cursor_, value);
+  // Storing the scalar back into the tape only serves the bypass path
+  // (replayStored) — skipping the store when bypass is off keeps the
+  // replay inner loop read-only over the tape (satellite benefit on
+  // small circuits, where the store is a measurable share of replay).
+  if (mode_ == Mode::Capture || store_values_) tape_->setOpValue(cursor_, value);
   ++cursor_;
   if (mode_ == Mode::Capture) return;  // values applied by a later pass
   applyTapeOp(op, value, sys_.matrix(), sys_.rhs());

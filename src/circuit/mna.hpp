@@ -172,8 +172,11 @@ class Stamper {
   /// appends a TapeOp to `tape` while writing through.
   void startRecording(AssemblyTape& tape);
   /// Switch to replay mode: calls consume ops from `tape` at the
-  /// cursor instead of resolving coordinates.
-  void startReplay(AssemblyTape& tape);
+  /// cursor instead of resolving coordinates. `store_values` writes
+  /// each replayed scalar back into the tape — required whenever the
+  /// bypass path may later replayStored() them, pure overhead
+  /// otherwise.
+  void startReplay(AssemblyTape& tape, bool store_values = true);
   /// Switch to capture mode: calls consume ops from `tape` like replay
   /// but only update the stored op scalars — nothing is written to the
   /// matrix or RHS. Safe to run concurrently on disjoint device spans.
@@ -192,6 +195,7 @@ class Stamper {
   MnaSystem& sys_;
   AssemblyTape* tape_ = nullptr;
   Mode mode_ = Mode::Direct;
+  bool store_values_ = true;
   size_t cursor_ = 0;
 };
 

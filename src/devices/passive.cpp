@@ -8,16 +8,6 @@
 
 namespace vls {
 
-namespace {
-
-/// Per-lane charge history of a linear capacitor.
-struct CapacitorLaneState : DeviceLaneState {
-  explicit CapacitorLaneState(size_t n) : q(n, 0.0), i(n, 0.0) {}
-  std::vector<double> q, i;
-};
-
-}  // namespace
-
 Resistor::Resistor(std::string name, NodeId a, NodeId b, double resistance)
     : Device(std::move(name)), a_(a), b_(b), resistance_(resistance) {
   if (resistance <= 0.0) throw InvalidInputError("Resistor " + this->name() + ": R must be > 0");
@@ -59,6 +49,11 @@ Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double capacitance,
   if (capacitance <= 0.0) throw InvalidInputError("Capacitor " + this->name() + ": C must be > 0");
 }
 
+void Capacitor::setCapacitance(double c) {
+  if (c <= 0.0) throw InvalidInputError("Capacitor " + name() + ": C must be > 0");
+  capacitance_ = c;
+}
+
 void Capacitor::stamp(Stamper& stamper, const EvalContext& ctx) {
   if (ctx.method == IntegrationMethod::None) {
     // DC: open circuit. A tiny conductance keeps otherwise-floating
@@ -88,7 +83,7 @@ void Capacitor::acceptStep(const EvalContext& ctx) {
 }
 
 std::unique_ptr<DeviceLaneState> Capacitor::createLaneState(size_t lanes) const {
-  return std::make_unique<CapacitorLaneState>(lanes);
+  return std::make_unique<CapacitorLaneState>(lanes, capacitance_);
 }
 
 void Capacitor::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
@@ -99,15 +94,16 @@ void Capacitor::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
   const double* vb = ctx.v(b_);
   const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
   const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
-  const double geq = k_g * capacitance_;
+  double geq[kMaxLanes] = {};
   double ieq[kMaxLanes] = {};
   for (size_t l = 0; l < ctx.lanes; ++l) {
     const double v = va[l] - vb[l];
-    const double q = capacitance_ * v;
+    const double q = st.cap[l] * v;
+    geq[l] = k_g * st.cap[l];
     const double i_now = k_g * (q - st.q[l]) - tr * st.i[l];
-    ieq[l] = i_now - geq * v;
+    ieq[l] = i_now - geq[l] * v;
   }
-  stamper.conductanceUniform(a_, b_, geq);
+  stamper.conductance(a_, b_, geq);
   stamper.currentSource(a_, b_, ieq);
 }
 
@@ -117,7 +113,7 @@ void Capacitor::startTransientLanes(const LaneContext& ctx, DeviceLaneState* sta
   const double* vb = ctx.v(b_);
   for (size_t l = 0; l < ctx.lanes; ++l) {
     const double v = use_ic_ ? initial_voltage_ : va[l] - vb[l];
-    st.q[l] = capacitance_ * v;
+    st.q[l] = st.cap[l] * v;
     st.i[l] = 0.0;
   }
 }
@@ -129,7 +125,7 @@ void Capacitor::acceptStepLanes(const LaneContext& ctx, DeviceLaneState* state) 
   const double k_g = (ctx.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0) / ctx.dt;
   const double tr = ctx.method == IntegrationMethod::Trapezoidal ? 1.0 : 0.0;
   for (size_t l = 0; l < ctx.lanes; ++l) {
-    const double q = capacitance_ * (va[l] - vb[l]);
+    const double q = st.cap[l] * (va[l] - vb[l]);
     st.i[l] = k_g * (q - st.q[l]) - tr * st.i[l];
     st.q[l] = q;
   }

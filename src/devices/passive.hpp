@@ -8,6 +8,19 @@
 
 namespace vls {
 
+/// Per-lane charge history of a linear capacitor, plus an optional
+/// per-lane capacitance override (*parameter* lanes: e.g. one output
+/// load per characterization grid point). Lanes default to the
+/// device's own C, so an ensemble without overrides stamps
+/// bit-identically to the lane-invariant path.
+struct CapacitorLaneState : DeviceLaneState {
+  CapacitorLaneState(size_t n, double c) : q(n, 0.0), i(n, 0.0), cap(n, c) {}
+
+  void setCapacitance(size_t lane, double c) { cap[lane] = c; }
+
+  std::vector<double> q, i, cap;
+};
+
 class Resistor : public Device {
  public:
   Resistor(std::string name, NodeId a, NodeId b, double resistance);
@@ -51,6 +64,9 @@ class Capacitor : public Device {
   double terminalCurrent(size_t t, const EvalContext& ctx) const override;
 
   double capacitance() const { return capacitance_; }
+  /// Replace the capacitance (characterization load sweeps). Only valid
+  /// between simulations: the charge history is in C*V units.
+  void setCapacitance(double c);
 
  private:
   NodeId a_;

@@ -5,6 +5,7 @@
 #include "base/error.hpp"
 #include "circuit/ensemble_assembly.hpp"
 #include "circuit/mna.hpp"
+#include "numeric/lanes.hpp"
 
 namespace vls {
 
@@ -19,12 +20,26 @@ void VoltageSource::stamp(Stamper& stamper, const EvalContext& ctx) {
   stamper.voltageBranch(branch_, plus_, minus_, v);
 }
 
+std::unique_ptr<DeviceLaneState> VoltageSource::createLaneState(size_t lanes) const {
+  return std::make_unique<SourceLaneState>(lanes);
+}
+
 void VoltageSource::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
-                               DeviceLaneState*) {
-  // Sources are lane-invariant: the same drive waveform excites every
-  // Monte-Carlo variant.
-  const double v = waveform_.at(ctx.time) * ctx.source_scale;
-  stamper.voltageBranchUniform(branch_, plus_, minus_, v);
+                               DeviceLaneState* state) {
+  const auto* st = static_cast<const SourceLaneState*>(state);
+  if (st == nullptr || !st->any_override) {
+    // No parameter lanes installed: the same drive waveform excites
+    // every variant (the Monte-Carlo case).
+    const double v = waveform_.at(ctx.time) * ctx.source_scale;
+    stamper.voltageBranchUniform(branch_, plus_, minus_, v);
+    return;
+  }
+  double v[kMaxLanes];
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const Waveform& w = st->has_override[l] ? st->wave[l] : waveform_;
+    v[l] = w.at(ctx.time) * ctx.source_scale;
+  }
+  stamper.voltageBranch(branch_, plus_, minus_, v);
 }
 
 double VoltageSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
@@ -34,6 +49,18 @@ double VoltageSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
 
 void VoltageSource::collectBreakpoints(double t_stop, std::vector<double>& times) const {
   waveform_.collectBreakpoints(t_stop, times);
+}
+
+void VoltageSource::collectLaneBreakpoints(double t_stop, const DeviceLaneState* state,
+                                           std::vector<double>& times) const {
+  const auto* st = static_cast<const SourceLaneState*>(state);
+  if (st == nullptr || !st->any_override) {
+    collectBreakpoints(t_stop, times);
+    return;
+  }
+  for (size_t l = 0; l < st->wave.size(); ++l) {
+    (st->has_override[l] ? st->wave[l] : waveform_).collectBreakpoints(t_stop, times);
+  }
 }
 
 void VoltageSource::stampAcSource(std::vector<double>& rhs_real) const {
@@ -50,9 +77,23 @@ void CurrentSource::stamp(Stamper& stamper, const EvalContext& ctx) {
   stamper.currentSource(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
 }
 
+std::unique_ptr<DeviceLaneState> CurrentSource::createLaneState(size_t lanes) const {
+  return std::make_unique<SourceLaneState>(lanes);
+}
+
 void CurrentSource::stampLanes(LaneStamper& stamper, const LaneContext& ctx,
-                               DeviceLaneState*) {
-  stamper.currentSourceUniform(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
+                               DeviceLaneState* state) {
+  const auto* st = static_cast<const SourceLaneState*>(state);
+  if (st == nullptr || !st->any_override) {
+    stamper.currentSourceUniform(plus_, minus_, waveform_.at(ctx.time) * ctx.source_scale);
+    return;
+  }
+  double i[kMaxLanes];
+  for (size_t l = 0; l < ctx.lanes; ++l) {
+    const Waveform& w = st->has_override[l] ? st->wave[l] : waveform_;
+    i[l] = w.at(ctx.time) * ctx.source_scale;
+  }
+  stamper.currentSource(plus_, minus_, i);
 }
 
 double CurrentSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
@@ -62,6 +103,18 @@ double CurrentSource::terminalCurrent(size_t t, const EvalContext& ctx) const {
 
 void CurrentSource::collectBreakpoints(double t_stop, std::vector<double>& times) const {
   waveform_.collectBreakpoints(t_stop, times);
+}
+
+void CurrentSource::collectLaneBreakpoints(double t_stop, const DeviceLaneState* state,
+                                           std::vector<double>& times) const {
+  const auto* st = static_cast<const SourceLaneState*>(state);
+  if (st == nullptr || !st->any_override) {
+    collectBreakpoints(t_stop, times);
+    return;
+  }
+  for (size_t l = 0; l < st->wave.size(); ++l) {
+    (st->has_override[l] ? st->wave[l] : waveform_).collectBreakpoints(t_stop, times);
+  }
 }
 
 Vcvs::Vcvs(std::string name, NodeId plus, NodeId minus, NodeId ctrl_plus, NodeId ctrl_minus,

@@ -6,6 +6,27 @@
 
 namespace vls {
 
+/// Per-lane waveform overrides of an independent source — *parameter*
+/// lanes, as opposed to the Monte-Carlo *variation* lanes carried by
+/// device geometry states: every lane excites the same topology with
+/// its own drive waveform (e.g. one input-slew grid point per lane in
+/// the characterization farm). Lanes without an override keep the
+/// device's own waveform, so an ensemble with no overrides installed
+/// stamps bit-identically to the lane-invariant path.
+struct SourceLaneState : DeviceLaneState {
+  explicit SourceLaneState(size_t n) : wave(n), has_override(n, 0) {}
+
+  void setWaveform(size_t lane, Waveform w) {
+    wave[lane] = std::move(w);
+    has_override[lane] = 1;
+    any_override = true;
+  }
+
+  std::vector<Waveform> wave;
+  std::vector<uint8_t> has_override;
+  bool any_override = false;
+};
+
 /// Independent voltage source (MNA branch element). Participates in
 /// source-stepping homotopy: its value scales with ctx.source_scale.
 class VoltageSource : public Device {
@@ -17,6 +38,7 @@ class VoltageSource : public Device {
   void assignBranches(size_t first_index) override { branch_ = first_index; }
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   bool supportsLanes() const override { return true; }
+  std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const override;
   void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
                   DeviceLaneState* state) override;
   size_t terminalCount() const override { return 2; }
@@ -24,6 +46,8 @@ class VoltageSource : public Device {
   /// Current into the + terminal; -current() is the delivered current.
   double terminalCurrent(size_t t, const EvalContext& ctx) const override;
   void collectBreakpoints(double t_stop, std::vector<double>& times) const override;
+  void collectLaneBreakpoints(double t_stop, const DeviceLaneState* state,
+                              std::vector<double>& times) const override;
 
   const Waveform& waveform() const { return waveform_; }
   void setWaveform(Waveform w) { waveform_ = std::move(w); }
@@ -55,12 +79,15 @@ class CurrentSource : public Device {
 
   void stamp(Stamper& stamper, const EvalContext& ctx) override;
   bool supportsLanes() const override { return true; }
+  std::unique_ptr<DeviceLaneState> createLaneState(size_t lanes) const override;
   void stampLanes(LaneStamper& stamper, const LaneContext& ctx,
                   DeviceLaneState* state) override;
   size_t terminalCount() const override { return 2; }
   NodeId terminalNode(size_t t) const override { return t == 0 ? plus_ : minus_; }
   double terminalCurrent(size_t t, const EvalContext& ctx) const override;
   void collectBreakpoints(double t_stop, std::vector<double>& times) const override;
+  void collectLaneBreakpoints(double t_stop, const DeviceLaneState* state,
+                              std::vector<double>& times) const override;
 
   const Waveform& waveform() const { return waveform_; }
 

@@ -1,0 +1,269 @@
+#include "io/liberty_validate.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace vls {
+namespace {
+
+/// Group keywords that carry an NLDM values matrix.
+bool isTableKeyword(const std::string& kw) {
+  return kw == "cell_rise" || kw == "cell_fall" || kw == "rise_transition" ||
+         kw == "fall_transition" || kw == "rise_power" || kw == "fall_power";
+}
+
+std::string trim(const std::string& s) {
+  size_t a = 0;
+  size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+/// First identifier of a statement ("cell_rise (tmpl)" -> "cell_rise").
+std::string keywordOf(const std::string& stmt) {
+  size_t i = 0;
+  while (i < stmt.size() &&
+         (std::isalnum(static_cast<unsigned char>(stmt[i])) || stmt[i] == '_')) {
+    ++i;
+  }
+  return stmt.substr(0, i);
+}
+
+/// The parenthesized argument of a statement ("cell (foo)" -> "foo").
+std::string argOf(const std::string& stmt) {
+  const size_t open = stmt.find('(');
+  if (open == std::string::npos) return "";
+  const size_t close = stmt.rfind(')');
+  if (close == std::string::npos || close < open) return "";
+  return trim(stmt.substr(open + 1, close - open - 1));
+}
+
+/// Every double-quoted string in the statement, in order.
+std::vector<std::string> quotedStrings(const std::string& stmt) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (true) {
+    const size_t a = stmt.find('"', i);
+    if (a == std::string::npos) break;
+    const size_t b = stmt.find('"', a + 1);
+    if (b == std::string::npos) break;
+    out.push_back(stmt.substr(a + 1, b - a - 1));
+    i = b + 1;
+  }
+  return out;
+}
+
+/// Comma/whitespace-separated doubles; sets ok=false on a parse error.
+std::vector<double> parseNumbers(const std::string& s, bool* ok) {
+  std::vector<double> out;
+  std::string cleaned = s;
+  for (char& ch : cleaned) {
+    if (ch == ',') ch = ' ';
+  }
+  std::istringstream is(cleaned);
+  double v = 0.0;
+  while (is >> v) out.push_back(v);
+  if (!is.eof()) *ok = false;
+  return out;
+}
+
+/// One open group on the parse stack.
+struct Group {
+  std::string keyword;
+  std::string arg;
+  size_t line = 0;
+  // Table payload (filled while the group is open).
+  std::vector<double> index_1;
+  std::vector<double> index_2;
+  std::vector<std::vector<double>> value_rows;
+  bool has_values = false;
+};
+
+}  // namespace
+
+std::string LibertyValidation::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "ok, " << cell_count << " cells, " << table_count << " tables, " << template_count
+       << " templates";
+  } else {
+    os << issues.size() << " issue(s); first: line " << issues.front().line << ": "
+       << issues.front().message;
+  }
+  return os.str();
+}
+
+LibertyValidation validateLiberty(const std::string& text) {
+  LibertyValidation result;
+  auto issue = [&](size_t line, const std::string& message) {
+    result.issues.push_back({line, message});
+  };
+
+  // Template name -> (index_1 size, index_2 size).
+  std::map<std::string, std::pair<size_t, size_t>> templates;
+  std::vector<Group> stack;
+
+  auto checkMonotone = [&](const std::vector<double>& xs, const char* which, size_t line) {
+    for (size_t i = 1; i < xs.size(); ++i) {
+      if (!(xs[i] > xs[i - 1])) {
+        issue(line, std::string(which) + " is not strictly increasing");
+        return;
+      }
+    }
+  };
+
+  auto closeGroup = [&](const Group& g, size_t line) {
+    if (g.keyword == "lu_table_template") {
+      ++result.template_count;
+      if (g.arg.empty()) issue(g.line, "lu_table_template without a name");
+      checkMonotone(g.index_1, "template index_1", g.line);
+      checkMonotone(g.index_2, "template index_2", g.line);
+      templates[g.arg] = {g.index_1.size(), g.index_2.size()};
+      return;
+    }
+    if (!isTableKeyword(g.keyword)) return;
+    ++result.table_count;
+    const std::string where = g.keyword + " at line " + std::to_string(g.line);
+    if (!g.has_values) {
+      issue(g.line, g.keyword + " has no values group");
+      return;
+    }
+    if (g.arg == "scalar") {
+      if (g.value_rows.size() != 1 || g.value_rows[0].size() != 1) {
+        issue(g.line, g.keyword + " (scalar) must hold exactly one value");
+      }
+      return;
+    }
+    size_t n1 = g.index_1.size();
+    size_t n2 = g.index_2.size();
+    auto tmpl = templates.find(g.arg);
+    if (tmpl == templates.end()) {
+      issue(g.line, g.keyword + " references unknown template '" + g.arg + "'");
+    } else {
+      if (n1 == 0) n1 = tmpl->second.first;
+      if (n2 == 0) n2 = tmpl->second.second;
+      if ((g.index_1.size() && g.index_1.size() != tmpl->second.first) ||
+          (g.index_2.size() && g.index_2.size() != tmpl->second.second)) {
+        issue(g.line, g.keyword + " index sizes disagree with template '" + g.arg + "'");
+      }
+    }
+    checkMonotone(g.index_1, "index_1", g.line);
+    checkMonotone(g.index_2, "index_2", g.line);
+    if (g.value_rows.size() != n1) {
+      issue(g.line, g.keyword + " has " + std::to_string(g.value_rows.size()) +
+                        " value rows, expected " + std::to_string(n1));
+      return;
+    }
+    for (size_t r = 0; r < g.value_rows.size(); ++r) {
+      if (g.value_rows[r].size() != n2) {
+        issue(g.line, g.keyword + " row " + std::to_string(r) + " has " +
+                          std::to_string(g.value_rows[r].size()) + " values, expected " +
+                          std::to_string(n2));
+        return;
+      }
+    }
+    (void)line;
+  };
+
+  auto handleStatement = [&](const std::string& raw, size_t line) {
+    const std::string stmt = trim(raw);
+    if (stmt.empty()) return;
+    const std::string kw = keywordOf(stmt);
+    if (stack.empty() || (kw != "index_1" && kw != "index_2" && kw != "values")) return;
+    Group& g = stack.back();
+    if (!isTableKeyword(g.keyword) && g.keyword != "lu_table_template") return;
+    bool parse_ok = true;
+    if (kw == "index_1" || kw == "index_2") {
+      const std::vector<std::string> qs = quotedStrings(stmt);
+      if (qs.size() != 1) {
+        issue(line, kw + " must hold exactly one quoted list");
+        return;
+      }
+      std::vector<double> xs = parseNumbers(qs[0], &parse_ok);
+      if (!parse_ok || xs.empty()) {
+        issue(line, kw + " holds no parseable numbers");
+        return;
+      }
+      (kw == "index_1" ? g.index_1 : g.index_2) = std::move(xs);
+    } else {  // values
+      g.has_values = true;
+      for (const std::string& q : quotedStrings(stmt)) {
+        std::vector<double> row = parseNumbers(q, &parse_ok);
+        if (!parse_ok) {
+          issue(line, "values row holds unparseable numbers");
+          return;
+        }
+        g.value_rows.push_back(std::move(row));
+      }
+      if (g.value_rows.empty()) issue(line, "values group holds no rows");
+    }
+  };
+
+  // Statement scanner: accumulate text until '{', '}' or ';' (outside
+  // quotes and /* */ comments), tracking line numbers.
+  std::string stmt;
+  size_t line = 1;
+  size_t stmt_line = 1;
+  bool in_comment = false;
+  bool in_quote = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') ++line;
+    if (in_comment) {
+      if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+        in_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (!in_quote && c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      in_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') in_quote = !in_quote;
+    if (in_quote) {
+      stmt += c;
+      continue;
+    }
+    if (c == '\\') continue;  // Liberty line continuations
+    if (c == '{') {
+      Group g;
+      const std::string header = trim(stmt);
+      g.keyword = keywordOf(header);
+      g.arg = argOf(header);
+      g.line = stmt_line;
+      if (g.keyword == "cell") ++result.cell_count;
+      stack.push_back(std::move(g));
+      stmt.clear();
+      stmt_line = line;
+    } else if (c == '}') {
+      if (!trim(stmt).empty()) handleStatement(stmt, stmt_line);
+      stmt.clear();
+      stmt_line = line;
+      if (stack.empty()) {
+        issue(line, "unbalanced '}'");
+      } else {
+        closeGroup(stack.back(), line);
+        stack.pop_back();
+      }
+    } else if (c == ';') {
+      handleStatement(stmt, stmt_line);
+      stmt.clear();
+      stmt_line = line;
+    } else {
+      if (trim(stmt).empty() && !std::isspace(static_cast<unsigned char>(c))) stmt_line = line;
+      stmt += c;
+    }
+  }
+  if (in_quote) issue(line, "unterminated string");
+  if (in_comment) issue(line, "unterminated comment");
+  for (const Group& g : stack) {
+    issue(g.line, "unclosed group '" + (g.keyword.empty() ? "?" : g.keyword) + "'");
+  }
+  return result;
+}
+
+}  // namespace vls

@@ -1,0 +1,34 @@
+// Minimal structural validator for generated Liberty text: balanced
+// group braces, lu_table_template references that resolve, strictly
+// monotone index vectors, and values-matrix dimensions consistent with
+// the table's (or its template's) indexes. Not a full Liberty parser —
+// just enough to catch the ways a generator goes wrong (truncated
+// groups, transposed tables, unsorted axes) before a .lib ships.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vls {
+
+struct LibertyIssue {
+  size_t line = 0;  ///< 1-based line of the offending construct
+  std::string message;
+};
+
+struct LibertyValidation {
+  std::vector<LibertyIssue> issues;
+  size_t cell_count = 0;      ///< cell (...) groups seen
+  size_t table_count = 0;     ///< NLDM-style table groups seen
+  size_t template_count = 0;  ///< lu_table_template groups seen
+
+  bool ok() const { return issues.empty(); }
+  /// One-line summary ("ok, 8 cells, 48 tables" or the first issue).
+  std::string summary() const;
+};
+
+/// Validate Liberty source text.
+LibertyValidation validateLiberty(const std::string& text);
+
+}  // namespace vls

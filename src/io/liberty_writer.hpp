@@ -1,15 +1,31 @@
 // Liberty (.lib) export of level-shifter characterization results — the
 // handoff format a standard-cell methodology team expects. One cell per
 // (VDDI, VDDO) characterization corner with pin timing/power groups and
-// cell leakage.
+// cell leakage. Cells carry either scalar point metrics (the quick
+// harness summary) or full NLDM lookup tables (the characterization
+// farm: input-slew x output-load grids for delay, output transition and
+// switching power).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "analysis/characterize.hpp"
 #include "analysis/shifter_harness.hpp"
 
 namespace vls {
+
+/// One NLDM lookup table: index_1 = input transition [ps], index_2 =
+/// output load [fF], values in row-major index_1-major order (the
+/// Liberty `values` group emits one quoted row per index_1 entry).
+struct LibertyNldmTable {
+  std::vector<double> index_1;
+  std::vector<double> index_2;
+  std::vector<double> values;
+
+  bool empty() const { return values.empty(); }
+  double at(size_t i1, size_t i2) const { return values[i1 * index_2.size() + i2]; }
+};
 
 struct LibertyCellData {
   std::string cell_name;
@@ -18,6 +34,18 @@ struct LibertyCellData {
   double area_um2 = 0.0;
   bool inverting = true;
   ShifterMetrics metrics;
+
+  // NLDM groups (all six present together or all absent; absent =
+  // legacy scalar timing/power groups from `metrics`). Delay and
+  // transition values in ps, power values in fJ.
+  LibertyNldmTable cell_rise;
+  LibertyNldmTable cell_fall;
+  LibertyNldmTable rise_transition;
+  LibertyNldmTable fall_transition;
+  LibertyNldmTable rise_power;
+  LibertyNldmTable fall_power;
+
+  bool hasNldm() const { return !cell_rise.empty(); }
 };
 
 struct LibertyLibrarySpec {
@@ -26,12 +54,20 @@ struct LibertyLibrarySpec {
   std::string process = "typical";
 };
 
-/// Render a Liberty library containing the given cells.
+/// Render a Liberty library containing the given cells. Cells with NLDM
+/// tables reference auto-emitted lu_table_template groups (one per
+/// distinct table shape).
 std::string writeLiberty(const LibertyLibrarySpec& spec,
                          const std::vector<LibertyCellData>& cells);
 
 /// Write to a file.
 void writeLibertyFile(const std::string& path, const LibertyLibrarySpec& spec,
                       const std::vector<LibertyCellData>& cells);
+
+/// Convert characterization-farm output into Liberty cells: one cell
+/// per (kind, corner) table, named "<kind>_<corner>", with the six NLDM
+/// groups filled from the grid and leakage from the static harness.
+std::vector<LibertyCellData> libertyCellsFromCharacterization(
+    const std::vector<CharTable>& tables);
 
 }  // namespace vls

@@ -54,6 +54,56 @@ std::optional<double> firstCrossing(const std::vector<double>& xs, const std::ve
   return std::nullopt;
 }
 
+std::optional<double> firstCrossingCubic(const std::vector<double>& xs,
+                                         const std::vector<double>& ys, double level, CrossDir dir,
+                                         double from) {
+  checkSeries(xs, ys);
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] < from) continue;
+    const auto linear = segmentCrossing(xs, ys, i, level, dir);
+    if (!linear || *linear < from) continue;
+    const double x0 = xs[i];
+    const double x1 = xs[i + 1];
+    const double span = x1 - x0;
+    if (span <= 0.0 || ys[i + 1] == ys[i]) return linear;
+    // Endpoint slopes from centered differences (one-sided at the
+    // series ends), then bisect the Hermite cubic for the level. The
+    // bracket endpoints straddle the level, so a root is guaranteed.
+    auto slope = [&](size_t k) {
+      const size_t lo = k > 0 ? k - 1 : k;
+      const size_t hi = k + 1 < xs.size() ? k + 1 : k;
+      const double dx = xs[hi] - xs[lo];
+      return dx > 0.0 ? (ys[hi] - ys[lo]) / dx : 0.0;
+    };
+    const double y0 = ys[i] - level;
+    const double y1 = ys[i + 1] - level;
+    const double m0 = slope(i) * span;
+    const double m1 = slope(i + 1) * span;
+    auto hermite = [&](double s) {
+      const double s2 = s * s;
+      const double s3 = s2 * s;
+      return (2.0 * s3 - 3.0 * s2 + 1.0) * y0 + (s3 - 2.0 * s2 + s) * m0 +
+             (-2.0 * s3 + 3.0 * s2) * y1 + (s3 - s2) * m1;
+    };
+    double lo = 0.0, hi = 1.0;
+    double f_lo = y0;
+    if (f_lo == 0.0) return x0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double f_mid = hermite(mid);
+      if ((f_mid > 0.0) == (f_lo > 0.0)) {
+        lo = mid;
+        f_lo = f_mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double refined = x0 + 0.5 * (lo + hi) * span;
+    return refined >= from ? refined : *linear;
+  }
+  return std::nullopt;
+}
+
 std::vector<double> allCrossings(const std::vector<double>& xs, const std::vector<double>& ys,
                                  double level, CrossDir dir, double from) {
   checkSeries(xs, ys);

@@ -21,6 +21,17 @@ std::optional<double> firstCrossing(const std::vector<double>& xs, const std::ve
 std::vector<double> allCrossings(const std::vector<double>& xs, const std::vector<double>& ys,
                                  double level, CrossDir dir, double from = 0.0);
 
+/// firstCrossing with the abscissa refined on a Hermite cubic through
+/// the bracketing segment (centered-difference endpoint slopes). The
+/// linear estimate's error is O(dt^2 * curvature), which differs
+/// between two otherwise-converged time grids of the same waveform;
+/// the cubic's O(dt^3) error makes crossing times grid-robust, so the
+/// characterization farm's lane and scalar paths agree to the table
+/// tolerance. Falls back to the linear estimate on degenerate brackets.
+std::optional<double> firstCrossingCubic(const std::vector<double>& xs,
+                                         const std::vector<double>& ys, double level, CrossDir dir,
+                                         double from = 0.0);
+
 /// Trapezoidal integral of y(x) over [x0, x1] (clamped to the domain).
 double integrateTrapezoid(const std::vector<double>& xs, const std::vector<double>& ys, double x0,
                           double x1);

@@ -56,6 +56,18 @@ EnsembleSimulator::EnsembleSimulator(Circuit& circuit, size_t lanes, SimOptions 
   attempt_failure_.resize(lanes_);
 }
 
+std::vector<double> EnsembleSimulator::coldStartSoA() const {
+  std::vector<double> x(num_unknowns_ * lanes_, 0.0);
+  if (options_.nodeset) {
+    const std::vector<double>& ns = *options_.nodeset;
+    const size_t n = std::min(ns.size(), num_unknowns_);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t l = 0; l < lanes_; ++l) x[i * lanes_ + l] = ns[i];
+    }
+  }
+  return x;
+}
+
 std::string EnsembleSimulator::unknownName(size_t index) const {
   if (index < num_nodes_) return circuit_.nodeName(static_cast<NodeId>(index));
   return "branch#" + std::to_string(index - num_nodes_);
@@ -117,6 +129,15 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
 
   FaultInjector* injector = options_.fault_injector.get();
 
+  AssemblyOptions assembly_opts;
+  assembly_opts.enable_bypass = options_.enable_bypass;
+  assembly_opts.bypass_tol = options_.bypass_tol;
+  // Iteration 0 of every solve must fully re-linearize (fresh dt,
+  // committed charge histories, post-breakpoint state), so the settle
+  // count is clamped to at least one — after that the stored op values
+  // replayed for quiet devices were computed in this same solve.
+  const int bypass_settle = std::max(1, options_.bypass_settle_iterations);
+
   bool any_selected = false;
   for (size_t l = 0; l < K; ++l) {
     pending_[l] = live ? live[l] : static_cast<uint8_t>(failed_[l] == 0);
@@ -143,7 +164,8 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
     }
 
     ctx.x = std::span<const double>(x);
-    assembler_.assemble(ctx, state_ptrs_);
+    assembly_opts.allow_bypass_now = iter >= bypass_settle;
+    assembler_.assemble(ctx, state_ptrs_, assembly_opts);
 
     // Post-assembly fault injection (applying faults inside device
     // stamps would desync the shared lane tape).
@@ -260,7 +282,8 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
 std::vector<double> EnsembleSimulator::solveOp() {
   const size_t K = lanes_;
   FaultInjector* injector = options_.fault_injector.get();
-  std::vector<double> x(num_unknowns_ * K, 0.0);
+  const std::vector<double> cold = coldStartSoA();
+  std::vector<double> x = cold;
   std::vector<uint8_t> conv(K, 0);
 
   // 1) Direct Newton on every live lane.
@@ -285,7 +308,7 @@ std::vector<double> EnsembleSimulator::solveOp() {
     if (injector != nullptr) injector->setStage(RecoveryStage::GminStepping);
     for (size_t i = 0; i < num_unknowns_; ++i) {
       for (size_t l = 0; l < K; ++l) {
-        if (retry[l]) x[i * K + l] = 0.0;
+        if (retry[l]) x[i * K + l] = cold[i * K + l];
       }
     }
     for (const double gmin : RecoveryEngine::gminSchedule(options_.recovery, options_.gmin)) {
@@ -312,7 +335,7 @@ std::vector<double> EnsembleSimulator::solveOp() {
     if (injector != nullptr) injector->setStage(RecoveryStage::SourceStepping);
     for (size_t i = 0; i < num_unknowns_; ++i) {
       for (size_t l = 0; l < K; ++l) {
-        if (holdout[l]) x[i * K + l] = 0.0;
+        if (holdout[l]) x[i * K + l] = cold[i * K + l];
       }
     }
     for (const double scale : RecoveryEngine::sourceSchedule(options_.recovery)) {
@@ -424,10 +447,16 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
   time_.push_back(0.0);
   data_.push_back(x);
 
-  // Breakpoints: shared across lanes (waveforms are lane-invariant;
-  // only device parameters vary per lane).
+  // Breakpoints: the union over lanes — devices carrying per-lane
+  // waveforms (parameter lanes) contribute every lane's corner times,
+  // so the lockstep time axis never steps over any lane's input edge.
   std::vector<double> breaks;
-  for (const auto& dev : circuit_.devices()) dev->collectBreakpoints(t_stop, breaks);
+  {
+    const auto& devices = circuit_.devices();
+    for (size_t i = 0; i < devices.size(); ++i) {
+      devices[i]->collectLaneBreakpoints(t_stop, state_ptrs_[i], breaks);
+    }
+  }
   breaks.push_back(t_stop);
   std::sort(breaks.begin(), breaks.end());
   breaks.erase(std::unique(breaks.begin(), breaks.end(),
@@ -465,7 +494,18 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
             ? IntegrationMethod::BackwardEuler
             : IntegrationMethod::Trapezoidal;
 
+    // Predictor warm start: seed Newton with the forward-Euler
+    // extrapolation instead of the previous solution. The converged
+    // answer is unchanged (Newton solves the same system to the same
+    // tolerances); active-region steps just start one update closer,
+    // which trims the per-step iteration count the K-wide device
+    // evaluations are multiplied by. Skipped right after breakpoints,
+    // where the history slope spans a discontinuity.
     x_try = x;
+    if (dt_prev > 0.0 && steps_since_break >= 1) {
+      const double r = dt_eff / dt_prev;
+      for (size_t k = 0; k < x_try.size(); ++k) x_try[k] += (x[k] - x_prev[k]) * r;
+    }
     size_t iters = 0;
     if (FaultInjector* injector = options_.fault_injector.get()) {
       injector->setStage(RecoveryStage::TransientStep);

@@ -73,6 +73,14 @@ class EnsembleSimulator {
   /// the lane is alive).
   const LaneFailure& laneFailure(size_t l) const { return lane_failures_[l]; }
 
+  /// Install (or clear) a nodeset warm start for subsequent solveOp /
+  /// transient calls: every lane's cold-start guess becomes the given
+  /// AoS vector instead of zeros. The characterization farm seeds each
+  /// grid batch with its slew-neighbor's converged operating point.
+  void setNodeset(std::shared_ptr<const std::vector<double>> ns) {
+    options_.nodeset = std::move(ns);
+  }
+
   /// Lockstep operating point from zeros: direct Newton on every lane,
   /// then per-lane gmin and source-stepping ladders (shared schedules
   /// with the scalar RecoveryEngine) for the holdouts. Lanes that still
@@ -103,6 +111,9 @@ class EnsembleSimulator {
 
   size_t totalNewtonIterations() const { return total_newton_iterations_; }
   size_t rejectedSteps() const { return rejected_steps_; }
+  /// Device model evaluations skipped by bypass (SimOptions::enable_bypass;
+  /// a device counts once per Newton iteration it sat quiet in all lanes).
+  size_t bypassedEvaluations() const { return assembler_.bypassedEvaluations(); }
 
  private:
   LaneContext contextFor(const std::vector<double>& x, double time, double dt,
@@ -119,6 +130,9 @@ class EnsembleSimulator {
                    uint8_t* converged, size_t* iterations);
 
   std::string unknownName(size_t index) const;
+  /// Cold-start guess in SoA layout: zeros, or the options_.nodeset
+  /// prefix broadcast to every lane.
+  std::vector<double> coldStartSoA() const;
   /// Promote lane l's last attempt failure (attempt_failure_) into its
   /// permanent LaneFailure record, tagged with the ladder stage.
   void recordLaneFailure(size_t l, RecoveryStage stage);

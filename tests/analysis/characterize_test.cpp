@@ -1,0 +1,193 @@
+// Characterization farm: the lane-batched engine must reproduce the
+// scalar reference loop within CharGrid::lane_rel_tol, stay invariant
+// under the thread count, and the warm-start chain must not change
+// converged results under grid reordering.
+#include "analysis/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "io/liberty_validate.hpp"
+#include "io/liberty_writer.hpp"
+
+namespace vls {
+namespace {
+
+/// Small grid (3 slews x 2 loads) keeps each farm run to a handful of
+/// transients; the production 5x5 grid exercises the same code paths.
+CharGrid testGrid() {
+  CharGrid g;
+  g.slews = {20e-12, 60e-12, 150e-12};
+  g.loads = {1e-15, 4e-15};
+  return g;
+}
+
+CharCorner typicalCorner() { return CharCorner{}; }
+
+/// Max full-scale relative table disagreement: for each metric family,
+/// |a - b| normalized by the reference table's peak magnitude of that
+/// family (the CharGrid::lane_rel_tol contract — per-entry relative
+/// error would divide fs-level solver noise by near-zero entries like
+/// a sub-ps inverter delay or the near-cancelling quiet-slot energy).
+double maxRelDiff(const CharTable& a, const CharTable& b) {
+  EXPECT_EQ(a.points.size(), b.points.size());
+  auto metric = [](const CharPoint& p, int m) {
+    switch (m) {
+      case 0: return p.delay_rise;
+      case 1: return p.delay_fall;
+      case 2: return p.trans_rise;
+      case 3: return p.trans_fall;
+      case 4: return p.energy_rise;
+      default: return p.energy_fall;
+    }
+  };
+  double worst = 0.0;
+  for (int m = 0; m < 6; ++m) {
+    // The two power tables share one full scale — the cell's peak
+    // switching energy — since the quieter slot's own peak is itself a
+    // small difference of large integrals.
+    const int peak_lo = m < 4 ? m : 4;
+    const int peak_hi = m < 4 ? m : 5;
+    double peak = 0.0;
+    for (const CharPoint& q : b.points) {
+      for (int pm = peak_lo; pm <= peak_hi; ++pm) peak = std::max(peak, std::fabs(metric(q, pm)));
+    }
+    if (peak <= 0.0) continue;
+    for (size_t i = 0; i < a.points.size(); ++i) {
+      worst = std::max(worst, std::fabs(metric(a.points[i], m) - metric(b.points[i], m)) / peak);
+    }
+  }
+  return worst;
+}
+
+bool allOk(const CharTable& t) {
+  return std::all_of(t.points.begin(), t.points.end(),
+                     [](const CharPoint& p) { return p.ok; });
+}
+
+bool identicalTables(const CharTable& a, const CharTable& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    const CharPoint& p = a.points[i];
+    const CharPoint& q = b.points[i];
+    if (p.delay_rise != q.delay_rise || p.delay_fall != q.delay_fall ||
+        p.trans_rise != q.trans_rise || p.trans_fall != q.trans_fall ||
+        p.energy_rise != q.energy_rise || p.energy_fall != q.energy_fall || p.ok != q.ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Characterize, LaneMatchesScalarAcrossWidths) {
+  CharGrid grid = testGrid();
+  const CharCorner corner = typicalCorner();
+  const HarnessConfig base;
+
+  grid.use_lanes = false;
+  const CharTable scalar = characterizeCell(ShifterKind::Sstvs, corner, grid, base);
+  ASSERT_TRUE(allOk(scalar));
+
+  grid.use_lanes = true;
+  grid.lane_width = 8;
+  const CharTable lanes8 = characterizeCell(ShifterKind::Sstvs, corner, grid, base);
+  EXPECT_TRUE(allOk(lanes8));
+  EXPECT_EQ(lanes8.scalar_fallbacks, 0u);
+  EXPECT_LE(maxRelDiff(lanes8, scalar), grid.lane_rel_tol);
+
+  grid.lane_width = 1;
+  const CharTable lanes1 = characterizeCell(ShifterKind::Sstvs, corner, grid, base);
+  EXPECT_TRUE(allOk(lanes1));
+  EXPECT_LE(maxRelDiff(lanes1, scalar), grid.lane_rel_tol);
+
+  // Sanity on the physics: more load means more delay at fixed slew.
+  EXPECT_GT(lanes8.at(0, 1).delay_rise, lanes8.at(0, 0).delay_rise);
+}
+
+TEST(Characterize, FarmInvariantUnderThreadCount) {
+  CharGrid grid = testGrid();
+  grid.slews = {30e-12, 120e-12};  // 2x2 grid: the farm axis is under test here
+  CharRequest req;
+  req.kinds = {ShifterKind::Sstvs, ShifterKind::InverterOnly};
+  req.corners = {typicalCorner()};
+  req.grid = grid;
+
+  setenv("VLS_THREADS", "1", 1);
+  const std::vector<CharTable> t1 = characterizeCells(req);
+  setenv("VLS_THREADS", "4", 1);
+  const std::vector<CharTable> t4 = characterizeCells(req);
+  unsetenv("VLS_THREADS");
+
+  ASSERT_EQ(t1.size(), 2u);
+  ASSERT_EQ(t4.size(), 2u);
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_TRUE(identicalTables(t1[i], t4[i])) << "task " << i;
+  }
+  EXPECT_EQ(t1[0].kind, ShifterKind::Sstvs);
+  EXPECT_EQ(t1[1].kind, ShifterKind::InverterOnly);
+}
+
+TEST(Characterize, WarmStartChainInvariantUnderGridShuffle) {
+  CharGrid grid = testGrid();
+  grid.use_lanes = false;
+  const CharCorner corner = typicalCorner();
+  const HarnessConfig base;
+
+  const CharTable row_major = characterizeCell(ShifterKind::Sstvs, corner, grid, base);
+
+  // Reversed order flips every warm-start edge in the chain; converged
+  // results must not care where their initial guess came from.
+  const size_t n = grid.slews.size() * grid.loads.size();
+  grid.point_order.resize(n);
+  std::iota(grid.point_order.begin(), grid.point_order.end(), size_t{0});
+  std::reverse(grid.point_order.begin(), grid.point_order.end());
+  const CharTable shuffled = characterizeCell(ShifterKind::Sstvs, corner, grid, base);
+
+  EXPECT_TRUE(allOk(shuffled));
+  EXPECT_LE(maxRelDiff(shuffled, row_major), grid.lane_rel_tol);
+}
+
+TEST(Characterize, RejectsBadGrids) {
+  const CharCorner corner = typicalCorner();
+  const HarnessConfig base;
+  CharGrid grid = testGrid();
+  grid.slews.clear();
+  EXPECT_THROW(characterizeCell(ShifterKind::Sstvs, corner, grid, base), InvalidInputError);
+
+  grid = testGrid();
+  grid.slews.push_back(2e-9);  // ramp would outlast the bit slot
+  EXPECT_THROW(characterizeCell(ShifterKind::Sstvs, corner, grid, base), InvalidInputError);
+
+  grid = testGrid();
+  grid.point_order = {0, 0, 1, 2, 3, 4};  // not a permutation
+  grid.use_lanes = false;
+  EXPECT_THROW(characterizeCell(ShifterKind::Sstvs, corner, grid, base), InvalidInputError);
+}
+
+TEST(Characterize, EndToEndLibertyIsValid) {
+  CharGrid grid = testGrid();
+  CharRequest req;
+  req.kinds = {ShifterKind::Sstvs};
+  req.corners = {typicalCorner()};
+  req.grid = grid;
+  const std::vector<CharTable> tables = characterizeCells(req);
+
+  const std::vector<LibertyCellData> cells = libertyCellsFromCharacterization(tables);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].hasNldm());
+  EXPECT_EQ(cells[0].cell_rise.index_1.size(), grid.slews.size());
+  EXPECT_EQ(cells[0].cell_rise.index_2.size(), grid.loads.size());
+
+  const std::string lib = writeLiberty(LibertyLibrarySpec{}, cells);
+  const LibertyValidation v = validateLiberty(lib);
+  EXPECT_TRUE(v.ok()) << v.summary();
+  EXPECT_EQ(v.cell_count, 1u);
+  EXPECT_EQ(v.table_count, 6u);  // 4 delay/transition + 2 power groups
+}
+
+}  // namespace
+}  // namespace vls

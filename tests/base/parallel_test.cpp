@@ -154,7 +154,7 @@ TEST(ParallelAutoChunk, StaysWithinBounds) {
 }
 
 TEST(ParallelScheduler, ReportsKindAndThreads) {
-  EXPECT_STREQ(parallelSchedulerName(), "chunked-work-stealing");
+  EXPECT_STREQ(parallelSchedulerName(), "chunked-work-stealing-pooled");
   EXPECT_GE(parallelThreadCount(), 1);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "io/liberty_validate.hpp"
+
 namespace vls {
 namespace {
 
@@ -58,6 +60,106 @@ TEST(Liberty, LeakagePowerStates) {
   const std::string lib = writeLiberty({}, {sampleCell()});
   // Output-high leakage (input low) maps to when "!A".
   EXPECT_NE(lib.find("when : \"!A\"; value : 1.08"), std::string::npos);  // 0.9nA * 1.2V
+}
+
+/// Synthetic NLDM cell: 2 slews x 3 loads, strictly increasing values.
+LibertyCellData nldmCell() {
+  LibertyCellData cell = sampleCell();
+  cell.cell_name = "sstvs_nldm";
+  LibertyNldmTable t;
+  t.index_1 = {10.0, 30.0};
+  t.index_2 = {0.5, 1.0, 2.0};
+  t.values = {40.0, 50.0, 70.0, 55.0, 65.0, 85.0};
+  cell.cell_rise = t;
+  cell.cell_fall = t;
+  cell.rise_transition = t;
+  cell.fall_transition = t;
+  cell.rise_power = t;
+  cell.fall_power = t;
+  return cell;
+}
+
+TEST(LibertyNldm, EmitsTemplatesAndTables) {
+  const std::string lib = writeLiberty({}, {nldmCell()});
+  EXPECT_NE(lib.find("lu_table_template (delay_template_2x3)"), std::string::npos);
+  EXPECT_NE(lib.find("lu_table_template (power_template_2x3)"), std::string::npos);
+  EXPECT_NE(lib.find("variable_1 : input_net_transition;"), std::string::npos);
+  EXPECT_NE(lib.find("variable_2 : total_output_net_capacitance;"), std::string::npos);
+  EXPECT_NE(lib.find("cell_rise (delay_template_2x3)"), std::string::npos);
+  EXPECT_NE(lib.find("rise_power (power_template_2x3)"), std::string::npos);
+}
+
+TEST(LibertyValidate, AcceptsScalarAndNldmOutput) {
+  const LibertyValidation scalar = validateLiberty(writeLiberty({}, {sampleCell()}));
+  EXPECT_TRUE(scalar.ok()) << scalar.summary();
+  EXPECT_EQ(scalar.cell_count, 1u);
+
+  const LibertyValidation nldm = validateLiberty(writeLiberty({}, {nldmCell(), sampleCell()}));
+  EXPECT_TRUE(nldm.ok()) << nldm.summary();
+  EXPECT_EQ(nldm.cell_count, 2u);
+  EXPECT_EQ(nldm.template_count, 2u);  // one delay + one power shape
+  EXPECT_EQ(nldm.table_count, 10u);    // 6 NLDM + 4 scalar groups
+}
+
+TEST(LibertyValidate, RejectsUnbalancedBraces) {
+  std::string lib = writeLiberty({}, {nldmCell()});
+  lib.pop_back();  // drop trailing newline
+  lib.pop_back();  // drop the library's closing brace
+  EXPECT_FALSE(validateLiberty(lib).ok());
+  EXPECT_FALSE(validateLiberty("library (x) { } }").ok());
+}
+
+TEST(LibertyValidate, RejectsNonMonotoneIndexes) {
+  const std::string lib =
+      "library (x) {\n"
+      "  lu_table_template (t) {\n"
+      "    variable_1 : input_net_transition;\n"
+      "    variable_2 : total_output_net_capacitance;\n"
+      "    index_1 (\"10, 5\");\n"
+      "    index_2 (\"1, 2\");\n"
+      "  }\n"
+      "}\n";
+  const LibertyValidation v = validateLiberty(lib);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.issues.front().message.find("not strictly increasing"), std::string::npos);
+}
+
+TEST(LibertyValidate, RejectsDimensionMismatch) {
+  const std::string lib =
+      "library (x) {\n"
+      "  lu_table_template (t) {\n"
+      "    index_1 (\"10, 30\");\n"
+      "    index_2 (\"1, 2, 4\");\n"
+      "  }\n"
+      "  cell (c) { pin (Y) { timing () {\n"
+      "    cell_rise (t) {\n"
+      "      values (\"1, 2, 3\", \"4, 5\");\n"  // row 1 too short
+      "    }\n"
+      "  } } }\n"
+      "}\n";
+  EXPECT_FALSE(validateLiberty(lib).ok());
+}
+
+TEST(LibertyValidate, RejectsUnknownTemplate) {
+  const std::string lib =
+      "library (x) {\n"
+      "  cell (c) { pin (Y) { timing () {\n"
+      "    cell_fall (nope) { values (\"1, 2\"); }\n"
+      "  } } }\n"
+      "}\n";
+  const LibertyValidation v = validateLiberty(lib);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.issues.front().message.find("unknown template"), std::string::npos);
+}
+
+TEST(LibertyValidate, ScalarTablesMustBeOneByOne) {
+  const std::string lib =
+      "library (x) {\n"
+      "  cell (c) { pin (Y) { timing () {\n"
+      "    cell_rise (scalar) { values (\"1, 2\"); }\n"
+      "  } } }\n"
+      "}\n";
+  EXPECT_FALSE(validateLiberty(lib).ok());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "devices/mosfet.hpp"
 #include "devices/passive.hpp"
 #include "devices/sources.hpp"
+#include "numeric/interpolation.hpp"
 #include "numeric/lanes.hpp"
 #include "sim/simulator.hpp"
 
@@ -158,6 +159,47 @@ TEST(Ensemble, PerturbedLanesTrackPerLaneScalar) {
   nmos->setGeometry(base);
   // The perturbation must actually move the operating point.
   EXPECT_GT(std::abs(lane_out[0] - lane_out[2]), 1e-3);
+}
+
+TEST(Ensemble, BypassSkipsQuietDevicesAndPreservesWaveforms) {
+  // Lane-widened SPICE bypass: with enable_bypass the assembler must
+  // actually skip quiet-device model evaluations (the pulse leaves the
+  // inverter idle most of the run) without moving the waveforms beyond
+  // bypass-tolerance scale. Off by default.
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VoltageSource>("vdd", vdd, kGround, 1.2);
+  PulseSpec p;
+  p.v2 = 1.2;
+  p.delay = 0.5e-9;
+  p.width = 1.5e-9;
+  p.rise = 50e-12;
+  p.fall = 50e-12;
+  c.add<VoltageSource>("vin", in, kGround, Waveform::pulse(p));
+  buildInverter(c, "x", in, out, vdd);
+  c.add<Capacitor>("cl", out, kGround, 2e-15);
+
+  EnsembleSimulator plain(c, 2, SimOptions{});
+  plain.transient(4e-9, 2e-11);
+  ASSERT_EQ(plain.aliveLaneCount(), 2u);
+  EXPECT_EQ(plain.bypassedEvaluations(), 0u);
+
+  SimOptions opts;
+  opts.enable_bypass = true;
+  opts.bypass_settle_iterations = 1;
+  EnsembleSimulator bypassed(c, 2, opts);
+  bypassed.transient(4e-9, 2e-11);
+  ASSERT_EQ(bypassed.aliveLaneCount(), 2u);
+  EXPECT_GT(bypassed.bypassedEvaluations(), 0u);
+
+  const Signal ref = plain.laneResult(0).node("out");
+  const Signal got = bypassed.laneResult(1).node("out");
+  for (double t = 0.0; t <= 4e-9; t += 0.05e-9) {
+    EXPECT_NEAR(interpLinear(got.time, got.value, t), interpLinear(ref.time, ref.value, t), 1e-4)
+        << "t = " << t;
+  }
 }
 
 TEST(Ensemble, SolveOpAtEvaluatesSourcesAtTime) {
