@@ -20,11 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/corners.hpp"
 #include "analysis/shifter_harness.hpp"
+#include "base/job_control.hpp"
 
 namespace vls {
 
@@ -94,6 +97,21 @@ struct CharPoint {
   bool ok = false;          ///< converged and output reached both rails
 };
 
+/// Structured per-unit failure record (degrade-don't-abort): one grid
+/// point whose simulation kept throwing through the scalar fallback
+/// AND an escalated-recovery retry. The point stays in the table as a
+/// hole (ok == false); the .lib writer annotates it and the farm's
+/// exit report lists it instead of aborting the run.
+struct CharPointFailure {
+  size_t point = 0;    ///< flattened grid index (si * loads + li)
+  double slew = 0.0;   ///< input transition of the failed point [s]
+  double load = 0.0;   ///< output load of the failed point [F]
+  int attempts = 0;    ///< scalar attempts made (1 + retries)
+  std::string stage;   ///< deepest recovery ladder stage reached
+  std::string node;    ///< worst/offending unknown, when attributed
+  std::string message; ///< the final thrown message
+};
+
 /// The full table set of one (cell, corner): points in row-major
 /// slews-major order (point index = si * loads.size() + li).
 struct CharTable {
@@ -109,6 +127,13 @@ struct CharTable {
   /// Points that dropped out of a lane batch and were re-run through
   /// the scalar reference path.
   size_t scalar_fallbacks = 0;
+  /// Points whose scalar run threw and needed an escalated-recovery
+  /// retry (degrade-don't-abort); includes both recovered points and
+  /// the ones that ended up in `failures`.
+  size_t retried_points = 0;
+  /// Grid points that failed every attempt: holes in the table
+  /// (ok == false), annotated in the .lib output.
+  std::vector<CharPointFailure> failures;
 
   const CharPoint& at(size_t si, size_t li) const { return points[si * loads.size() + li]; }
 };
@@ -119,6 +144,37 @@ struct CharRequest {
   std::vector<CharCorner> corners;  ///< empty = standardCharCorners()
   CharGrid grid{};
   HarnessConfig base{};  ///< sizing / sim-option seed (supplies overridden per corner)
+
+  /// Degrade-don't-abort retry budget per grid point: a point whose
+  /// scalar run throws is retried this many times under
+  /// escalatedRecoveryPolicy before being recorded as a
+  /// CharPointFailure hole. 0 disables retries (a failing point holes
+  /// immediately).
+  int max_retries = 1;
+  /// Cooperative cancellation / deadline, threaded into every solver
+  /// loop of every task (see base/job_control). unitDone() fires once
+  /// per completed lane batch / scalar point.
+  std::shared_ptr<JobControl> job;
+  /// Checkpoint/resume: when non-empty, per-(cell, corner) progress —
+  /// measured points, batch cursor, warm-start chain state — is
+  /// atomically rewritten to this file after every lane batch / scalar
+  /// point. An existing compatible file resumes mid-grid; resumed
+  /// farms produce bit-identical tables (and .lib text) to
+  /// uninterrupted runs. An incompatible file throws.
+  std::string checkpoint_path;
+};
+
+/// Per-task resilience plumbing characterizeCells hands to each
+/// characterizeCell call; default-constructed = no job control, one
+/// retry, no checkpointing (the standalone-call behavior).
+struct CharCellControl {
+  std::shared_ptr<JobControl> job;  ///< cancellation/deadline token
+  int max_retries = 1;              ///< escalated retries per failing point
+  /// Serialized progress to resume from (null = fresh task).
+  const std::vector<uint8_t>* resume = nullptr;
+  /// Progress sink, called with the serialized task state after every
+  /// completed batch/point and once at task completion (null = off).
+  std::function<void(const std::vector<uint8_t>&)> save;
 };
 
 /// Characterize every (kind, corner) pair; tasks fan out across the
@@ -130,6 +186,6 @@ std::vector<CharTable> characterizeCells(const CharRequest& request);
 /// One (kind, corner) grid — the unit of work characterizeCells
 /// parallelizes over; exposed for tests and benches.
 CharTable characterizeCell(ShifterKind kind, const CharCorner& corner, const CharGrid& grid,
-                           const HarnessConfig& base);
+                           const HarnessConfig& base, const CharCellControl& control = {});
 
 }  // namespace vls

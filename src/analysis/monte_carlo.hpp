@@ -15,9 +15,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/shifter_harness.hpp"
+#include "base/job_control.hpp"
 #include "numeric/qmc.hpp"
 #include "numeric/statistics.hpp"
 #include "sim/fault_injection.hpp"
@@ -93,6 +96,33 @@ struct MonteCarloConfig {
   /// scalar and ensemble paths produce identical failed_samples.
   int fault_sample = -1;
   FaultSpec fault{};
+  /// Degrade-don't-abort retry budget: a sample whose scalar
+  /// simulation throws is retried up to this many times under
+  /// escalatedRecoveryPolicy (tighter gmin schedule, doubled source
+  /// stepping) before being recorded as a SimulationError. Every
+  /// attempt gets a fresh fault injector (budgets re-fire), so
+  /// injected-fault samples keep their failed ids. 0 disables.
+  int max_retries = 1;
+  /// Cooperative cancellation / wall-clock deadline (base/job_control):
+  /// threaded into the worker pool, every Newton loop and the recovery
+  /// ladder. A cancel or deadline expiry aborts runMonteCarlo with
+  /// JobInterrupted; progress since the last checkpoint is lost, the
+  /// checkpoint file survives. Null = unbudgeted.
+  std::shared_ptr<JobControl> job;
+  /// Checkpoint/resume: when non-empty, the run executes in sequential
+  /// epochs of checkpoint_interval samples and atomically rewrites this
+  /// file (versioned + CRC-guarded, see io/checkpoint) after each
+  /// epoch. An existing compatible file resumes from its completed-id
+  /// watermark; resumed runs produce bit-identical results to
+  /// uninterrupted runs with the same config. In streaming mode,
+  /// checkpointing also makes accumulation epoch-ordered, so streaming
+  /// summaries become bit-identical across thread counts (the
+  /// unchecked-pointed streaming path stays mutex-ordered/approximate).
+  /// An incompatible file (different seed/mode/width/...) throws.
+  std::string checkpoint_path;
+  /// Samples per checkpoint epoch; 0 = auto (max(1024, samples/16)),
+  /// always rounded up to a multiple of the ensemble width.
+  int checkpoint_interval = 0;
 };
 
 /// Why a sample is listed in MonteCarloResult::failed_samples.
@@ -149,6 +179,12 @@ struct MonteCarloResult {
   /// vectors above are empty and `stream` holds the summaries.
   bool streaming = false;
   StreamingSummaries stream{};
+  /// Degrade-don't-abort counters: samples that needed an escalated
+  /// second attempt, and how many of those then converged.
+  int retried_samples = 0;
+  int retry_recovered = 0;
+  /// Completed-id watermark loaded from a checkpoint (0 = fresh run).
+  int resumed_samples = 0;
 
   /// Ids of all failed samples, both kinds, ascending.
   std::vector<int> failedIds() const {

@@ -1,0 +1,70 @@
+#include "base/job_control.hpp"
+
+#include <sstream>
+
+namespace vls {
+
+const char* jobInterruptReasonName(JobInterruptReason reason) {
+  switch (reason) {
+    case JobInterruptReason::Cancelled: return "cancelled";
+    case JobInterruptReason::DeadlineExpired: return "deadline-expired";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string formatInterrupt(JobInterruptReason reason, const std::string& stage,
+                            double sim_time, double elapsed_sec) {
+  std::ostringstream os;
+  os << "job " << jobInterruptReasonName(reason) << " at stage '" << stage << "'";
+  if (sim_time > 0.0) os << ", sim time " << sim_time << " s";
+  os << ", elapsed " << elapsed_sec << " s";
+  return os.str();
+}
+
+}  // namespace
+
+JobInterrupted::JobInterrupted(JobInterruptReason reason, std::string stage,
+                               double sim_time, double elapsed_sec)
+    : std::runtime_error(formatInterrupt(reason, stage, sim_time, elapsed_sec)),
+      reason_(reason),
+      stage_(std::move(stage)),
+      sim_time_(sim_time),
+      elapsed_sec_(elapsed_sec) {}
+
+JobControl::JobControl() : start_(std::chrono::steady_clock::now()) {}
+
+void JobControl::setDeadline(double seconds_from_now) {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds_from_now));
+  has_deadline_ = true;
+}
+
+void JobControl::cancelAfterUnits(uint64_t units) { cancel_after_units_ = units; }
+
+void JobControl::unitDone(uint64_t count) {
+  const uint64_t done = units_done_.fetch_add(count, std::memory_order_acq_rel) + count;
+  if (cancel_after_units_ != 0 && done >= cancel_after_units_) cancel();
+}
+
+bool JobControl::deadlineExpired() const {
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+double JobControl::elapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+void JobControl::throwIfInterrupted(const char* stage, double sim_time) const {
+  if (cancelled()) {
+    throw JobInterrupted(JobInterruptReason::Cancelled, stage, sim_time, elapsedSeconds());
+  }
+  if (deadlineExpired()) {
+    throw JobInterrupted(JobInterruptReason::DeadlineExpired, stage, sim_time,
+                         elapsedSeconds());
+  }
+}
+
+}  // namespace vls

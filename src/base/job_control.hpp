@@ -1,0 +1,102 @@
+// Cooperative job control: a cancellation token plus a monotonic
+// wall-clock deadline shared by every long-running engine. The handle
+// is checked at the natural progress boundaries of the stack — each
+// parallelForChunked chunk dispatch, the top of both Newton iteration
+// loops (scalar Simulator and EnsembleSimulator), each transient
+// time step, and every RecoveryEngine ladder stage — so a cancel()
+// or an expired deadline stops a run within one Newton iteration and
+// surfaces as a structured JobInterrupted diagnostic rather than a
+// hang or a generic throw.
+//
+// JobInterrupted deliberately derives from std::runtime_error, NOT
+// from vls::Error: the degrade-don't-abort handlers in the analysis
+// engines catch `const Error&` to isolate per-unit solver failures,
+// and an interruption must never be classified as one — it has to
+// propagate straight through the retry ladders and the parallel-for
+// first-exception-wins machinery to the job's caller.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vls {
+
+enum class JobInterruptReason : uint8_t {
+  Cancelled,        ///< JobControl::cancel() was called
+  DeadlineExpired,  ///< the monotonic deadline passed
+};
+
+const char* jobInterruptReasonName(JobInterruptReason reason);
+
+/// Structured interruption diagnostic: which cancellation point fired
+/// (stage), where the simulation was (sim time), and how long the job
+/// had been running (elapsed wall clock).
+class JobInterrupted : public std::runtime_error {
+ public:
+  JobInterrupted(JobInterruptReason reason, std::string stage, double sim_time,
+                 double elapsed_sec);
+
+  JobInterruptReason reason() const { return reason_; }
+  /// Cancellation point that observed the interrupt: "newton",
+  /// "transient", "recovery:<stage>", "parallel-for", ...
+  const std::string& stage() const { return stage_; }
+  /// Simulation time at the cancellation point [s] (0 outside a run).
+  double simTime() const { return sim_time_; }
+  /// Wall-clock seconds since the JobControl was created.
+  double elapsedSeconds() const { return elapsed_sec_; }
+
+ private:
+  JobInterruptReason reason_;
+  std::string stage_;
+  double sim_time_;
+  double elapsed_sec_;
+};
+
+/// Shared cancellation token + deadline. Thread-safe: cancel() and the
+/// check methods may race freely (release/acquire on one atomic word);
+/// setDeadline / cancelAfterUnits are configuration and must happen
+/// before the job is handed to workers.
+class JobControl {
+ public:
+  JobControl();
+
+  /// Request cooperative cancellation (idempotent, thread-safe).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arm a wall-clock budget, measured from now (monotonic clock).
+  void setDeadline(double seconds_from_now);
+
+  /// Deterministic-interruption hook for tests and checkpoint drills:
+  /// after `units` unitDone() notifications the job auto-cancels. The
+  /// engines call unitDone() once per completed work unit (Monte-Carlo
+  /// sample, characterization batch), so a "kill at watermark W" run
+  /// is reproducible without wall-clock races. 0 disarms.
+  void cancelAfterUnits(uint64_t units);
+
+  /// Progress notification from the engines (see cancelAfterUnits).
+  void unitDone(uint64_t count = 1);
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  bool deadlineExpired() const;
+  bool interrupted() const { return cancelled() || deadlineExpired(); }
+
+  /// Wall-clock seconds since construction.
+  double elapsedSeconds() const;
+
+  /// Throws JobInterrupted when cancelled or past the deadline; the
+  /// single call every cancellation point makes.
+  void throwIfInterrupted(const char* stage, double sim_time = 0.0) const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> units_done_{0};
+  uint64_t cancel_after_units_ = 0;  ///< 0 = disarmed
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace vls

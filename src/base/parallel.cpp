@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -10,6 +11,9 @@
 #include <new>
 #include <thread>
 #include <vector>
+
+#include "base/job_control.hpp"
+#include "base/logging.hpp"
 
 namespace vls {
 
@@ -46,6 +50,7 @@ struct Job {
   size_t base = 0;
   uint32_t chunk = 1;
   size_t workers = 1;
+  const JobControl* control = nullptr;
   std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
@@ -62,6 +67,20 @@ void drainJob(Job& job, size_t self) {
   const size_t workers = job.workers;
   const uint32_t chunk = job.chunk;
   while (!job.cancelled.load(std::memory_order_relaxed)) {
+    if (job.control != nullptr && job.control->interrupted()) {
+      // Surface the interrupt through the normal first-exception-wins
+      // path so the caller sees a structured JobInterrupted.
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.first_error) {
+        try {
+          job.control->throwIfInterrupted("parallel-for");
+        } catch (...) {
+          job.first_error = std::current_exception();
+        }
+      }
+      job.cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
     uint32_t begin = 0, end = 0;
     bool got = false;
     uint64_t cur = deques[self].range.load(std::memory_order_acquire);
@@ -128,7 +147,7 @@ class WorkerPool {
   }
 
   void run(size_t base, uint32_t n, uint32_t chunk, size_t workers,
-           void (*range)(void*, size_t, size_t), void* ctx) {
+           void (*range)(void*, size_t, size_t), void* ctx, const JobControl* control) {
     std::lock_guard<std::mutex> submit(submit_mutex_);
 
     std::vector<WorkerRange> deques(workers);
@@ -145,6 +164,7 @@ class WorkerPool {
     job.base = base;
     job.chunk = chunk;
     job.workers = workers;
+    job.control = control;
     job.claims_remaining = workers - 1;
 
     {
@@ -214,12 +234,23 @@ class WorkerPool {
 }  // namespace
 
 int parallelThreadCount() {
-  if (const char* env = std::getenv("VLS_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  if (const char* env = std::getenv("VLS_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    const bool parsed = end != env && end != nullptr && *end == '\0' && errno != ERANGE;
+    if (parsed && v >= 1 && v <= 1 << 20) return static_cast<int>(v);
+    // Garbage, zero, negative, or overflowed values fall back to the
+    // hardware width; warn once per process, not per dispatch.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      VLS_LOG_WARN("VLS_THREADS='%s' is not a positive integer; using %d worker(s)", env,
+                   fallback);
+    }
+  }
+  return fallback;
 }
 
 const char* parallelSchedulerName() { return "chunked-work-stealing-pooled"; }
@@ -234,7 +265,8 @@ bool inParallelRegion() { return tl_in_parallel_region; }
 namespace detail {
 
 void parallelForRanges(size_t count, size_t chunk, int num_threads,
-                       void (*range)(void*, size_t, size_t), void* ctx) {
+                       void (*range)(void*, size_t, size_t), void* ctx,
+                       const JobControl* job) {
   if (count == 0) return;
   size_t workers = num_threads > 0 ? static_cast<size_t>(num_threads)
                                    : static_cast<size_t>(parallelThreadCount());
@@ -242,7 +274,17 @@ void parallelForRanges(size_t count, size_t chunk, int num_threads,
   if (workers <= 1 || tl_in_parallel_region) {
     // Single worker, or a nested call from inside a worker: run inline
     // on the calling thread (the nested guard against oversubscription).
-    range(ctx, 0, count);
+    if (job == nullptr) {
+      range(ctx, 0, count);
+      return;
+    }
+    // Self-chunk so the cancellation point keeps chunk granularity
+    // even without pool workers.
+    if (chunk == 0) chunk = parallelAutoChunk(count, 1);
+    for (size_t b = 0; b < count; b += chunk) {
+      job->throwIfInterrupted("parallel-for");
+      range(ctx, b, std::min(count, b + chunk));
+    }
     return;
   }
   if (chunk == 0) chunk = parallelAutoChunk(count, workers);
@@ -254,7 +296,7 @@ void parallelForRanges(size_t count, size_t chunk, int num_threads,
   for (size_t base = 0; base < count; base += kSuperBlock) {
     const uint32_t n = static_cast<uint32_t>(std::min(kSuperBlock, count - base));
     WorkerPool::instance().run(base, n, static_cast<uint32_t>(chunk),
-                               std::min(workers, static_cast<size_t>(n)), range, ctx);
+                               std::min(workers, static_cast<size_t>(n)), range, ctx, job);
   }
 }
 

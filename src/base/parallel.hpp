@@ -42,10 +42,14 @@
 
 namespace vls {
 
+class JobControl;
+
 /// Worker count used when num_threads = 0: the VLS_THREADS environment
 /// variable if set to a positive integer, else
-/// std::thread::hardware_concurrency() (min 1). Read on every call, so
-/// tests can flip VLS_THREADS between runs.
+/// std::thread::hardware_concurrency() (min 1). A VLS_THREADS value
+/// that is not a positive integer (garbage, zero, negative, overflow)
+/// falls back to hardware_concurrency with a one-line warning. Read on
+/// every call, so tests can flip VLS_THREADS between runs.
 int parallelThreadCount();
 
 /// Scheduler implementation name, recorded in BENCH_perf.json so perf
@@ -64,13 +68,20 @@ bool inParallelRegion();
 struct ParallelOptions {
   int num_threads = 0;  ///< 0 = parallelThreadCount()
   size_t chunk = 0;     ///< indices per work item; 0 = parallelAutoChunk
+  /// Optional cooperative cancellation / deadline handle, checked
+  /// before every chunk dispatch (including the inline single-worker
+  /// path, which then self-chunks). An interrupt surfaces as a
+  /// JobInterrupted rethrown on the calling thread through the
+  /// first-exception-wins machinery. Not owned; must outlive the call.
+  const JobControl* job = nullptr;
 };
 
 namespace detail {
 /// Type-erased scheduler core (implementation in parallel.cpp): runs
 /// range(ctx, begin, end) callbacks covering [0, count) exactly once.
 void parallelForRanges(size_t count, size_t chunk, int num_threads,
-                       void (*range)(void*, size_t, size_t), void* ctx);
+                       void (*range)(void*, size_t, size_t), void* ctx,
+                       const JobControl* job);
 }  // namespace detail
 
 /// Run body(i) for every i in [0, count) on the work-stealing pool.
@@ -85,7 +96,7 @@ void parallelForChunked(size_t count, Body&& body, ParallelOptions opt = {}) {
     for (size_t i = begin; i < end; ++i) f(i);
   };
   detail::parallelForRanges(count, opt.chunk, opt.num_threads, range,
-                            const_cast<std::remove_const_t<Fn>*>(&body));
+                            const_cast<std::remove_const_t<Fn>*>(&body), opt.job);
 }
 
 /// Compatibility wrapper over parallelForChunked for callers holding a

@@ -1,0 +1,198 @@
+#include "io/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "base/error.hpp"
+
+namespace vls {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'L', 'S', 'C', 'K', 'P', 'T', '\0'};
+
+void putU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void putU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t getU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t getU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t crc32(const uint8_t* data, size_t n) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::u32(uint32_t v) { putU32(bytes_, v); }
+void CheckpointWriter::u64(uint64_t v) { putU64(bytes_, v); }
+
+void CheckpointWriter::f64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  putU64(bytes_, bits);
+}
+
+void CheckpointWriter::str(const std::string& s) {
+  putU64(bytes_, s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void CheckpointWriter::f64vec(const std::vector<double>& v) {
+  putU64(bytes_, v.size());
+  for (double d : v) f64(d);
+}
+
+void CheckpointWriter::blob(const std::vector<uint8_t>& v) {
+  putU64(bytes_, v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void CheckpointReader::need(size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw InvalidInputError("checkpoint payload truncated");
+  }
+}
+
+uint8_t CheckpointReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+uint32_t CheckpointReader::u32() {
+  need(4);
+  const uint32_t v = getU32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t CheckpointReader::u64() {
+  need(8);
+  const uint64_t v = getU64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double CheckpointReader::f64() {
+  const uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string CheckpointReader::str() {
+  const uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> CheckpointReader::f64vec() {
+  const uint64_t n = u64();
+  std::vector<double> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+std::vector<uint8_t> CheckpointReader::blob() {
+  const uint64_t n = u64();
+  need(n);
+  std::vector<uint8_t> v(bytes_.begin() + static_cast<long>(pos_),
+                         bytes_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return v;
+}
+
+bool checkpointFileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+void writeCheckpointFile(const std::string& path, uint32_t kind,
+                         const CheckpointWriter& payload) {
+  std::vector<uint8_t> file;
+  file.reserve(24 + payload.bytes().size() + 4);
+  file.insert(file.end(), kMagic, kMagic + sizeof kMagic);
+  putU32(file, kCheckpointFormatVersion);
+  putU32(file, kind);
+  putU64(file, payload.bytes().size());
+  file.insert(file.end(), payload.bytes().begin(), payload.bytes().end());
+  putU32(file, crc32(payload.bytes().data(), payload.bytes().size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("checkpoint: cannot open '" + tmp + "' for writing");
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    out.flush();
+    if (!out) throw Error("checkpoint: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("checkpoint: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+CheckpointReader readCheckpointFile(const std::string& path, uint32_t kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InvalidInputError("checkpoint: cannot open '" + path + "'");
+  std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  if (file.size() < 28 || std::memcmp(file.data(), kMagic, sizeof kMagic) != 0) {
+    throw InvalidInputError("checkpoint: '" + path + "' is not a VLS checkpoint");
+  }
+  const uint32_t format = getU32(file.data() + 8);
+  if (format != kCheckpointFormatVersion) {
+    throw InvalidInputError("checkpoint: '" + path + "' has unsupported format version " +
+                            std::to_string(format));
+  }
+  const uint32_t file_kind = getU32(file.data() + 12);
+  if (file_kind != kind) {
+    throw InvalidInputError("checkpoint: '" + path + "' holds payload kind " +
+                            std::to_string(file_kind) + ", expected " + std::to_string(kind));
+  }
+  const uint64_t size = getU64(file.data() + 16);
+  if (file.size() != 24 + size + 4) {
+    throw InvalidInputError("checkpoint: '" + path + "' payload size mismatch");
+  }
+  const uint32_t stored_crc = getU32(file.data() + 24 + size);
+  if (crc32(file.data() + 24, size) != stored_crc) {
+    throw InvalidInputError("checkpoint: '" + path + "' failed CRC verification");
+  }
+  return CheckpointReader(
+      std::vector<uint8_t>(file.begin() + 24, file.begin() + 24 + static_cast<long>(size)));
+}
+
+}  // namespace vls

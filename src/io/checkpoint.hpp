@@ -1,0 +1,93 @@
+// Versioned, CRC-guarded binary checkpoint container for the long
+// batch workloads (Monte-Carlo, the characterization farm). This layer
+// owns only the envelope and the primitive encodings; each engine
+// defines its own payload layout (with its own sub-version tag) on top
+// of CheckpointWriter / CheckpointReader.
+//
+// File layout (all integers little-endian):
+//   magic   "VLSCKPT\0"            8 bytes
+//   format  u32                     container format version
+//   kind    u32                     payload kind tag (engine-specific)
+//   size    u64                     payload byte count
+//   payload size bytes
+//   crc     u32                     CRC-32 (IEEE) over the payload
+//
+// Writes are atomic: the file is written to "<path>.tmp" and renamed
+// over the destination, so a checkpoint on disk is always complete —
+// a killed writer can never leave a torn file behind. Doubles are
+// stored as raw IEEE-754 bit patterns, so round-trips are bit-exact
+// (the foundation of the resume-bit-identity guarantee).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vls {
+
+/// Container format version (bumped on envelope layout changes).
+constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Payload kind tags (one per engine; each payload carries its own
+/// engine-level sub-version as its first u32).
+constexpr uint32_t kCheckpointKindMonteCarlo = 1;
+constexpr uint32_t kCheckpointKindCharFarm = 2;
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) of a byte range.
+uint32_t crc32(const uint8_t* data, size_t n);
+
+/// Append-only primitive encoder for a checkpoint payload.
+class CheckpointWriter {
+ public:
+  void u8(uint8_t v) { bytes_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void f64(double v);  ///< raw IEEE-754 bit pattern (bit-exact round-trip)
+  void str(const std::string& s);
+  void f64vec(const std::vector<double>& v);
+  void blob(const std::vector<uint8_t>& v);  ///< length-prefixed byte blob
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential decoder over a checkpoint payload. Every read throws
+/// InvalidInputError on underrun, so a truncated or mislabeled payload
+/// fails loudly instead of yielding garbage.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64vec();
+  std::vector<uint8_t> blob();
+
+  bool atEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(size_t n) const;
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// True when a checkpoint file exists at `path`.
+bool checkpointFileExists(const std::string& path);
+
+/// Atomically write a checkpoint file (tmp + rename). Throws Error on
+/// I/O failure.
+void writeCheckpointFile(const std::string& path, uint32_t kind,
+                         const CheckpointWriter& payload);
+
+/// Read and verify a checkpoint file: magic, format version, kind tag
+/// and payload CRC must all match or InvalidInputError is thrown.
+/// Returns a reader positioned at the start of the payload.
+CheckpointReader readCheckpointFile(const std::string& path, uint32_t kind);
+
+}  // namespace vls

@@ -1,6 +1,8 @@
 #include "io/liberty_validate.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -56,16 +58,28 @@ std::vector<std::string> quotedStrings(const std::string& stmt) {
 }
 
 /// Comma/whitespace-separated doubles; sets ok=false on a parse error.
+/// strtod-based so "nan"/"inf" tokens parse as the IEEE specials they
+/// are (and get rejected by the finiteness checks) instead of tripping
+/// a generic parse failure.
 std::vector<double> parseNumbers(const std::string& s, bool* ok) {
   std::vector<double> out;
   std::string cleaned = s;
   for (char& ch : cleaned) {
     if (ch == ',') ch = ' ';
   }
-  std::istringstream is(cleaned);
-  double v = 0.0;
-  while (is >> v) out.push_back(v);
-  if (!is.eof()) *ok = false;
+  const char* p = cleaned.c_str();
+  while (*p != '\0') {
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p) {
+      *ok = false;
+      return out;
+    }
+    out.push_back(v);
+    p = end;
+  }
   return out;
 }
 
@@ -114,10 +128,21 @@ LibertyValidation validateLiberty(const std::string& text) {
     }
   };
 
+  auto checkFinite = [&](const std::vector<double>& xs, const std::string& which, size_t line) {
+    for (double v : xs) {
+      if (!std::isfinite(v)) {
+        issue(line, which + " holds a non-finite value (NaN/Inf)");
+        return;
+      }
+    }
+  };
+
   auto closeGroup = [&](const Group& g, size_t line) {
     if (g.keyword == "lu_table_template") {
       ++result.template_count;
       if (g.arg.empty()) issue(g.line, "lu_table_template without a name");
+      checkFinite(g.index_1, "template index_1", g.line);
+      checkFinite(g.index_2, "template index_2", g.line);
       checkMonotone(g.index_1, "template index_1", g.line);
       checkMonotone(g.index_2, "template index_2", g.line);
       templates[g.arg] = {g.index_1.size(), g.index_2.size()};
@@ -125,6 +150,26 @@ LibertyValidation validateLiberty(const std::string& text) {
     }
     if (!isTableKeyword(g.keyword)) return;
     ++result.table_count;
+    // Payload sanity: no NaN/Inf anywhere, and delay/transition tables
+    // must be non-negative — a negative delay is always a generator or
+    // measurement bug, never legitimate NLDM data. One issue per table.
+    const bool is_timing = g.keyword == "cell_rise" || g.keyword == "cell_fall" ||
+                           g.keyword == "rise_transition" || g.keyword == "fall_transition";
+    checkFinite(g.index_1, g.keyword + " index_1", g.line);
+    checkFinite(g.index_2, g.keyword + " index_2", g.line);
+    bool flagged_nonfinite = false;
+    bool flagged_negative = false;
+    for (const std::vector<double>& row : g.value_rows) {
+      for (double v : row) {
+        if (!std::isfinite(v) && !flagged_nonfinite) {
+          issue(g.line, g.keyword + " holds a non-finite value (NaN/Inf)");
+          flagged_nonfinite = true;
+        } else if (is_timing && v < 0.0 && !flagged_negative) {
+          issue(g.line, g.keyword + " holds a negative delay/transition value");
+          flagged_negative = true;
+        }
+      }
+    }
     const std::string where = g.keyword + " at line " + std::to_string(g.line);
     if (!g.has_values) {
       issue(g.line, g.keyword + " has no values group");

@@ -27,6 +27,16 @@ struct LibertyNldmTable {
   double at(size_t i1, size_t i2) const { return values[i1 * index_2.size() + i2]; }
 };
 
+/// One annotated characterization hole: a grid point whose simulation
+/// failed every degrade-don't-abort attempt. The NLDM tables carry 0
+/// at the point; the writer emits a comment naming it so downstream
+/// consumers see the gap instead of silently interpolating through it.
+struct LibertyTableHole {
+  size_t i1 = 0;     ///< index_1 (slew) position
+  size_t i2 = 0;     ///< index_2 (load) position
+  std::string note;  ///< failure attribution (stage / node / message)
+};
+
 struct LibertyCellData {
   std::string cell_name;
   double vddi = 0.8;
@@ -34,6 +44,8 @@ struct LibertyCellData {
   double area_um2 = 0.0;
   bool inverting = true;
   ShifterMetrics metrics;
+  /// Failed grid points to annotate (empty on a clean run).
+  std::vector<LibertyTableHole> holes;
 
   // NLDM groups (all six present together or all absent; absent =
   // legacy scalar timing/power groups from `metrics`). Delay and

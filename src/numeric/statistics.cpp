@@ -27,6 +27,23 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+void OnlineStats::saveState(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(count_));
+  out.push_back(mean_);
+  out.push_back(m2_);
+  out.push_back(min_);
+  out.push_back(max_);
+}
+
+void OnlineStats::restoreState(const std::vector<double>& state, size_t& pos) {
+  if (pos + 5 > state.size()) throw InvalidInputError("OnlineStats: truncated state");
+  count_ = static_cast<size_t>(state[pos++]);
+  mean_ = state[pos++];
+  m2_ = state[pos++];
+  min_ = state[pos++];
+  max_ = state[pos++];
+}
+
 P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
   increment_[0] = 0.0;
   increment_[1] = q_ / 2.0;
@@ -90,6 +107,25 @@ void P2Quantile::add(double x) {
   }
 }
 
+void P2Quantile::saveState(std::vector<double>& out) const {
+  out.push_back(q_);
+  out.push_back(static_cast<double>(count_));
+  for (double h : heights_) out.push_back(h);
+  for (double p : positions_) out.push_back(p);
+  for (double d : desired_) out.push_back(d);
+  // increment_ is derived from q_ in the constructor; not stored.
+}
+
+void P2Quantile::restoreState(const std::vector<double>& state, size_t& pos) {
+  if (pos + 17 > state.size()) throw InvalidInputError("P2Quantile: truncated state");
+  if (state[pos] != q_) throw InvalidInputError("P2Quantile: state quantile mismatch");
+  ++pos;
+  count_ = static_cast<size_t>(state[pos++]);
+  for (double& h : heights_) h = state[pos++];
+  for (double& p : positions_) p = state[pos++];
+  for (double& d : desired_) d = state[pos++];
+}
+
 double P2Quantile::value() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
@@ -100,6 +136,24 @@ double P2Quantile::value() const {
     return percentileSorted(v, q_);
   }
   return heights_[2];
+}
+
+std::vector<double> StreamingSummary::saveState() const {
+  std::vector<double> out;
+  moments_.saveState(out);
+  p05_.saveState(out);
+  median_.saveState(out);
+  p95_.saveState(out);
+  return out;
+}
+
+void StreamingSummary::restoreState(const std::vector<double>& state) {
+  size_t pos = 0;
+  moments_.restoreState(state, pos);
+  p05_.restoreState(state, pos);
+  median_.restoreState(state, pos);
+  p95_.restoreState(state, pos);
+  if (pos != state.size()) throw InvalidInputError("StreamingSummary: trailing state");
 }
 
 Summary StreamingSummary::summary() const {

@@ -26,6 +26,11 @@ class OnlineStats {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  /// Checkpoint support: the exact accumulator state as raw doubles.
+  /// restoreState(saveState(...)) round-trips bit-identically.
+  void saveState(std::vector<double>& out) const;
+  void restoreState(const std::vector<double>& state, size_t& pos);
+
  private:
   size_t count_ = 0;
   double mean_ = 0.0;
@@ -56,6 +61,10 @@ class P2Quantile {
   size_t count() const { return count_; }
   double quantile() const { return q_; }
 
+  /// Checkpoint support (see OnlineStats::saveState).
+  void saveState(std::vector<double>& out) const;
+  void restoreState(const std::vector<double>& state, size_t& pos);
+
  private:
   double q_;
   size_t count_ = 0;
@@ -79,6 +88,11 @@ class StreamingSummary {
 
   size_t count() const { return moments_.count(); }
   struct Summary summary() const;
+
+  /// Checkpoint support: full accumulator state (moments + all three
+  /// P² marker sets) as raw doubles; round-trips bit-identically.
+  std::vector<double> saveState() const;
+  void restoreState(const std::vector<double>& state);
 
  private:
   OnlineStats moments_;

@@ -148,6 +148,11 @@ bool EnsembleSimulator::newtonLanes(double time, double dt, IntegrationMethod me
   if (!any_selected) return true;
 
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
+    // Cancellation point: interrupts stop the lockstep run within one
+    // Newton iteration, same contract as the scalar engine.
+    if (options_.job_control != nullptr) {
+      options_.job_control->throwIfInterrupted("ensemble-newton", time);
+    }
     bool any_pending = false;
     for (size_t l = 0; l < K; ++l) any_pending = any_pending || pending_[l] != 0;
     if (!any_pending) break;
@@ -476,6 +481,9 @@ void EnsembleSimulator::transient(double t_stop, double dt_max, double dt_initia
   std::vector<double> x_try(num_unknowns_ * K);
   std::vector<uint8_t> conv(K, 0);
   while (t < t_stop - 1e-18) {
+    if (options_.job_control != nullptr) {
+      options_.job_control->throwIfInterrupted("ensemble-transient", t);
+    }
     bool hits_break = false;
     double dt_eff = std::min(dt, dt_max);
     if (next_break < breaks.size()) {

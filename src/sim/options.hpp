@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/job_control.hpp"
 #include "circuit/device.hpp"
 #include "numeric/ordering.hpp"
 
@@ -137,6 +138,14 @@ struct SimOptions {
   // SimOptions stays copyable; install a fresh injector per simulation
   // (the injector carries mutable firing state).
   std::shared_ptr<FaultInjector> fault_injector;
+
+  // Cooperative cancellation / wall-clock deadline (base/job_control).
+  // When set, the engines check it at the top of every Newton
+  // iteration, every transient time step and every recovery ladder
+  // stage; a cancel or deadline expiry throws JobInterrupted (which is
+  // NOT a vls::Error — per-unit failure isolation never swallows it).
+  // Null in unbudgeted runs.
+  std::shared_ptr<JobControl> job_control;
 
   // Transient control.
   IntegrationMethod method = IntegrationMethod::Trapezoidal;

@@ -38,6 +38,18 @@ std::vector<double> RecoveryEngine::sourceSchedule(const RecoveryPolicy& policy)
   return schedule;
 }
 
+RecoveryPolicy escalatedRecoveryPolicy(const RecoveryPolicy& base) {
+  RecoveryPolicy p = base;
+  p.gmin_stepping = true;
+  p.source_stepping = true;
+  p.pseudo_transient = true;
+  p.gmin_steps = std::max(base.gmin_steps * 2, base.gmin_steps + 4);
+  p.gmin_start = std::max(base.gmin_start, 1e-1);
+  p.source_steps = std::max(base.source_steps * 2, base.source_steps + 10);
+  p.ptran_max_steps = std::max(base.ptran_max_steps * 2, base.ptran_max_steps + 100);
+  return p;
+}
+
 void RecoveryEngine::setStage(RecoveryStage stage) {
   if (injector_ != nullptr) injector_->setStage(stage);
 }
@@ -56,6 +68,7 @@ void RecoveryEngine::recordOutcome(StageAttempt& attempt, const NewtonOutcome& o
 bool RecoveryEngine::runDirect(std::vector<double>& x, const std::vector<double>& x0,
                                ConvergenceDiagnostics& diag) {
   setStage(RecoveryStage::DirectNewton);
+  if (job_ != nullptr) job_->throwIfInterrupted("recovery:direct-newton", diag.time);
   StageAttempt& attempt = diag.stages.emplace_back();
   attempt.stage = RecoveryStage::DirectNewton;
   attempt.rungs = 1;
@@ -67,6 +80,7 @@ bool RecoveryEngine::runDirect(std::vector<double>& x, const std::vector<double>
 bool RecoveryEngine::runGminStepping(std::vector<double>& x, const std::vector<double>& x0,
                                      ConvergenceDiagnostics& diag) {
   setStage(RecoveryStage::GminStepping);
+  if (job_ != nullptr) job_->throwIfInterrupted("recovery:gmin-stepping", diag.time);
   StageAttempt& attempt = diag.stages.emplace_back();
   attempt.stage = RecoveryStage::GminStepping;
   x = x0;
@@ -81,6 +95,7 @@ bool RecoveryEngine::runGminStepping(std::vector<double>& x, const std::vector<d
 
 bool RecoveryEngine::runSourceStepping(std::vector<double>& x, ConvergenceDiagnostics& diag) {
   setStage(RecoveryStage::SourceStepping);
+  if (job_ != nullptr) job_->throwIfInterrupted("recovery:source-stepping", diag.time);
   StageAttempt& attempt = diag.stages.emplace_back();
   attempt.stage = RecoveryStage::SourceStepping;
   x.assign(x.size(), 0.0);
@@ -96,6 +111,7 @@ bool RecoveryEngine::runSourceStepping(std::vector<double>& x, ConvergenceDiagno
 bool RecoveryEngine::runPseudoTransient(std::vector<double>& x, const std::vector<double>& x0,
                                         ConvergenceDiagnostics& diag) {
   setStage(RecoveryStage::PseudoTransient);
+  if (job_ != nullptr) job_->throwIfInterrupted("recovery:pseudo-transient", diag.time);
   StageAttempt& attempt = diag.stages.emplace_back();
   attempt.stage = RecoveryStage::PseudoTransient;
   x = x0;

@@ -59,13 +59,18 @@ class RecoveryEngine {
   /// name, or a branch label). `injector` may be null; when set, the
   /// engine reports the active ladder stage to it so stage-masked
   /// faults arm and disarm correctly.
+  /// `job` may be null; when set, every ladder stage entry is a
+  /// cancellation point (on top of the per-iteration checks the
+  /// attempt callback itself makes).
   RecoveryEngine(const RecoveryPolicy& policy, double gmin_final, NewtonAttemptFn attempt,
-                 std::function<std::string(size_t)> unknown_name, FaultInjector* injector)
+                 std::function<std::string(size_t)> unknown_name, FaultInjector* injector,
+                 const JobControl* job = nullptr)
       : policy_(policy),
         gmin_final_(gmin_final),
         attempt_(std::move(attempt)),
         unknown_name_(std::move(unknown_name)),
-        injector_(injector) {}
+        injector_(injector),
+        job_(job) {}
 
   /// Run the ladder from x0. Returns the solution and, when diag_out is
   /// non-null, the full stage record (also on success, so callers can
@@ -102,6 +107,14 @@ class RecoveryEngine {
   NewtonAttemptFn attempt_;
   std::function<std::string(size_t)> unknown_name_;
   FaultInjector* injector_;
+  const JobControl* job_;
 };
+
+/// The degrade-don't-abort retry policy: one escalation of `base` for
+/// the second attempt at a failed unit of work (Monte-Carlo sample,
+/// characterization grid point). Tighter gmin schedule (higher start,
+/// more rungs), doubled source stepping and a longer pseudo-transient
+/// leash — strictly more patient than the base policy, never less.
+RecoveryPolicy escalatedRecoveryPolicy(const RecoveryPolicy& base);
 
 }  // namespace vls

@@ -147,6 +147,11 @@ NewtonOutcome Simulator::newtonAttempt(double time, double dt, IntegrationMethod
     return std::chrono::duration<double>(Clock::now() - t0).count();
   };
   for (int iter = 0; iter < options_.max_newton_iter; ++iter) {
+    // Cancellation point: a cancel or deadline expiry stops the run
+    // within one Newton iteration (the job-control contract).
+    if (options_.job_control != nullptr) {
+      options_.job_control->throwIfInterrupted("newton", time);
+    }
     ++out.iterations;
     if (injector != nullptr && injector->shouldFailNewton(iter, time)) {
       out.failure = NewtonFailureReason::InjectedFault;
@@ -306,7 +311,8 @@ std::vector<double> Simulator::solveOpInternal(std::vector<double> x0, const std
                    const PtranAnchor* anchor) {
         return newtonAttempt(time, 0.0, IntegrationMethod::None, scale, gmin, x, anchor);
       },
-      [this](size_t i) { return unknownName(i); }, options_.fault_injector.get());
+      [this](size_t i) { return unknownName(i); }, options_.fault_injector.get(),
+      options_.job_control.get());
   return engine.solve(x0, context, time, diag);
 }
 
@@ -536,6 +542,9 @@ TransientResult Simulator::transient(double t_stop, double dt_max, double dt_ini
 
   std::vector<double> x_try(num_unknowns_);
   while (t < t_stop - 1e-18) {
+    if (options_.job_control != nullptr) {
+      options_.job_control->throwIfInterrupted("transient", t);
+    }
     // Clamp the step to the next breakpoint.
     bool hits_break = false;
     double dt_eff = std::min(dt, dt_max);

@@ -8,11 +8,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
+#include <string>
 
+#include "base/job_control.hpp"
 #include "io/liberty_validate.hpp"
 #include "io/liberty_writer.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace vls {
 namespace {
@@ -187,6 +192,151 @@ TEST(Characterize, EndToEndLibertyIsValid) {
   EXPECT_TRUE(v.ok()) << v.summary();
   EXPECT_EQ(v.cell_count, 1u);
   EXPECT_EQ(v.table_count, 6u);  // 4 delay/transition + 2 power groups
+}
+
+// ---------------------------------------------------------------------
+// Resilience: kill/resume bit-identity, incompatible-checkpoint
+// rejection, and the degrade-don't-abort hole pipeline down to the
+// annotated .lib output.
+
+/// Removes the checkpoint file on construction and destruction.
+struct ScopedCkpt {
+  explicit ScopedCkpt(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~ScopedCkpt() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// The small farm the resilience tests run: 2 kinds x 1 corner, 2x2
+/// grid (fast enough to run three full times per test).
+CharRequest resilienceFarm() {
+  CharGrid grid = testGrid();
+  grid.slews = {30e-12, 120e-12};
+  CharRequest req;
+  req.kinds = {ShifterKind::Sstvs, ShifterKind::InverterOnly};
+  req.corners = {typicalCorner()};
+  req.grid = grid;
+  return req;
+}
+
+void expectFarmsIdentical(const std::vector<CharTable>& a, const std::vector<CharTable>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(identicalTables(a[i], b[i])) << "task " << i;
+    EXPECT_EQ(a[i].failures.size(), b[i].failures.size()) << "task " << i;
+  }
+  // The strongest form of the contract: the shipped artifact itself is
+  // byte-identical.
+  const std::string lib_a = writeLiberty(LibertyLibrarySpec{}, libertyCellsFromCharacterization(a));
+  const std::string lib_b = writeLiberty(LibertyLibrarySpec{}, libertyCellsFromCharacterization(b));
+  EXPECT_EQ(lib_a, lib_b);
+}
+
+TEST(CharFarmResilience, ScalarKillResumeBitIdentical) {
+  CharRequest req = resilienceFarm();
+  req.grid.use_lanes = false;
+  const std::vector<CharTable> ref = characterizeCells(req);
+
+  ScopedCkpt f("test_farm_scalar.vlsckpt");
+  CharRequest killed = req;
+  killed.checkpoint_path = f.path;
+  killed.job = std::make_shared<JobControl>();
+  killed.job->cancelAfterUnits(5);  // mid-grid, mid-task (8 points total)
+  EXPECT_THROW(characterizeCells(killed), JobInterrupted);
+
+  CharRequest resume = req;
+  resume.checkpoint_path = f.path;
+  const std::vector<CharTable> resumed = characterizeCells(resume);
+  expectFarmsIdentical(ref, resumed);
+
+  // The finished checkpoint short-circuits a re-run entirely.
+  const std::vector<CharTable> rerun = characterizeCells(resume);
+  expectFarmsIdentical(ref, rerun);
+}
+
+TEST(CharFarmResilience, LaneKillResumeBitIdentical) {
+  CharRequest req = resilienceFarm();
+  req.grid.use_lanes = true;
+  req.grid.lane_width = 2;  // two batches per task: the cursor is mid-grid
+  const std::vector<CharTable> ref = characterizeCells(req);
+
+  ScopedCkpt f("test_farm_lanes.vlsckpt");
+  CharRequest killed = req;
+  killed.checkpoint_path = f.path;
+  killed.job = std::make_shared<JobControl>();
+  killed.job->cancelAfterUnits(2);
+  EXPECT_THROW(characterizeCells(killed), JobInterrupted);
+
+  CharRequest resume = req;
+  resume.checkpoint_path = f.path;
+  const std::vector<CharTable> resumed = characterizeCells(resume);
+  expectFarmsIdentical(ref, resumed);
+}
+
+TEST(CharFarmResilience, IncompatibleCheckpointRejected) {
+  ScopedCkpt f("test_farm_incompat.vlsckpt");
+  CharRequest req = resilienceFarm();
+  req.grid.use_lanes = false;
+  req.checkpoint_path = f.path;
+  characterizeCells(req);
+
+  // A different grid must not resume against the stored progress.
+  CharRequest other = req;
+  other.grid.slews = {30e-12, 60e-12, 120e-12};
+  EXPECT_THROW(characterizeCells(other), InvalidInputError);
+
+  // A different corner set likewise.
+  CharRequest corner = req;
+  corner.corners[0].vddi = 0.7;
+  EXPECT_THROW(characterizeCells(corner), InvalidInputError);
+}
+
+TEST(CharFarmResilience, FaultedPointBecomesAnnotatedHole) {
+  // Satellite acceptance: an unrecoverable injected fault at one grid
+  // point must surface as a structured CharPointFailure — stage and
+  // worst-node attributed — and flow through to a hole comment in a
+  // still-valid .lib, instead of aborting the run.
+  CharGrid grid = testGrid();
+  grid.slews = {60e-12};
+  grid.loads = {2e-15};  // 1x1 grid: exactly one (faulted) point
+  grid.use_lanes = false;
+  grid.static_metrics = false;
+  HarnessConfig base;
+  FaultSpec spec;
+  spec.zero_pivot_node = "out";  // unlimited fires: defeats every attempt
+  base.sim.fault_injector = std::make_shared<FaultInjector>(spec);
+
+  const CharTable table =
+      characterizeCell(ShifterKind::Sstvs, typicalCorner(), grid, base);
+  ASSERT_EQ(table.points.size(), 1u);
+  EXPECT_FALSE(table.points[0].ok);
+  EXPECT_EQ(table.retried_points, 1u);
+  ASSERT_EQ(table.failures.size(), 1u);
+  const CharPointFailure& fail = table.failures[0];
+  EXPECT_EQ(fail.point, 0u);
+  EXPECT_EQ(fail.attempts, 2);  // 1 attempt + 1 escalated retry (default)
+  EXPECT_FALSE(fail.stage.empty());
+  EXPECT_EQ(fail.node, "out");
+  EXPECT_FALSE(fail.message.empty());
+
+  const std::vector<LibertyCellData> cells = libertyCellsFromCharacterization({table});
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_EQ(cells[0].holes.size(), 1u);
+  const std::string lib = writeLiberty(LibertyLibrarySpec{}, cells);
+  EXPECT_NE(lib.find("characterization hole"), std::string::npos);
+  EXPECT_NE(lib.find("node 'out'"), std::string::npos);
+  const LibertyValidation v = validateLiberty(lib);
+  EXPECT_TRUE(v.ok()) << v.summary();  // holes degrade the data, not the format
+}
+
+TEST(CharFarmResilience, CleanRunHasNoRetriesOrHoles) {
+  CharRequest req = resilienceFarm();
+  req.grid.use_lanes = false;
+  const std::vector<CharTable> tables = characterizeCells(req);
+  for (const CharTable& t : tables) {
+    EXPECT_EQ(t.retried_points, 0u);
+    EXPECT_TRUE(t.failures.empty());
+    EXPECT_TRUE(allOk(t));
+  }
 }
 
 }  // namespace

@@ -4,8 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
+
+#include "base/job_control.hpp"
 
 namespace vls {
 namespace {
@@ -448,6 +453,215 @@ TEST(MonteCarloQmc, ThreadAndWidthInvariantPerMode) {
     const MonteCarloResult parallel = runMonteCarlo(h, mc);
     expectBitIdentical(serial, parallel);
   }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume: a run killed at an arbitrary watermark and resumed
+// from its checkpoint file must produce bit-identical results to the
+// uninterrupted run — metric vectors, failure records, and (in
+// streaming mode) every summary field.
+
+/// Removes the checkpoint file on construction and destruction.
+struct ScopedCkpt {
+  explicit ScopedCkpt(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~ScopedCkpt() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+void expectSummaryBitEqual(const char* what, const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.p05, b.p05) << what;
+  EXPECT_EQ(a.median, b.median) << what;
+  EXPECT_EQ(a.p95, b.p95) << what;
+}
+
+/// Runs `mc` with a deterministic kill after `kill_after` completed
+/// samples, then resumes from the checkpoint and returns the result.
+MonteCarloResult killThenResume(const HarnessConfig& h, MonteCarloConfig mc,
+                                uint64_t kill_after) {
+  MonteCarloConfig killed = mc;
+  killed.job = std::make_shared<JobControl>();
+  killed.job->cancelAfterUnits(kill_after);
+  EXPECT_THROW(runMonteCarlo(h, killed), JobInterrupted);
+  mc.job = nullptr;
+  return runMonteCarlo(h, mc);
+}
+
+TEST(MonteCarloCheckpoint, SurrogateKillResumeBitIdenticalAt100k) {
+  // The acceptance contract at scale: a 10^5-sample exact-mode run
+  // killed mid-flight resumes bit-identically, across thread counts.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 100000;
+  mc.seed = 20080310;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  mc.threads = 1;
+  const MonteCarloResult ref = runMonteCarlo(h, mc);  // uninterrupted, no checkpoint
+
+  for (const int threads : {1, 4}) {
+    for (const uint64_t kill_after : {uint64_t{900}, uint64_t{31777}}) {
+      ScopedCkpt f("test_mc_exact.vlsckpt");
+      MonteCarloConfig run = mc;
+      run.threads = threads;
+      run.checkpoint_path = f.path;
+      run.checkpoint_interval = 4096;
+      const MonteCarloResult resumed = killThenResume(h, run, kill_after);
+      // A kill inside the first epoch leaves no checkpoint (the resume
+      // is then a fresh run); a later kill must genuinely resume.
+      if (kill_after > 4096) {
+        EXPECT_GT(resumed.resumed_samples, 0) << "kill_after " << kill_after;
+      }
+      expectBitIdentical(ref, resumed);
+    }
+  }
+}
+
+TEST(MonteCarloCheckpoint, StreamingKillResumeBitIdenticalAcrossThreads) {
+  // Checkpointed streaming accumulates in ordered epochs, so summaries
+  // are bit-identical across thread counts AND across kill/resume.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc;
+  mc.samples = 50000;
+  mc.seed = 20080310;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  mc.streaming = true;
+  mc.checkpoint_interval = 2048;
+
+  ScopedCkpt ref_f("test_mc_stream_ref.vlsckpt");
+  MonteCarloConfig ref_mc = mc;
+  ref_mc.threads = 1;
+  ref_mc.checkpoint_path = ref_f.path;
+  const MonteCarloResult ref = runMonteCarlo(h, ref_mc);  // uninterrupted
+
+  for (const int threads : {1, 4}) {
+    ScopedCkpt f("test_mc_stream.vlsckpt");
+    MonteCarloConfig run = mc;
+    run.threads = threads;
+    run.checkpoint_path = f.path;
+    const MonteCarloResult resumed = killThenResume(h, run, 9000);
+    EXPECT_EQ(resumed.failed_samples, ref.failed_samples) << "threads " << threads;
+    expectSummaryBitEqual("delay_rise", ref.stream.delay_rise, resumed.stream.delay_rise);
+    expectSummaryBitEqual("delay_fall", ref.stream.delay_fall, resumed.stream.delay_fall);
+    expectSummaryBitEqual("power_rise", ref.stream.power_rise, resumed.stream.power_rise);
+    expectSummaryBitEqual("power_fall", ref.stream.power_fall, resumed.stream.power_fall);
+    expectSummaryBitEqual("leakage_high", ref.stream.leakage_high,
+                          resumed.stream.leakage_high);
+    expectSummaryBitEqual("leakage_low", ref.stream.leakage_low, resumed.stream.leakage_low);
+  }
+}
+
+TEST(MonteCarloCheckpoint, RealHarnessEnsembleKillResumeBitIdentical) {
+  // Full-transient path, width-4 lockstep batches: kill after 6 of 12
+  // samples, resume, compare against the uninterrupted run.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(12);
+  mc.ensemble_width = 4;
+  const MonteCarloResult ref = runMonteCarlo(h, mc);
+
+  ScopedCkpt f("test_mc_real.vlsckpt");
+  mc.checkpoint_path = f.path;
+  mc.checkpoint_interval = 4;
+  const MonteCarloResult resumed = killThenResume(h, mc, 6);
+  // At least one full width-aligned epoch landed before the kill, and
+  // the kill genuinely interrupted the run.
+  EXPECT_GT(resumed.resumed_samples, 0);
+  EXPECT_LT(resumed.resumed_samples, 12);
+  expectBitIdentical(ref, resumed);
+}
+
+TEST(MonteCarloCheckpoint, CompletedCheckpointShortCircuitsRerun) {
+  // A checkpoint at watermark == samples: the rerun restores the sink
+  // and gathers without recomputing anything.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  ScopedCkpt f("test_mc_done.vlsckpt");
+  MonteCarloConfig mc;
+  mc.samples = 5000;
+  mc.seed = 11;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  mc.checkpoint_path = f.path;
+  mc.checkpoint_interval = 1024;
+  const MonteCarloResult first = runMonteCarlo(h, mc);
+  const MonteCarloResult rerun = runMonteCarlo(h, mc);
+  EXPECT_EQ(rerun.resumed_samples, 5000);
+  expectBitIdentical(first, rerun);
+}
+
+TEST(MonteCarloCheckpoint, IncompatibleConfigRejected) {
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  ScopedCkpt f("test_mc_incompat.vlsckpt");
+  MonteCarloConfig mc;
+  mc.samples = 4000;
+  mc.seed = 11;
+  mc.evaluator = makeSurrogateEvaluator(h);
+  mc.checkpoint_path = f.path;
+  mc.checkpoint_interval = 1024;
+  runMonteCarlo(h, mc);
+
+  // Same path, different seed: the fingerprint must not match.
+  MonteCarloConfig other = mc;
+  other.seed = 12;
+  EXPECT_THROW(runMonteCarlo(h, other), InvalidInputError);
+  // Different sampling mode likewise.
+  MonteCarloConfig mode = mc;
+  mode.sampling = SamplingMode::Sobol;
+  EXPECT_THROW(runMonteCarlo(h, mode), InvalidInputError);
+}
+
+TEST(MonteCarloCheckpoint, FaultedSampleKeepsFailureRecordAcrossResume) {
+  // The degrade-don't-abort ladder and checkpointing compose: a sample
+  // with an unrecoverable injected fault stays attributed identically
+  // after a kill/resume around it.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(8);
+  mc.fault_sample = 5;
+  mc.fault.zero_pivot_node = "out";
+  const MonteCarloResult ref = runMonteCarlo(h, mc);
+  ASSERT_EQ(ref.failed_samples.size(), 1u);
+
+  ScopedCkpt f("test_mc_fault.vlsckpt");
+  MonteCarloConfig run = mc;
+  run.checkpoint_path = f.path;
+  run.checkpoint_interval = 2;
+  const MonteCarloResult resumed = killThenResume(h, run, 4);
+  expectBitIdentical(ref, resumed);
+  ASSERT_EQ(resumed.failed_samples.size(), 1u);
+  EXPECT_EQ(resumed.failed_samples[0].id, 5);
+  EXPECT_EQ(resumed.failed_samples[0].node, "out");
+}
+
+TEST(MonteCarloRetry, UnrecoverableFaultCountsARetry) {
+  // max_retries = 1 (the default): the sabotaged sample is attempted
+  // twice (fresh injector each time, so the unlimited fault re-fires),
+  // counted as retried but not recovered, and still recorded.
+  HarnessConfig h;
+  h.kind = ShifterKind::Sstvs;
+  MonteCarloConfig mc = smallMc(4);
+  mc.fault_sample = 2;
+  mc.fault.zero_pivot_node = "out";
+  const MonteCarloResult r = runMonteCarlo(h, mc);
+  EXPECT_EQ(r.retried_samples, 1);
+  EXPECT_EQ(r.retry_recovered, 0);
+  EXPECT_EQ(r.simulation_errors, 1);
+
+  // With retries disabled the sample fails on its only attempt. The
+  // recorded id/kind match; the message text differs (the escalated
+  // attempt reports its tightened ladder), so only the identity is
+  // compared.
+  mc.max_retries = 0;
+  const MonteCarloResult r0 = runMonteCarlo(h, mc);
+  EXPECT_EQ(r0.retried_samples, 0);
+  EXPECT_EQ(r0.simulation_errors, 1);
+  EXPECT_EQ(r0.failedIds(), r.failedIds());
 }
 
 TEST(MonteCarloTemperature, SpreadsMetricsAndForcesScalar) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -156,6 +157,72 @@ TEST(ParallelAutoChunk, StaysWithinBounds) {
 TEST(ParallelScheduler, ReportsKindAndThreads) {
   EXPECT_STREQ(parallelSchedulerName(), "chunked-work-stealing-pooled");
   EXPECT_GE(parallelThreadCount(), 1);
+}
+
+// VLS_THREADS is user input: only a clean positive decimal integer is
+// honored; everything else falls back to the hardware width instead of
+// silently launching 0 or 8 workers off a typo like "8x".
+class ParallelThreadCountEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (const char* old = std::getenv("VLS_THREADS")) {
+      saved_ = old;
+      had_ = true;
+    }
+  }
+  void TearDown() override {
+    if (had_) {
+      setenv("VLS_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("VLS_THREADS");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(ParallelThreadCountEnv, ValidValueIsHonored) {
+  setenv("VLS_THREADS", "3", 1);
+  EXPECT_EQ(parallelThreadCount(), 3);
+}
+
+TEST_F(ParallelThreadCountEnv, UnsetFallsBackToHardware) {
+  unsetenv("VLS_THREADS");
+  EXPECT_GE(parallelThreadCount(), 1);
+}
+
+TEST_F(ParallelThreadCountEnv, GarbageFallsBackToHardware) {
+  const int fallback = [] {
+    unsetenv("VLS_THREADS");
+    return parallelThreadCount();
+  }();
+  for (const char* bad : {"abc", "8x", "1.5", "", " ", "0x4"}) {
+    setenv("VLS_THREADS", bad, 1);
+    EXPECT_EQ(parallelThreadCount(), fallback) << "VLS_THREADS='" << bad << "'";
+  }
+}
+
+TEST_F(ParallelThreadCountEnv, NonPositiveFallsBackToHardware) {
+  const int fallback = [] {
+    unsetenv("VLS_THREADS");
+    return parallelThreadCount();
+  }();
+  for (const char* bad : {"0", "-2", "-999999999999999999999"}) {
+    setenv("VLS_THREADS", bad, 1);
+    EXPECT_EQ(parallelThreadCount(), fallback) << "VLS_THREADS='" << bad << "'";
+  }
+}
+
+TEST_F(ParallelThreadCountEnv, AbsurdlyLargeValueFallsBackToHardware) {
+  const int fallback = [] {
+    unsetenv("VLS_THREADS");
+    return parallelThreadCount();
+  }();
+  // Beyond the 2^20 sanity cap, and beyond what strtol can represent.
+  for (const char* bad : {"2097152", "99999999999999999999"}) {
+    setenv("VLS_THREADS", bad, 1);
+    EXPECT_EQ(parallelThreadCount(), fallback) << "VLS_THREADS='" << bad << "'";
+  }
 }
 
 }  // namespace

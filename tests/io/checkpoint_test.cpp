@@ -1,0 +1,197 @@
+// The checkpoint container: primitive encodings must round-trip
+// bit-exactly (doubles as raw IEEE-754 patterns), every underrun must
+// throw, and the file envelope must reject wrong magic, wrong kind,
+// truncation and payload corruption — a resumed run either sees exactly
+// what was written or refuses to start.
+#include "io/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace vls {
+namespace {
+
+/// Removes the checkpoint file on scope exit so tests never leak state.
+struct ScopedFile {
+  explicit ScopedFile(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~ScopedFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Checkpoint, PrimitivesRoundTripBitExact) {
+  CheckpointWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-1.2345678901234567e-9);
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  w.str("stage 'newton', node \"out\"");
+  w.f64vec({1.0, -2.5, 3.25e-15});
+  w.blob({0x00, 0xFF, 0x7F});
+
+  CheckpointReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f64(), -1.2345678901234567e-9);
+  EXPECT_EQ(r.f64(), 0.0);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.str(), "stage 'newton', node \"out\"");
+  EXPECT_EQ(r.f64vec(), (std::vector<double>{1.0, -2.5, 3.25e-15}));
+  EXPECT_EQ(r.blob(), (std::vector<uint8_t>{0x00, 0xFF, 0x7F}));
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Checkpoint, NanRoundTripsAsBits) {
+  CheckpointWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.f64(std::numeric_limits<double>::infinity());
+  CheckpointReader r(w.bytes());
+  EXPECT_TRUE(std::isnan(r.f64()));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Checkpoint, UnderrunThrows) {
+  CheckpointWriter w;
+  w.u32(7);
+  CheckpointReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), InvalidInputError);
+  EXPECT_THROW(CheckpointReader(w.bytes()).u64(), InvalidInputError);
+  EXPECT_THROW(CheckpointReader({}).f64(), InvalidInputError);
+}
+
+TEST(Checkpoint, StringLengthBeyondPayloadThrows) {
+  // A length prefix promising more bytes than the payload holds must
+  // fail instead of reading past the end.
+  CheckpointWriter w;
+  w.u64(1000);  // claims a 1000-byte string
+  w.u8('x');
+  CheckpointReader r(w.bytes());
+  EXPECT_THROW(r.str(), InvalidInputError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  ScopedFile f("test_checkpoint_roundtrip.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);  // sub-version
+  w.f64vec({3.14, -2.71e-12});
+  w.str("payload");
+  writeCheckpointFile(f.path, kCheckpointKindMonteCarlo, w);
+  ASSERT_TRUE(checkpointFileExists(f.path));
+
+  CheckpointReader r = readCheckpointFile(f.path, kCheckpointKindMonteCarlo);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_EQ(r.f64vec(), (std::vector<double>{3.14, -2.71e-12}));
+  EXPECT_EQ(r.str(), "payload");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Checkpoint, WrongKindRejected) {
+  ScopedFile f("test_checkpoint_kind.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);
+  writeCheckpointFile(f.path, kCheckpointKindMonteCarlo, w);
+  EXPECT_THROW(readCheckpointFile(f.path, kCheckpointKindCharFarm), InvalidInputError);
+}
+
+TEST(Checkpoint, MissingFileRejected) {
+  EXPECT_FALSE(checkpointFileExists("no_such_file.vlsckpt"));
+  EXPECT_THROW(readCheckpointFile("no_such_file.vlsckpt", kCheckpointKindMonteCarlo),
+               Error);
+}
+
+TEST(Checkpoint, CorruptPayloadFailsCrc) {
+  ScopedFile f("test_checkpoint_crc.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);
+  w.f64vec({1.0, 2.0, 3.0});
+  writeCheckpointFile(f.path, kCheckpointKindMonteCarlo, w);
+
+  // Flip one bit in the middle of the payload region.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[28] ^= 0x01;  // inside the payload (envelope header is 24 bytes)
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(readCheckpointFile(f.path, kCheckpointKindMonteCarlo), InvalidInputError);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  ScopedFile f("test_checkpoint_trunc.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);
+  w.str("a reasonably long payload string to truncate");
+  writeCheckpointFile(f.path, kCheckpointKindMonteCarlo, w);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 30u);
+  bytes.resize(30);  // cut mid-payload
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(readCheckpointFile(f.path, kCheckpointKindMonteCarlo), InvalidInputError);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  ScopedFile f("test_checkpoint_magic.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);
+  writeCheckpointFile(f.path, kCheckpointKindMonteCarlo, w);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream in(f.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  bytes[0] = 'X';
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(readCheckpointFile(f.path, kCheckpointKindMonteCarlo), InvalidInputError);
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTmpFile) {
+  ScopedFile f("test_checkpoint_atomic.vlsckpt");
+  CheckpointWriter w;
+  w.u32(1);
+  writeCheckpointFile(f.path, kCheckpointKindCharFarm, w);
+  std::ifstream tmp(f.path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  EXPECT_TRUE(checkpointFileExists(f.path));
+}
+
+TEST(Checkpoint, Crc32KnownVector) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace vls

@@ -162,5 +162,89 @@ TEST(LibertyValidate, ScalarTablesMustBeOneByOne) {
   EXPECT_FALSE(validateLiberty(lib).ok());
 }
 
+// A corrupted generator (or a hole that leaked NaN instead of 0) must
+// never ship: the validator rejects non-finite payloads wherever they
+// appear, and negative values in delay/transition tables.
+
+std::string nldmLib(const std::string& values, const char* group = "cell_rise") {
+  return "library (x) {\n"
+         "  lu_table_template (t) {\n"
+         "    index_1 (\"10, 30\");\n"
+         "    index_2 (\"1, 2\");\n"
+         "  }\n"
+         "  cell (c) { pin (Y) { timing () {\n"
+         "    " +
+         std::string(group) +
+         " (t) {\n"
+         "      values (" +
+         values +
+         ");\n"
+         "    }\n"
+         "  } } }\n"
+         "}\n";
+}
+
+TEST(LibertyValidate, RejectsNanInValues) {
+  const LibertyValidation v = validateLiberty(nldmLib("\"1, nan\", \"3, 4\""));
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.issues.front().message.find("non-finite"), std::string::npos);
+}
+
+TEST(LibertyValidate, RejectsInfInValues) {
+  EXPECT_FALSE(validateLiberty(nldmLib("\"1, 2\", \"inf, 4\"")).ok());
+  EXPECT_FALSE(validateLiberty(nldmLib("\"1, 2\", \"-inf, 4\"")).ok());
+}
+
+TEST(LibertyValidate, RejectsNegativeDelayAndTransition) {
+  for (const char* group : {"cell_rise", "cell_fall", "rise_transition", "fall_transition"}) {
+    const LibertyValidation v = validateLiberty(nldmLib("\"1, -2\", \"3, 4\"", group));
+    ASSERT_FALSE(v.ok()) << group;
+    EXPECT_NE(v.issues.front().message.find("negative delay/transition"), std::string::npos)
+        << group;
+  }
+}
+
+TEST(LibertyValidate, AllowsNegativePowerValues) {
+  // Switching-energy tables may legitimately carry small negative
+  // entries (quiet-slot integral of a near-cancelling current).
+  EXPECT_TRUE(validateLiberty(nldmLib("\"1, -0.5\", \"3, 4\"", "rise_power")).ok());
+}
+
+TEST(LibertyValidate, ZeroDelayIsAcceptedAsAHole) {
+  // Degrade-don't-abort holes store 0 at the failed point; 0 is a
+  // valid (if degenerate) NLDM entry and must pass.
+  EXPECT_TRUE(validateLiberty(nldmLib("\"0, 2\", \"3, 4\"")).ok());
+}
+
+TEST(LibertyValidate, RejectsNonFiniteTemplateIndex) {
+  const std::string lib =
+      "library (x) {\n"
+      "  lu_table_template (t) {\n"
+      "    index_1 (\"10, inf\");\n"
+      "    index_2 (\"1, 2\");\n"
+      "  }\n"
+      "}\n";
+  const LibertyValidation v = validateLiberty(lib);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.issues.front().message.find("non-finite"), std::string::npos);
+}
+
+TEST(LibertyValidate, RejectsNanTableIndex) {
+  const std::string lib =
+      "library (x) {\n"
+      "  lu_table_template (t) {\n"
+      "    index_1 (\"10, 30\");\n"
+      "    index_2 (\"1, 2\");\n"
+      "  }\n"
+      "  cell (c) { pin (Y) { timing () {\n"
+      "    cell_rise (t) {\n"
+      "      index_1 (\"nan, 30\");\n"
+      "      values (\"1, 2\", \"3, 4\");\n"
+      "    }\n"
+      "  } } }\n"
+      "}\n";
+  EXPECT_FALSE(validateLiberty(lib).ok());
+}
+
 }  // namespace
 }  // namespace vls

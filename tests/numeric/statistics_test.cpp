@@ -146,5 +146,111 @@ TEST(StreamingSummary, SmallCountsAreExact) {
   EXPECT_NEAR(s.stddev, exact.stddev, 1e-12);
 }
 
+// Checkpoint state: save at an arbitrary watermark, restore into a
+// fresh accumulator, feed the remainder — every result must be
+// bit-identical to the uninterrupted run. This is the foundation of the
+// Monte-Carlo resume-bit-identity guarantee.
+TEST(StatisticsState, OnlineStatsRoundTripsBitIdentically) {
+  Rng rng(7);
+  std::vector<double> data(1000);
+  for (auto& x : data) x = rng.gaussian(1.0, 0.25);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{4}, size_t{137}, size_t{999}}) {
+    OnlineStats full;
+    OnlineStats head;
+    for (size_t i = 0; i < k; ++i) {
+      full.add(data[i]);
+      head.add(data[i]);
+    }
+    std::vector<double> state;
+    head.saveState(state);
+    OnlineStats resumed;
+    size_t pos = 0;
+    resumed.restoreState(state, pos);
+    EXPECT_EQ(pos, state.size());
+    for (size_t i = k; i < data.size(); ++i) {
+      full.add(data[i]);
+      resumed.add(data[i]);
+    }
+    EXPECT_EQ(resumed.count(), full.count());
+    EXPECT_EQ(resumed.mean(), full.mean());  // bit-exact, not NEAR
+    EXPECT_EQ(resumed.variance(), full.variance());
+    EXPECT_EQ(resumed.min(), full.min());
+    EXPECT_EQ(resumed.max(), full.max());
+  }
+}
+
+TEST(StatisticsState, P2QuantileRoundTripsBitIdentically) {
+  Rng rng(21);
+  std::vector<double> data(5000);
+  for (auto& x : data) x = std::exp(rng.gaussian(0.0, 0.4));
+  for (size_t k : {size_t{3}, size_t{5}, size_t{1234}}) {
+    P2Quantile full(0.95);
+    P2Quantile head(0.95);
+    for (size_t i = 0; i < k; ++i) {
+      full.add(data[i]);
+      head.add(data[i]);
+    }
+    std::vector<double> state;
+    head.saveState(state);
+    P2Quantile resumed(0.95);
+    size_t pos = 0;
+    resumed.restoreState(state, pos);
+    for (size_t i = k; i < data.size(); ++i) {
+      full.add(data[i]);
+      resumed.add(data[i]);
+    }
+    EXPECT_EQ(resumed.count(), full.count());
+    EXPECT_EQ(resumed.value(), full.value());  // bit-exact
+  }
+}
+
+TEST(StatisticsState, P2QuantileRejectsMismatchedQuantile) {
+  P2Quantile p95(0.95);
+  p95.add(1.0);
+  std::vector<double> state;
+  p95.saveState(state);
+  P2Quantile median(0.50);
+  size_t pos = 0;
+  EXPECT_THROW(median.restoreState(state, pos), Error);
+}
+
+TEST(StatisticsState, StreamingSummaryRoundTripsBitIdentically) {
+  Rng rng(42);
+  std::vector<double> data(20000);
+  for (auto& x : data) x = rng.gaussian(3.0, 1.5);
+  const size_t k = 7919;
+  StreamingSummary full;
+  StreamingSummary head;
+  for (size_t i = 0; i < k; ++i) {
+    full.add(data[i]);
+    head.add(data[i]);
+  }
+  StreamingSummary resumed;
+  resumed.restoreState(head.saveState());
+  for (size_t i = k; i < data.size(); ++i) {
+    full.add(data[i]);
+    resumed.add(data[i]);
+  }
+  const Summary a = full.summary();
+  const Summary b = resumed.summary();
+  EXPECT_EQ(b.count, a.count);
+  EXPECT_EQ(b.mean, a.mean);
+  EXPECT_EQ(b.stddev, a.stddev);
+  EXPECT_EQ(b.min, a.min);
+  EXPECT_EQ(b.max, a.max);
+  EXPECT_EQ(b.p05, a.p05);
+  EXPECT_EQ(b.median, a.median);
+  EXPECT_EQ(b.p95, a.p95);
+}
+
+TEST(StatisticsState, StreamingSummaryRejectsWrongLength) {
+  StreamingSummary s;
+  s.add(1.0);
+  std::vector<double> state = s.saveState();
+  state.pop_back();
+  StreamingSummary fresh;
+  EXPECT_THROW(fresh.restoreState(state), Error);
+}
+
 }  // namespace
 }  // namespace vls

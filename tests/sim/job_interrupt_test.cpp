@@ -1,0 +1,139 @@
+// Cancellation and deadlines inside the solver stack: a set token (or
+// an expired deadline) must stop a scalar or ensemble run at the next
+// Newton-iteration / time-step boundary and surface as JobInterrupted —
+// never as a convergence failure, and never swallowed by the recovery
+// ladder's catch (const Error&) degrade handlers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/job_control.hpp"
+#include "circuit/circuit.hpp"
+#include "devices/passive.hpp"
+#include "devices/sources.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/simulator.hpp"
+
+namespace vls {
+namespace {
+
+void buildDivider(Circuit& c) {
+  const NodeId a = c.node("a");
+  const NodeId b = c.node("b");
+  c.add<VoltageSource>("v", a, kGround, 1.2);
+  c.add<Resistor>("r1", a, b, 1000.0);
+  c.add<Resistor>("r2", b, kGround, 1000.0);
+  c.add<Capacitor>("cb", b, kGround, 1e-13);
+}
+
+SimOptions withJob(const std::shared_ptr<JobControl>& job) {
+  SimOptions opts;
+  opts.job_control = job;
+  return opts;
+}
+
+TEST(JobInterrupt, PreCancelledOpStopsBeforeOneNewtonIteration) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  Simulator sim(c, withJob(job));
+  job->cancel();
+  try {
+    sim.solveOp();
+    FAIL() << "expected JobInterrupted";
+  } catch (const JobInterrupted& e) {
+    EXPECT_EQ(e.reason(), JobInterruptReason::Cancelled);
+    // The token is observed at an iteration boundary, so the stage is
+    // one of the solver's named checkpoints, not an empty string.
+    EXPECT_FALSE(e.stage().empty());
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(JobInterrupt, PreCancelledTransientThrows) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  Simulator sim(c, withJob(job));
+  job->cancel();
+  EXPECT_THROW(sim.transient(1e-9, 1e-11), JobInterrupted);
+}
+
+TEST(JobInterrupt, ExpiredDeadlineStopsTransient) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  Simulator sim(c, withJob(job));
+  job->setDeadline(-1.0);  // already past before the first step
+  try {
+    sim.transient(1e-9, 1e-11);
+    FAIL() << "expected JobInterrupted";
+  } catch (const JobInterrupted& e) {
+    EXPECT_EQ(e.reason(), JobInterruptReason::DeadlineExpired);
+    EXPECT_GE(e.elapsedSeconds(), 0.0);
+  }
+}
+
+TEST(JobInterrupt, FutureDeadlineLetsTheRunFinish) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  Simulator sim(c, withJob(job));
+  job->setDeadline(3600.0);
+  const auto tr = sim.transient(1e-9, 1e-11);
+  EXPECT_NEAR(tr.time().back(), 1e-9, 1e-15);
+}
+
+TEST(JobInterrupt, EnsemblePreCancelledOpThrows) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  EnsembleSimulator ens(c, 4, withJob(job));
+  job->cancel();
+  EXPECT_THROW(ens.solveOp(), JobInterrupted);
+}
+
+TEST(JobInterrupt, EnsemblePreCancelledTransientThrows) {
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  EnsembleSimulator ens(c, 2, withJob(job));
+  job->cancel();
+  EXPECT_THROW(ens.transient(1e-9, 1e-11), JobInterrupted);
+}
+
+TEST(JobInterrupt, InterruptionIsNotSwallowedByErrorHandlers) {
+  // The degrade-don't-abort paths catch `const Error&` around solver
+  // calls; an interruption must fly past such a handler untouched.
+  Circuit c;
+  buildDivider(c);
+  auto job = std::make_shared<JobControl>();
+  Simulator sim(c, withJob(job));
+  job->cancel();
+  bool swallowed = false;
+  bool surfaced = false;
+  try {
+    try {
+      sim.solveOp();
+    } catch (const Error&) {
+      swallowed = true;  // would mask the cancellation — must not happen
+    }
+  } catch (const JobInterrupted&) {
+    surfaced = true;
+  }
+  EXPECT_FALSE(swallowed);
+  EXPECT_TRUE(surfaced);
+}
+
+TEST(JobInterrupt, NoJobControlRunsUnaffected) {
+  Circuit c;
+  buildDivider(c);
+  Simulator sim(c);
+  EXPECT_NO_THROW(sim.solveOp());
+}
+
+}  // namespace
+}  // namespace vls
